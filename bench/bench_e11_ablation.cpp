@@ -1,0 +1,141 @@
+// E11 (Figure 7): ablation of the knockout rule — the algorithm's only
+// non-trivial feature.
+//
+// Three variants at constant broadcast probability:
+//   * paper: knock out on DECODED message (the algorithm of Section 1);
+//   * control: never knock out (solves only by a lucky solo round, which
+//     has probability n p (1-p)^{n-1} — exponentially small in n);
+//   * carrier-sense: additionally knock out on SENSED busy rounds with
+//     probability q. Sensing can only fire when someone transmitted, and
+//     transmitters never withdraw, so the active set cannot die out — the
+//     variant is a safe accelerator, but it needs the strictly stronger
+//     carrier-sensing model (the paper's related-work caveat [22]).
+// The headline: the decode-only rule achieves nearly the accelerated
+// performance while needing NO channel capability beyond plain reception.
+#include <cmath>
+#include <iostream>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "exp_common.hpp"
+#include "ext/adaptive.hpp"
+#include "ext/carrier_sense.hpp"
+#include "algorithms/no_knockout.hpp"
+#include "util/cli.hpp"
+
+namespace fcr::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("E11: knockout-rule ablation.");
+  cli.add_flag("n", "128", "nodes");
+  cli.add_flag("p", "0.2", "broadcast probability");
+  cli.add_flag("trials", "40", "trials per variant");
+  cli.add_flag("max-rounds", "20000", "round budget per trial");
+  add_csv_flag(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  banner("E11 / Figure 7",
+         "Ablation: decode-triggered knockout vs no knockout vs "
+         "sense-triggered knockout.");
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const double p = cli.get_double("p");
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+  const auto max_rounds =
+      static_cast<std::uint64_t>(cli.get_int("max-rounds"));
+  const double side = 2.0 * std::sqrt(static_cast<double>(n));
+
+  const DeploymentFactory deploy = [n, side](Rng& rng) {
+    return uniform_square(n, side, rng).normalized();
+  };
+  const ChannelFactory sinr = sinr_channel_factory(3.0, 1.5, 1e-9);
+  // Carrier-sense channel: busy threshold = one unit-power signal at half
+  // the deployment extent (hears "most of the network").
+  const ChannelFactory sensing = [](const Deployment& dep) {
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+    const double threshold =
+        params.power / std::pow(dep.max_link() / 2.0, params.alpha);
+    return std::unique_ptr<ChannelAdapter>(
+        std::make_unique<CarrierSenseSinrAdapter>(params, threshold));
+  };
+
+  struct Variant {
+    std::string label;
+    ChannelFactory channel;
+    AlgorithmFactory algorithm;
+  };
+  const std::vector<Variant> variants = {
+      {"paper (decode knockout)", sinr,
+       [p](const Deployment&) {
+         return std::make_unique<FadingContentionResolution>(p);
+       }},
+      {"no knockout", sinr,
+       [p](const Deployment&) {
+         return std::make_unique<NoKnockoutControl>(p);
+       }},
+      {"sense knockout q=0.05", sensing,
+       [p](const Deployment&) {
+         return std::make_unique<CarrierSenseKnockout>(p, 0.05);
+       }},
+      {"sense knockout q=0.5", sensing,
+       [p](const Deployment&) {
+         return std::make_unique<CarrierSenseKnockout>(p, 0.5);
+       }},
+      {"sense knockout q=1.0", sensing,
+       [p](const Deployment&) {
+         return std::make_unique<CarrierSenseKnockout>(p, 1.0);
+       }},
+      {"adaptive p (MIS on silence)", sinr,
+       [](const Deployment&) { return std::make_unique<AdaptiveFading>(); }},
+  };
+
+  TablePrinter table({"variant", "solve%", "median", "p95"});
+  double paper_solve = 0.0, paper_median = 0.0;
+  double control_solve = 1.0, best_sense_median = 1e18;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const auto result =
+        run_trials(deploy, variants[v].channel, variants[v].algorithm,
+                   trial_config(trials, v * 7 + 1, max_rounds));
+    if (v == 0) {
+      paper_solve = result.solve_rate();
+      paper_median = result.summary().median;
+    }
+    if (v == 1) control_solve = result.solve_rate();
+    if (v >= 2 && result.solve_rate() == 1.0) {
+      best_sense_median = std::min(best_sense_median, result.summary().median);
+    }
+    const bool has_rounds = !result.rounds.empty();
+    table.row({variants[v].label,
+               TablePrinter::fmt(100.0 * result.solve_rate(), 1),
+               has_rounds ? TablePrinter::fmt(result.summary().median, 1) : "-",
+               has_rounds ? TablePrinter::fmt(rounds_quantile(result, 0.95), 1)
+                          : "-"});
+  }
+  emit(cli, table, "e11_ablation_table");
+
+  // Shape: the knockout rule is essential (no-knockout fails outright), and
+  // the decode-only rule stays within ~3x of the carrier-sense accelerator
+  // despite requiring no sensing capability.
+  const bool ok = paper_solve == 1.0 && paper_median > 0.0 &&
+                  control_solve < 1.0 &&
+                  paper_median <= 3.0 * best_sense_median;
+  shape("E11", ok,
+        "knockout rule is essential (control fails); decode-only knockout "
+        "is within 3x of sense-assisted knockout without needing carrier "
+        "sensing");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace fcr::bench
+
+int main(int argc, char** argv) { return fcr::bench::run(argc, argv); }

@@ -1,0 +1,134 @@
+// E4 (Figure 3): link-class-size dynamics vs the Section 3.3 class-bound
+// vectors q_t.
+//
+// The fitting strategy's claim: real executions obey the idealized geometric
+// schedule q_t up to a constant number of rounds per step (Lemma 10's
+// segments). We measure, per execution, the smallest uniform segment length
+// L such that the measured class sizes satisfy n_i(round) <= q_{round/L}(i)
+// for every round and class. The paper predicts L is a CONSTANT: it should
+// not grow when n quadruples.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/class_bounds.hpp"
+#include "core/fading_cr.hpp"
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "exp_common.hpp"
+#include "util/cli.hpp"
+
+namespace fcr::bench {
+namespace {
+
+/// Records per-round class-size vectors for one execution.
+std::vector<std::vector<std::size_t>> record_class_sizes(
+    const Deployment& dep, Rng run_rng, std::uint64_t max_rounds) {
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.stop_on_solve = false;
+  config.max_rounds = max_rounds;
+
+  std::vector<std::vector<std::size_t>> history;
+  bool done = false;
+  run_execution(dep, algo, *channel, config, run_rng,
+                [&](const RoundView& view) {
+                  if (done) return;
+                  std::vector<NodeId> active;
+                  for (NodeId id = 0; id < view.nodes.size(); ++id) {
+                    if (view.nodes[id]->is_contending()) active.push_back(id);
+                  }
+                  const LinkClassPartition part(dep, active);
+                  history.push_back(part.sizes());
+                  if (active.size() <= 1) done = true;
+                });
+  return history;
+}
+
+/// Smallest segment length L such that sizes[r][i] <= q_{r/L}(i) for all
+/// r, i; 0 when even huge L fails (should not happen).
+std::size_t minimal_segment_length(
+    const std::vector<std::vector<std::size_t>>& history,
+    const ClassBoundVectors& bounds) {
+  for (std::size_t L = 1; L <= 200; ++L) {
+    bool ok = true;
+    for (std::size_t r = 0; r < history.size() && ok; ++r) {
+      const std::size_t step = r / L;
+      for (std::size_t i = 0; i < history[r].size() && ok; ++i) {
+        if (static_cast<double>(history[r][i]) > bounds.q(step, i)) ok = false;
+      }
+    }
+    if (ok) return L;
+  }
+  return 0;
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli(
+      "E4: measured link-class sizes vs the q_t class-bound vectors. "
+      "Reports the minimal rounds-per-step segment length L per n; the "
+      "fitting strategy predicts L = Theta(1) in n.");
+  cli.add_flag("sizes", "256,1024,4096", "n values");
+  cli.add_flag("trials", "5", "executions per n");
+  add_csv_flag(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  banner("E4 / Figure 3",
+         "Section 3.3 fitting strategy: executions obey the q_t envelope "
+         "with a constant number of rounds per step.");
+
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+  TablePrinter table({"n", "classes m", "rounds to 1 active", "min seg L",
+                      "max seg L", "q zero-step T"});
+
+  std::vector<double> worst_l;
+  for (const auto n_signed : cli.get_int_list("sizes")) {
+    const auto n = static_cast<std::size_t>(n_signed);
+    const double side = 2.0 * std::sqrt(static_cast<double>(n));
+    std::size_t min_l = 1000, max_l = 0, rounds_seen = 0, classes_m = 1;
+
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(kSeed + n * 17 + t);
+      const Deployment dep = uniform_square(n, side, rng).normalized();
+      classes_m = dep.link_class_count();
+      const auto history = record_class_sizes(dep, rng.split(1), 5000);
+      const ClassBoundVectors bounds(n, classes_m);
+      const std::size_t L = minimal_segment_length(history, bounds);
+      min_l = std::min(min_l, L);
+      max_l = std::max(max_l, L);
+      rounds_seen = std::max(rounds_seen, history.size());
+    }
+    worst_l.push_back(static_cast<double>(max_l));
+    table.row({TablePrinter::fmt(static_cast<std::uint64_t>(n)),
+               TablePrinter::fmt(static_cast<std::uint64_t>(classes_m)),
+               TablePrinter::fmt(static_cast<std::uint64_t>(rounds_seen)),
+               TablePrinter::fmt(static_cast<std::uint64_t>(min_l)),
+               TablePrinter::fmt(static_cast<std::uint64_t>(max_l)),
+               TablePrinter::fmt(static_cast<std::uint64_t>(
+                   ClassBoundVectors(n, classes_m).zero_step()))});
+  }
+  emit(cli, table, "e4_class_bounds_table");
+
+  // Constancy check: the largest-n segment length must not exceed a small
+  // multiple of the smallest-n one (and must exist at all).
+  const bool ok = !worst_l.empty() && worst_l.front() > 0.0 &&
+                  worst_l.back() > 0.0 &&
+                  worst_l.back() <= 3.0 * worst_l.front() + 3.0;
+  shape("E4", ok,
+        "q_t envelope holds with rounds-per-step L that stays Theta(1) as n "
+        "grows 16x");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace fcr::bench
+
+int main(int argc, char** argv) { return fcr::bench::run(argc, argv); }

@@ -1,0 +1,88 @@
+// E5 (Figure 4): sensitivity to the broadcast probability p.
+//
+// Lemma 3 fixes p to an (astronomically small) constant for the proof;
+// this experiment maps the practical landscape: completion time is flat
+// across a wide band of constant p and degrades only at the extremes
+// (p -> 0: nobody talks; p -> 1: everybody talks and nobody decodes, so
+// knockouts stop and only the 1/(n p (1-p)^{n-1}) lucky-solo channel
+// remains).
+#include <cmath>
+#include <iostream>
+
+#include "core/fading_cr.hpp"
+#include "core/theory.hpp"
+#include "deploy/generators.hpp"
+#include "exp_common.hpp"
+#include "util/cli.hpp"
+
+namespace fcr::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("E5: completion rounds vs broadcast probability p.");
+  cli.add_flag("n", "256", "nodes");
+  // p = 0.9 is omitted from the default sweep: with ~90% of nodes
+  // transmitting, receptions (hence knockouts) all but stop and completion
+  // waits tens of thousands of rounds for a lottery solo — measurable with
+  // --probs=...,0.9 --trials=10 but too slow for the default run.
+  cli.add_flag("probs", "0.01,0.02,0.05,0.1,0.2,0.3,0.5,0.7", "p values");
+  cli.add_flag("trials", "40", "trials per p");
+  add_csv_flag(cli);
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  banner("E5 / Figure 4",
+         "Any constant p in a wide band gives the Theorem 11 behaviour; "
+         "the proof's pessimistic p is far below the practical optimum.");
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+  const double side = 2.0 * std::sqrt(static_cast<double>(n));
+
+  const TheoryConstants tc = theory_constants(3.0, 1.5);
+  std::cout << "proof-grade p (Lemma 3 chain, alpha=3, beta=1.5): " << tc.p
+            << "\n\n";
+
+  TablePrinter table({"p", "solve%", "median", "p95", "mean"});
+  double best_p95 = 1e18, p95_at_02 = 0.0;
+  for (const double p : cli.get_double_list("probs")) {
+    const auto result = run_trials(
+        [n, side](Rng& rng) {
+          return uniform_square(n, side, rng).normalized();
+        },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [p](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>(p);
+        },
+        trial_config(trials, static_cast<std::uint64_t>(p * 1000), 200000));
+    const double p95 = rounds_quantile(result, 0.95);
+    if (result.solve_rate() == 1.0) best_p95 = std::min(best_p95, p95);
+    if (p == 0.2) p95_at_02 = p95;
+    table.row({TablePrinter::fmt(p, 2),
+               TablePrinter::fmt(100.0 * result.solve_rate(), 1),
+               TablePrinter::fmt(result.summary().median, 1),
+               TablePrinter::fmt(p95, 1),
+               TablePrinter::fmt(result.summary().mean, 1)});
+  }
+  emit(cli, table, "e5_probability_table");
+
+  // Flat-region check on the tail: tiny p can win the MEDIAN by lottery
+  // (with p*n ~ a few, solo rounds are frequent before any knockout), but
+  // the whp-relevant p95 is flat across the constant-p band; the library
+  // default p = 0.2 must sit within 2.5x of the best tail.
+  const bool ok = p95_at_02 > 0.0 && p95_at_02 <= 2.5 * best_p95;
+  shape("E5", ok,
+        "default p = 0.2 sits in the flat region of the p95 landscape");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace fcr::bench
+
+int main(int argc, char** argv) { return fcr::bench::run(argc, argv); }

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths that
+// dominate experiment wall-clock — SINR round resolution, spatial-grid
+// queries, link-class partitioning, and the RNG.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/fading_cr.hpp"
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "geom/grid.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sinr/channel.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+Deployment make_uniform(std::size_t n) {
+  Rng rng(12345);
+  return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+      .normalized();
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli(0.2));
+  }
+}
+BENCHMARK(BM_RngBernoulli);
+
+void BM_SinrResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  Rng rng(3);
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < n; ++i) {
+    (rng.bernoulli(0.2) ? tx : listeners).push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.resolve(dep, tx, listeners));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tx.size() * listeners.size()));
+}
+BENCHMARK(BM_SinrResolve)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SinrResolveExhaustive(benchmark::State& state) {
+  // The O(T^2 L) reference resolver; the ratio to BM_SinrResolve quantifies
+  // the strongest-transmitter optimization (expect ~T x).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  Rng rng(3);
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < n; ++i) {
+    (rng.bernoulli(0.2) ? tx : listeners).push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.resolve_exhaustive(dep, tx, listeners));
+  }
+}
+BENCHMARK(BM_SinrResolveExhaustive)->Arg(64)->Arg(256);
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  for (auto _ : state) {
+    const SpatialGrid grid(dep.positions());
+    benchmark::DoNotOptimize(grid.size());
+  }
+}
+BENCHMARK(BM_GridBuild)->Arg(256)->Arg(4096);
+
+void BM_GridNearest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SpatialGrid grid(dep.positions());
+  NodeId q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.nearest(dep.position(q), q));
+    q = (q + 1) % static_cast<NodeId>(n);
+  }
+}
+BENCHMARK(BM_GridNearest)->Arg(256)->Arg(4096);
+
+void BM_LinkClassPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  for (auto _ : state) {
+    const LinkClassPartition part(dep, ids);
+    benchmark::DoNotOptimize(part.active_count());
+  }
+}
+BENCHMARK(BM_LinkClassPartition)->Arg(256)->Arg(4096);
+
+void BM_FullExecution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 100000;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const RunResult r =
+        run_execution(dep, algo, *channel, config, Rng(seed++));
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_FullExecution)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace fcr
+
+BENCHMARK_MAIN();

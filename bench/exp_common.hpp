@@ -1,0 +1,81 @@
+// Shared helpers for the experiment harnesses (bench_e1 .. bench_e12).
+//
+// Every harness prints: a header naming the experiment and the paper claim
+// it regenerates, a parameter line, an aligned table of rows, and a SHAPE
+// line summarizing the qualitative check (what EXPERIMENTS.md records).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace fcr::bench {
+
+/// Standard master seed for all experiments (PODC'16 conference date).
+inline constexpr std::uint64_t kSeed = 20160725;
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n=== " << id << " ===\n" << claim << "\n\n";
+}
+
+/// Prints the qualitative-shape verdict line (grepped by EXPERIMENTS.md).
+inline void shape(const std::string& id, bool ok, const std::string& detail) {
+  std::cout << "\nSHAPE " << id << ": " << (ok ? "PASS" : "FAIL") << " — "
+            << detail << "\n";
+}
+
+/// Completion-round quantile including unsolved trials as +infinity
+/// (an unsolved trial can only push a quantile up, never down).
+inline double rounds_quantile(const TrialSetResult& r, double q) {
+  if (r.rounds.empty()) return std::numeric_limits<double>::infinity();
+  std::vector<double> values = to_doubles(r.rounds);
+  const std::size_t unsolved = r.trials - r.solved;
+  for (std::size_t i = 0; i < unsolved; ++i) {
+    values.push_back(std::numeric_limits<double>::infinity());
+  }
+  return percentile(values, q);
+}
+
+/// A standard TrialConfig for experiments.
+inline TrialConfig trial_config(std::size_t trials, std::uint64_t seed_offset,
+                                std::uint64_t max_rounds = 100000) {
+  TrialConfig c;
+  c.trials = trials;
+  c.seed = kSeed + seed_offset;
+  c.engine.max_rounds = max_rounds;
+  return c;
+}
+
+/// Registers the shared --csv-dir flag (call before parse()).
+inline void add_csv_flag(CliParser& cli) {
+  cli.add_flag("csv-dir", "",
+               "when set, each printed table is also written as "
+               "<csv-dir>/<experiment>_<table>.csv");
+}
+
+/// Prints `table` to stdout and, if --csv-dir was given, dumps it to
+/// <dir>/<name>.csv as well.
+inline void emit(const CliParser& cli, const TablePrinter& table,
+                 const std::string& name) {
+  table.print(std::cout);
+  const std::string dir = cli.get_string("csv-dir");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  table.write_csv(out);
+  std::cout << "(csv: " << path << ")\n";
+}
+
+}  // namespace fcr::bench

@@ -1,0 +1,81 @@
+// Scenario: the Section 4 lower bound as an interactive demonstration.
+//
+// Plays the restricted k-hitting game with several strategies — including
+// the paper's own contention-resolution algorithm wrapped through the
+// Lemma 14 reduction — and prints how the cost of reaching success
+// probability 1 - 1/k scales with k. The linear-in-log-k growth is the
+// executable face of Theorem 12's Omega(log n) bound.
+//
+// Run: ./build/examples/hitting_game [--ks 16,256,4096]
+#include <cmath>
+#include <iostream>
+
+#include "core/fading_cr.hpp"
+#include "lowerbound/players.hpp"
+#include "lowerbound/reduction.hpp"
+#include "stats/summary.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fcr::CliParser cli("Restricted k-hitting game scaling demo (Section 4).");
+  cli.add_flag("ks", "16,64,256,1024,4096", "universe sizes");
+  cli.add_flag("trials", "2000", "games per (k, strategy)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+  const fcr::FadingContentionResolution algo(0.5);
+
+  std::cout
+      << "The referee hides a 2-element target in {0..k-1}; a proposal wins\n"
+         "when it contains exactly one target element. Any strategy winning\n"
+         "with probability 1 - 1/k needs Omega(log k) rounds (Lemma 13).\n\n";
+
+  fcr::TablePrinter table({"k", "log2(k)", "random-half q(1-1/k)",
+                           "reduction(fading) q(1-1/k)",
+                           "singleton-sweep mean"});
+  for (const auto k_signed : cli.get_int_list("ks")) {
+    const auto k = static_cast<std::size_t>(k_signed);
+    std::vector<double> rh_rounds, red_rounds;
+    fcr::StreamingSummary ss_rounds;
+    for (std::size_t t = 0; t < trials; ++t) {
+      fcr::Rng rng(k * 999331 + t);
+      const fcr::HittingGameReferee ref(k, rng);
+
+      fcr::RandomHalfPlayer rh(k, rng.split(1));
+      rh_rounds.push_back(static_cast<double>(
+          fcr::play_hitting_game(ref, rh, 1 << 20).rounds));
+
+      // The reduction is heavier (simulates k nodes); subsample.
+      if (t < trials / 10 + 10) {
+        fcr::AlgorithmHittingPlayer player(algo, k, rng.split(2));
+        red_rounds.push_back(static_cast<double>(
+            fcr::play_hitting_game(ref, player, 1 << 20).rounds));
+      }
+
+      fcr::SingletonSweepPlayer ss(k);
+      ss_rounds.add(static_cast<double>(
+          fcr::play_hitting_game(ref, ss, static_cast<std::uint64_t>(k))
+              .rounds));
+    }
+    const double q = 1.0 - 1.0 / static_cast<double>(k);
+    table.row({fcr::TablePrinter::fmt(static_cast<std::uint64_t>(k)),
+               fcr::TablePrinter::fmt(std::log2(static_cast<double>(k)), 0),
+               fcr::TablePrinter::fmt(fcr::percentile(rh_rounds, q), 1),
+               fcr::TablePrinter::fmt(fcr::percentile(red_rounds, q), 1),
+               fcr::TablePrinter::fmt(ss_rounds.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: both log-optimal strategies grow linearly in\n"
+               "log2(k) while the singleton sweep pays ~k/2 — and the paper's\n"
+               "algorithm, run through the Lemma 14 reduction, matches the\n"
+               "lower bound it is subject to: Theorem 11 is tight.\n";
+  return 0;
+}

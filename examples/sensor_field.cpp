@@ -1,0 +1,96 @@
+// Scenario: clustered sensor-field wake-up.
+//
+// The paper's introduction motivates contention resolution as the wake-up
+// primitive of link layers. This example models a realistic deployment — a
+// sensor field installed in clusters (machines on a factory floor, sensor
+// pods in a forest canopy) — and compares the paper's algorithm against the
+// classical baselines a link-layer designer would otherwise reach for,
+// including what happens when the size estimate those baselines need is
+// wrong by an order of magnitude.
+//
+// Run: ./build/examples/sensor_field [--sensors 300] [--clusters 12]
+#include <iostream>
+#include <memory>
+
+#include "algorithms/decay.hpp"
+#include "algorithms/aloha.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fcr::CliParser cli("Clustered sensor-field wake-up comparison.");
+  cli.add_flag("sensors", "300", "number of sensors");
+  cli.add_flag("clusters", "12", "number of installation clusters");
+  cli.add_flag("trials", "50", "independent wake-up episodes");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+  const auto sensors = static_cast<std::size_t>(cli.get_int("sensors"));
+  const auto clusters = static_cast<std::size_t>(cli.get_int("clusters"));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+
+  // Thomas cluster process: clusters of sensors with ~5 m spread scattered
+  // over a 200 m field (units arbitrary; only ratios matter in the model).
+  const fcr::DeploymentFactory deploy = [=](fcr::Rng& rng) {
+    return fcr::thomas_clusters(sensors, clusters, 5.0, 200.0, rng)
+        .normalized();
+  };
+
+  fcr::TrialConfig config;
+  config.trials = trials;
+  config.engine.max_rounds = 100000;
+
+  struct Entry {
+    std::string label;
+    fcr::ChannelFactory channel;
+    fcr::AlgorithmFactory algo;
+  };
+  const std::vector<Entry> entries = {
+      {"fading (paper, no knowledge)", fcr::sinr_channel_factory(3.0, 1.5, 1e-9),
+       [](const fcr::Deployment&) {
+         return std::make_unique<fcr::FadingContentionResolution>();
+       }},
+      {"decay, correct N", fcr::radio_channel_factory(false),
+       [](const fcr::Deployment& dep) {
+         return std::make_unique<fcr::DecayKnownN>(dep.size());
+       }},
+      {"decay, N overestimated 10x", fcr::radio_channel_factory(false),
+       [](const fcr::Deployment& dep) {
+         return std::make_unique<fcr::DecayKnownN>(dep.size() * 10);
+       }},
+      {"aloha, correct n", fcr::radio_channel_factory(false),
+       [](const fcr::Deployment& dep) {
+         return std::make_unique<fcr::SlottedAloha>(dep.size());
+       }},
+      {"aloha, n overestimated 10x", fcr::radio_channel_factory(false),
+       [](const fcr::Deployment& dep) {
+         return std::make_unique<fcr::SlottedAloha>(dep.size() * 10);
+       }},
+  };
+
+  std::cout << "sensor field: " << sensors << " sensors in " << clusters
+            << " clusters, " << trials << " wake-up episodes each\n\n";
+  fcr::TablePrinter table({"strategy", "median rounds", "p95 rounds"});
+  for (const Entry& e : entries) {
+    fcr::TrialConfig c = config;
+    c.seed += e.label.size();  // decorrelate the per-strategy seeds
+    const auto result = fcr::run_trials(deploy, e.channel, e.algo, c);
+    const auto s = result.summary();
+    table.row({e.label, fcr::TablePrinter::fmt(s.median, 1),
+               fcr::TablePrinter::fmt(s.p95, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: the paper's algorithm needs neither n nor a\n"
+               "size estimate, and misestimating n degrades the baselines\n"
+               "(ALOHA's solo probability collapses; decay sweeps lengthen).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scenario: watching spatial reuse happen.
+//
+// The paper's whole point is that super-quadratic fading lets distant
+// regions of the network make progress concurrently. This example makes
+// that visible: it runs the knockout process below single-hop power (so
+// the process quiesces with one leader per decoding neighborhood) and
+// renders the deployment with the surviving leaders highlighted, for a few
+// decoding radii.
+//
+// Run: ./build/examples/spatial_reuse [--n 256]
+#include <cmath>
+#include <iostream>
+
+#include "deploy/generators.hpp"
+#include "ext/local_leaders.hpp"
+#include "geom/ascii_plot.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  fcr::CliParser cli("ASCII visualization of local leader election.");
+  cli.add_flag("n", "256", "number of nodes");
+  cli.add_flag("seed", "11", "random seed");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  fcr::Rng rng(seed);
+  const fcr::Deployment dep =
+      fcr::uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+          .normalized();
+
+  std::cout << "n = " << dep.size() << ", diameter = " << dep.max_link()
+            << " (in units of the shortest link)\n"
+            << "legend: o node   # surviving leader   * leader overlapping "
+               "other nodes\n";
+
+  for (const double frac : {0.1, 0.25, 1.0}) {
+    const double radius = 2.0 * dep.max_link() * frac;
+    fcr::SinrParams params;
+    params.alpha = 3.0;
+    params.beta = 1.5;
+    params.noise = 1e-9;
+    params.power =
+        params.beta * params.noise * std::pow(radius, params.alpha);
+
+    const fcr::LocalLeaderResult result = fcr::elect_local_leaders(
+        dep, params, 0.2, rng.split(static_cast<std::uint64_t>(frac * 100)));
+
+    std::vector<std::size_t> highlight;
+    for (const fcr::NodeId id : result.leaders) highlight.push_back(id);
+
+    std::cout << "\n--- decoding radius = " << radius << " ("
+              << 2.0 * frac << "x diameter): " << result.leaders.size()
+              << " leader(s) after " << result.rounds_run << " rounds";
+    if (result.leaders.size() >= 2) {
+      std::cout << ", min separation " << result.min_leader_separation;
+    }
+    std::cout << " ---\n"
+              << fcr::ascii_scatter(dep.positions(), highlight, 72, 20);
+  }
+
+  std::cout << "\nTakeaway: the surviving set is a packing at the decoding\n"
+               "scale — leaders are never mutually decodable. In the\n"
+               "single-hop regime (paper's assumption) the packing collapses\n"
+               "to exactly one global winner.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scenario: wide-area deployment with extreme link-length diversity.
+//
+// A backhaul-style network: dense city blocks plus long rural spokes, so
+// the link ratio R is enormous and unknown. This exercises the paper's
+// Section 3.1 remark — when R is unknown, interleave the O(log n + log R)
+// algorithm with an R-insensitive strategy — and shows the link-class
+// structure the analysis reasons about.
+//
+// Run: ./build/examples/wide_area [--blocks 6] [--per-block 32]
+#include <iostream>
+#include <memory>
+#include <numeric>
+
+#include "algorithms/fast_decay.hpp"
+#include "core/fading_cr.hpp"
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "ext/interleave.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// City blocks at geometrically growing separations: dense 1x-scale blocks
+/// connected by ever longer spokes.
+fcr::Deployment build_backhaul(std::size_t blocks, std::size_t per_block,
+                               fcr::Rng& rng) {
+  std::vector<fcr::Vec2> pts;
+  double x = 0.0;
+  double spoke = 50.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < per_block; ++i) {
+      pts.push_back({x + rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    }
+    x += spoke;
+    spoke *= 4.0;  // rural spokes grow geometrically
+  }
+  return fcr::Deployment(std::move(pts)).normalized();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fcr::CliParser cli("Wide-area backhaul wake-up with unknown, huge R.");
+  cli.add_flag("blocks", "6", "number of city blocks");
+  cli.add_flag("per-block", "32", "radios per block");
+  cli.add_flag("trials", "40", "episodes per strategy");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << '\n';
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+  const auto blocks = static_cast<std::size_t>(cli.get_int("blocks"));
+  const auto per_block = static_cast<std::size_t>(cli.get_int("per-block"));
+  const auto trials = static_cast<std::size_t>(cli.get_int("trials"));
+
+  // Show the link-class anatomy of one instance.
+  fcr::Rng probe_rng(7);
+  const fcr::Deployment probe = build_backhaul(blocks, per_block, probe_rng);
+  std::vector<fcr::NodeId> all(probe.size());
+  std::iota(all.begin(), all.end(), fcr::NodeId{0});
+  const fcr::LinkClassPartition part(probe, all);
+  std::cout << "backhaul instance: n = " << probe.size()
+            << ", R = " << probe.link_ratio() << " ("
+            << probe.link_class_count() << " link classes)\n"
+            << "non-empty link classes (class: size):";
+  for (std::size_t i = 0; i < part.class_count(); ++i) {
+    if (part.size_of(i) > 0) std::cout << "  " << i << ": " << part.size_of(i);
+  }
+  std::cout << "\n\n";
+
+  const fcr::DeploymentFactory deploy = [=](fcr::Rng& rng) {
+    return build_backhaul(blocks, per_block, rng);
+  };
+  const auto sinr = fcr::sinr_channel_factory(3.0, 1.5, 1e-9);
+
+  fcr::TrialConfig config;
+  config.trials = trials;
+  config.engine.max_rounds = 100000;
+
+  fcr::TablePrinter table({"strategy", "median", "p95"});
+  const std::vector<std::pair<std::string, fcr::AlgorithmFactory>> strategies =
+      {{"fading alone",
+        [](const fcr::Deployment&) {
+          return std::make_unique<fcr::FadingContentionResolution>();
+        }},
+       {"fast-decay alone (needs N)",
+        [](const fcr::Deployment& dep) {
+          return std::make_unique<fcr::FastDecay>(dep.size());
+        }},
+       {"interleave(fading, fast-decay)",
+        [](const fcr::Deployment& dep) {
+          return std::make_unique<fcr::InterleavedAlgorithm>(
+              std::make_shared<fcr::FadingContentionResolution>(),
+              std::make_shared<fcr::FastDecay>(dep.size()));
+        }}};
+  for (const auto& [label, algo] : strategies) {
+    fcr::TrialConfig c = config;
+    c.seed += label.size();
+    const auto result = fcr::run_trials(deploy, sinr, algo, c);
+    table.row({label, fcr::TablePrinter::fmt(result.summary().median, 1),
+               fcr::TablePrinter::fmt(result.summary().p95, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nTakeaway: even with R in the billions the fading algorithm\n"
+               "stays fast (spatial reuse drains all scales concurrently),\n"
+               "and the interleave caps the cost at ~2x the better half —\n"
+               "the paper's unknown-R recipe.\n";
+  return 0;
+}

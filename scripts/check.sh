@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: warning-clean build, unit tests, every experiment's
+# SHAPE verdict. Exit code 0 iff everything passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DFCR_WERROR=ON
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+status=0
+for b in build/bench/bench_e*; do
+  echo "### $b"
+  if ! "$b"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "ALL CHECKS PASSED"
+else
+  echo "EXPERIMENT SHAPE FAILURES (see above)" >&2
+fi
+exit "$status"

@@ -1,0 +1,38 @@
+#include "algorithms/backoff.hpp"
+
+namespace fcr {
+namespace {
+
+class BackoffNode final : public NodeProtocol {
+ public:
+  explicit BackoffNode(Rng rng) : rng_(rng) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    if (round > epoch_end_) {
+      // Start epoch e: window doubles; pick the transmission slot.
+      epoch_start_ = epoch_end_ + 1;
+      window_ *= 2;
+      epoch_end_ = epoch_start_ + window_ - 1;
+      slot_ = epoch_start_ + rng_.uniform_int(window_);
+    }
+    return round == slot_ ? Action::kTransmit : Action::kListen;
+  }
+
+  void on_round_end(const Feedback&) override {}
+
+ private:
+  Rng rng_;
+  std::uint64_t window_ = 1;       ///< doubles at each epoch start
+  std::uint64_t epoch_start_ = 1;
+  std::uint64_t epoch_end_ = 0;    ///< 0 forces epoch setup on round 1
+  std::uint64_t slot_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeProtocol> BinaryExponentialBackoff::make_node(
+    NodeId /*id*/, Rng rng) const {
+  return std::make_unique<BackoffNode>(rng);
+}
+
+}  // namespace fcr

@@ -1,0 +1,29 @@
+// Binary exponential backoff — the link-layer classic (Ethernet/ALOHA
+// lineage the paper's introduction cites as the practical face of
+// contention resolution).
+//
+// Honest-model variant: transmitters receive no feedback (neither the SINR
+// nor the plain radio model acknowledges), so backoff cannot react to
+// collisions. Instead, epoch e has a window of 2^e rounds and every node
+// transmits in exactly one uniformly chosen round of each epoch. Once the
+// window reaches Theta(n), each epoch succeeds with constant probability;
+// completion therefore takes Theta(n) rounds — an instructive contrast to
+// the logarithmic strategies.
+#pragma once
+
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Windowed binary exponential backoff (no feedback required).
+class BinaryExponentialBackoff final : public Algorithm {
+ public:
+  BinaryExponentialBackoff() = default;
+
+  std::string name() const override { return "binary-backoff"; }
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+};
+
+}  // namespace fcr

@@ -1,0 +1,53 @@
+// Decay-style baselines from the classical radio network model.
+//
+// The paper's separation claim is against this family: without collision
+// detection and without fading, high-probability contention resolution
+// costs Theta(log^2 n) rounds (Newport [20], Willard [23]). The canonical
+// upper bound is the Bar-Yehuda/Goldreich/Itai "Decay" schedule: sweep the
+// broadcast probabilities 1/2, 1/4, ..., 1/2^L with L = ceil(log2 N) + 1;
+// some slot of the sweep is within a factor 2 of 1/#active, giving a
+// constant solo probability per sweep, so Theta(log n) sweeps of length
+// Theta(log N) succeed w.h.p.
+//
+// Two variants:
+//   * DecayKnownN  — needs an upper bound N >= n (ladder length from N),
+//   * DecayDoubling — no knowledge of n: epoch e sweeps the ladder
+//     1/2 ... 1/2^e (estimate N = 2^e), restarting with a deeper ladder
+//     forever. Reaching a useful estimate costs sum_{e<=log n} e =
+//     O(log^2 n) rounds; w.h.p. completion is O(log^2 n) as well.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Decay with a known size bound N >= n.
+class DecayKnownN final : public Algorithm {
+ public:
+  explicit DecayKnownN(std::size_t size_bound);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  bool uses_size_bound() const override { return true; }
+
+  std::size_t size_bound() const { return size_bound_; }
+  std::size_t sweep_length() const { return sweep_length_; }
+
+ private:
+  std::size_t size_bound_;
+  std::size_t sweep_length_;  ///< L = ceil(log2 N) + 1
+};
+
+/// Decay with doubling size estimate; needs no knowledge of n.
+class DecayDoubling final : public Algorithm {
+ public:
+  DecayDoubling() = default;
+
+  std::string name() const override { return "decay-doubling"; }
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+};
+
+}  // namespace fcr

@@ -1,0 +1,66 @@
+#include "algorithms/registry.hpp"
+
+#include "algorithms/aloha.hpp"
+#include "algorithms/backoff.hpp"
+#include "algorithms/cd_leader.hpp"
+#include "algorithms/decay.hpp"
+#include "algorithms/fast_decay.hpp"
+#include "algorithms/no_knockout.hpp"
+#include "algorithms/sift.hpp"
+#include "core/fading_cr.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+const std::vector<AlgorithmSpec>& algorithm_catalog() {
+  static const std::vector<AlgorithmSpec> catalog = {
+      {"fading", "paper's constant-probability algorithm with knockout rule",
+       false, false, "O(log n + log R) on SINR"},
+      {"decay", "BGI decay sweep with known size bound", true, false,
+       "Theta(log^2 n)"},
+      {"decay-doubling", "decay with doubling size estimate (no knowledge)",
+       false, false, "Theta(log^2 n)"},
+      {"fast-decay", "JS16-inspired coarse ladder with known size bound", true,
+       false, "Theta(log^2 n / log log n)"},
+      {"backoff", "windowed binary exponential backoff (no feedback)", false,
+       false, "Theta(n)"},
+      {"aloha", "slotted ALOHA with known n (p = 1/n)", true, false,
+       "Theta(log n) w.h.p., O(1) expected"},
+      {"cd-leader", "survivor halving with receiver collision detection",
+       false, true, "Theta(log n)"},
+      {"no-knockout", "ablation control: constant p, no deactivation", false,
+       false, "Theta(p^{-1} (1-p)^{-(n-1)} / n)"},
+      {"sift", "windowed contention, geometric slot skew (sensor MAC)", false,
+       false, "O(poly(n)) worst case; fast for n <~ W^2"},
+  };
+  return catalog;
+}
+
+const AlgorithmSpec& algorithm_spec(const std::string& key) {
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    if (spec.key == key) return spec;
+  }
+  FCR_ENSURE_ARG(false, "unknown algorithm key: " << key);
+  // Unreachable; FCR_ENSURE_ARG throws.
+  return algorithm_catalog().front();
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& key,
+                                          std::size_t size_bound, double p) {
+  const AlgorithmSpec& spec = algorithm_spec(key);  // validates the key
+  (void)spec;
+  if (key == "fading") return std::make_unique<FadingContentionResolution>(p);
+  if (key == "decay") return std::make_unique<DecayKnownN>(size_bound);
+  if (key == "decay-doubling") return std::make_unique<DecayDoubling>();
+  if (key == "fast-decay")
+    return std::make_unique<FastDecay>(std::max<std::size_t>(size_bound, 2));
+  if (key == "backoff") return std::make_unique<BinaryExponentialBackoff>();
+  if (key == "aloha") return std::make_unique<SlottedAloha>(size_bound);
+  if (key == "cd-leader") return std::make_unique<CollisionDetectLeader>();
+  if (key == "no-knockout") return std::make_unique<NoKnockoutControl>(p);
+  if (key == "sift") return std::make_unique<SiftWindow>();
+  FCR_CHECK_MSG(false, "catalog/factory mismatch for key: " << key);
+  return nullptr;
+}
+
+}  // namespace fcr

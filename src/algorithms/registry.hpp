@@ -1,0 +1,38 @@
+// Name-indexed catalog of every contention-resolution algorithm in the
+// repository, with the knowledge/model assumptions each one carries — the
+// axes along which the paper positions its contribution (no knowledge of n,
+// no collision detection).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Catalog entry.
+struct AlgorithmSpec {
+  std::string key;          ///< registry name, e.g. "fading"
+  std::string description;
+  bool needs_size_bound = false;         ///< requires N >= n at construction
+  bool needs_collision_detection = false;
+  std::string expected_rounds;           ///< asymptotic bound, for tables
+};
+
+/// All registered algorithms (stable order, suitable for table rows).
+const std::vector<AlgorithmSpec>& algorithm_catalog();
+
+/// Looks up a spec by key; throws std::invalid_argument for unknown keys.
+const AlgorithmSpec& algorithm_spec(const std::string& key);
+
+/// Instantiates an algorithm. `size_bound` is consumed only by algorithms
+/// whose spec says needs_size_bound (pass the network size n, or an upper
+/// bound); `p` is consumed only by the constant-probability strategies.
+std::unique_ptr<Algorithm> make_algorithm(const std::string& key,
+                                          std::size_t size_bound,
+                                          double p = 0.2);
+
+}  // namespace fcr

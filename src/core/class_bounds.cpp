@@ -1,0 +1,97 @@
+#include "core/class_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+std::size_t ClassBoundParams::ell() const {
+  // log_{1/gamma_slow}(1/rho) = ln(1/rho) / ln(1/gamma_slow).
+  const double gs = gamma_slow();
+  const double value = std::log(1.0 / rho) / std::log(1.0 / gs);
+  return static_cast<std::size_t>(std::ceil(value));
+}
+
+void ClassBoundParams::validate() const {
+  FCR_ENSURE_ARG(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+  FCR_ENSURE_ARG(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
+  FCR_ENSURE_ARG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  FCR_ENSURE_ARG(gamma_slow() < 1.0,
+                 "gamma_slow = gamma + rho/(1-rho) must stay below 1, got "
+                     << gamma_slow());
+  FCR_ENSURE_ARG(rho / (1.0 - rho) < gamma * delta,
+                 "Lemma 10 requires rho/(1-rho) < gamma * delta");
+}
+
+ClassBoundVectors::ClassBoundVectors(std::size_t n, std::size_t m,
+                                     ClassBoundParams params)
+    : n_(n), m_(m), params_(params) {
+  FCR_ENSURE_ARG(n >= 1, "need at least one node");
+  FCR_ENSURE_ARG(m >= 1, "need at least one link class");
+  params_.validate();
+}
+
+std::size_t ClassBoundVectors::start_step(std::size_t i) const {
+  FCR_ENSURE_ARG(i < m_, "class index out of range: " << i);
+  return i * params_.ell();
+}
+
+double ClassBoundVectors::raw_q(std::size_t t, std::size_t i) const {
+  const std::size_t s = start_step(i);
+  if (t <= s) return static_cast<double>(n_);
+  return static_cast<double>(n_) *
+         std::pow(params_.gamma_slow(), static_cast<double>(t - s));
+}
+
+double ClassBoundVectors::q(std::size_t t, std::size_t i) const {
+  const double v = raw_q(t, i);
+  return v < 1.0 ? 0.0 : v;
+}
+
+double ClassBoundVectors::q_below(std::size_t t, std::size_t i) const {
+  FCR_ENSURE_ARG(i <= m_, "class index out of range: " << i);
+  double total = 0.0;
+  for (std::size_t j = 0; j < i; ++j) total += q(t, j);
+  return total;
+}
+
+double ClassBoundVectors::q_hat(std::size_t t_plus_1, std::size_t i) const {
+  FCR_ENSURE_ARG(t_plus_1 >= 1, "q_hat is defined for target steps >= 1");
+  const double prev = q(t_plus_1 - 1, i);
+  double v = prev * (params_.gamma_slow() - params_.rho / (1.0 - params_.rho));
+  // q_hat is by construction stricter than q; keep that true through the
+  // integer collapse of q as well (a zero class bound forces emptiness).
+  v = std::min(v, q(t_plus_1, i));
+  return v < 0.0 ? 0.0 : v;
+}
+
+std::size_t ClassBoundVectors::zero_step() const {
+  // The largest class index has the latest start step; q_T(m-1) < 1 iff
+  // T > s_{m-1} + log_{1/gamma_slow}(n). Walk forward from that estimate to
+  // return the exact first all-zero step.
+  const double per_class =
+      std::log(static_cast<double>(n_)) / std::log(1.0 / params_.gamma_slow());
+  std::size_t t = start_step(m_ - 1) +
+                  static_cast<std::size_t>(std::floor(per_class));
+  while (true) {
+    bool all_zero = true;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (q(t, i) != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) return t;
+    ++t;
+  }
+}
+
+std::vector<double> ClassBoundVectors::vector_at(std::size_t t) const {
+  std::vector<double> out(m_);
+  for (std::size_t i = 0; i < m_; ++i) out[i] = q(t, i);
+  return out;
+}
+
+}  // namespace fcr

@@ -1,0 +1,82 @@
+// Class-bound vectors (paper, Section 3.3).
+//
+// The round-complexity analysis defines m-vectors q_0, q_1, ... (m = log R)
+// bounding link-class sizes in an "ideal" execution:
+//
+//     s_i = i * l,  l = ceil(log_{1/gamma_slow}(1/rho))
+//     q_t(i) = n                          if t <= s_i
+//            = q_{t-1}(i) * gamma_slow    if t >  s_i
+//
+// plus the auxiliary "permanence" vector
+//
+//     q_hat_{t+1}(i) = q_t(i) * gamma_slow - q_t(i) * rho / (1 - rho),
+//
+// chosen so that once class d_i falls below q_hat_{t+1}(i), migrations from
+// smaller classes (at most q_t(<i) <= q_t(i) * rho/(1-rho) nodes, Lemma 9)
+// cannot push it back above q_{t+1}(i).
+//
+// Claim 8: the first step T with q_T = 0 everywhere is Theta(log n + log R).
+// A real size is an integer, so we treat q_t(i) < 1 as zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fcr {
+
+/// Constants of the Section 3.3 construction. Defaults are a consistent
+/// instantiation: rho and gamma_slow satisfy the two constraints fixed in
+/// the Lemma 10 proof, namely gamma_slow = gamma + rho/(1-rho) < 1 and
+/// rho/(1-rho) < gamma * delta.
+struct ClassBoundParams {
+  double gamma = 0.75;   ///< surviving fraction bound from Corollary 7
+  double rho = 0.05;     ///< inter-class size ratio constant
+  double delta = 0.5;    ///< smaller-class mass bound from Lemma 6 / Cor. 7
+
+  double gamma_slow() const { return gamma + rho / (1.0 - rho); }
+
+  /// l = ceil(log_{1/gamma_slow}(1/rho)) — start-step stagger per class.
+  std::size_t ell() const;
+
+  /// Validates 0 < gamma < gamma_slow < 1 and rho/(1-rho) < gamma * delta.
+  void validate() const;
+};
+
+/// The q_t / q_hat_t vectors for a system of `n` nodes and `m` link classes.
+class ClassBoundVectors {
+ public:
+  ClassBoundVectors(std::size_t n, std::size_t m, ClassBoundParams params = {});
+
+  std::size_t node_count() const { return n_; }
+  std::size_t class_count() const { return m_; }
+  const ClassBoundParams& params() const { return params_; }
+
+  /// Start step s_i = i * l.
+  std::size_t start_step(std::size_t i) const;
+
+  /// q_t(i); real sizes are integers, so values below 1 collapse to 0.
+  double q(std::size_t t, std::size_t i) const;
+
+  /// q_t(<i) = sum_{j<i} q_t(j).
+  double q_below(std::size_t t, std::size_t i) const;
+
+  /// q_hat_{t+1}(i) = q_t(i) * (gamma_slow - rho/(1-rho)); the permanence
+  /// threshold for step t+1 (call with the *target* step t+1 >= 1).
+  double q_hat(std::size_t t_plus_1, std::size_t i) const;
+
+  /// Smallest step T with q_T(i) = 0 for every class i (Claim 8: this is
+  /// Theta(log n + log R)).
+  std::size_t zero_step() const;
+
+  /// The whole vector q_t, for plotting against measured class sizes (E4).
+  std::vector<double> vector_at(std::size_t t) const;
+
+ private:
+  double raw_q(std::size_t t, std::size_t i) const;
+
+  std::size_t n_;
+  std::size_t m_;
+  ClassBoundParams params_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,40 @@
+#include "core/contention_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+ContentionEstimator::ContentionEstimator(double p) : p_(p) {
+  FCR_ENSURE_ARG(p > 0.0 && p < 1.0, "p must be in (0,1), got " << p);
+}
+
+void ContentionEstimator::observe(bool channel_active) {
+  ++total_;
+  if (!channel_active) ++silent_;
+}
+
+std::optional<double> ContentionEstimator::estimate() const {
+  if (total_ == 0) return std::nullopt;
+  // Half-count (Anscombe-style) correction keeps the all-active and
+  // all-silent extremes finite.
+  const double rate =
+      (static_cast<double>(silent_) + 0.5) / (static_cast<double>(total_) + 1.0);
+  const double k = 1.0 + std::log(rate) / std::log1p(-p_);
+  return std::max(1.0, k);
+}
+
+std::optional<double> ContentionEstimator::ci95_halfwidth() const {
+  if (total_ == 0) return std::nullopt;
+  const double n = static_cast<double>(total_);
+  const double rate =
+      (static_cast<double>(silent_) + 0.5) / (n + 1.0);
+  // Var(rate) ~ rate(1-rate)/n; d k / d rate = 1 / (rate ln(1-p)).
+  const double se_rate = std::sqrt(rate * (1.0 - rate) / n);
+  const double deriv = 1.0 / (rate * std::abs(std::log1p(-p_)));
+  return 1.959963984540054 * se_rate * deriv;
+}
+
+}  // namespace fcr

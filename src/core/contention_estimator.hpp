@@ -1,0 +1,54 @@
+// Contention estimation from channel observations.
+//
+// A node that knows the common broadcast probability p can estimate how
+// many contenders are active from what it hears: with k active nodes each
+// transmitting w.p. p, a listening node observes a globally silent round
+// with probability (1-p)^{k-1} (everyone else quiet). The MLE from
+// `silent` silences among `observations` listening rounds is
+//
+//     k_hat = 1 + ln(silent / observations) / ln(1 - p).
+//
+// The estimator underlies adaptive MACs (cf. ext/adaptive.hpp) and gives
+// experiments a principled way to read "how contended was the channel"
+// from a trace. Note the caveat for the SINR model: a node cannot always
+// tell "silence" from "undecodable interference" without carrier sensing,
+// so on plain channels the estimator consumes *activity* observations
+// (decode-or-known-busy), which the beeping/carrier-sense adapters provide
+// exactly and the radio model approximates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace fcr {
+
+/// Streaming estimator of the number of active contenders.
+class ContentionEstimator {
+ public:
+  /// `p`: the common per-round broadcast probability, in (0, 1).
+  explicit ContentionEstimator(double p);
+
+  /// Records one LISTENING round's observation: was the channel active
+  /// (anything transmitted) or silent?
+  void observe(bool channel_active);
+
+  std::uint64_t observations() const { return total_; }
+  std::uint64_t silences() const { return silent_; }
+
+  /// MLE of the number of OTHER active nodes + 1 (i.e. including a
+  /// hypothetical self). nullopt until at least one observation; capped
+  /// below at 1. When every round was active the estimate diverges and is
+  /// reported as the optimistic bound based on a half-count correction.
+  std::optional<double> estimate() const;
+
+  /// Approximate 95% CI half-width of the estimate (delta method on the
+  /// binomial silence rate); nullopt under the same conditions.
+  std::optional<double> ci95_halfwidth() const;
+
+ private:
+  double p_;
+  std::uint64_t total_ = 0;
+  std::uint64_t silent_ = 0;
+};
+
+}  // namespace fcr

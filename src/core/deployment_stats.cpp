@@ -1,0 +1,66 @@
+#include "core/deployment_stats.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "core/link_classes.hpp"
+#include "geom/bbox.hpp"
+#include "stats/summary.hpp"
+
+namespace fcr {
+
+DeploymentStats describe(const Deployment& dep) {
+  DeploymentStats out;
+  out.nodes = dep.size();
+  out.shortest_link = dep.size() >= 2 ? dep.min_link() : 0.0;
+  out.longest_link = dep.size() >= 2 ? dep.max_link() : 0.0;
+  out.link_ratio = dep.link_ratio();
+  out.link_class_buckets = dep.link_class_count();
+
+  if (dep.size() >= 2) {
+    std::vector<NodeId> ids(dep.size());
+    std::iota(ids.begin(), ids.end(), NodeId{0});
+    const LinkClassPartition part(dep, ids);
+    out.class_sizes = part.sizes();
+    for (const std::size_t s : out.class_sizes) {
+      if (s > 0) ++out.nonempty_link_classes;
+    }
+    std::vector<double> nn;
+    nn.reserve(dep.size());
+    StreamingSummary summary;
+    for (const NodeId id : ids) {
+      const double d = part.nearest_distance(id);
+      nn.push_back(d);
+      summary.add(d);
+    }
+    out.nn_mean = summary.mean();
+    out.nn_median = median(nn);
+    out.nn_max = summary.max();
+  }
+
+  const BBox box = BBox::of(dep.positions());
+  const double area = box.width() * box.height();
+  out.bbox_density = area > 0.0 ? static_cast<double>(dep.size()) / area : 0.0;
+  return out;
+}
+
+std::string to_string(const DeploymentStats& stats) {
+  std::ostringstream os;
+  os << "nodes: " << stats.nodes << '\n'
+     << "links: shortest " << stats.shortest_link << ", longest "
+     << stats.longest_link << ", R = " << stats.link_ratio << '\n'
+     << "link classes: " << stats.nonempty_link_classes << " non-empty of "
+     << stats.link_class_buckets << " buckets:";
+  for (std::size_t i = 0; i < stats.class_sizes.size(); ++i) {
+    if (stats.class_sizes[i] > 0) {
+      os << "  d" << i << "=" << stats.class_sizes[i];
+    }
+  }
+  os << '\n'
+     << "nearest neighbor (units of shortest link): mean " << stats.nn_mean
+     << ", median " << stats.nn_median << ", max " << stats.nn_max << '\n'
+     << "bounding-box density: " << stats.bbox_density << " nodes / unit^2\n";
+  return os.str();
+}
+
+}  // namespace fcr

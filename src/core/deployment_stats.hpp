@@ -1,0 +1,37 @@
+// Descriptive statistics of a deployment — the workload-characterization
+// companion to the link-class machinery (printed by `fcrsim --describe`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+
+namespace fcr {
+
+/// Structural summary of a deployment.
+struct DeploymentStats {
+  std::size_t nodes = 0;
+  double shortest_link = 0.0;
+  double longest_link = 0.0;
+  double link_ratio = 1.0;
+  std::size_t link_class_buckets = 0;   ///< floor(log2 R) + 1
+  std::size_t nonempty_link_classes = 0;
+  /// Histogram of (all-active) link-class sizes, index i -> |V_i|.
+  std::vector<std::size_t> class_sizes;
+  /// Nearest-neighbor distance summary (units of the shortest link).
+  double nn_mean = 0.0;
+  double nn_median = 0.0;
+  double nn_max = 0.0;
+  /// Density: nodes per unit area of the bounding box (0 for degenerate).
+  double bbox_density = 0.0;
+};
+
+/// Computes the summary; O(n log n).
+DeploymentStats describe(const Deployment& dep);
+
+/// Human-readable multi-line rendering.
+std::string to_string(const DeploymentStats& stats);
+
+}  // namespace fcr

@@ -1,0 +1,167 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+std::vector<NodeId> mask_to_ids(std::uint32_t mask) {
+  std::vector<NodeId> ids;
+  for (NodeId i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) ids.push_back(i);
+  }
+  return ids;
+}
+
+}  // namespace
+
+ExactFadingAnalysis::ExactFadingAnalysis(const Deployment& dep,
+                                         const SinrChannel& channel, double p)
+    : dep_(&dep), channel_(&channel), p_(p), n_(dep.size()) {
+  FCR_ENSURE_ARG(n_ >= 2 && n_ <= 16,
+                 "exact analysis supports 2..16 nodes, got " << n_);
+  FCR_ENSURE_ARG(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  solve();
+}
+
+std::uint32_t ExactFadingAnalysis::transition(std::uint32_t active_mask,
+                                              std::uint32_t tx_mask) const {
+  FCR_ENSURE_ARG((tx_mask & ~active_mask) == 0,
+                 "transmitters must be a subset of the active set");
+  if (tx_mask == 0) return active_mask;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(active_mask) << 32) | tx_mask;
+  if (const auto it = transition_cache_.find(key);
+      it != transition_cache_.end()) {
+    return it->second;
+  }
+  const std::vector<NodeId> tx = mask_to_ids(tx_mask);
+  const std::vector<NodeId> listeners = mask_to_ids(active_mask & ~tx_mask);
+  if (listeners.empty()) return active_mask;
+  const std::vector<Reception> receptions =
+      channel_->resolve(*dep_, tx, listeners);
+  std::uint32_t next = active_mask;
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    if (receptions[i].received()) next &= ~(1u << listeners[i]);
+  }
+  transition_cache_.emplace(key, next);
+  return next;
+}
+
+void ExactFadingAnalysis::solve() {
+  const std::uint32_t full = (n_ == 32 ? ~0u : (1u << n_) - 1u);
+  const std::size_t states = static_cast<std::size_t>(full) + 1;
+  expected_.assign(states, 0.0);
+  stay_prob_.assign(states, 0.0);
+  solo_prob_.assign(states, 0.0);
+
+  // Pre-compute p^k (1-p)^m tables.
+  std::vector<double> pk(n_ + 1, 1.0), qk(n_ + 1, 1.0);
+  for (std::size_t k = 1; k <= n_; ++k) {
+    pk[k] = pk[k - 1] * p_;
+    qk[k] = qk[k - 1] * (1.0 - p_);
+  }
+
+  // Masks in increasing popcount so every strict subset is ready.
+  std::vector<std::uint32_t> order;
+  order.reserve(states);
+  for (std::uint32_t s = 0; s <= full; ++s) order.push_back(s);
+  std::sort(order.begin(), order.end(), [](std::uint32_t a, std::uint32_t b) {
+    const int pa = std::popcount(a), pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (const std::uint32_t s : order) {
+    const int size = std::popcount(s);
+    if (size == 0) continue;  // unreachable; leave E = 0
+    if (size == 1) {
+      // Lone active node: solved when it transmits — geometric(p).
+      solo_prob_[s] = p_;
+      stay_prob_[s] = 1.0 - p_;
+      expected_[s] = 1.0 / p_;
+      continue;
+    }
+
+    double stay = 0.0;          // P(move to S itself without solving)
+    double progress_sum = 0.0;  // sum over S' strictly below S of P * E[S']
+    solo_prob_[s] =
+        static_cast<double>(size) * pk[1] * qk[static_cast<std::size_t>(size - 1)];
+
+    // Enumerate transmitter subsets T of S.
+    for (std::uint32_t t = s;; t = (t - 1) & s) {
+      const int tsize = std::popcount(t);
+      if (tsize >= 2) {
+        const double prob =
+            pk[static_cast<std::size_t>(tsize)] *
+            qk[static_cast<std::size_t>(size - tsize)];
+        const std::uint32_t next = transition(s, t);
+        if (next == s) {
+          stay += prob;
+        } else {
+          progress_sum += prob * expected_[next];
+        }
+      }
+      if (t == 0) break;
+    }
+    stay += qk[static_cast<std::size_t>(size)];  // T = empty set
+
+    FCR_CHECK_MSG(stay < 1.0, "state " << s << " cannot make progress");
+    expected_[s] = (1.0 + progress_sum) / (1.0 - stay);
+    stay_prob_[s] = stay;
+  }
+}
+
+double ExactFadingAnalysis::expected_rounds() const {
+  return expected_rounds((n_ == 32 ? ~0u : (1u << n_) - 1u));
+}
+
+double ExactFadingAnalysis::expected_rounds(std::uint32_t active_mask) const {
+  FCR_ENSURE_ARG(active_mask < expected_.size(), "mask out of range");
+  FCR_ENSURE_ARG(std::popcount(active_mask) >= 1, "active set must be non-empty");
+  return expected_[active_mask];
+}
+
+double ExactFadingAnalysis::solve_probability_within(
+    std::uint64_t rounds) const {
+  const std::uint32_t full = (n_ == 32 ? ~0u : (1u << n_) - 1u);
+  const std::size_t states = static_cast<std::size_t>(full) + 1;
+
+  std::vector<double> pk(n_ + 1, 1.0), qk(n_ + 1, 1.0);
+  for (std::size_t k = 1; k <= n_; ++k) {
+    pk[k] = pk[k - 1] * p_;
+    qk[k] = qk[k - 1] * (1.0 - p_);
+  }
+
+  // q[S] = P(solved within t rounds from S); iterate t = 1..rounds.
+  std::vector<double> q(states, 0.0), q_next(states, 0.0);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::uint32_t s = 1; s <= full; ++s) {
+      const int size = std::popcount(s);
+      double total = solo_prob_[s];
+      if (size == 1) {
+        total += (1.0 - p_) * q[s];
+      } else {
+        for (std::uint32_t t = s;; t = (t - 1) & s) {
+          const int tsize = std::popcount(t);
+          if (tsize >= 2) {
+            const double prob = pk[static_cast<std::size_t>(tsize)] *
+                                qk[static_cast<std::size_t>(size - tsize)];
+            total += prob * q[transition(s, t)];
+          }
+          if (t == 0) break;
+        }
+        total += qk[static_cast<std::size_t>(size)] * q[s];
+      }
+      q_next[s] = total;
+      if (s == full) break;  // guard the s <= full loop against overflow
+    }
+    std::swap(q, q_next);
+  }
+  return q[full];
+}
+
+}  // namespace fcr

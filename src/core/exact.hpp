@@ -1,0 +1,64 @@
+// Exact Markov-chain analysis of the paper's algorithm on tiny instances.
+//
+// For n <= ~12 nodes the execution is a Markov chain over active-set
+// bitmasks: from active set S, the round's transmitter set T ⊆ S occurs
+// with probability p^{|T|} (1-p)^{|S|-|T|}; |T| = 1 absorbs (solved);
+// otherwise the SINR channel deterministically decides the knockouts and
+// the chain moves to S' = S minus the knocked-out listeners. Conditioning
+// on S' != S yields a linear recurrence solvable by subset DP (S' ⊆ S).
+//
+// This gives the exact expected completion time and exact per-round solve
+// probabilities — the ground truth the whole simulator stack is validated
+// against (test_exact.cpp: Monte Carlo means must match to within CI).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sinr/channel.hpp"
+
+namespace fcr {
+
+/// Exact quantities for the constant-probability algorithm on `dep`.
+class ExactFadingAnalysis {
+ public:
+  /// Requires 2 <= n <= 16 (the DP enumerates 3^n (S, T) pairs; n = 12
+  /// costs ~0.5M channel resolutions).
+  ExactFadingAnalysis(const Deployment& dep, const SinrChannel& channel,
+                      double p);
+
+  std::size_t node_count() const { return n_; }
+
+  /// Exact expected number of rounds to the first solo transmission,
+  /// starting from the given active set (default: all nodes).
+  double expected_rounds() const;
+  double expected_rounds(std::uint32_t active_mask) const;
+
+  /// Exact probability that the chain starting from all-active is solved
+  /// within `rounds` rounds (monotone in rounds; -> 1).
+  double solve_probability_within(std::uint64_t rounds) const;
+
+  /// The deterministic knockout transition: the active set reached from
+  /// `active_mask` when exactly the nodes of `tx_mask` transmit.
+  /// Memoized (solve_probability_within replays the transition table once
+  /// per round).
+  std::uint32_t transition(std::uint32_t active_mask,
+                           std::uint32_t tx_mask) const;
+
+ private:
+  void solve();
+
+  mutable std::unordered_map<std::uint64_t, std::uint32_t> transition_cache_;
+
+  const Deployment* dep_;
+  const SinrChannel* channel_;
+  double p_;
+  std::size_t n_;
+  std::vector<double> expected_;     ///< E[rounds | S], indexed by mask
+  std::vector<double> stay_prob_;    ///< P(S -> S, not solved)
+  std::vector<double> solo_prob_;    ///< P(|T| = 1) from S
+};
+
+}  // namespace fcr

@@ -1,0 +1,37 @@
+#include "core/fading_cr.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+Action FadingNode::on_round_begin(std::uint64_t /*round*/) {
+  if (!active_) return Action::kListen;
+  return rng_.bernoulli(p_) ? Action::kTransmit : Action::kListen;
+}
+
+void FadingNode::on_round_end(const Feedback& feedback) {
+  // The knockout rule: an active node that decodes any message goes
+  // inactive. Inactive nodes never transmit again (they only listen).
+  if (feedback.received) active_ = false;
+}
+
+FadingContentionResolution::FadingContentionResolution(double broadcast_probability)
+    : p_(broadcast_probability) {
+  FCR_ENSURE_ARG(p_ > 0.0 && p_ < 1.0,
+                 "broadcast probability must be in (0, 1), got " << p_);
+}
+
+std::string FadingContentionResolution::name() const {
+  std::ostringstream os;
+  os << "fading-const-p(" << p_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> FadingContentionResolution::make_node(
+    NodeId /*id*/, Rng rng) const {
+  return std::make_unique<FadingNode>(p_, rng);
+}
+
+}  // namespace fcr

@@ -1,0 +1,157 @@
+#include "core/good_nodes.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+double GoodNodeParams::annulus_limit(std::size_t t) const {
+  FCR_ENSURE_ARG(alpha > 2.0, "good-node budget needs alpha > 2, got " << alpha);
+  return constant *
+         std::pow(2.0, static_cast<double>(t) * (alpha - epsilon()));
+}
+
+GoodNodeAnalyzer::GoodNodeAnalyzer(const Deployment& dep,
+                                   std::vector<NodeId> active,
+                                   GoodNodeParams params)
+    : dep_(&dep),
+      params_(params),
+      active_(std::move(active)),
+      partition_(dep, active_),
+      grid_(dep.positions(), active_),
+      unit_(dep.size() >= 2 ? dep.min_link() : 1.0) {
+  FCR_ENSURE_ARG(params_.alpha > 2.0,
+                 "good-node analysis requires alpha > 2, got " << params_.alpha);
+}
+
+AnnulusProfile GoodNodeAnalyzer::profile(NodeId u) const {
+  AnnulusProfile out;
+  out.link_class = partition_.class_of(u);
+  FCR_ENSURE_ARG(out.link_class != kNoLinkClass,
+                 "node " << u << " has no link class (sole survivor)");
+
+  const Vec2 pos = dep_->position(u);
+  const double base = std::pow(2.0, static_cast<double>(out.link_class)) * unit_;
+  const double reach = dep_->max_link();
+
+  out.good = true;
+  // Annulus t spans (2^t * base, 2^{t+1} * base]; stop once the inner radius
+  // exceeds the deployment diameter — all further annuli are empty.
+  for (std::size_t t = 0;; ++t) {
+    const double inner = std::ldexp(base, static_cast<int>(t));
+    if (inner > reach) break;
+    const double outer = 2.0 * inner;
+    const std::size_t count = grid_.count_in_annulus(pos, inner, outer, u);
+    const double limit = params_.annulus_limit(t);
+    out.counts.push_back(count);
+    out.limits.push_back(limit);
+    if (static_cast<double>(count) > limit) out.good = false;
+  }
+  return out;
+}
+
+bool GoodNodeAnalyzer::is_good(NodeId u) const { return profile(u).good; }
+
+AnnulusProfile GoodNodeAnalyzer::profile_within(
+    NodeId u, std::span<const NodeId> population, double constant) const {
+  AnnulusProfile out;
+  out.link_class = partition_.class_of(u);
+  FCR_ENSURE_ARG(out.link_class != kNoLinkClass,
+                 "node " << u << " has no link class (sole survivor)");
+  FCR_ENSURE_ARG(constant > 0.0, "budget constant must be positive");
+
+  GoodNodeParams budget = params_;
+  budget.constant = constant;
+  const SpatialGrid pop_grid(dep_->positions(), population);
+
+  const Vec2 pos = dep_->position(u);
+  const double base =
+      std::pow(2.0, static_cast<double>(out.link_class)) * unit_;
+  const double reach = dep_->max_link();
+
+  out.good = true;
+  for (std::size_t t = 0;; ++t) {
+    const double inner = std::ldexp(base, static_cast<int>(t));
+    if (inner > reach) break;
+    const double outer = 2.0 * inner;
+    const std::size_t count = pop_grid.count_in_annulus(pos, inner, outer, u);
+    const double limit = budget.annulus_limit(t);
+    out.counts.push_back(count);
+    out.limits.push_back(limit);
+    if (static_cast<double>(count) > limit) out.good = false;
+  }
+  return out;
+}
+
+bool GoodNodeAnalyzer::is_extra_good_wrt_smaller(NodeId u) const {
+  const auto i = partition_.class_of(u);
+  FCR_ENSURE_ARG(i != kNoLinkClass, "node " << u << " has no link class");
+  std::vector<NodeId> smaller;
+  for (std::int32_t j = 0; j < i; ++j) {
+    const auto& nodes = partition_.nodes_in(static_cast<std::size_t>(j));
+    smaller.insert(smaller.end(), nodes.begin(), nodes.end());
+  }
+  return profile_within(u, smaller, params_.constant / 2.0).good;
+}
+
+bool GoodNodeAnalyzer::is_extra_good_wrt_at_least(NodeId u) const {
+  const auto i = partition_.class_of(u);
+  FCR_ENSURE_ARG(i != kNoLinkClass, "node " << u << " has no link class");
+  std::vector<NodeId> at_least;
+  for (std::size_t j = static_cast<std::size_t>(i);
+       j < partition_.class_count(); ++j) {
+    const auto& nodes = partition_.nodes_in(j);
+    at_least.insert(at_least.end(), nodes.begin(), nodes.end());
+  }
+  return profile_within(u, at_least, params_.constant / 2.0).good;
+}
+
+std::vector<NodeId> GoodNodeAnalyzer::good_in_class(std::size_t i) const {
+  std::vector<NodeId> out;
+  for (const NodeId u : partition_.nodes_in(i)) {
+    if (is_good(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::optional<double> GoodNodeAnalyzer::good_fraction(std::size_t i) const {
+  const std::size_t total = partition_.size_of(i);
+  if (total == 0) return std::nullopt;
+  return static_cast<double>(good_in_class(i).size()) /
+         static_cast<double>(total);
+}
+
+std::vector<NodeId> GoodNodeAnalyzer::well_spaced_subset(std::size_t i,
+                                                         double s) const {
+  FCR_ENSURE_ARG(s > 0.0, "spacing constant s must be positive");
+  const double spacing =
+      (s + 1.0) * std::pow(2.0, static_cast<double>(i)) * unit_;
+  const double spacing_sq = spacing * spacing;
+
+  std::vector<NodeId> chosen;
+  std::vector<Vec2> chosen_pos;
+  for (const NodeId u : good_in_class(i)) {
+    const Vec2 pu = dep_->position(u);
+    bool far_enough = true;
+    for (const Vec2 pv : chosen_pos) {
+      if (dist_sq(pu, pv) <= spacing_sq) {
+        far_enough = false;
+        break;
+      }
+    }
+    if (far_enough) {
+      chosen.push_back(u);
+      chosen_pos.push_back(pu);
+    }
+  }
+  return chosen;
+}
+
+NodeId GoodNodeAnalyzer::partner(NodeId u) const {
+  const auto nn = grid_.nearest(dep_->position(u), u);
+  FCR_ENSURE_ARG(nn.has_value(), "partner undefined: fewer than two active nodes");
+  return nn->id;
+}
+
+}  // namespace fcr

@@ -1,0 +1,104 @@
+// Good nodes, exponential annuli, and the well-spaced subsets S_i
+// (paper, Section 3.2).
+//
+// Definition 1: fix u in V_i (active, link class d_i). For natural t, the
+// exponential annulus A_t^i(u) is the set of active nodes in
+// B(u, 2^{t+1} 2^i) \ B(u, 2^t 2^i). Node u is *good* if for every t,
+//
+//     |A_t^i(u)| <= 96 * 2^{t (alpha - eps)},   eps = alpha/2 - 1.
+//
+// (See DESIGN.md for why eps = alpha/2 - 1 rather than the OCR's alpha/2.)
+// "Extra good" (Lemma 6 proof) halves the constant to 48 and is evaluated
+// against a sub-population (V_{>=i} or V_{<i}).
+//
+// S_i is the largest subset of good nodes of V_i with pairwise distance
+// > (s+1) 2^i; Lemma 2 shows a greedy maximal subset has size Theta(#good),
+// which is what we construct. Each u in S_i has a *partner*: its closest
+// active node (the candidate sender whose message knocks u out).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/link_classes.hpp"
+#include "deploy/deployment.hpp"
+#include "geom/grid.hpp"
+
+namespace fcr {
+
+/// Tuning of the good-node definition; defaults follow the paper.
+struct GoodNodeParams {
+  double alpha = 3.0;     ///< path-loss exponent (> 2)
+  double constant = 96.0; ///< the "96" in Definition 1
+
+  /// eps = alpha/2 - 1 (> 0 iff alpha > 2).
+  double epsilon() const { return alpha / 2.0 - 1.0; }
+
+  /// Annulus budget: constant * 2^{t (alpha - eps)}.
+  double annulus_limit(std::size_t t) const;
+};
+
+/// Annulus occupancy of one node, against the good-node budget.
+struct AnnulusProfile {
+  std::int32_t link_class = kNoLinkClass;
+  std::vector<std::size_t> counts;  ///< |A_t^i(u)| for t = 0, 1, ...
+  std::vector<double> limits;       ///< budget per t
+  bool good = false;                ///< all counts within budget
+};
+
+/// Analyzer over one round's active set. Construct once per snapshot; all
+/// queries are const.
+class GoodNodeAnalyzer {
+ public:
+  GoodNodeAnalyzer(const Deployment& dep, std::vector<NodeId> active,
+                   GoodNodeParams params = {});
+
+  const LinkClassPartition& classes() const { return partition_; }
+  const GoodNodeParams& params() const { return params_; }
+
+  /// Full annulus occupancy profile of an active, classed node.
+  AnnulusProfile profile(NodeId u) const;
+
+  /// Annulus occupancy of `u` counted only against `population` (ids into
+  /// the deployment; need not be active) with a custom budget constant.
+  /// Used for the "extra good" notion of the Lemma 6 proof (constant 48,
+  /// population V_{<i} or V_{>=i}).
+  AnnulusProfile profile_within(NodeId u, std::span<const NodeId> population,
+                                double constant) const;
+
+  /// Lemma 6's "extra good with respect to V_{<i}": annuli budgets halved
+  /// (48) and only smaller-class active nodes counted.
+  bool is_extra_good_wrt_smaller(NodeId u) const;
+
+  /// Lemma 6's "extra good with respect to V_{>=i}".
+  bool is_extra_good_wrt_at_least(NodeId u) const;
+
+  /// Definition 1 predicate.
+  bool is_good(NodeId u) const;
+
+  /// All good nodes of class d_i.
+  std::vector<NodeId> good_in_class(std::size_t i) const;
+
+  /// Fraction of V_i that is good; nullopt when V_i is empty.
+  std::optional<double> good_fraction(std::size_t i) const;
+
+  /// Greedy maximal subset S_i of good nodes in V_i with pairwise distance
+  /// > (s+1) * 2^i (distances in units of the shortest link).
+  std::vector<NodeId> well_spaced_subset(std::size_t i, double s) const;
+
+  /// Partner of u: its closest active node (ties broken by id order of the
+  /// grid scan). Requires at least two active nodes.
+  NodeId partner(NodeId u) const;
+
+ private:
+  const Deployment* dep_;
+  GoodNodeParams params_;
+  std::vector<NodeId> active_;
+  LinkClassPartition partition_;
+  SpatialGrid grid_;  ///< over active nodes
+  double unit_;       ///< shortest global link (normalization unit)
+};
+
+}  // namespace fcr

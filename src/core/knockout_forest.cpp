@@ -1,0 +1,115 @@
+#include "core/knockout_forest.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+KnockoutForest::KnockoutForest(std::size_t node_count)
+    : killer_(node_count, kInvalidNode),
+      round_(node_count, 0),
+      was_contending_(node_count, true) {
+  FCR_ENSURE_ARG(node_count >= 1, "forest needs at least one node");
+}
+
+RoundObserver KnockoutForest::observer() {
+  return [this](const RoundView& view) {
+    FCR_CHECK_MSG(view.nodes.size() == killer_.size(),
+                  "forest sized for " << killer_.size() << " nodes, round has "
+                                      << view.nodes.size());
+    for (std::size_t i = 0; i < view.listeners.size(); ++i) {
+      const NodeId listener = view.listeners[i];
+      const Feedback& f = view.listener_feedback[i];
+      // A knockout = a contending node that decoded a message and now
+      // reports not contending. Nodes that decode while already inactive
+      // are not re-recorded.
+      if (f.received && was_contending_[listener] &&
+          !view.nodes[listener]->is_contending()) {
+        killer_[listener] = f.sender;
+        round_[listener] = view.round;
+      }
+    }
+    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+      was_contending_[id] = view.nodes[id]->is_contending();
+    }
+  };
+}
+
+NodeId KnockoutForest::killer(NodeId id) const {
+  FCR_ENSURE_ARG(id < killer_.size(), "node id out of range: " << id);
+  return killer_[id];
+}
+
+std::uint64_t KnockoutForest::knockout_round(NodeId id) const {
+  FCR_ENSURE_ARG(id < round_.size(), "node id out of range: " << id);
+  return round_[id];
+}
+
+std::vector<NodeId> KnockoutForest::survivors() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < killer_.size(); ++id) {
+    if (killer_[id] == kInvalidNode) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t KnockoutForest::out_degree(NodeId id) const {
+  FCR_ENSURE_ARG(id < killer_.size(), "node id out of range: " << id);
+  std::size_t degree = 0;
+  for (const NodeId k : killer_) {
+    if (k == id) ++degree;
+  }
+  return degree;
+}
+
+std::size_t KnockoutForest::subtree_size(NodeId id) const {
+  FCR_ENSURE_ARG(id < killer_.size(), "node id out of range: " << id);
+  // Children lists, then a DFS from id.
+  std::vector<std::vector<NodeId>> children(killer_.size());
+  for (NodeId v = 0; v < killer_.size(); ++v) {
+    if (killer_[v] != kInvalidNode) children[killer_[v]].push_back(v);
+  }
+  std::size_t count = 0;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : children[u]) {
+      ++count;
+      stack.push_back(v);
+    }
+  }
+  return count;
+}
+
+std::size_t KnockoutForest::depth() const {
+  // Memoized chain length toward the root; knockout rounds strictly
+  // increase along a killer chain (the killer was still active when it
+  // transmitted), so the structure is acyclic.
+  std::vector<std::size_t> memo(killer_.size(),
+                                static_cast<std::size_t>(-1));
+  std::size_t best = 0;
+  for (NodeId id = 0; id < killer_.size(); ++id) {
+    NodeId u = id;
+    std::vector<NodeId> path;
+    while (memo[u] == static_cast<std::size_t>(-1) &&
+           killer_[u] != kInvalidNode) {
+      path.push_back(u);
+      u = killer_[u];
+    }
+    std::size_t base = memo[u] == static_cast<std::size_t>(-1) ? 0 : memo[u];
+    if (memo[u] == static_cast<std::size_t>(-1)) memo[u] = 0;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      memo[*it] = ++base;
+    }
+    best = std::max(best, memo[id]);
+  }
+  return best;
+}
+
+std::size_t KnockoutForest::knockout_count() const {
+  return killer_.size() - survivors().size();
+}
+
+}  // namespace fcr

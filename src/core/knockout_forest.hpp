@@ -1,0 +1,62 @@
+// Knockout forest: the causal structure of an execution of the paper's
+// algorithm.
+//
+// Every deactivation is witnessed by a decoded message; recording
+// "listener was knocked out by sender" yields a forest whose roots are the
+// nodes still active at the end (in a completed run: the winner plus any
+// nodes that never decoded anything before the solo round). The forest's
+// shape quantifies how the algorithm spends its spatial reuse:
+//   * out-degree of u  = how many contenders u personally silenced,
+//   * depth            = longest chain of causality (a lower bound on the
+//                        number of rounds information needed to cascade),
+//   * root count       = survivors at termination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace fcr {
+
+/// Builds the knockout forest of one execution via the observer hook.
+class KnockoutForest {
+ public:
+  explicit KnockoutForest(std::size_t node_count);
+
+  /// Observer to pass to run_execution; the forest must outlive the run.
+  RoundObserver observer();
+
+  std::size_t node_count() const { return killer_.size(); }
+
+  /// The node that knocked `id` out, or kInvalidNode if `id` survived.
+  NodeId killer(NodeId id) const;
+
+  /// Round in which `id` was knocked out; 0 if it survived.
+  std::uint64_t knockout_round(NodeId id) const;
+
+  /// Nodes never knocked out (forest roots).
+  std::vector<NodeId> survivors() const;
+
+  /// Number of nodes `id` knocked out directly.
+  std::size_t out_degree(NodeId id) const;
+
+  /// Nodes silenced by `id` directly or transitively (its subtree size,
+  /// excluding `id` itself).
+  std::size_t subtree_size(NodeId id) const;
+
+  /// Length of the longest killer chain in the forest (0 when no knockouts
+  /// occurred). A chain a -> b -> c (a knocked out by b, b by c) has
+  /// depth 2.
+  std::size_t depth() const;
+
+  /// Total knockouts recorded.
+  std::size_t knockout_count() const;
+
+ private:
+  std::vector<NodeId> killer_;
+  std::vector<std::uint64_t> round_;
+  std::vector<bool> was_contending_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,93 @@
+#include "core/link_classes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/grid.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+constexpr std::int32_t kInactiveMark = -2;
+
+}  // namespace
+
+LinkClassPartition::LinkClassPartition(const Deployment& dep,
+                                       std::span<const NodeId> active)
+    : active_(active.begin(), active.end()),
+      class_of_(dep.size(), kInactiveMark),
+      nearest_(dep.size(), 0.0) {
+  const double unit = dep.size() >= 2 ? dep.min_link() : 1.0;
+  FCR_CHECK(unit > 0.0);
+
+  // Bucket count: distances lie in [unit, unit * R], so indices lie in
+  // [0, floor(log2 R)]; allocate them all so empty classes are addressable.
+  classes_.resize(dep.link_class_count());
+
+  // Validate ids (range + uniqueness) before any spatial query: a duplicate
+  // id would silently corrupt nearest-neighbor exclusion.
+  for (const NodeId id : active_) {
+    FCR_ENSURE_ARG(id < dep.size(), "active id out of range: " << id);
+    FCR_ENSURE_ARG(class_of_[id] == kInactiveMark, "duplicate active id: " << id);
+    class_of_[id] = kNoLinkClass;
+  }
+
+  if (active_.size() < 2) return;
+
+  const SpatialGrid grid(dep.positions(), active_);
+  for (const NodeId id : active_) {
+    const auto nn = grid.nearest(dep.position(id), id);
+    FCR_CHECK(nn.has_value());
+    const double d = nn->distance / unit;
+    nearest_[id] = d;
+    // d >= 1 up to floating-point rounding of the normalization; clamp the
+    // log at 0 so boundary nodes land in class 0 rather than class -1.
+    const double log_d = std::max(0.0, std::log2(d));
+    auto idx = static_cast<std::size_t>(log_d);
+    idx = std::min(idx, classes_.size() - 1);
+    class_of_[id] = static_cast<std::int32_t>(idx);
+    classes_[idx].push_back(id);
+  }
+}
+
+const std::vector<NodeId>& LinkClassPartition::nodes_in(std::size_t i) const {
+  FCR_ENSURE_ARG(i < classes_.size(), "class index out of range: " << i);
+  return classes_[i];
+}
+
+std::size_t LinkClassPartition::size_below(std::size_t i) const {
+  FCR_ENSURE_ARG(i <= classes_.size(), "class index out of range: " << i);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < i; ++j) total += classes_[j].size();
+  return total;
+}
+
+std::int32_t LinkClassPartition::class_of(NodeId id) const {
+  FCR_ENSURE_ARG(id < class_of_.size(), "node id out of range: " << id);
+  FCR_ENSURE_ARG(class_of_[id] != kInactiveMark,
+                 "node " << id << " is not in the active set");
+  return class_of_[id];
+}
+
+double LinkClassPartition::nearest_distance(NodeId id) const {
+  FCR_ENSURE_ARG(id < nearest_.size(), "node id out of range: " << id);
+  FCR_ENSURE_ARG(class_of_[id] != kInactiveMark,
+                 "node " << id << " is not in the active set");
+  return nearest_[id];
+}
+
+std::size_t LinkClassPartition::smallest_nonempty() const {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    if (!classes_[i].empty()) return i;
+  }
+  return classes_.size();
+}
+
+std::vector<std::size_t> LinkClassPartition::sizes() const {
+  std::vector<std::size_t> out(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) out[i] = classes_[i].size();
+  return out;
+}
+
+}  // namespace fcr

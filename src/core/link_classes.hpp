@@ -1,0 +1,73 @@
+// Link classes (paper, Section 3.1):
+//
+//   "we partition the active nodes into at most log R link classes
+//    d_0, d_1, ..., d_{log R - 1}, where d_i contains all nodes whose
+//    nearest neighbor is at a distance in the range [2^i, 2^{i+1})."
+//
+// "Nearest neighbor" means nearest *active* node, so a node migrates to a
+// larger class when its nearest active neighbor is knocked out — the
+// non-monotonicity the Section 3.3 fitting strategy must absorb. When only
+// one active node remains, it belongs to no class.
+//
+// Class indices are computed relative to the deployment's global shortest
+// link so they agree with the paper's normalization whether or not the
+// deployment has been rescaled.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+
+namespace fcr {
+
+/// Sentinel class index for an active node with no class (sole survivor).
+inline constexpr std::int32_t kNoLinkClass = -1;
+
+/// Snapshot of the active set's link-class structure in one round.
+class LinkClassPartition {
+ public:
+  /// Computes the partition of `active` (ids into `dep`). Each id must be
+  /// distinct and valid.
+  LinkClassPartition(const Deployment& dep, std::span<const NodeId> active);
+
+  /// Number of class buckets (log R buckets exist even if empty).
+  std::size_t class_count() const { return classes_.size(); }
+
+  /// Ids of active nodes in class d_i (V_i).
+  const std::vector<NodeId>& nodes_in(std::size_t i) const;
+
+  /// n_i = |V_i|.
+  std::size_t size_of(std::size_t i) const { return nodes_in(i).size(); }
+
+  /// n_{<i} = sum_{j<i} n_j.
+  std::size_t size_below(std::size_t i) const;
+
+  /// Class index of an active node, or kNoLinkClass for the sole survivor.
+  /// Querying a node that was not in `active` is a contract violation.
+  std::int32_t class_of(NodeId id) const;
+
+  /// Distance from an active node to its nearest active neighbor
+  /// (normalized by the deployment's shortest link); 0 for the sole survivor.
+  double nearest_distance(NodeId id) const;
+
+  /// Total number of active nodes this partition covers.
+  std::size_t active_count() const { return active_.size(); }
+  const std::vector<NodeId>& active() const { return active_; }
+
+  /// Smallest non-empty class index, or class_count() when all are empty.
+  std::size_t smallest_nonempty() const;
+
+  /// Histogram of class sizes, index i -> n_i.
+  std::vector<std::size_t> sizes() const;
+
+ private:
+  std::vector<NodeId> active_;
+  std::vector<std::vector<NodeId>> classes_;
+  // Indexed by NodeId (deployment-sized); kNoLinkClass + -2 for inactive.
+  std::vector<std::int32_t> class_of_;
+  std::vector<double> nearest_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,96 @@
+#include "core/round_analysis.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+RoundAnalysisPipeline::RoundAnalysisPipeline(const Deployment& dep,
+                                             GoodNodeParams good_params,
+                                             double delta, double s)
+    : dep_(&dep),
+      good_params_(good_params),
+      delta_(delta),
+      s_(s),
+      was_contending_(dep.size(), true) {
+  FCR_ENSURE_ARG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  FCR_ENSURE_ARG(s > 0.0, "spacing constant must be positive");
+}
+
+RoundObserver RoundAnalysisPipeline::observer() {
+  return [this](const RoundView& view) {
+    FCR_CHECK_MSG(view.nodes.size() == was_contending_.size(),
+                  "pipeline sized for " << was_contending_.size()
+                                        << " nodes, round has "
+                                        << view.nodes.size());
+    // Pre-round active set and this round's knockouts.
+    std::vector<NodeId> pre_active;
+    std::unordered_set<NodeId> knocked;
+    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+      if (!was_contending_[id]) continue;
+      pre_active.push_back(id);
+      if (!view.nodes[id]->is_contending()) knocked.insert(id);
+    }
+    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+      was_contending_[id] = view.nodes[id]->is_contending();
+    }
+    if (pre_active.size() < 2) return;
+
+    const GoodNodeAnalyzer analyzer(*dep_, pre_active, good_params_);
+    const LinkClassPartition& classes = analyzer.classes();
+    for (std::size_t i = 0; i < classes.class_count(); ++i) {
+      if (classes.size_of(i) == 0) continue;
+      ClassRoundRecord rec;
+      rec.round = view.round;
+      rec.class_index = i;
+      rec.v_i = classes.size_of(i);
+      rec.n_below = classes.size_below(i);
+      const auto good = analyzer.good_in_class(i);
+      rec.good = good.size();
+      const auto subset = analyzer.well_spaced_subset(i, s_);
+      rec.s_i = subset.size();
+      rec.premise = static_cast<double>(rec.n_below) <=
+                    delta_ * static_cast<double>(rec.v_i);
+      for (const NodeId u : classes.nodes_in(i)) {
+        if (knocked.count(u)) ++rec.knocked_v_i;
+      }
+      for (const NodeId u : subset) {
+        if (knocked.count(u)) ++rec.knocked_s_i;
+      }
+      records_.push_back(rec);
+    }
+  };
+}
+
+AnalysisSummary RoundAnalysisPipeline::summarize() const {
+  AnalysisSummary out;
+  std::uint64_t last_round = 0;
+  double frac_sum = 0.0;
+  std::size_t frac_cells = 0;
+  double good_sum = 0.0;
+  for (const ClassRoundRecord& rec : records_) {
+    if (rec.round != last_round) {
+      ++out.rounds_analyzed;
+      last_round = rec.round;
+    }
+    if (!rec.premise) continue;
+    ++out.premise_cells;
+    good_sum += static_cast<double>(rec.good) / static_cast<double>(rec.v_i);
+    if (rec.knocked_s_i > 0) ++out.productive_cells;
+    if (rec.s_i >= 4) {
+      frac_sum += rec.knockout_fraction_s_i();
+      ++frac_cells;
+    }
+  }
+  if (out.premise_cells > 0) {
+    out.mean_good_fraction =
+        good_sum / static_cast<double>(out.premise_cells);
+  }
+  if (frac_cells > 0) {
+    out.mean_s_i_knockout_fraction = frac_sum / static_cast<double>(frac_cells);
+  }
+  return out;
+}
+
+}  // namespace fcr

@@ -1,0 +1,79 @@
+// Round-by-round analysis pipeline: runs the paper's Section 3.2 machinery
+// against a LIVE execution and reports, per round and link class, whether
+// the analysis' predicates held and what the algorithm actually achieved.
+//
+// For each observed round r and each link class d_i of the PRE-round
+// active set, the report records:
+//   * the class census: |V_i|, #good (Definition 1), |S_i| (well-spaced),
+//   * the Lemma 6 / Corollary 7 premise  n_{<i} <= delta * n_i,
+//   * the measured knockout fraction of S_i this round,
+//   * the measured knockout fraction of all of V_i.
+// Aggregations quantify the Corollary 7 claim on real executions: rounds
+// where the premise held should knock out a constant fraction of S_i.
+//
+// This is heavyweight instrumentation (O(n log n + knockouts * n) per
+// round); use it on analysis-scale runs, not in benchmark hot loops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/good_nodes.hpp"
+#include "deploy/deployment.hpp"
+#include "sim/engine.hpp"
+
+namespace fcr {
+
+/// Per-(round, class) record.
+struct ClassRoundRecord {
+  std::uint64_t round = 0;
+  std::size_t class_index = 0;
+  std::size_t v_i = 0;        ///< active nodes in the class (pre-round)
+  std::size_t n_below = 0;    ///< active nodes in smaller classes
+  std::size_t good = 0;       ///< good nodes (Definition 1)
+  std::size_t s_i = 0;        ///< well-spaced good subset size
+  bool premise = false;       ///< n_below <= delta * v_i
+  std::size_t knocked_v_i = 0;  ///< V_i members knocked out this round
+  std::size_t knocked_s_i = 0;  ///< S_i members knocked out this round
+
+  double knockout_fraction_s_i() const {
+    return s_i == 0 ? 0.0
+                    : static_cast<double>(knocked_s_i) / static_cast<double>(s_i);
+  }
+};
+
+/// Aggregate over all recorded rounds.
+struct AnalysisSummary {
+  std::size_t rounds_analyzed = 0;
+  std::size_t premise_cells = 0;      ///< (round, class) cells with premise
+  std::size_t productive_cells = 0;   ///< premise cells with >= 1 S_i knockout
+  double mean_s_i_knockout_fraction = 0.0;  ///< over premise cells w/ s_i >= 4
+  double mean_good_fraction = 0.0;          ///< over premise cells
+};
+
+/// Observer-driven analyzer. Attach `observer()` to run_execution (with
+/// stop_on_solve or not); query the records afterwards.
+class RoundAnalysisPipeline {
+ public:
+  /// `delta`: the Corollary 7 constant (use theory_constants().delta for
+  /// the proven value, or a practical value like 0.5);
+  /// `s`: the S_i spacing constant.
+  RoundAnalysisPipeline(const Deployment& dep, GoodNodeParams good_params,
+                        double delta, double s);
+
+  RoundObserver observer();
+
+  const std::vector<ClassRoundRecord>& records() const { return records_; }
+  AnalysisSummary summarize() const;
+
+ private:
+  const Deployment* dep_;
+  GoodNodeParams good_params_;
+  double delta_;
+  double s_;
+  std::vector<bool> was_contending_;
+  std::vector<ClassRoundRecord> records_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,50 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "core/class_bounds.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+TheoryConstants theory_constants(double alpha, double beta) {
+  FCR_ENSURE_ARG(alpha > 2.0, "theory constants require alpha > 2, got " << alpha);
+  FCR_ENSURE_ARG(beta > 0.0, "beta must be positive");
+
+  TheoryConstants tc;
+  tc.alpha = alpha;
+  tc.beta = beta;
+  tc.epsilon = alpha / 2.0 - 1.0;
+
+  const double geo = 1.0 - std::pow(2.0, -tc.epsilon);  // 1 - 2^{-eps} in (0,1)
+  tc.c_max = 96.0 / geo;
+  tc.c_corollary5 = 1.0 / (std::pow(2.0, alpha + 2.0) * beta);
+  tc.p = tc.c_corollary5 / (4.0 * tc.c_max);
+  tc.c_prime = (tc.c_corollary5 * tc.c_corollary5) / (24.0 * tc.c_max * tc.c_max);
+  tc.s = std::pow(96.0 / (tc.c_corollary5 * geo), 1.0 / tc.epsilon);
+  tc.c_geo = std::pow(2.0, tc.epsilon);
+  tc.gamma_good = (1.0 - 1.0 / tc.c_geo) / 2.0;
+  tc.delta = tc.gamma_good / 2.0;
+  return tc;
+}
+
+double outside_interference_budget(const TheoryConstants& tc, double power,
+                                   std::size_t link_class) {
+  FCR_ENSURE_ARG(power > 0.0, "power must be positive");
+  return tc.c_corollary5 * power *
+         std::pow(2.0, -static_cast<double>(link_class) * tc.alpha);
+}
+
+double max_interference_coefficient(const TheoryConstants& tc, double power,
+                                    std::size_t link_class) {
+  FCR_ENSURE_ARG(power > 0.0, "power must be positive");
+  return tc.c_max * power *
+         std::pow(2.0, -static_cast<double>(link_class) * tc.alpha);
+}
+
+double predicted_steps(std::size_t n, std::size_t m) {
+  const ClassBoundVectors bounds(n, m);
+  return static_cast<double>(bounds.zero_step());
+}
+
+}  // namespace fcr

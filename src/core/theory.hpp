@@ -1,0 +1,59 @@
+// Closed-form constants extracted from the paper's proofs, so experiments
+// can print the *proven* envelopes next to measured values (E9) and so the
+// library documents exactly how each knob in the analysis is instantiated.
+//
+// Chain of constants (Section 3.2):
+//   eps            = alpha/2 - 1                                (Def. 1)
+//   c_max(alpha)   = 96 / (1 - 2^{-eps})                        (Claim 1/2)
+//   c              = 1 / (2^{alpha+2} beta)                     (Cor. 5 (i))
+//   p              = c / (4 c_max)                              (Claim 3)
+//   c'             = c^2 / (24 c_max^2)                         (Claim 3)
+//   s              = (96 / (c (1 - 2^{-eps})))^{1/eps}          (Lemma 4)
+//   c_geo          = 2^eps                                      (Lemma 6)
+//   gamma_good     = (1 - 1/c_geo) / 2                          (Lemma 6)
+//   delta          = gamma_good / 2                             (Lemma 6)
+//
+// These proven constants are intentionally loose (e.g. p is astronomically
+// small); experiment E5 shows the practical flat region for p, and E9 shows
+// measured interference sitting far inside the proven budget.
+#pragma once
+
+#include <cstddef>
+
+namespace fcr {
+
+/// All proof constants for a given (alpha, beta).
+struct TheoryConstants {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double epsilon = 0.0;       ///< alpha/2 - 1
+  double c_max = 0.0;         ///< max total interference coefficient (Claim 1)
+  double c_corollary5 = 0.0;  ///< the "c" of Corollary 5 condition (i)
+  double p = 0.0;             ///< proven broadcast probability (Claim 3)
+  double c_prime = 0.0;       ///< Chernoff exponent constant (Claim 3)
+  double s = 0.0;             ///< S_i spacing constant (Lemma 4)
+  double c_geo = 0.0;         ///< the geometric-series base 2^eps (Lemma 6)
+  double gamma_good = 0.0;    ///< not-good fraction bound (Lemma 6)
+  double delta = 0.0;         ///< smaller-class mass bound (Lemma 6)
+};
+
+/// Computes the full chain for alpha > 2, beta > 0.
+TheoryConstants theory_constants(double alpha, double beta);
+
+/// Interference budget at a node of link class i from *outside* nodes
+/// (Lemma 3): c * P / 2^{i alpha} — with the proven c of Corollary 5.
+double outside_interference_budget(const TheoryConstants& tc, double power,
+                                   std::size_t link_class);
+
+/// Total interference budget at any node of S_i even if everything
+/// transmits (Claim 1): c_max * P / 2^{i alpha} per |S_i| node.
+double max_interference_coefficient(const TheoryConstants& tc, double power,
+                                    std::size_t link_class);
+
+/// Claim 8 shape: the predicted number of *steps* T until the class-bound
+/// vectors vanish, for a network of n nodes with m link classes — the
+/// quantity the paper proves is Theta(log n + log R). Each step costs a
+/// constant number of rounds (Lemma 10's segments).
+double predicted_steps(std::size_t n, std::size_t m);
+
+}  // namespace fcr

@@ -1,0 +1,185 @@
+#include "deploy/generators.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+}  // namespace
+
+Deployment uniform_square(std::size_t n, double side, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 1, "need at least one node");
+  FCR_ENSURE_ARG(side > 0.0, "side must be positive");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment uniform_disk(std::size_t n, double radius, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 1, "need at least one node");
+  FCR_ENSURE_ARG(radius > 0.0, "radius must be positive");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = radius * std::sqrt(rng.uniform());
+    pts.push_back(r * unit_at(rng.uniform(0.0, kTwoPi)));
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment perturbed_grid(std::size_t rows, std::size_t cols, double spacing,
+                          double jitter, Rng& rng) {
+  FCR_ENSURE_ARG(rows >= 1 && cols >= 1, "grid must be non-empty");
+  FCR_ENSURE_ARG(spacing > 0.0, "spacing must be positive");
+  FCR_ENSURE_ARG(jitter >= 0.0 && jitter < spacing / 2.0,
+                 "jitter must be in [0, spacing/2)");
+  std::vector<Vec2> pts;
+  pts.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Vec2 base{static_cast<double>(c) * spacing,
+                      static_cast<double>(r) * spacing};
+      const Vec2 noise{rng.uniform(-jitter, jitter), rng.uniform(-jitter, jitter)};
+      pts.push_back(base + noise);
+    }
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment thomas_clusters(std::size_t n, std::size_t clusters, double sigma,
+                           double side, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 1, "need at least one node");
+  FCR_ENSURE_ARG(clusters >= 1, "need at least one cluster");
+  FCR_ENSURE_ARG(sigma > 0.0 && side > 0.0, "sigma and side must be positive");
+  std::vector<Vec2> parents;
+  parents.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    parents.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 parent = parents[i % clusters];
+    pts.push_back({rng.normal(parent.x, sigma), rng.normal(parent.y, sigma)});
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment exponential_chain(std::size_t n, double span, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 2, "chain needs at least two nodes");
+  FCR_ENSURE_ARG(span >= static_cast<double>(n - 1),
+                 "span " << span << " too small for " << n
+                         << " nodes with unit minimum gap");
+  const std::size_t gaps = n - 1;
+
+  // Find q >= 1 with sum_{i=0}^{gaps-1} q^i = span, by bisection.
+  auto gap_sum = [gaps](double q) {
+    if (std::abs(q - 1.0) < 1e-12) return static_cast<double>(gaps);
+    return (std::pow(q, static_cast<double>(gaps)) - 1.0) / (q - 1.0);
+  };
+  double lo = 1.0, hi = 2.0;
+  while (gap_sum(hi) < span) hi *= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (gap_sum(mid) < span ? lo : hi) = mid;
+  }
+  const double q = 0.5 * (lo + hi);
+
+  // Tiny vertical jitter keeps pathological exact-collinearity out of the
+  // convex-hull degenerate path without changing any link length materially.
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  double x = 0.0, gap = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({x, 1e-9 * rng.uniform()});
+    x += gap;
+    gap *= q;
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment two_clusters(std::size_t n, double separation, double cluster_radius,
+                        Rng& rng) {
+  FCR_ENSURE_ARG(n >= 2, "need at least two nodes");
+  FCR_ENSURE_ARG(separation > 2.0 * cluster_radius,
+                 "clusters must not overlap: separation " << separation
+                     << " <= 2 * radius " << cluster_radius);
+  const std::size_t first = (n + 1) / 2;
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 center = i < first ? Vec2{0.0, 0.0} : Vec2{separation, 0.0};
+    const double r = cluster_radius * std::sqrt(rng.uniform());
+    pts.push_back(center + r * unit_at(rng.uniform(0.0, kTwoPi)));
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment ring(std::size_t n, double radius, double jitter, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 2, "ring needs at least two nodes");
+  FCR_ENSURE_ARG(radius > 0.0, "radius must be positive");
+  const double slot = kTwoPi / static_cast<double>(n);
+  FCR_ENSURE_ARG(jitter >= 0.0 && jitter < slot / 2.0,
+                 "jitter must be below half the angular slot " << slot / 2.0);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle =
+        slot * static_cast<double>(i) + rng.uniform(-jitter, jitter);
+    pts.push_back(radius * unit_at(angle));
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment single_pair(double d) {
+  FCR_ENSURE_ARG(d > 0.0, "pair distance must be positive");
+  return Deployment({{0.0, 0.0}, {d, 0.0}});
+}
+
+Deployment poisson_field(double intensity, double side, Rng& rng) {
+  FCR_ENSURE_ARG(intensity > 0.0, "intensity must be positive");
+  FCR_ENSURE_ARG(side > 0.0, "side must be positive");
+  const double mean = intensity * side * side;
+  FCR_ENSURE_ARG(mean <= 1e7, "field would contain ~" << mean << " points");
+  std::size_t n = 0;
+  // Redraw on the (exponentially unlikely for mean >= a few) empty outcome.
+  for (int attempt = 0; attempt < 64 && n == 0; ++attempt) {
+    n = static_cast<std::size_t>(rng.poisson(mean));
+  }
+  FCR_ENSURE_ARG(n > 0, "Poisson field kept coming up empty; raise intensity");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return Deployment(std::move(pts));
+}
+
+Deployment multi_scale(std::size_t levels, std::size_t per_level, Rng& rng) {
+  FCR_ENSURE_ARG(levels >= 1, "need at least one level");
+  FCR_ENSURE_ARG(per_level >= 2, "need at least two nodes per level");
+  std::vector<Vec2> pts;
+  pts.reserve(levels * per_level);
+  double x = 0.0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double spacing = std::pow(2.0, static_cast<double>(i));
+    // Tiny jitter (well below half a class width) keeps nearest-neighbor
+    // distances inside [2^i, 2^{i+1}) while avoiding exact collinearity.
+    for (std::size_t j = 0; j < per_level; ++j) {
+      pts.push_back({x, spacing * 0.01 * rng.uniform()});
+      x += spacing * (1.0 + 0.1 * rng.uniform());
+    }
+    // Gap to the next level: one next-level spacing, keeping the levels
+    // electromagnetically coupled.
+  }
+  return Deployment(std::move(pts));
+}
+
+}  // namespace fcr

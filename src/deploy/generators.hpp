@@ -1,0 +1,73 @@
+// Deployment generators: the workloads for every experiment.
+//
+// The paper's bounds are deployment-sensitive through two quantities — the
+// number of nodes n and the link ratio R — so the generators are chosen to
+// let experiments control each independently:
+//   * uniform square / disk, perturbed grid, Thomas clusters: R grows like
+//     poly(n) (the paper's "most feasible deployments"),
+//   * exponential chain: R is a free parameter, exercised by E2,
+//   * two-cluster / cluster chains: adversarial link-class distributions for
+//     the Lemma 6 (good node) experiments,
+//   * single pair: the two-player lower-bound setting (Section 4).
+#pragma once
+
+#include <cstddef>
+
+#include "deploy/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// n points i.i.d. uniform in the square [0, side]^2.
+Deployment uniform_square(std::size_t n, double side, Rng& rng);
+
+/// n points i.i.d. uniform in the disk of the given radius centered at the
+/// origin (exact area-uniform sampling, no rejection).
+Deployment uniform_disk(std::size_t n, double radius, Rng& rng);
+
+/// rows x cols lattice with the given spacing; each point jittered uniformly
+/// in [-jitter, jitter]^2. jitter < spacing/2 guarantees distinctness.
+Deployment perturbed_grid(std::size_t rows, std::size_t cols, double spacing,
+                          double jitter, Rng& rng);
+
+/// Thomas cluster process (truncated to exactly n points): `clusters` parent
+/// centers uniform in [0, side]^2; children placed Normal(parent, sigma) in
+/// round-robin until n points exist.
+Deployment thomas_clusters(std::size_t n, std::size_t clusters, double sigma,
+                           double side, Rng& rng);
+
+/// n collinear points with geometrically growing consecutive gaps 1, q, q^2,
+/// ... chosen so the total span (the longest link) is exactly `span` while
+/// the shortest gap is 1; hence the link ratio R equals `span`.
+/// Requires span >= n - 1 (q >= 1) and n >= 2.
+Deployment exponential_chain(std::size_t n, double span, Rng& rng);
+
+/// Two tight uniform-disk clusters of n/2 nodes each (the first cluster gets
+/// the extra node for odd n), radius `cluster_radius`, centers `separation`
+/// apart. Produces a bimodal link-class profile.
+Deployment two_clusters(std::size_t n, double separation, double cluster_radius,
+                        Rng& rng);
+
+/// n points evenly spaced on a circle of the given radius, each perturbed
+/// along the circle by at most `jitter` radians.
+Deployment ring(std::size_t n, double radius, double jitter, Rng& rng);
+
+/// Exactly two nodes at distance d (on the x-axis).
+Deployment single_pair(double d);
+
+/// Homogeneous Poisson point process of the given intensity on
+/// [0, side]^2: the point count is Poisson(intensity * side^2) — the
+/// canonical stochastic-geometry deployment model (re-drawn until at least
+/// one point exists, since an empty deployment is invalid).
+Deployment poisson_field(double intensity, double side, Rng& rng);
+
+/// Multi-scale deployment with `levels` coupled link classes: level i is a
+/// row of `per_level` nodes at spacing 2^i, and consecutive levels are
+/// placed side by side with only a gap of 2^i between them, so nodes of
+/// neighboring scales interfere with each other (unlike the exponential
+/// chain, whose geometric separation decouples the classes). Populates
+/// every link class 0 .. levels-1 with ~per_level nodes;
+/// R ~ per_level * 2^levels.
+Deployment multi_scale(std::size_t levels, std::size_t per_level, Rng& rng);
+
+}  // namespace fcr

@@ -1,0 +1,50 @@
+#include "deploy/io.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fcr {
+
+void write_deployment_csv(const Deployment& dep, std::ostream& out) {
+  CsvWriter csv(out, {"x", "y"});
+  for (const Vec2 p : dep.positions()) {
+    csv.row({CsvWriter::num(p.x), CsvWriter::num(p.y)});
+  }
+}
+
+Deployment read_deployment_csv(std::istream& in) {
+  std::string line;
+  FCR_ENSURE_ARG(static_cast<bool>(std::getline(in, line)),
+                 "deployment CSV is empty");
+  // Tolerate trailing carriage returns from Windows-authored files.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  FCR_ENSURE_ARG(line == "x,y", "expected header 'x,y', got '" << line << "'");
+
+  std::vector<Vec2> pts;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    FCR_ENSURE_ARG(comma != std::string::npos,
+                   "line " << line_no << ": expected 'x,y', got '" << line << "'");
+    const std::string xs = line.substr(0, comma);
+    const std::string ys = line.substr(comma + 1);
+    char* end = nullptr;
+    const double x = std::strtod(xs.c_str(), &end);
+    FCR_ENSURE_ARG(end && *end == '\0' && !xs.empty(),
+                   "line " << line_no << ": bad x value '" << xs << "'");
+    const double y = std::strtod(ys.c_str(), &end);
+    FCR_ENSURE_ARG(end && *end == '\0' && !ys.empty(),
+                   "line " << line_no << ": bad y value '" << ys << "'");
+    pts.push_back({x, y});
+  }
+  return Deployment(std::move(pts));
+}
+
+}  // namespace fcr

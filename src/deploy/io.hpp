@@ -1,0 +1,21 @@
+// Deployment (de)serialization: plain CSV with an `x,y` header, so traces
+// of real testbeds (or outputs of other tools) can be replayed through the
+// simulator, and generated instances can be pinned as fixtures.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "deploy/deployment.hpp"
+
+namespace fcr {
+
+/// Writes `x,y` header plus one row per node (full double precision).
+void write_deployment_csv(const Deployment& dep, std::ostream& out);
+
+/// Parses a CSV written by write_deployment_csv (header required, blank
+/// lines ignored). Throws std::invalid_argument on malformed input or if
+/// the resulting point set is not a valid deployment (empty, duplicates).
+Deployment read_deployment_csv(std::istream& in);
+
+}  // namespace fcr

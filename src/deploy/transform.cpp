@@ -1,0 +1,38 @@
+#include "deploy/transform.hpp"
+
+#include <cmath>
+
+namespace fcr {
+namespace {
+
+template <typename Fn>
+Deployment map_positions(const Deployment& dep, Fn&& fn) {
+  std::vector<Vec2> pts;
+  pts.reserve(dep.size());
+  for (const Vec2 p : dep.positions()) pts.push_back(fn(p));
+  return Deployment(std::move(pts));
+}
+
+}  // namespace
+
+Deployment translated(const Deployment& dep, double dx, double dy) {
+  return map_positions(dep, [dx, dy](Vec2 p) { return Vec2{p.x + dx, p.y + dy}; });
+}
+
+Deployment mirrored(const Deployment& dep) {
+  return map_positions(dep, [](Vec2 p) { return Vec2{-p.x, p.y}; });
+}
+
+Deployment rotated90(const Deployment& dep) {
+  return map_positions(dep, [](Vec2 p) { return Vec2{-p.y, p.x}; });
+}
+
+Deployment rotated(const Deployment& dep, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return map_positions(dep, [c, s](Vec2 p) {
+    return Vec2{c * p.x - s * p.y, s * p.x + c * p.y};
+  });
+}
+
+}  // namespace fcr

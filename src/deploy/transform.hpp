@@ -1,0 +1,30 @@
+// Isometries of deployments.
+//
+// The SINR model depends on positions only through pairwise distances, so
+// every model quantity must be invariant under isometries. Reflection and
+// 90-degree rotation are EXACT in IEEE floating point (they only negate and
+// swap coordinates), which makes the invariance testable bit-for-bit:
+// identical seeds must give identical executions on the transformed
+// deployment — one of the strongest whole-stack consistency checks in the
+// suite. Translation and general rotation are provided for workload
+// construction (their invariance is approximate in fp).
+#pragma once
+
+#include "deploy/deployment.hpp"
+
+namespace fcr {
+
+/// Translation by (dx, dy).
+Deployment translated(const Deployment& dep, double dx, double dy);
+
+/// Reflection across the y-axis: (x, y) -> (-x, y). Exact in fp.
+Deployment mirrored(const Deployment& dep);
+
+/// Rotation by 90 degrees counterclockwise: (x, y) -> (-y, x). Exact in fp.
+Deployment rotated90(const Deployment& dep);
+
+/// Rotation by an arbitrary angle (radians) about the origin. Approximate
+/// in fp; distances preserved to ~1 ulp relative error.
+Deployment rotated(const Deployment& dep, double angle);
+
+}  // namespace fcr

@@ -1,0 +1,69 @@
+#include "ext/adaptive.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+class AdaptiveNode final : public NodeProtocol {
+ public:
+  AdaptiveNode(double p0, double p_max, std::uint64_t window, Rng rng)
+      : p_(p0), p_max_(p_max), window_(window), rng_(rng) {}
+
+  Action on_round_begin(std::uint64_t /*round*/) override {
+    if (!active_) return Action::kListen;
+    return rng_.bernoulli(p_) ? Action::kTransmit : Action::kListen;
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    if (!active_) return;
+    if (feedback.received) {
+      active_ = false;
+      return;
+    }
+    // Silence (from this node's perspective): it decoded nothing this
+    // round, whether it transmitted or listened.
+    if (++silent_rounds_ >= window_) {
+      silent_rounds_ = 0;
+      p_ = std::min(p_max_, 2.0 * p_);
+    }
+  }
+
+  bool is_contending() const override { return active_; }
+
+ private:
+  double p_;
+  double p_max_;
+  std::uint64_t window_;
+  Rng rng_;
+  bool active_ = true;
+  std::uint64_t silent_rounds_ = 0;
+};
+
+}  // namespace
+
+AdaptiveFading::AdaptiveFading(double initial_p, double max_p,
+                               std::uint64_t silence_window)
+    : p0_(initial_p), p_max_(max_p), window_(silence_window) {
+  FCR_ENSURE_ARG(p0_ > 0.0 && p0_ < 1.0, "initial p must be in (0,1)");
+  FCR_ENSURE_ARG(p_max_ >= p0_ && p_max_ < 1.0,
+                 "max p must be in [initial p, 1)");
+  FCR_ENSURE_ARG(window_ >= 1, "silence window must be positive");
+}
+
+std::string AdaptiveFading::name() const {
+  std::ostringstream os;
+  os << "adaptive-fading(p0=" << p0_ << ",pmax=" << p_max_ << ",w=" << window_
+     << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> AdaptiveFading::make_node(NodeId /*id*/,
+                                                        Rng rng) const {
+  return std::make_unique<AdaptiveNode>(p0_, p_max_, window_, rng);
+}
+
+}  // namespace fcr

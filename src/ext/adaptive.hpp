@@ -1,0 +1,40 @@
+// Adaptive broadcast probability — the "obvious improvement" the paper's
+// fixed-p algorithm invites, built so E11 can test whether it actually is
+// one.
+//
+// Rule (multiplicative increase on silence): start at p0; after every
+// `silence_window` consecutive rounds without decoding anything, double p
+// up to p_max. The intuition: a nearly-alone survivor hears nothing and
+// ramps up to find its solo round faster. The risk: in a DENSE network
+// active nodes also rarely decode (interference, and they often transmit
+// themselves), so everyone ramps together and reception collapses — the
+// fixed constant the paper proves sufficient is also self-stabilizing in a
+// way naive adaptivity is not. The experiment decides.
+#pragma once
+
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Knockout algorithm with multiplicative-increase-on-silence probability.
+class AdaptiveFading final : public Algorithm {
+ public:
+  AdaptiveFading(double initial_p = 0.05, double max_p = 0.8,
+                 std::uint64_t silence_window = 8);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  double initial_p() const { return p0_; }
+  double max_p() const { return p_max_; }
+  std::uint64_t silence_window() const { return window_; }
+
+ private:
+  double p0_;
+  double p_max_;
+  std::uint64_t window_;
+};
+
+}  // namespace fcr

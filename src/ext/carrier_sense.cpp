@@ -1,0 +1,90 @@
+#include "ext/carrier_sense.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+CarrierSenseSinrAdapter::CarrierSenseSinrAdapter(SinrParams params,
+                                                 double sense_threshold)
+    : channel_(params), threshold_(sense_threshold) {
+  FCR_ENSURE_ARG(sense_threshold > 0.0, "sense threshold must be positive");
+}
+
+void CarrierSenseSinrAdapter::resolve(const Deployment& dep,
+                                      std::span<const NodeId> transmitters,
+                                      std::span<const NodeId> listeners,
+                                      std::span<Feedback> out) const {
+  FCR_ENSURE_ARG(out.size() == listeners.size(), "feedback span size mismatch");
+  const std::vector<Reception> receptions =
+      channel_.resolve(dep, transmitters, listeners);
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    Feedback& f = out[i];
+    f.transmitted = false;
+    f.received = receptions[i].received();
+    f.sender = receptions[i].sender;
+    if (f.received) {
+      f.observation = RadioObservation::kMessage;
+    } else {
+      const double power = channel_.interference_at(
+          dep, dep.position(listeners[i]), transmitters);
+      f.observation = power > threshold_ ? RadioObservation::kCollision
+                                         : RadioObservation::kSilence;
+    }
+  }
+}
+
+namespace {
+
+class CarrierSenseNode final : public NodeProtocol {
+ public:
+  CarrierSenseNode(double p, double q, Rng rng) : p_(p), q_(q), rng_(rng) {}
+
+  Action on_round_begin(std::uint64_t /*round*/) override {
+    if (!active_) return Action::kListen;
+    return rng_.bernoulli(p_) ? Action::kTransmit : Action::kListen;
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    if (!active_ || feedback.transmitted) return;
+    if (feedback.received) {
+      active_ = false;
+    } else if (feedback.observation == RadioObservation::kCollision &&
+               rng_.bernoulli(q_)) {
+      active_ = false;  // sensed busy: withdraw probabilistically
+    }
+  }
+
+  bool is_contending() const override { return active_; }
+
+ private:
+  double p_;
+  double q_;
+  Rng rng_;
+  bool active_ = true;
+};
+
+}  // namespace
+
+CarrierSenseKnockout::CarrierSenseKnockout(double broadcast_probability,
+                                           double sense_knockout_probability)
+    : p_(broadcast_probability), q_(sense_knockout_probability) {
+  FCR_ENSURE_ARG(p_ > 0.0 && p_ < 1.0,
+                 "broadcast probability must be in (0,1), got " << p_);
+  FCR_ENSURE_ARG(q_ >= 0.0 && q_ <= 1.0,
+                 "sense knockout probability must be in [0,1], got " << q_);
+}
+
+std::string CarrierSenseKnockout::name() const {
+  std::ostringstream os;
+  os << "carrier-sense-knockout(p=" << p_ << ",q=" << q_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> CarrierSenseKnockout::make_node(NodeId /*id*/,
+                                                              Rng rng) const {
+  return std::make_unique<CarrierSenseNode>(p_, q_, rng);
+}
+
+}  // namespace fcr

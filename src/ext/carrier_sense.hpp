@@ -1,0 +1,65 @@
+// Carrier-sensing extension (E12).
+//
+// The paper notes: "under the assumption of tunable carrier sensing — a
+// generalization of receiver collision detection — it is also possible to
+// do better than the radio network model without collision detection;
+// e.g., [22]." The adapter here adds exactly that capability to the SINR
+// channel: a listener that decodes nothing still observes kCollision
+// ("busy") when the total received power at its position exceeds a tunable
+// threshold.
+//
+// CarrierSenseKnockout is the matching protocol variant for the E11/E12
+// ablations: like the paper's algorithm, but an active node that *senses* a
+// busy channel (without decoding) also goes inactive, with probability
+// `sense_knockout_probability` per busy round. Aggressive settings show the
+// fragility the paper's decode-only rule avoids: the active set can die out
+// entirely, leaving contention unresolved.
+#pragma once
+
+#include <memory>
+
+#include "sim/channel_adapter.hpp"
+#include "sinr/channel.hpp"
+
+namespace fcr {
+
+/// SINR adapter with busy-channel sensing above a power threshold.
+class CarrierSenseSinrAdapter final : public ChannelAdapter {
+ public:
+  /// `sense_threshold`: total received power above which a non-decoding
+  /// listener observes kCollision.
+  CarrierSenseSinrAdapter(SinrParams params, double sense_threshold);
+
+  std::string name() const override { return "sinr-carrier-sense"; }
+  bool provides_collision_detection() const override { return true; }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+  double sense_threshold() const { return threshold_; }
+
+ private:
+  SinrChannel channel_;
+  double threshold_;
+};
+
+/// Paper's algorithm + knockout on sensed-busy rounds.
+class CarrierSenseKnockout final : public Algorithm {
+ public:
+  CarrierSenseKnockout(double broadcast_probability,
+                       double sense_knockout_probability);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  bool requires_collision_detection() const override { return true; }
+
+  double broadcast_probability() const { return p_; }
+  double sense_knockout_probability() const { return q_; }
+
+ private:
+  double p_;
+  double q_;
+};
+
+}  // namespace fcr

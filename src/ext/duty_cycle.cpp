@@ -1,0 +1,75 @@
+#include "ext/duty_cycle.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+class DutyCycledNode final : public NodeProtocol {
+ public:
+  DutyCycledNode(std::unique_ptr<NodeProtocol> inner, std::uint64_t period,
+                 std::uint64_t phase)
+      : inner_(std::move(inner)), period_(period), phase_(phase) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    awake_ = (round % period_) == phase_;
+    if (!awake_) return Action::kListen;  // radio off: never transmits
+    ++awake_rounds_;
+    return inner_->on_round_begin(awake_rounds_);
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    // Asleep: the radio was off; whatever the channel delivered is lost.
+    if (awake_) inner_->on_round_end(feedback);
+  }
+
+  bool is_contending() const override { return inner_->is_contending(); }
+
+ private:
+  std::unique_ptr<NodeProtocol> inner_;
+  std::uint64_t period_;
+  std::uint64_t phase_;
+  std::uint64_t awake_rounds_ = 0;
+  bool awake_ = false;
+};
+
+}  // namespace
+
+DutyCycled::DutyCycled(std::shared_ptr<const Algorithm> inner,
+                       std::uint64_t period, PhaseAssignment phase)
+    : inner_(std::move(inner)), period_(period), phase_(std::move(phase)) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner algorithm must be set");
+  FCR_ENSURE_ARG(period_ >= 1, "period must be positive");
+  FCR_ENSURE_ARG(static_cast<bool>(phase_), "phase assignment must be set");
+}
+
+std::string DutyCycled::name() const {
+  std::ostringstream os;
+  os << "duty-cycle(1/" << period_ << ", " << inner_->name() << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> DutyCycled::make_node(NodeId id, Rng rng) const {
+  const std::uint64_t phase = phase_(id);
+  FCR_CHECK_MSG(phase < period_, "phase " << phase << " outside period "
+                                          << period_ << " for node " << id);
+  return std::make_unique<DutyCycledNode>(inner_->make_node(id, rng), period_,
+                                          phase);
+}
+
+PhaseAssignment aligned_phases() {
+  return [](NodeId) { return std::uint64_t{0}; };
+}
+
+PhaseAssignment random_phases(std::uint64_t period, std::uint64_t seed) {
+  FCR_ENSURE_ARG(period >= 1, "period must be positive");
+  return [period, seed](NodeId id) {
+    Rng rng = Rng(seed).split(id);
+    return rng.uniform_int(period);
+  };
+}
+
+}  // namespace fcr

@@ -1,0 +1,52 @@
+// Duty cycling: low-power operation, the dominant constraint of the sensor
+// networks the paper's introduction motivates.
+//
+// A duty-cycled node is awake only in rounds r with r mod period == phase;
+// asleep it neither transmits nor hears anything (its radio is off), so
+// knockout messages aimed at it are lost. Phases can be aligned (all nodes
+// wake together — the contention is time-compressed into the awake slots)
+// or unaligned (per-node random phase — nodes can only knock out the
+// fraction of the network awake with them). The wrapper renumbers awake
+// rounds 1, 2, ... for the inner protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Maps a node id to its wake phase in [0, period).
+using PhaseAssignment = std::function<std::uint64_t(NodeId)>;
+
+/// Wraps an algorithm with period-based duty cycling.
+class DutyCycled final : public Algorithm {
+ public:
+  DutyCycled(std::shared_ptr<const Algorithm> inner, std::uint64_t period,
+             PhaseAssignment phase);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override { return inner_->uses_size_bound(); }
+  bool requires_collision_detection() const override {
+    return inner_->requires_collision_detection();
+  }
+
+  std::uint64_t period() const { return period_; }
+
+ private:
+  std::shared_ptr<const Algorithm> inner_;
+  std::uint64_t period_;
+  PhaseAssignment phase_;
+};
+
+/// All nodes wake in the same slot (globally synchronized duty cycle).
+PhaseAssignment aligned_phases();
+
+/// Node id determines the phase deterministically from (seed, id), uniform
+/// over [0, period).
+PhaseAssignment random_phases(std::uint64_t period, std::uint64_t seed);
+
+}  // namespace fcr

@@ -1,0 +1,92 @@
+#include "ext/faults.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+class CrashNode final : public NodeProtocol {
+ public:
+  CrashNode(std::unique_ptr<NodeProtocol> inner, double f, Rng rng)
+      : inner_(std::move(inner)), f_(f), rng_(rng) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    if (!crashed_ && rng_.bernoulli(f_)) crashed_ = true;
+    if (crashed_) return Action::kListen;
+    return inner_->on_round_begin(round);
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    if (!crashed_) inner_->on_round_end(feedback);
+  }
+
+  bool is_contending() const override {
+    return !crashed_ && inner_->is_contending();
+  }
+
+ private:
+  std::unique_ptr<NodeProtocol> inner_;
+  double f_;
+  Rng rng_;
+  bool crashed_ = false;
+};
+
+}  // namespace
+
+CrashFaults::CrashFaults(std::shared_ptr<const Algorithm> inner,
+                         double crash_probability)
+    : inner_(std::move(inner)), f_(crash_probability) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner algorithm must be set");
+  FCR_ENSURE_ARG(f_ >= 0.0 && f_ < 1.0,
+                 "crash probability must be in [0,1), got " << f_);
+}
+
+std::string CrashFaults::name() const {
+  std::ostringstream os;
+  os << "crash(f=" << f_ << ", " << inner_->name() << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> CrashFaults::make_node(NodeId id, Rng rng) const {
+  // Independent crash stream so the inner protocol's randomness is
+  // untouched by the fault layer (comparable across f values).
+  return std::make_unique<CrashNode>(inner_->make_node(id, rng.split(1)), f_,
+                                     rng.split(2));
+}
+
+LossyChannelAdapter::LossyChannelAdapter(std::unique_ptr<ChannelAdapter> inner,
+                                         double drop_probability, Rng rng)
+    : inner_(std::move(inner)), q_(drop_probability), rng_(rng) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner channel must be set");
+  FCR_ENSURE_ARG(q_ >= 0.0 && q_ < 1.0,
+                 "drop probability must be in [0,1), got " << q_);
+}
+
+std::string LossyChannelAdapter::name() const {
+  std::ostringstream os;
+  os << "lossy(q=" << q_ << ", " << inner_->name() << ")";
+  return os.str();
+}
+
+void LossyChannelAdapter::resolve(const Deployment& dep,
+                                  std::span<const NodeId> transmitters,
+                                  std::span<const NodeId> listeners,
+                                  std::span<Feedback> out) const {
+  inner_->resolve(dep, transmitters, listeners, out);
+  if (q_ == 0.0) return;
+  for (Feedback& f : out) {
+    if (f.received && rng_.bernoulli(q_)) {
+      f.received = false;
+      f.sender = kInvalidNode;
+      // A dropped decode still leaves detectable energy on CD-capable
+      // channels; report collision there, silence otherwise.
+      f.observation = inner_->provides_collision_detection()
+                          ? RadioObservation::kCollision
+                          : RadioObservation::kSilence;
+    }
+  }
+}
+
+}  // namespace fcr

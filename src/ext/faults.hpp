@@ -1,0 +1,75 @@
+// Fault injection: crash-stop nodes and lossy reception.
+//
+// The paper's model is failure-free; any real link layer is not. Two
+// orthogonal fault models exercise the algorithm's resilience:
+//
+//   * CrashFaults — a wrapper algorithm: each node independently crashes
+//     with probability f at the start of every round (crash-stop: it
+//     listens forever after and leaves contention). Contention resolution
+//     remains well-defined as long as some node survives; the interesting
+//     question is by how much crashes of still-active contenders slow the
+//     solo round.
+//   * LossyChannel — a channel decorator: each successful reception is
+//     additionally dropped with probability q (decoder losses beyond SINR,
+//     e.g. checksum failures). Knockouts thin out; completion slows by at
+//     most ~1/(1-q).
+//
+// Both are exercised by bench_e13_robustness and test_faults.
+#pragma once
+
+#include <memory>
+
+#include "sim/channel_adapter.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// Crash-stop wrapper: node crashes with probability `crash_probability`
+/// per round (checked before acting); crashed nodes listen forever and do
+/// not contend.
+class CrashFaults final : public Algorithm {
+ public:
+  CrashFaults(std::shared_ptr<const Algorithm> inner,
+              double crash_probability);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override { return inner_->uses_size_bound(); }
+  bool requires_collision_detection() const override {
+    return inner_->requires_collision_detection();
+  }
+
+  double crash_probability() const { return f_; }
+
+ private:
+  std::shared_ptr<const Algorithm> inner_;
+  double f_;
+};
+
+/// Channel decorator: drops each delivered message with probability
+/// `drop_probability` (observation downgrades to silence).
+class LossyChannelAdapter final : public ChannelAdapter {
+ public:
+  LossyChannelAdapter(std::unique_ptr<ChannelAdapter> inner,
+                      double drop_probability, Rng rng);
+
+  std::string name() const override;
+  bool provides_collision_detection() const override {
+    return inner_->provides_collision_detection();
+  }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+  double drop_probability() const { return q_; }
+
+ private:
+  std::unique_ptr<ChannelAdapter> inner_;
+  double q_;
+  mutable Rng rng_;  ///< engine calls resolve once per round
+};
+
+}  // namespace fcr

@@ -1,0 +1,64 @@
+#include "ext/interleave.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+class InterleavedNode final : public NodeProtocol {
+ public:
+  InterleavedNode(std::unique_ptr<NodeProtocol> odd,
+                  std::unique_ptr<NodeProtocol> even)
+      : odd_(std::move(odd)), even_(std::move(even)) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    odd_turn_ = (round % 2) == 1;
+    const std::uint64_t sub_round = (round + 1) / 2;  // 1,1,2,2,3,3,...
+    return current().on_round_begin(sub_round);
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    current().on_round_end(feedback);
+  }
+
+  bool is_contending() const override {
+    return odd_->is_contending() || even_->is_contending();
+  }
+
+ private:
+  NodeProtocol& current() { return odd_turn_ ? *odd_ : *even_; }
+
+  std::unique_ptr<NodeProtocol> odd_;
+  std::unique_ptr<NodeProtocol> even_;
+  bool odd_turn_ = true;
+};
+
+}  // namespace
+
+InterleavedAlgorithm::InterleavedAlgorithm(std::shared_ptr<const Algorithm> odd,
+                                           std::shared_ptr<const Algorithm> even)
+    : odd_(std::move(odd)), even_(std::move(even)) {
+  FCR_ENSURE_ARG(odd_ != nullptr && even_ != nullptr,
+                 "both sub-algorithms must be set");
+}
+
+std::string InterleavedAlgorithm::name() const {
+  return "interleave(" + odd_->name() + ", " + even_->name() + ")";
+}
+
+std::unique_ptr<NodeProtocol> InterleavedAlgorithm::make_node(NodeId id,
+                                                              Rng rng) const {
+  return std::make_unique<InterleavedNode>(odd_->make_node(id, rng.split(1)),
+                                           even_->make_node(id, rng.split(2)));
+}
+
+bool InterleavedAlgorithm::uses_size_bound() const {
+  return odd_->uses_size_bound() || even_->uses_size_bound();
+}
+
+bool InterleavedAlgorithm::requires_collision_detection() const {
+  return odd_->requires_collision_detection() ||
+         even_->requires_collision_detection();
+}
+
+}  // namespace fcr

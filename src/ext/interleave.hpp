@@ -1,0 +1,40 @@
+// Round interleaving (paper, Section 3.1):
+//
+//   "If R is unknown, then our algorithm can be interleaved with an
+//    existing algorithm."
+//
+// InterleavedAlgorithm runs protocol A on odd rounds and protocol B on even
+// rounds; each sub-protocol sees its own contiguous round numbering and
+// only its own rounds' feedback. Contention is resolved when either
+// sub-execution produces a solo transmission, so the combination costs at
+// most twice the better of the two — turning the paper's O(log n + log R)
+// algorithm plus an R-insensitive strategy (e.g. fast-decay) into a bound
+// of O(min(log n + log R, log^2 n / log log n)).
+#pragma once
+
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Runs A on odd engine rounds and B on even engine rounds.
+class InterleavedAlgorithm final : public Algorithm {
+ public:
+  /// Takes shared ownership so callers can cheaply reuse configured
+  /// algorithm instances across trials.
+  InterleavedAlgorithm(std::shared_ptr<const Algorithm> odd,
+                       std::shared_ptr<const Algorithm> even);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override;
+  bool requires_collision_detection() const override;
+
+ private:
+  std::shared_ptr<const Algorithm> odd_;
+  std::shared_ptr<const Algorithm> even_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,103 @@
+#include "ext/local_leaders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/fading_cr.hpp"
+#include "sim/channel_adapter.hpp"
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+double decoding_radius(const SinrParams& params) {
+  params.validate(/*strict_alpha=*/false);
+  if (params.noise == 0.0) return std::numeric_limits<double>::infinity();
+  // P / (d^alpha N) >= beta  <=>  d <= (P / (beta N))^{1/alpha}.
+  return std::pow(params.power / (params.beta * params.noise),
+                  1.0 / params.alpha);
+}
+
+LocalLeaderResult elect_local_leaders(const Deployment& dep,
+                                      const SinrParams& params, double p,
+                                      Rng rng, std::uint64_t quiet_window,
+                                      std::uint64_t max_rounds) {
+  FCR_ENSURE_ARG(quiet_window >= 1, "quiet window must be positive");
+  const SinrChannelAdapter channel(params);
+  const FadingContentionResolution algo(p);
+
+  std::size_t last_active = dep.size();
+  std::uint64_t quiet_rounds = 0;
+  std::uint64_t rounds_seen = 0;
+  std::vector<NodeId> final_active;
+
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.stop_on_solve = false;
+  config.stop_when = [&](const RoundView& view) {
+    rounds_seen = view.round;
+    final_active.clear();
+    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+      if (view.nodes[id]->is_contending()) final_active.push_back(id);
+    }
+    quiet_rounds = final_active.size() == last_active ? quiet_rounds + 1 : 0;
+    last_active = final_active.size();
+    return quiet_rounds >= quiet_window || final_active.size() <= 1;
+  };
+
+  const RunResult run = run_execution(dep, algo, channel, config, rng);
+  (void)run;  // termination is governed by the quiescence predicate
+
+  LocalLeaderResult out;
+  out.rounds_run = rounds_seen;
+  out.quiesced = quiet_rounds >= quiet_window || last_active <= 1;
+  out.leaders = std::move(final_active);
+
+  out.min_leader_separation = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < out.leaders.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.leaders.size(); ++j) {
+      out.min_leader_separation =
+          std::min(out.min_leader_separation,
+                   dist(dep.position(out.leaders[i]),
+                        dep.position(out.leaders[j])));
+    }
+  }
+  if (out.leaders.size() < 2) out.min_leader_separation = 0.0;
+  return out;
+}
+
+DominationReport analyze_domination(const Deployment& dep,
+                                    std::span<const NodeId> leaders,
+                                    double radius) {
+  FCR_ENSURE_ARG(!leaders.empty(), "leader set must be non-empty");
+  FCR_ENSURE_ARG(radius > 0.0, "radius must be positive");
+  const SpatialGrid leader_grid(dep.positions(), leaders);
+
+  DominationReport out;
+  out.leaders = leaders.size();
+  std::vector<bool> is_leader(dep.size(), false);
+  for (const NodeId id : leaders) {
+    FCR_ENSURE_ARG(id < dep.size(), "leader id out of range: " << id);
+    is_leader[id] = true;
+  }
+  for (NodeId id = 0; id < dep.size(); ++id) {
+    if (is_leader[id]) continue;
+    const auto nn = leader_grid.nearest(dep.position(id));
+    FCR_CHECK(nn.has_value());
+    out.max_assignment = std::max(out.max_assignment, nn->distance);
+    if (nn->distance <= radius) {
+      ++out.covered;
+    } else {
+      ++out.uncovered;
+    }
+  }
+  const std::size_t non_leaders = out.covered + out.uncovered;
+  out.coverage = non_leaders == 0
+                     ? 1.0
+                     : static_cast<double>(out.covered) /
+                           static_cast<double>(non_leaders);
+  return out;
+}
+
+}  // namespace fcr

@@ -1,0 +1,66 @@
+// Local leader election: the paper's knockout dynamics below the
+// single-hop power regime.
+//
+// The paper assumes single-hop power (P > 4 beta N d^alpha for every pair)
+// so exactly one global winner emerges. With weaker power the network is
+// effectively multi-hop: a transmission only reaches a noise-limited
+// decoding radius r_decode = (P / (beta N))^{1/alpha}, knockouts act
+// locally, and the process quiesces with MULTIPLE surviving "local
+// leaders" whose pairwise separation is governed by r_decode. This module
+// runs the algorithm to quiescence and reports the emergent leader
+// structure — the spatial-reuse picture made literal, and the bridge to
+// the multi-hop related work ([8], [12]: local broadcast, dominating
+// sets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sinr/params.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// Outcome of running the knockout process to quiescence.
+struct LocalLeaderResult {
+  std::vector<NodeId> leaders;       ///< nodes still active at the end
+  std::uint64_t rounds_run = 0;      ///< rounds executed
+  bool quiesced = false;             ///< true: no knockout in the final window
+  double min_leader_separation = 0;  ///< min pairwise leader distance
+};
+
+/// Noise-limited decoding radius (interference-free): the largest distance
+/// at which a lone transmission clears beta.
+double decoding_radius(const SinrParams& params);
+
+/// Runs the paper's algorithm (broadcast probability p) on the SINR channel
+/// with the given parameters until no knockout has occurred for
+/// `quiet_window` consecutive rounds (or max_rounds). Note this
+/// deliberately does NOT stop at the first solo round — the subject is the
+/// stable surviving set, not the contention-resolution round.
+LocalLeaderResult elect_local_leaders(const Deployment& dep,
+                                      const SinrParams& params, double p,
+                                      Rng rng,
+                                      std::uint64_t quiet_window = 50,
+                                      std::uint64_t max_rounds = 100000);
+
+/// Domination quality of a leader set: is it a backbone in the sense of the
+/// multi-hop related work ([13]: "low-contention backbone")?
+struct DominationReport {
+  std::size_t leaders = 0;
+  std::size_t covered = 0;       ///< non-leaders within `radius` of a leader
+  std::size_t uncovered = 0;
+  double coverage = 0.0;          ///< covered / (covered + uncovered)
+  double max_assignment = 0.0;    ///< farthest node-to-nearest-leader distance
+};
+
+/// Measures how well `leaders` dominate `dep` at the given radius
+/// (typically the decoding radius). Every non-leader is assigned to its
+/// nearest leader. Requires a non-empty leader set.
+DominationReport analyze_domination(const Deployment& dep,
+                                    std::span<const NodeId> leaders,
+                                    double radius);
+
+}  // namespace fcr

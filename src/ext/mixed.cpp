@@ -1,0 +1,63 @@
+#include "ext/mixed.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+MixedAlgorithm::MixedAlgorithm(
+    std::vector<std::shared_ptr<const Algorithm>> populations,
+    PopulationAssignment assignment)
+    : populations_(std::move(populations)), assignment_(std::move(assignment)) {
+  FCR_ENSURE_ARG(!populations_.empty(), "need at least one population");
+  for (const auto& algo : populations_) {
+    FCR_ENSURE_ARG(algo != nullptr, "population algorithm must be set");
+  }
+  FCR_ENSURE_ARG(static_cast<bool>(assignment_), "assignment must be set");
+}
+
+std::string MixedAlgorithm::name() const {
+  std::ostringstream os;
+  os << "mixed(";
+  for (std::size_t i = 0; i < populations_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << populations_[i]->name();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::unique_ptr<NodeProtocol> MixedAlgorithm::make_node(NodeId id,
+                                                        Rng rng) const {
+  const std::size_t pop = assignment_(id);
+  FCR_CHECK_MSG(pop < populations_.size(),
+                "assignment for node " << id << " -> population " << pop
+                                       << " out of range");
+  return populations_[pop]->make_node(id, rng);
+}
+
+bool MixedAlgorithm::uses_size_bound() const {
+  for (const auto& algo : populations_) {
+    if (algo->uses_size_bound()) return true;
+  }
+  return false;
+}
+
+bool MixedAlgorithm::requires_collision_detection() const {
+  for (const auto& algo : populations_) {
+    if (algo->requires_collision_detection()) return true;
+  }
+  return false;
+}
+
+PopulationAssignment split_assignment(NodeId split) {
+  return [split](NodeId id) { return id < split ? std::size_t{0} : std::size_t{1}; };
+}
+
+PopulationAssignment round_robin_assignment(std::size_t population_count) {
+  FCR_ENSURE_ARG(population_count >= 1, "need at least one population");
+  return [population_count](NodeId id) { return id % population_count; };
+}
+
+}  // namespace fcr

@@ -1,0 +1,49 @@
+// Mixed populations: different nodes running different protocols in the
+// same contention domain — the MAC-coexistence question every real link
+// layer faces (can the paper's algorithm share a channel with legacy
+// decay/backoff radios without losing its guarantees?).
+//
+// The engine's contract is per-node anyway; MixedAlgorithm simply routes
+// each node id to one of several sub-algorithms via an assignment function.
+// Termination stays global (first solo transmitter among everyone), so the
+// measured completion time is the COEXISTENCE cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Maps a node id to the index of the sub-algorithm it runs.
+using PopulationAssignment = std::function<std::size_t(NodeId)>;
+
+/// Heterogeneous population wrapper.
+class MixedAlgorithm final : public Algorithm {
+ public:
+  MixedAlgorithm(std::vector<std::shared_ptr<const Algorithm>> populations,
+                 PopulationAssignment assignment);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override;
+  bool requires_collision_detection() const override;
+
+  std::size_t population_count() const { return populations_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const Algorithm>> populations_;
+  PopulationAssignment assignment_;
+};
+
+/// Assignment: node ids below `split` run population 0, the rest 1.
+PopulationAssignment split_assignment(NodeId split);
+
+/// Assignment: id mod population_count (interleaved populations in space
+/// when ids are position-agnostic, as in all library generators).
+PopulationAssignment round_robin_assignment(std::size_t population_count);
+
+}  // namespace fcr

@@ -1,0 +1,90 @@
+#include "ext/power_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+PowerControlSinrChannel::PowerControlSinrChannel(SinrParams params)
+    : params_(params), unit_channel_([&params] {
+        SinrParams unit = params;
+        unit.power = 1.0;
+        return unit;
+      }()) {
+  params_.validate(/*strict_alpha=*/false);
+}
+
+std::vector<Reception> PowerControlSinrChannel::resolve(
+    const Deployment& dep, std::span<const NodeId> transmitters,
+    std::span<const double> powers, std::span<const NodeId> listeners) const {
+  FCR_ENSURE_ARG(powers.size() == transmitters.size(),
+                 "power vector size mismatch: " << powers.size() << " vs "
+                                                << transmitters.size());
+  std::vector<Reception> out(listeners.size());
+  if (transmitters.empty()) return out;
+
+  const std::size_t t = transmitters.size();
+  std::vector<double> tx(t), ty(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    FCR_ENSURE_ARG(powers[j] > 0.0, "transmission power must be positive");
+    const Vec2 p = dep.position(transmitters[j]);
+    tx[j] = p.x;
+    ty[j] = p.y;
+  }
+
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    const Vec2 v = dep.position(listeners[i]);
+    double total = 0.0;
+    double best_signal = -1.0;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < t; ++j) {
+      const double dx = tx[j] - v.x;
+      const double dy = ty[j] - v.y;
+      const double s = powers[j] * unit_channel_.signal_from_dist_sq(dx * dx + dy * dy);
+      total += s;
+      if (s > best_signal) {
+        best_signal = s;
+        best_j = j;
+      }
+    }
+    const double denom = std::max(0.0, params_.noise + (total - best_signal));
+    if (best_signal >= params_.beta * denom) {
+      out[i].sender = transmitters[best_j];
+    }
+  }
+  return out;
+}
+
+RandomPowerSinrAdapter::RandomPowerSinrAdapter(SinrParams params,
+                                               std::size_t levels, double spread,
+                                               Rng rng)
+    : channel_(params), levels_(levels), spread_(spread), rng_(rng) {
+  FCR_ENSURE_ARG(levels >= 1, "need at least one power level");
+  FCR_ENSURE_ARG(spread > 1.0, "spread must exceed 1");
+}
+
+void RandomPowerSinrAdapter::resolve(const Deployment& dep,
+                                     std::span<const NodeId> transmitters,
+                                     std::span<const NodeId> listeners,
+                                     std::span<Feedback> out) const {
+  FCR_ENSURE_ARG(out.size() == listeners.size(), "feedback span size mismatch");
+  std::vector<double> powers(transmitters.size());
+  for (double& p : powers) {
+    const auto level = rng_.uniform_int(levels_);
+    p = channel_.params().power * std::pow(spread_, static_cast<double>(level));
+  }
+  const std::vector<Reception> receptions =
+      channel_.resolve(dep, transmitters, powers, listeners);
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    Feedback& f = out[i];
+    f.transmitted = false;
+    f.received = receptions[i].received();
+    f.sender = receptions[i].sender;
+    f.observation = f.received ? RadioObservation::kMessage
+                               : RadioObservation::kSilence;
+  }
+}
+
+}  // namespace fcr

@@ -1,0 +1,70 @@
+#include "ext/rayleigh.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+RayleighSinrAdapter::RayleighSinrAdapter(SinrParams params, double severity,
+                                         Rng rng)
+    : params_(params), unit_channel_([&params] {
+        SinrParams unit = params;
+        unit.power = 1.0;
+        return unit;
+      }()),
+      severity_(severity), rng_(rng) {
+  params_.validate(/*strict_alpha=*/false);
+  FCR_ENSURE_ARG(severity >= 0.0 && severity <= 1.0,
+                 "fading severity must be in [0, 1], got " << severity);
+}
+
+double RayleighSinrAdapter::gain() const {
+  if (severity_ == 0.0) return 1.0;
+  // Unit-mean exponential, interpolated toward 1 for partial severity; the
+  // gain stays positive because Exp(1) >= 0 and severity <= 1.
+  return 1.0 + severity_ * (rng_.exponential(1.0) - 1.0);
+}
+
+void RayleighSinrAdapter::resolve(const Deployment& dep,
+                                  std::span<const NodeId> transmitters,
+                                  std::span<const NodeId> listeners,
+                                  std::span<Feedback> out) const {
+  FCR_ENSURE_ARG(out.size() == listeners.size(), "feedback span size mismatch");
+  for (Feedback& f : out) f = Feedback{};
+  if (transmitters.empty()) return;
+
+  const std::size_t t = transmitters.size();
+  std::vector<double> tx(t), ty(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    const Vec2 p = dep.position(transmitters[j]);
+    tx[j] = p.x;
+    ty[j] = p.y;
+  }
+
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    const Vec2 v = dep.position(listeners[i]);
+    double total = 0.0;
+    double best_signal = -1.0;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < t; ++j) {
+      const double dx = tx[j] - v.x;
+      const double dy = ty[j] - v.y;
+      const double s = params_.power * gain() *
+                       unit_channel_.signal_from_dist_sq(dx * dx + dy * dy);
+      total += s;
+      if (s > best_signal) {
+        best_signal = s;
+        best_j = j;
+      }
+    }
+    const double denom = std::max(0.0, params_.noise + (total - best_signal));
+    if (best_signal >= params_.beta * denom) {
+      out[i].received = true;
+      out[i].sender = transmitters[best_j];
+      out[i].observation = RadioObservation::kMessage;
+    }
+  }
+}
+
+}  // namespace fcr

@@ -1,0 +1,51 @@
+// Rayleigh (stochastic) fading extension.
+//
+// The paper's model is deterministic path loss: signal = P / d^alpha. Real
+// fading channels add multipath variation; the standard stochastic model
+// multiplies each link's received power by an i.i.d. unit-mean exponential
+// gain per transmission (Rayleigh fading of the amplitude). This adapter
+// implements that variant so experiments can test whether the algorithm's
+// guarantees survive when the geometry only holds *in expectation* — the
+// robustness question any deployment of the paper's protocol would face.
+//
+// Correctness note: with per-link random gains the strongest REALIZED
+// signal still maximizes SINR at a listener (the denominator N + S - s is
+// decreasing in s for fixed total S), so the one-pass resolution argument
+// of SinrChannel carries over with realized rather than deterministic
+// signals.
+#pragma once
+
+#include "sim/channel_adapter.hpp"
+#include "sinr/channel.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// SINR adapter with i.i.d. exponential per-link fading gains, redrawn
+/// every round (block fading with one-round coherence time).
+class RayleighSinrAdapter final : public ChannelAdapter {
+ public:
+  /// `severity` scales the variance: gain = 1 + severity * (Exp(1) - 1);
+  /// severity = 1 is classical Rayleigh power fading, severity = 0 degrades
+  /// to the paper's deterministic channel.
+  RayleighSinrAdapter(SinrParams params, double severity, Rng rng);
+
+  std::string name() const override { return "sinr-rayleigh"; }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+  double severity() const { return severity_; }
+  const SinrParams& params() const { return params_; }
+
+ private:
+  double gain() const;
+
+  SinrParams params_;
+  SinrChannel unit_channel_;
+  double severity_;
+  mutable Rng rng_;  ///< engine calls resolve once per round
+};
+
+}  // namespace fcr

@@ -1,0 +1,72 @@
+#include "ext/staggered.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+class StaggeredNode final : public NodeProtocol {
+ public:
+  StaggeredNode(std::unique_ptr<NodeProtocol> inner, std::uint64_t start)
+      : inner_(std::move(inner)), start_(start) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    awake_ = round >= start_;
+    if (!awake_) return Action::kListen;
+    return inner_->on_round_begin(round - start_ + 1);
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    // A sleeping node observes nothing: the channel has no effect on a
+    // device that has not joined the contention yet.
+    if (awake_) inner_->on_round_end(feedback);
+  }
+
+  bool is_contending() const override {
+    return awake_ && inner_->is_contending();
+  }
+
+ private:
+  std::unique_ptr<NodeProtocol> inner_;
+  std::uint64_t start_;
+  bool awake_ = false;
+};
+
+}  // namespace
+
+StaggeredActivation::StaggeredActivation(std::shared_ptr<const Algorithm> inner,
+                                         ActivationSchedule schedule)
+    : inner_(std::move(inner)), schedule_(std::move(schedule)) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner algorithm must be set");
+  FCR_ENSURE_ARG(static_cast<bool>(schedule_), "activation schedule must be set");
+}
+
+std::string StaggeredActivation::name() const {
+  return "staggered(" + inner_->name() + ")";
+}
+
+std::unique_ptr<NodeProtocol> StaggeredActivation::make_node(NodeId id,
+                                                             Rng rng) const {
+  const std::uint64_t start = schedule_(id);
+  FCR_CHECK_MSG(start >= 1, "activation rounds are 1-based");
+  return std::make_unique<StaggeredNode>(inner_->make_node(id, rng), start);
+}
+
+ActivationSchedule immediate_activation() {
+  return [](NodeId) { return std::uint64_t{1}; };
+}
+
+ActivationSchedule linear_activation(std::uint64_t spacing) {
+  return [spacing](NodeId id) { return 1 + spacing * id; };
+}
+
+ActivationSchedule uniform_activation(std::uint64_t window, std::uint64_t seed) {
+  FCR_ENSURE_ARG(window >= 1, "activation window must be at least 1");
+  return [window, seed](NodeId id) {
+    Rng rng = Rng(seed).split(id);
+    return 1 + rng.uniform_int(window);
+  };
+}
+
+}  // namespace fcr

@@ -1,0 +1,54 @@
+// Staggered activation: the wake-up flavor of the problem.
+//
+// The paper assumes an unknown subset of nodes is activated simultaneously
+// (synchronous start). In the wake-up literature it cites ([7], [17]),
+// nodes join the contention over time. This wrapper gives any algorithm a
+// per-node activation round: before its activation a node is a pure
+// bystander (listens, learns nothing, contends for nothing); from the
+// activation round on it runs the inner protocol with rounds renumbered
+// from 1. The engine's termination rule (solo transmitter among ALL
+// participating nodes) is unchanged, matching the wake-up problem's "first
+// unjammed transmission" convention.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Maps a node id to its activation round (1-based; round r means the node
+/// first acts in engine round r). Must be deterministic per execution.
+using ActivationSchedule = std::function<std::uint64_t(NodeId)>;
+
+/// Wraps an algorithm with per-node delayed starts.
+class StaggeredActivation final : public Algorithm {
+ public:
+  StaggeredActivation(std::shared_ptr<const Algorithm> inner,
+                      ActivationSchedule schedule);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override { return inner_->uses_size_bound(); }
+  bool requires_collision_detection() const override {
+    return inner_->requires_collision_detection();
+  }
+
+ private:
+  std::shared_ptr<const Algorithm> inner_;
+  ActivationSchedule schedule_;
+};
+
+/// Schedule: everyone at round 1 (identity wrapper, for tests).
+ActivationSchedule immediate_activation();
+
+/// Schedule: node i activates at round 1 + i * spacing (a staggered line).
+ActivationSchedule linear_activation(std::uint64_t spacing);
+
+/// Schedule: node i activates uniformly in [1, window], derived
+/// deterministically from (seed, i).
+ActivationSchedule uniform_activation(std::uint64_t window, std::uint64_t seed);
+
+}  // namespace fcr

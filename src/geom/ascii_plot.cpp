@@ -1,0 +1,64 @@
+#include "geom/ascii_plot.hpp"
+
+#include <algorithm>
+
+#include "geom/bbox.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+std::string ascii_scatter(std::span<const Vec2> points,
+                          std::span<const std::size_t> highlight_indices,
+                          std::size_t width, std::size_t height) {
+  FCR_ENSURE_ARG(width >= 2 && height >= 2, "canvas must be at least 2x2");
+  std::vector<std::string> canvas(height, std::string(width, '.'));
+
+  const BBox box = BBox::of(points);
+  const double w = std::max(box.width(), 1e-12);
+  const double h = std::max(box.height(), 1e-12);
+
+  std::vector<bool> is_highlight(points.size(), false);
+  for (const std::size_t i : highlight_indices) {
+    FCR_ENSURE_ARG(i < points.size(), "highlight index out of range: " << i);
+    is_highlight[i] = true;
+  }
+
+  auto cell = [&](Vec2 p) -> std::pair<std::size_t, std::size_t> {
+    if (box.empty()) return {width / 2, height / 2};
+    const double fx = (p.x - box.lo.x) / w;
+    const double fy = (p.y - box.lo.y) / h;
+    const auto cx = std::min(width - 1,
+                             static_cast<std::size_t>(fx * static_cast<double>(width)));
+    // Terminal rows grow downward; flip y so the plot is orientation-true.
+    const auto cy = std::min(
+        height - 1,
+        static_cast<std::size_t>((1.0 - fy) * static_cast<double>(height)));
+    return {cx, std::min(cy, height - 1)};
+  };
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [cx, cy] = cell(points[i]);
+    char& c = canvas[cy][cx];
+    const char mark = is_highlight[i] ? '#' : 'o';
+    if (c == '.') {
+      c = mark;
+    } else if (c != mark) {
+      c = '*';  // mixed occupancy
+    }
+  }
+
+  std::string out;
+  out.reserve((width + 1) * height);
+  for (const std::string& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_scatter(std::span<const Vec2> points, std::size_t width,
+                          std::size_t height) {
+  return ascii_scatter(points, std::span<const std::size_t>{}, width, height);
+}
+
+}  // namespace fcr

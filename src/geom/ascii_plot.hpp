@@ -1,0 +1,25 @@
+// ASCII scatter rendering of planar point sets — the examples use it to
+// show deployments and leader maps directly in the terminal.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace fcr {
+
+/// Renders points into a width x height character canvas ('.' empty,
+/// 'o' point, '#' highlighted point, '*' overlap of both). Coordinates are
+/// mapped from the points' bounding box; degenerate boxes render in the
+/// canvas center.
+std::string ascii_scatter(std::span<const Vec2> points,
+                          std::span<const std::size_t> highlight_indices,
+                          std::size_t width = 72, std::size_t height = 24);
+
+/// Convenience overload without highlights.
+std::string ascii_scatter(std::span<const Vec2> points,
+                          std::size_t width = 72, std::size_t height = 24);
+
+}  // namespace fcr

@@ -1,0 +1,46 @@
+// Axis-aligned bounding box over a point set.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/point.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+/// Axis-aligned bounding box; empty by default, grows via extend().
+struct BBox {
+  Vec2 lo{std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::infinity()};
+  Vec2 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  void extend(Vec2 p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  double width() const { return empty() ? 0.0 : hi.x - lo.x; }
+  double height() const { return empty() ? 0.0 : hi.y - lo.y; }
+
+  /// Longest side of the box (diameter proxy for grid sizing).
+  double extent() const { return std::max(width(), height()); }
+
+  bool contains(Vec2 p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  static BBox of(std::span<const Vec2> points) {
+    BBox b;
+    for (const auto& p : points) b.extend(p);
+    return b;
+  }
+};
+
+}  // namespace fcr

@@ -1,0 +1,199 @@
+#include "geom/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> points,
+                         std::span<const NodeId> subset, double cell_size) {
+  build(points, subset, cell_size);
+}
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size) {
+  std::vector<NodeId> all(points.size());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  build(points, all, cell_size);
+}
+
+void SpatialGrid::build(std::span<const Vec2> points,
+                        std::span<const NodeId> subset, double cell_size) {
+  count_ = subset.size();
+  for (const NodeId id : subset) {
+    FCR_ENSURE_ARG(id < points.size(), "subset id out of range: " << id);
+    bounds_.extend(points[id]);
+  }
+
+  if (cell_size > 0.0) {
+    cell_ = cell_size;
+  } else {
+    // O(sqrt(m)) cells per axis keeps every query worst-case O(m).
+    const double extent = bounds_.empty() ? 0.0 : bounds_.extent();
+    const double per_axis = std::ceil(std::sqrt(static_cast<double>(
+        std::max<std::size_t>(count_, 1))));
+    cell_ = extent > 0.0 ? extent / per_axis : 1.0;
+    if (cell_ <= 0.0) cell_ = 1.0;
+  }
+
+  min_cx_ = std::numeric_limits<std::int64_t>::max();
+  max_cx_ = std::numeric_limits<std::int64_t>::min();
+  min_cy_ = std::numeric_limits<std::int64_t>::max();
+  max_cy_ = std::numeric_limits<std::int64_t>::min();
+
+  cells_.reserve(count_);
+  for (const NodeId id : subset) {
+    const Vec2 p = points[id];
+    const std::int64_t cx = cell_x(p.x);
+    const std::int64_t cy = cell_y(p.y);
+    min_cx_ = std::min(min_cx_, cx);
+    max_cx_ = std::max(max_cx_, cx);
+    min_cy_ = std::min(min_cy_, cy);
+    max_cy_ = std::max(max_cy_, cy);
+    cells_[pack(cx, cy)].push_back(Entry{id, p});
+  }
+}
+
+std::int64_t SpatialGrid::cell_x(double x) const {
+  return static_cast<std::int64_t>(std::floor(x / cell_));
+}
+
+std::int64_t SpatialGrid::cell_y(double y) const {
+  return static_cast<std::int64_t>(std::floor(y / cell_));
+}
+
+SpatialGrid::CellKey SpatialGrid::pack(std::int64_t cx, std::int64_t cy) {
+  // Two 32-bit halves; deployments never span anywhere near 2^31 cells
+  // because the cell size scales with the extent.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+SpatialGrid::CellKey SpatialGrid::key_of(Vec2 p) const {
+  return pack(cell_x(p.x), cell_y(p.y));
+}
+
+template <typename Fn>
+void SpatialGrid::visit_ring(std::int64_t cx, std::int64_t cy, std::int64_t ring,
+                             Fn&& fn) const {
+  auto visit_cell = [&](std::int64_t x, std::int64_t y) {
+    if (x < min_cx_ || x > max_cx_ || y < min_cy_ || y > max_cy_) return;
+    const auto it = cells_.find(pack(x, y));
+    if (it == cells_.end()) return;
+    for (const Entry& e : it->second) fn(e);
+  };
+
+  if (ring == 0) {
+    visit_cell(cx, cy);
+    return;
+  }
+  for (std::int64_t dx = -ring; dx <= ring; ++dx) {
+    visit_cell(cx + dx, cy - ring);
+    visit_cell(cx + dx, cy + ring);
+  }
+  for (std::int64_t dy = -ring + 1; dy <= ring - 1; ++dy) {
+    visit_cell(cx - ring, cy + dy);
+    visit_cell(cx + ring, cy + dy);
+  }
+}
+
+std::optional<SpatialGrid::Nearest> SpatialGrid::nearest(Vec2 query,
+                                                         NodeId exclude) const {
+  if (count_ == 0) return std::nullopt;
+
+  const std::int64_t qx = cell_x(query.x);
+  const std::int64_t qy = cell_y(query.y);
+  // Maximum useful ring: Chebyshev span of the occupied grid from the
+  // (clamped) query cell.
+  const std::int64_t span_x =
+      std::max(std::llabs(qx - min_cx_), std::llabs(max_cx_ - qx));
+  const std::int64_t span_y =
+      std::max(std::llabs(qy - min_cy_), std::llabs(max_cy_ - qy));
+  const std::int64_t max_ring = std::max(span_x, span_y);
+
+  double best_sq = std::numeric_limits<double>::infinity();
+  NodeId best = kInvalidNode;
+
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+    // Any point in a cell at Chebyshev ring r is at distance >= (r-1)*cell
+    // from the query (the query may sit on the boundary of its own cell),
+    // so once we hold a candidate at <= (ring-1)*cell we can stop before
+    // visiting this ring.
+    if (best != kInvalidNode && ring >= 1) {
+      const double reachable = static_cast<double>(ring - 1) * cell_;
+      if (best_sq <= reachable * reachable) break;
+    }
+    visit_ring(qx, qy, ring, [&](const Entry& e) {
+      if (e.id == exclude) return;
+      const double d2 = dist_sq(query, e.pos);
+      if (d2 < best_sq) {
+        best_sq = d2;
+        best = e.id;
+      }
+    });
+  }
+
+  if (best == kInvalidNode) return std::nullopt;
+  return Nearest{best, std::sqrt(best_sq)};
+}
+
+std::optional<double> SpatialGrid::nearest_distance(Vec2 query,
+                                                    NodeId exclude) const {
+  const auto found = nearest(query, exclude);
+  if (!found) return std::nullopt;
+  return found->distance;
+}
+
+template <typename Fn>
+void SpatialGrid::visit_disk(Vec2 center, double radius, Fn&& fn) const {
+  if (count_ == 0 || radius < 0.0) return;
+  const std::int64_t x0 = std::max(cell_x(center.x - radius), min_cx_);
+  const std::int64_t x1 = std::min(cell_x(center.x + radius), max_cx_);
+  const std::int64_t y0 = std::max(cell_y(center.y - radius), min_cy_);
+  const std::int64_t y1 = std::min(cell_y(center.y + radius), max_cy_);
+  const double r_sq = radius * radius;
+  for (std::int64_t x = x0; x <= x1; ++x) {
+    for (std::int64_t y = y0; y <= y1; ++y) {
+      const auto it = cells_.find(pack(x, y));
+      if (it == cells_.end()) continue;
+      for (const Entry& e : it->second) {
+        if (dist_sq(center, e.pos) <= r_sq) fn(e);
+      }
+    }
+  }
+}
+
+std::vector<NodeId> SpatialGrid::in_disk(Vec2 center, double radius,
+                                         NodeId exclude) const {
+  std::vector<NodeId> out;
+  visit_disk(center, radius, [&](const Entry& e) {
+    if (e.id != exclude) out.push_back(e.id);
+  });
+  return out;
+}
+
+std::size_t SpatialGrid::count_in_disk(Vec2 center, double radius,
+                                       NodeId exclude) const {
+  std::size_t n = 0;
+  visit_disk(center, radius, [&](const Entry& e) {
+    if (e.id != exclude) ++n;
+  });
+  return n;
+}
+
+std::size_t SpatialGrid::count_in_annulus(Vec2 center, double r_inner,
+                                          double r_outer, NodeId exclude) const {
+  FCR_ENSURE_ARG(r_inner <= r_outer, "annulus: inner radius exceeds outer");
+  std::size_t n = 0;
+  const double inner_sq = r_inner * r_inner;
+  visit_disk(center, r_outer, [&](const Entry& e) {
+    if (e.id == exclude) return;
+    if (dist_sq(center, e.pos) > inner_sq) ++n;
+  });
+  return n;
+}
+
+}  // namespace fcr

@@ -1,0 +1,106 @@
+// Uniform spatial hash grid over a (subset of a) point set.
+//
+// The simulator and the paper's analysis instrumentation need three spatial
+// queries, all supported here:
+//   * nearest other point (link-class computation: distance to the nearest
+//     active neighbor determines a node's link class d_i),
+//   * points within a disk (reception candidates, packing checks),
+//   * points within an annulus (the exponential annuli A_t^i(u) of the
+//     good-node definition).
+//
+// The cell size defaults to extent/ceil(sqrt(n)) so the grid has O(n) cells
+// regardless of how stretched the deployment is (e.g. exponential chains with
+// R = 2^20); all queries are then worst-case O(n) and expected O(k + 1) for
+// outputs of size k on uniform deployments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/bbox.hpp"
+#include "geom/point.hpp"
+
+namespace fcr {
+
+/// Node identifier type used across the library (index into a Deployment).
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Immutable spatial index over a set of (id, position) pairs.
+class SpatialGrid {
+ public:
+  /// Indexes `subset` (ids into `points`). Pass `cell_size <= 0` to let the
+  /// grid choose extent/ceil(sqrt(m)) automatically (m = subset size).
+  SpatialGrid(std::span<const Vec2> points, std::span<const NodeId> subset,
+              double cell_size = 0.0);
+
+  /// Indexes every point.
+  explicit SpatialGrid(std::span<const Vec2> points, double cell_size = 0.0);
+
+  std::size_t size() const { return count_; }
+  double cell_size() const { return cell_; }
+
+  /// Result of a nearest-neighbor query.
+  struct Nearest {
+    NodeId id;
+    double distance;
+  };
+
+  /// Nearest indexed point to `query`, excluding id `exclude`.
+  /// Returns nullopt when no other indexed point exists.
+  std::optional<Nearest> nearest(Vec2 query, NodeId exclude = kInvalidNode) const;
+
+  /// Distance to the nearest indexed point, excluding `exclude`.
+  std::optional<double> nearest_distance(Vec2 query,
+                                         NodeId exclude = kInvalidNode) const;
+
+  /// Ids of indexed points p with dist(p, center) <= radius, excluding
+  /// `exclude`. Order unspecified.
+  std::vector<NodeId> in_disk(Vec2 center, double radius,
+                              NodeId exclude = kInvalidNode) const;
+
+  /// Number of indexed points with r_inner < dist <= r_outer (matching the
+  /// paper's A_t^i(u) = B(u, outer) \ B(u, inner)), excluding `exclude`.
+  std::size_t count_in_annulus(Vec2 center, double r_inner, double r_outer,
+                               NodeId exclude = kInvalidNode) const;
+
+  /// Number of indexed points with dist <= radius, excluding `exclude`.
+  std::size_t count_in_disk(Vec2 center, double radius,
+                            NodeId exclude = kInvalidNode) const;
+
+ private:
+  struct Entry {
+    NodeId id;
+    Vec2 pos;
+  };
+
+  using CellKey = std::uint64_t;
+
+  void build(std::span<const Vec2> points, std::span<const NodeId> subset,
+             double cell_size);
+
+  CellKey key_of(Vec2 p) const;
+  std::int64_t cell_x(double x) const;
+  std::int64_t cell_y(double y) const;
+  static CellKey pack(std::int64_t cx, std::int64_t cy);
+
+  /// Visits entries in every cell within Chebyshev cell-ring `ring` of the
+  /// query cell; returns number of occupied cells visited.
+  template <typename Fn>
+  void visit_ring(std::int64_t cx, std::int64_t cy, std::int64_t ring, Fn&& fn) const;
+
+  template <typename Fn>
+  void visit_disk(Vec2 center, double radius, Fn&& fn) const;
+
+  std::unordered_map<CellKey, std::vector<Entry>> cells_;
+  BBox bounds_;
+  double cell_ = 1.0;
+  std::size_t count_ = 0;
+  std::int64_t min_cx_ = 0, max_cx_ = 0, min_cy_ = 0, max_cy_ = 0;
+};
+
+}  // namespace fcr

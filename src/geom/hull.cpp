@@ -1,0 +1,78 @@
+#include "geom/hull.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcr {
+namespace {
+
+/// Twice the signed area of triangle (a, b, c); > 0 for a left turn.
+double cross(Vec2 a, Vec2 b, Vec2 c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+}  // namespace
+
+std::vector<Vec2> convex_hull(std::span<const Vec2> points) {
+  std::vector<Vec2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point repeats the first
+  if (hull.size() < 2 && n >= 2) {
+    // All points collinear and equal after dedup handled above; return the
+    // two sorted extremes so diameter() still works.
+    return {pts.front(), pts.back()};
+  }
+  return hull;
+}
+
+double diameter(std::span<const Vec2> points) {
+  const std::vector<Vec2> hull = convex_hull(points);
+  const std::size_t m = hull.size();
+  if (m < 2) return 0.0;
+  if (m == 2) return dist(hull[0], hull[1]);
+
+  // Rotating calipers over antipodal pairs.
+  double best_sq = 0.0;
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Vec2 a = hull[i];
+    const Vec2 b = hull[(i + 1) % m];
+    // Advance j while the next vertex is farther from edge (a, b).
+    for (;;) {
+      const std::size_t jn = (j + 1) % m;
+      const double cur = std::abs(cross(a, b, hull[j]));
+      const double nxt = std::abs(cross(a, b, hull[jn]));
+      if (nxt > cur) {
+        j = jn;
+      } else {
+        break;
+      }
+    }
+    best_sq = std::max(best_sq, dist_sq(a, hull[j]));
+    best_sq = std::max(best_sq, dist_sq(b, hull[j]));
+  }
+  return std::sqrt(best_sq);
+}
+
+}  // namespace fcr

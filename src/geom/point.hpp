@@ -1,0 +1,40 @@
+// 2-D Euclidean geometry primitives. The SINR model of the paper places
+// nodes in the plane; all distances are Euclidean.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace fcr {
+
+/// A point / vector in the plane. Plain value type; no invariant.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) { return {s * a.x, s * a.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) { return s * a; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) { return {a.x / s, a.y / s}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm_sq() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+  }
+};
+
+/// Squared Euclidean distance (exact; preferred for comparisons).
+constexpr double dist_sq(Vec2 a, Vec2 b) { return (a - b).norm_sq(); }
+
+/// Euclidean distance.
+inline double dist(Vec2 a, Vec2 b) { return std::sqrt(dist_sq(a, b)); }
+
+/// Point on the unit circle at the given angle (radians).
+inline Vec2 unit_at(double angle) { return {std::cos(angle), std::sin(angle)}; }
+
+}  // namespace fcr

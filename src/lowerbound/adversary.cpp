@@ -1,0 +1,61 @@
+#include "lowerbound/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+std::optional<std::pair<std::size_t, std::size_t>> find_unsplit_pair(
+    std::span<const std::vector<std::size_t>> proposals, std::size_t k) {
+  FCR_ENSURE_ARG(k >= 2, "universe needs at least two elements");
+
+  // Build each element's membership pattern as a sequence of round indices
+  // in which it was proposed (equivalent to the bit pattern, but compact
+  // for sparse proposals). Two elements are unsplit iff their sequences
+  // are identical.
+  std::vector<std::vector<std::uint32_t>> pattern(k);
+  for (std::size_t r = 0; r < proposals.size(); ++r) {
+    for (const std::size_t e : proposals[r]) {
+      FCR_ENSURE_ARG(e < k, "proposal element out of universe: " << e);
+      // Duplicate mentions within one proposal are idempotent.
+      if (pattern[e].empty() || pattern[e].back() != r) {
+        pattern[e].push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+  }
+
+  // Sort element ids by pattern; equal neighbors collide.
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pattern[a] < pattern[b];
+  });
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const std::size_t a = order[i], b = order[i + 1];
+    if (pattern[a] == pattern[b]) {
+      return std::make_pair(std::min(a, b), std::max(a, b));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> adversarial_target(
+    HittingPlayer& player, std::size_t k, std::size_t rounds) {
+  std::vector<std::vector<std::size_t>> proposals;
+  proposals.reserve(rounds);
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    proposals.push_back(player.propose(r));
+    player.on_rejected();
+  }
+  return find_unsplit_pair(proposals, k);
+}
+
+std::size_t deterministic_round_lower_bound(std::size_t k) {
+  FCR_ENSURE_ARG(k >= 2, "universe needs at least two elements");
+  return static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(k))));
+}
+
+}  // namespace fcr

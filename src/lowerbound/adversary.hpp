@@ -1,0 +1,44 @@
+// Executable adversary for the restricted k-hitting game.
+//
+// Against a DETERMINISTIC player, the Lemma 13 lower bound has a fully
+// constructive proof: after T proposals P_1..P_T, each element of
+// {0..k-1} has a membership pattern in {in, out}^T; by pigeonhole, if
+// 2^T < k two elements share a pattern, and the referee who picked exactly
+// that pair has survived every round (a proposal splits {i, j} iff their
+// patterns differ in that round). Hence any deterministic player needs
+// T >= ceil(log2 k) rounds to beat every target — the executable core of
+// the Omega(log k) bound (randomized players then lose only the
+// probability slack, via Yao's principle in [20]).
+//
+// The adversary here runs a player for T rounds, collects the proposals,
+// and finds an unsplit pair if one exists.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "lowerbound/hitting_game.hpp"
+
+namespace fcr {
+
+/// Finds a pair {a, b} (a < b) not split by ANY of the proposals — i.e. a
+/// referee target that would have survived all of them — or nullopt if
+/// every pair is split. Runs in O(total proposal size + k log k) via
+/// pattern hashing with exact collision verification.
+std::optional<std::pair<std::size_t, std::size_t>> find_unsplit_pair(
+    std::span<const std::vector<std::size_t>> proposals, std::size_t k);
+
+/// Runs `player` for `rounds` proposals (rejecting each one) and returns a
+/// surviving target if the proposals fail to split some pair. For a
+/// deterministic player and rounds < ceil(log2 k), this always finds one.
+std::optional<std::pair<std::size_t, std::size_t>> adversarial_target(
+    HittingPlayer& player, std::size_t k, std::size_t rounds);
+
+/// The pigeonhole bound itself: the minimum number of rounds after which a
+/// deterministic player COULD have split every pair: ceil(log2 k).
+std::size_t deterministic_round_lower_bound(std::size_t k);
+
+}  // namespace fcr

@@ -1,0 +1,75 @@
+#include "lowerbound/embedding.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "sim/runner.hpp"
+#include "sim/subset.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+TwoPlayerEmbedding build_two_player_embedding(std::size_t n, Rng& rng) {
+  FCR_ENSURE_ARG(n >= 2, "embedding needs at least the two players");
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+
+  // Filler: a jittered unit grid occupying a sqrt(n) x sqrt(n) square, so
+  // nearest-neighbor distances are Theta(1) and the full network's link
+  // classes number Theta(log n) (the longest link is the players' one).
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const double span = static_cast<double>(side) * 2.0;
+
+  // The two players: on a link ~4x the filler extent, so their mutual link
+  // tops the class hierarchy. Ids 0 and 1 by construction.
+  pts.push_back({-2.0 * span, 0.0});
+  pts.push_back({2.0 * span, 0.0});
+
+  for (std::size_t i = 0; pts.size() < n; ++i) {
+    const double gx = static_cast<double>(i % side) * 2.0;
+    const double gy = static_cast<double>(i / side) * 2.0;
+    pts.push_back({gx + rng.uniform(-0.4, 0.4), gy + rng.uniform(-0.4, 0.4)});
+  }
+
+  TwoPlayerEmbedding out{Deployment(std::move(pts)).normalized(), 0, 1};
+  return out;
+}
+
+TwoPlayerResult run_embedded_two_player(const Algorithm& algorithm,
+                                        const TwoPlayerEmbedding& instance,
+                                        Rng rng, std::uint64_t max_rounds) {
+  FCR_ENSURE_ARG(instance.player_a != instance.player_b,
+                 "the two players must be distinct");
+  // Non-owning shim: the engine only needs the algorithm for the run.
+  struct Borrowed final : Algorithm {
+    const Algorithm* inner;
+    explicit Borrowed(const Algorithm* a) : inner(a) {}
+    std::string name() const override { return inner->name(); }
+    std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng r) const override {
+      return inner->make_node(id, r);
+    }
+    bool uses_size_bound() const override { return inner->uses_size_bound(); }
+    bool requires_collision_detection() const override {
+      return inner->requires_collision_detection();
+    }
+  };
+
+  const ActiveSubsetAlgorithm wrapped(
+      std::make_shared<Borrowed>(&algorithm),
+      {instance.player_a, instance.player_b});
+  const auto channel =
+      sinr_channel_factory(3.0, 1.5, 1e-9)(instance.deployment);
+
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  const RunResult r =
+      run_execution(instance.deployment, wrapped, *channel, config, rng);
+
+  TwoPlayerResult out;
+  out.broken = r.solved;
+  out.rounds = r.rounds;
+  return out;
+}
+
+}  // namespace fcr

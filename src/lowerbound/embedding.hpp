@@ -1,0 +1,44 @@
+// Theorem 12's embedding: reducing two-player symmetry breaking to GENERAL
+// contention resolution in a "carefully constructed large fading network".
+//
+// The construction (paper, Section 4, final reduction): build an n-node
+// network with O(log n) link classes, of which the adversary activates only
+// two far-separated nodes. Fading is irrelevant between two nodes (no
+// spatial reuse with a single interferer-free link), so any algorithm
+// guaranteeing f(n) rounds on all n-node instances with O(log n) link
+// classes solves two-player symmetry breaking in f(n) rounds — and
+// Lemma 14 + Lemma 13 force f(n) = Omega(log n).
+//
+// build_two_player_embedding constructs such an instance with the activated
+// pair at ids 0 and 1 (so per-node randomness streams line up with
+// run_two_player's, making the equivalence *exactly* testable), and
+// run_embedded_two_player executes a full engine run on it.
+#pragma once
+
+#include "deploy/deployment.hpp"
+#include "lowerbound/reduction.hpp"
+#include "sim/engine.hpp"
+
+namespace fcr {
+
+/// An n-node fading network in which only nodes 0 and 1 are activated.
+struct TwoPlayerEmbedding {
+  Deployment deployment;
+  NodeId player_a = 0;
+  NodeId player_b = 1;
+};
+
+/// Builds the Theorem 12 instance: the activated pair on a long link, with
+/// n - 2 dormant filler nodes arranged in a unit-jittered grid so the FULL
+/// network has Theta(log n) link classes (the regime the theorem's
+/// hypothesis demands). Requires n >= 2.
+TwoPlayerEmbedding build_two_player_embedding(std::size_t n, Rng& rng);
+
+/// Runs `algorithm` on the embedding (only the pair activated) over the
+/// standard SINR channel and returns the symmetry-breaking outcome: the
+/// first round in which exactly one node of the whole network transmits.
+TwoPlayerResult run_embedded_two_player(const Algorithm& algorithm,
+                                        const TwoPlayerEmbedding& instance,
+                                        Rng rng, std::uint64_t max_rounds);
+
+}  // namespace fcr

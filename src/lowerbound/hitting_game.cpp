@@ -1,0 +1,50 @@
+#include "lowerbound/hitting_game.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+HittingGameReferee::HittingGameReferee(std::size_t k, Rng& rng) : k_(k) {
+  FCR_ENSURE_ARG(k >= 2, "hitting game needs k >= 2, got " << k);
+  const std::size_t a = static_cast<std::size_t>(rng.uniform_int(k));
+  std::size_t b = static_cast<std::size_t>(rng.uniform_int(k - 1));
+  if (b >= a) ++b;  // uniform over pairs with b != a
+  target_ = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+HittingGameReferee::HittingGameReferee(std::size_t k,
+                                       std::pair<std::size_t, std::size_t> target)
+    : k_(k), target_(target) {
+  FCR_ENSURE_ARG(k >= 2, "hitting game needs k >= 2");
+  FCR_ENSURE_ARG(target_.first < target_.second && target_.second < k,
+                 "target must satisfy a < b < k");
+}
+
+bool HittingGameReferee::evaluate(std::span<const std::size_t> proposal) const {
+  bool has_first = false, has_second = false;
+  for (const std::size_t e : proposal) {
+    FCR_ENSURE_ARG(e < k_, "proposal element out of universe: " << e);
+    if (e == target_.first) has_first = true;
+    if (e == target_.second) has_second = true;
+  }
+  return has_first != has_second;
+}
+
+HittingGameResult play_hitting_game(const HittingGameReferee& referee,
+                                    HittingPlayer& player,
+                                    std::uint64_t max_rounds) {
+  FCR_ENSURE_ARG(max_rounds > 0, "max_rounds must be positive");
+  HittingGameResult result;
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    const std::vector<std::size_t> proposal = player.propose(round);
+    result.rounds = round;
+    if (referee.evaluate(proposal)) {
+      result.won = true;
+      return result;
+    }
+    player.on_rejected();
+  }
+  return result;
+}
+
+}  // namespace fcr

@@ -1,0 +1,73 @@
+// The restricted k-hitting game (paper, Section 4, after [20]).
+//
+// A referee secretly picks a target set T of exactly 2 elements of
+// {0, ..., k-1}. In each round the player proposes a set P; the player wins
+// the first time |P ∩ T| = 1. A losing proposal yields no information
+// beyond "not yet". Lemma 13 (quoting [20]): any player that wins in f(k)
+// rounds with probability >= 1 - 1/k has f(k) = Omega(log k).
+//
+// The reduction chain implemented in this module:
+//   hitting game  <=  two-player symmetry breaking  <=  contention
+//   resolution, which transfers the Omega(log k) bound to the paper's
+//   Theorem 12.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// Referee holding the secret 2-element target.
+class HittingGameReferee {
+ public:
+  /// Uniformly random target pair from {0..k-1}.
+  HittingGameReferee(std::size_t k, Rng& rng);
+
+  /// Fixed target (adversarial tests). Requires a < b < k.
+  HittingGameReferee(std::size_t k, std::pair<std::size_t, std::size_t> target);
+
+  std::size_t universe_size() const { return k_; }
+  std::pair<std::size_t, std::size_t> target() const { return target_; }
+
+  /// Evaluates one proposal (elements must be < k and distinct). Returns
+  /// true iff exactly one target element is in the proposal.
+  bool evaluate(std::span<const std::size_t> proposal) const;
+
+ private:
+  std::size_t k_;
+  std::pair<std::size_t, std::size_t> target_;
+};
+
+/// A strategy for the player side of the game.
+class HittingPlayer {
+ public:
+  virtual ~HittingPlayer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produces the proposal for the given (1-based) round.
+  virtual std::vector<std::size_t> propose(std::uint64_t round) = 0;
+
+  /// Notifies the player that its last proposal did not win (the only
+  /// feedback the game ever provides).
+  virtual void on_rejected() {}
+};
+
+/// Outcome of one play-through.
+struct HittingGameResult {
+  bool won = false;
+  std::uint64_t rounds = 0;  ///< rounds played (winning round when won)
+};
+
+/// Plays `player` against `referee` for at most `max_rounds` rounds.
+HittingGameResult play_hitting_game(const HittingGameReferee& referee,
+                                    HittingPlayer& player,
+                                    std::uint64_t max_rounds);
+
+}  // namespace fcr

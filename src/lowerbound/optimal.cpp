@@ -1,0 +1,41 @@
+#include "lowerbound/optimal.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+std::uint64_t min_unsplit_pairs(std::size_t k, std::size_t rounds) {
+  FCR_ENSURE_ARG(k >= 2, "universe needs at least two elements");
+  // Number of pattern classes available: min(2^rounds, k).
+  std::uint64_t classes = 1;
+  for (std::size_t r = 0; r < rounds && classes < k; ++r) classes *= 2;
+  if (classes >= k) return 0;
+
+  // Balanced partition: (k mod m) classes of size ceil(k/m), the rest of
+  // size floor(k/m).
+  const std::uint64_t m = classes;
+  const std::uint64_t lo = k / m;
+  const std::uint64_t hi = lo + 1;
+  const std::uint64_t num_hi = k % m;
+  const std::uint64_t num_lo = m - num_hi;
+  auto choose2 = [](std::uint64_t g) { return g * (g - 1) / 2; };
+  return num_hi * choose2(hi) + num_lo * choose2(lo);
+}
+
+double optimal_hitting_success(std::size_t k, std::size_t rounds) {
+  FCR_ENSURE_ARG(k >= 2, "universe needs at least two elements");
+  const double total_pairs =
+      static_cast<double>(k) * static_cast<double>(k - 1) / 2.0;
+  return 1.0 -
+         static_cast<double>(min_unsplit_pairs(k, rounds)) / total_pairs;
+}
+
+std::size_t optimal_rounds_for_whp(std::size_t k) {
+  FCR_ENSURE_ARG(k >= 2, "universe needs at least two elements");
+  const double target = 1.0 - 1.0 / static_cast<double>(k);
+  for (std::size_t t = 0;; ++t) {
+    if (optimal_hitting_success(k, t) >= target) return t;
+  }
+}
+
+}  // namespace fcr

@@ -1,0 +1,39 @@
+// Exact optimum for the restricted k-hitting game (oblivious strategies).
+//
+// Because losing proposals convey no information ("the player learns no
+// information except that its proposal did not win"), any strategy is
+// equivalent to a distribution over fixed proposal sequences. For a fixed
+// sequence P_1..P_T, the targets it FAILS on are exactly the pairs left
+// unsplit — pairs of elements with identical membership patterns. T
+// proposals induce at most 2^T pattern classes, and the number of unsplit
+// pairs of a partition of k elements into m classes of sizes g_1..g_m is
+// Σ C(g_i, 2), minimized by the balanced partition. Against the uniform
+// random target, the optimal success probability after T rounds is
+// therefore
+//
+//     V(k, T) = 1 − min_balanced Σ C(g_i, 2) / C(k, 2),
+//
+// achieved by the binary-code player (propose bit b of the element id in
+// round b). V(k, T) < 1 − 1/k exactly while 2^T < k, the distributional
+// form of Lemma 13's Ω(log k).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fcr {
+
+/// Minimum number of unsplit pairs after T proposals over k elements
+/// (balanced partition into min(2^T, k) classes).
+std::uint64_t min_unsplit_pairs(std::size_t k, std::size_t rounds);
+
+/// Optimal success probability against a uniform random 2-element target
+/// after `rounds` proposals, over all (randomized) strategies.
+double optimal_hitting_success(std::size_t k, std::size_t rounds);
+
+/// Smallest T with optimal_hitting_success(k, T) >= 1 - 1/k; equals
+/// ceil(log2 k) (the Lemma 13 threshold) — computed, not assumed, so tests
+/// can cross-check the closed form.
+std::size_t optimal_rounds_for_whp(std::size_t k);
+
+}  // namespace fcr

@@ -1,0 +1,49 @@
+#include "lowerbound/players.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+RandomHalfPlayer::RandomHalfPlayer(std::size_t k, Rng rng, double density)
+    : k_(k), rng_(rng), density_(density) {
+  FCR_ENSURE_ARG(k >= 2, "universe must have at least 2 elements");
+  FCR_ENSURE_ARG(density > 0.0 && density < 1.0, "density must be in (0,1)");
+}
+
+std::vector<std::size_t> RandomHalfPlayer::propose(std::uint64_t /*round*/) {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < k_; ++e) {
+    if (rng_.bernoulli(density_)) out.push_back(e);
+  }
+  return out;
+}
+
+DecaySchedulePlayer::DecaySchedulePlayer(std::size_t k, Rng rng)
+    : k_(k), rng_(rng) {
+  FCR_ENSURE_ARG(k >= 2, "universe must have at least 2 elements");
+  ladder_length_ = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(k))));
+  if (ladder_length_ == 0) ladder_length_ = 1;
+}
+
+std::vector<std::size_t> DecaySchedulePlayer::propose(std::uint64_t round) {
+  const std::size_t slot = static_cast<std::size_t>((round - 1) % ladder_length_);
+  const double density = std::ldexp(1.0, -static_cast<int>(slot + 1));
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < k_; ++e) {
+    if (rng_.bernoulli(density)) out.push_back(e);
+  }
+  return out;
+}
+
+SingletonSweepPlayer::SingletonSweepPlayer(std::size_t k) : k_(k) {
+  FCR_ENSURE_ARG(k >= 2, "universe must have at least 2 elements");
+}
+
+std::vector<std::size_t> SingletonSweepPlayer::propose(std::uint64_t round) {
+  return {static_cast<std::size_t>((round - 1) % k_)};
+}
+
+}  // namespace fcr

@@ -1,0 +1,60 @@
+// Concrete hitting-game strategies.
+//
+//   * RandomHalfPlayer — includes each element independently with
+//     probability 1/2; splits any 2-element target with probability 1/2
+//     per round, so it wins with probability 1 - 1/k within ~log2 k rounds.
+//     This is the strategy whose round count *matches* the Lemma 13 lower
+//     bound, demonstrating tightness.
+//   * DecaySchedulePlayer — cycles proposal densities 1/2, 1/4, ..., 1/k
+//     (the decay ladder viewed as a hitting strategy); the sweep wastes
+//     rounds on densities far from 1/2, costing a Theta(log k) factor.
+//   * SingletonSweepPlayer — deterministically proposes {0}, {1}, ...;
+//     wins within k rounds, never earlier than the target's smaller element.
+#pragma once
+
+#include "lowerbound/hitting_game.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// Each element included i.i.d. with probability `density`.
+class RandomHalfPlayer final : public HittingPlayer {
+ public:
+  RandomHalfPlayer(std::size_t k, Rng rng, double density = 0.5);
+
+  std::string name() const override { return "random-half"; }
+  std::vector<std::size_t> propose(std::uint64_t round) override;
+
+ private:
+  std::size_t k_;
+  Rng rng_;
+  double density_;
+};
+
+/// Density ladder 2^{-1}, 2^{-2}, ..., 2^{-ceil(log2 k)}, cycling.
+class DecaySchedulePlayer final : public HittingPlayer {
+ public:
+  DecaySchedulePlayer(std::size_t k, Rng rng);
+
+  std::string name() const override { return "decay-schedule"; }
+  std::vector<std::size_t> propose(std::uint64_t round) override;
+
+ private:
+  std::size_t k_;
+  std::size_t ladder_length_;
+  Rng rng_;
+};
+
+/// Deterministic singletons {0}, {1}, ..., {k-1}, cycling.
+class SingletonSweepPlayer final : public HittingPlayer {
+ public:
+  explicit SingletonSweepPlayer(std::size_t k);
+
+  std::string name() const override { return "singleton-sweep"; }
+  std::vector<std::size_t> propose(std::uint64_t round) override;
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,74 @@
+#include "lowerbound/reduction.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+AlgorithmHittingPlayer::AlgorithmHittingPlayer(const Algorithm& algorithm,
+                                               std::size_t k, Rng rng)
+    : algorithm_name_(algorithm.name()) {
+  FCR_ENSURE_ARG(k >= 2, "reduction needs k >= 2 simulated nodes");
+  nodes_.reserve(k);
+  for (std::size_t id = 0; id < k; ++id) {
+    nodes_.push_back(
+        algorithm.make_node(static_cast<NodeId>(id), rng.split(id)));
+  }
+}
+
+std::string AlgorithmHittingPlayer::name() const {
+  return "reduction(" + algorithm_name_ + ")";
+}
+
+std::vector<std::size_t> AlgorithmHittingPlayer::propose(std::uint64_t round) {
+  last_broadcasters_.clear();
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id]->on_round_begin(round) == Action::kTransmit) {
+      last_broadcasters_.push_back(id);
+    }
+  }
+  return last_broadcasters_;
+}
+
+void AlgorithmHittingPlayer::on_rejected() {
+  // Complete the simulated round: every node receives nothing. Broadcasters
+  // additionally learn (only) that they transmitted.
+  Feedback silent;
+  Feedback transmitted;
+  transmitted.transmitted = true;
+  std::size_t b = 0;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const bool was_broadcaster =
+        b < last_broadcasters_.size() && last_broadcasters_[b] == id;
+    if (was_broadcaster) ++b;
+    nodes_[id]->on_round_end(was_broadcaster ? transmitted : silent);
+  }
+}
+
+TwoPlayerResult run_two_player(const Algorithm& algorithm, Rng rng,
+                               std::uint64_t max_rounds) {
+  FCR_ENSURE_ARG(max_rounds > 0, "max_rounds must be positive");
+  std::unique_ptr<NodeProtocol> a = algorithm.make_node(0, rng.split(0));
+  std::unique_ptr<NodeProtocol> b = algorithm.make_node(1, rng.split(1));
+
+  TwoPlayerResult result;
+  Feedback silent;
+  Feedback transmitted;
+  transmitted.transmitted = true;
+
+  for (std::uint64_t round = 1; round <= max_rounds; ++round) {
+    const bool ta = a->on_round_begin(round) == Action::kTransmit;
+    const bool tb = b->on_round_begin(round) == Action::kTransmit;
+    result.rounds = round;
+    if (ta != tb) {
+      result.broken = true;
+      return result;
+    }
+    // Symmetric rounds: both silent -> hear nothing; both transmitting ->
+    // transmitters hear nothing either (half-duplex, no acknowledgment).
+    a->on_round_end(ta ? transmitted : silent);
+    b->on_round_end(tb ? transmitted : silent);
+  }
+  return result;
+}
+
+}  // namespace fcr

@@ -1,0 +1,60 @@
+// The paper's Section 4 reductions, executable.
+//
+// Lemma 14 reduction (algorithm -> hitting-game player): simulate a
+// contention-resolution protocol A on k nodes with ids {0..k-1}. Each
+// simulated round:
+//   1. propose the set of simulated nodes that chose to broadcast,
+//   2. if the proposal did not win, complete the round by simulating every
+//      node receiving nothing.
+// If the target is {i, j}, the simulated states of nodes i and j remain
+// consistent with a real 2-node execution (both-silent and both-broadcast
+// rounds deliver nothing in a 2-node network too; a round where exactly one
+// of them broadcasts wins the game before any inconsistent feedback would
+// be needed). Hence a protocol solving two-player contention resolution in
+// f(k) rounds with probability 1 - 1/k yields a hitting-game player with
+// the same guarantees, and Lemma 13 forces f(k) = Omega(log k).
+//
+// TwoPlayerGame: the direct two-player symmetry-breaking simulation —
+// rounds until exactly one of two protocol instances transmits. On two
+// nodes fading is irrelevant (no spatial reuse is possible), which is why
+// the bound transfers to the SINR model.
+#pragma once
+
+#include <memory>
+
+#include "lowerbound/hitting_game.hpp"
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Wraps any Algorithm as a hitting-game player via the Lemma 14 reduction.
+class AlgorithmHittingPlayer final : public HittingPlayer {
+ public:
+  /// Simulates `algorithm` on `k` nodes; `rng` seeds the simulated nodes'
+  /// private streams (split per id).
+  AlgorithmHittingPlayer(const Algorithm& algorithm, std::size_t k, Rng rng);
+
+  std::string name() const override;
+  std::vector<std::size_t> propose(std::uint64_t round) override;
+  void on_rejected() override;
+
+ private:
+  std::string algorithm_name_;
+  std::vector<std::unique_ptr<NodeProtocol>> nodes_;
+  std::vector<std::size_t> last_broadcasters_;
+};
+
+/// Result of a two-player symmetry-breaking run.
+struct TwoPlayerResult {
+  bool broken = false;
+  std::uint64_t rounds = 0;  ///< first round with exactly one transmitter
+};
+
+/// Runs two instances of `algorithm`'s protocol against each other: each
+/// round both choose transmit/listen; symmetry is broken in the first round
+/// where exactly one transmits. In rounds where both act identically, both
+/// receive nothing (matching a real 2-node channel of any flavor).
+TwoPlayerResult run_two_player(const Algorithm& algorithm, Rng rng,
+                               std::uint64_t max_rounds);
+
+}  // namespace fcr

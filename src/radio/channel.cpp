@@ -1,0 +1,16 @@
+#include "radio/channel.hpp"
+
+namespace fcr {
+
+RadioObservation RadioChannel::observe(std::size_t transmitter_count) const {
+  if (transmitter_count == 0) return RadioObservation::kSilence;
+  if (transmitter_count == 1) return RadioObservation::kMessage;
+  return collision_detection_ ? RadioObservation::kCollision
+                              : RadioObservation::kSilence;
+}
+
+NodeId RadioChannel::decoded_sender(std::span<const NodeId> transmitters) {
+  return transmitters.size() == 1 ? transmitters[0] : kInvalidNode;
+}
+
+}  // namespace fcr

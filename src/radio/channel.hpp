@@ -1,0 +1,49 @@
+// Classical (non-fading) radio network model — the baseline substrate the
+// paper's separation result is measured against.
+//
+// Semantics (paper's related-work references [2, 3]): in a single-hop
+// network, a listener receives a message iff *exactly one* node transmits in
+// the round; two or more concurrent transmissions collide and are lost at
+// every receiver, and transmitters learn nothing about the fate of their
+// transmission. The collision-detection variant additionally lets listeners
+// distinguish silence (zero transmitters) from collision (two or more) —
+// the model in which contention resolution drops to Theta(log n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/grid.hpp"
+
+namespace fcr {
+
+/// What a listening node observes in the classical radio model.
+enum class RadioObservation {
+  kSilence,    ///< no transmitter
+  kMessage,    ///< exactly one transmitter: decoded
+  kCollision,  ///< two or more transmitters: lost (observable only with CD)
+};
+
+/// Single-hop radio channel without collision detection.
+class RadioChannel {
+ public:
+  /// True iff listeners can tell collision from silence.
+  explicit RadioChannel(bool collision_detection = false)
+      : collision_detection_(collision_detection) {}
+
+  bool collision_detection() const { return collision_detection_; }
+
+  /// Observation shared by every listener this round, given the number of
+  /// transmitters. Without CD, collisions are reported as silence (the
+  /// listener cannot tell them apart).
+  RadioObservation observe(std::size_t transmitter_count) const;
+
+  /// The decoded sender when exactly one node transmits, else kInvalidNode.
+  static NodeId decoded_sender(std::span<const NodeId> transmitters);
+
+ private:
+  bool collision_detection_;
+};
+
+}  // namespace fcr

@@ -1,0 +1,82 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fcr {
+
+AuditReport audit_trace(const ExecutionTrace& trace, const Deployment& dep,
+                        const SinrChannel& channel, bool check_completeness) {
+  AuditReport report;
+  auto violation = [&report](std::uint64_t round, const std::string& what) {
+    report.violations.push_back({round, what});
+  };
+
+  for (const TraceRound& r : trace.rounds()) {
+    ++report.rounds_checked;
+    const std::unordered_set<NodeId> tx_set(r.transmitters.begin(),
+                                            r.transmitters.end());
+
+    // Listener set: every node that is not transmitting.
+    std::vector<NodeId> listeners;
+    for (NodeId id = 0; id < dep.size(); ++id) {
+      if (!tx_set.count(id)) listeners.push_back(id);
+    }
+    const std::vector<Reception> expected =
+        channel.resolve(dep, r.transmitters, listeners);
+    std::unordered_map<NodeId, NodeId> expected_sender;
+    for (std::size_t i = 0; i < listeners.size(); ++i) {
+      if (expected[i].received()) {
+        expected_sender.emplace(listeners[i], expected[i].sender);
+      }
+    }
+
+    std::unordered_set<NodeId> recorded_listeners;
+    for (const TraceReception& rx : r.receptions) {
+      ++report.receptions_checked;
+      std::ostringstream what;
+      if (tx_set.count(rx.listener)) {
+        what << "node " << rx.listener << " both transmitted and received";
+        violation(r.round, what.str());
+        continue;
+      }
+      if (!recorded_listeners.insert(rx.listener).second) {
+        what << "node " << rx.listener << " recorded two receptions";
+        violation(r.round, what.str());
+        continue;
+      }
+      if (!tx_set.count(rx.sender)) {
+        what << "reception at " << rx.listener << " from non-transmitter "
+             << rx.sender;
+        violation(r.round, what.str());
+        continue;
+      }
+      const auto it = expected_sender.find(rx.listener);
+      if (it == expected_sender.end()) {
+        what << "node " << rx.listener
+             << " recorded a reception the SINR model forbids";
+        violation(r.round, what.str());
+      } else if (it->second != rx.sender) {
+        what << "node " << rx.listener << " decoded " << rx.sender
+             << " but the channel delivers " << it->second;
+        violation(r.round, what.str());
+      }
+    }
+
+    if (check_completeness) {
+      for (const auto& [listener, sender] : expected_sender) {
+        if (!recorded_listeners.count(listener)) {
+          std::ostringstream what;
+          what << "node " << listener << " should have decoded " << sender
+               << " but recorded nothing";
+          violation(r.round, what.str());
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fcr

@@ -1,0 +1,45 @@
+// Trace auditing: given a recorded execution and the physics it claims to
+// have run under, re-verify every event against the SINR model — the
+// forensic tool for "is this trace consistent with the channel at all?"
+// (debugging channel variants, validating externally produced traces, and
+// regression-testing the engine itself).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sim/trace.hpp"
+#include "sinr/channel.hpp"
+
+namespace fcr {
+
+/// One inconsistency found by the auditor.
+struct AuditViolation {
+  std::uint64_t round = 0;
+  std::string what;
+};
+
+/// Audit outcome.
+struct AuditReport {
+  std::size_t rounds_checked = 0;
+  std::size_t receptions_checked = 0;
+  std::vector<AuditViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Checks, for every round of `trace` against `channel`'s physics:
+///   * every recorded reception satisfies the SINR inequality given that
+///     round's transmitter set;
+///   * no recorded reception names a sender that was not transmitting;
+///   * no listener that SHOULD have decoded (per the channel) is missing a
+///     reception (completeness — only checked when `check_completeness`;
+///     stochastic channels like Rayleigh deliver a subset, so turn it off
+///     for them);
+///   * transmitters never appear as listeners in the same round.
+AuditReport audit_trace(const ExecutionTrace& trace, const Deployment& dep,
+                        const SinrChannel& channel,
+                        bool check_completeness = true);
+
+}  // namespace fcr

@@ -1,0 +1,23 @@
+#include "sim/beep.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+void BeepChannelAdapter::resolve(const Deployment& dep,
+                                 std::span<const NodeId> transmitters,
+                                 std::span<const NodeId> listeners,
+                                 std::span<Feedback> out) const {
+  (void)dep;  // single-hop: every listener hears the same bit
+  FCR_ENSURE_ARG(out.size() == listeners.size(), "feedback span size mismatch");
+  const bool activity = !transmitters.empty();
+  for (Feedback& f : out) {
+    f.transmitted = false;
+    f.received = false;        // beeps carry no message
+    f.sender = kInvalidNode;
+    f.observation =
+        activity ? RadioObservation::kCollision : RadioObservation::kSilence;
+  }
+}
+
+}  // namespace fcr

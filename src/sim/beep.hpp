@@ -1,0 +1,34 @@
+// Beeping channel: the minimal wireless model (Cornejo & Kuhn lineage,
+// related to the paper's collision-detection discussion).
+//
+// In each round a node beeps or listens; a listener learns exactly one bit
+// — whether at least one node beeped. No messages exist, so kMessage is
+// never reported: any activity is observed as kCollision ("something
+// beeped"), silence as kSilence. Contention resolution still terminates on
+// a solo transmission (the engine's rule is model-independent); what
+// changes is the feedback available to adaptive algorithms — the
+// survivor-halving CollisionDetectLeader runs unmodified here because it
+// only uses the activity bit, illustrating that the Theta(log n)
+// CD-strategy needs nothing beyond beeps.
+#pragma once
+
+#include "sim/channel_adapter.hpp"
+
+namespace fcr {
+
+/// Single-hop beeping channel adapter.
+class BeepChannelAdapter final : public ChannelAdapter {
+ public:
+  BeepChannelAdapter() = default;
+
+  std::string name() const override { return "beep"; }
+
+  /// The activity bit is exactly collision detection's information content.
+  bool provides_collision_detection() const override { return true; }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+};
+
+}  // namespace fcr

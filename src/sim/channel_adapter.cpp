@@ -1,0 +1,52 @@
+#include "sim/channel_adapter.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+void SinrChannelAdapter::resolve(const Deployment& dep,
+                                 std::span<const NodeId> transmitters,
+                                 std::span<const NodeId> listeners,
+                                 std::span<Feedback> out) const {
+  FCR_ENSURE_ARG(out.size() == listeners.size(),
+                 "feedback span size mismatch: " << out.size() << " vs "
+                                                 << listeners.size());
+  const std::vector<Reception> receptions =
+      channel_.resolve(dep, transmitters, listeners);
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    Feedback& f = out[i];
+    f.transmitted = false;
+    f.received = receptions[i].received();
+    f.sender = receptions[i].sender;
+    f.observation = f.received ? RadioObservation::kMessage
+                               : RadioObservation::kSilence;
+  }
+}
+
+void RadioChannelAdapter::resolve(const Deployment& dep,
+                                  std::span<const NodeId> transmitters,
+                                  std::span<const NodeId> listeners,
+                                  std::span<Feedback> out) const {
+  (void)dep;  // single-hop radio semantics are position-independent
+  FCR_ENSURE_ARG(out.size() == listeners.size(),
+                 "feedback span size mismatch: " << out.size() << " vs "
+                                                 << listeners.size());
+  const RadioObservation obs = channel_.observe(transmitters.size());
+  const NodeId sender = RadioChannel::decoded_sender(transmitters);
+  for (Feedback& f : out) {
+    f.transmitted = false;
+    f.observation = obs;
+    f.received = obs == RadioObservation::kMessage;
+    f.sender = f.received ? sender : kInvalidNode;
+  }
+}
+
+std::unique_ptr<ChannelAdapter> make_sinr_adapter(SinrParams params) {
+  return std::make_unique<SinrChannelAdapter>(params);
+}
+
+std::unique_ptr<ChannelAdapter> make_radio_adapter(bool collision_detection) {
+  return std::make_unique<RadioChannelAdapter>(collision_detection);
+}
+
+}  // namespace fcr

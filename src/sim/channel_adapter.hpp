@@ -1,0 +1,80 @@
+// Bridges concrete channel models (SINR fading, classical radio, radio with
+// collision detection) to the engine's uniform "resolve one round" call.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "radio/channel.hpp"
+#include "sim/protocol.hpp"
+#include "sinr/channel.hpp"
+
+namespace fcr {
+
+/// Uniform round-resolution interface over channel models.
+class ChannelAdapter {
+ public:
+  virtual ~ChannelAdapter() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Whether listeners can distinguish collision from silence.
+  virtual bool provides_collision_detection() const { return false; }
+
+  /// Fills `out[i]` (same length/order as `listeners`) with what listener i
+  /// observes given `transmitters` transmitting concurrently.
+  /// `transmitters` and `listeners` must be disjoint.
+  virtual void resolve(const Deployment& dep,
+                       std::span<const NodeId> transmitters,
+                       std::span<const NodeId> listeners,
+                       std::span<Feedback> out) const = 0;
+};
+
+/// SINR fading channel adapter (the paper's model).
+class SinrChannelAdapter final : public ChannelAdapter {
+ public:
+  explicit SinrChannelAdapter(SinrParams params) : channel_(params) {}
+  explicit SinrChannelAdapter(SinrChannel channel) : channel_(std::move(channel)) {}
+
+  std::string name() const override { return "sinr"; }
+
+  const SinrChannel& channel() const { return channel_; }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+ private:
+  SinrChannel channel_;
+};
+
+/// Classical radio network adapter; optional collision detection.
+class RadioChannelAdapter final : public ChannelAdapter {
+ public:
+  explicit RadioChannelAdapter(bool collision_detection = false)
+      : channel_(collision_detection) {}
+
+  std::string name() const override {
+    return channel_.collision_detection() ? "radio-cd" : "radio";
+  }
+
+  bool provides_collision_detection() const override {
+    return channel_.collision_detection();
+  }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+ private:
+  RadioChannel channel_;
+};
+
+/// Convenience factories.
+std::unique_ptr<ChannelAdapter> make_sinr_adapter(SinrParams params);
+std::unique_ptr<ChannelAdapter> make_radio_adapter(bool collision_detection);
+
+}  // namespace fcr

@@ -1,0 +1,76 @@
+// Synchronous round engine.
+//
+// Runs one execution of an algorithm over a deployment and a channel model:
+//   round r = 1, 2, ...:
+//     1. every node picks Transmit/Listen (independent private randomness),
+//     2. if exactly one node transmits, contention is RESOLVED (paper,
+//        Section 2: "the problem is solved in the first round in which a
+//        participating node transmits alone among all participating nodes"),
+//     3. the channel resolves receptions for the listeners,
+//     4. feedback is delivered to every node.
+// Note the solved check precedes feedback delivery only logically — the
+// engine still delivers the round's feedback before returning, so observers
+// see a complete final round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sim/channel_adapter.hpp"
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+struct RoundView;
+
+/// Engine knobs.
+struct EngineConfig {
+  std::uint64_t max_rounds = 200000;  ///< give up after this many rounds
+  bool record_rounds = false;         ///< keep per-round statistics
+  bool stop_on_solve = true;          ///< false: keep running (for traces)
+  /// Optional custom termination: evaluated after each round (after the
+  /// observer); returning true ends the run with the solved state as-is.
+  /// Used by analyses that run past the solo round, e.g. local leader
+  /// election stopping once the knockout process quiesces.
+  std::function<bool(const RoundView&)> stop_when;
+};
+
+/// Per-round observable statistics.
+struct RoundStats {
+  std::uint64_t round = 0;
+  std::size_t transmitters = 0;
+  std::size_t receptions = 0;   ///< listeners that decoded a message
+  std::size_t contending = 0;   ///< nodes reporting is_contending() (post-round)
+};
+
+/// Outcome of one execution.
+struct RunResult {
+  bool solved = false;
+  std::uint64_t rounds = 0;          ///< 1-based solving round; max_rounds if unsolved
+  NodeId winner = kInvalidNode;      ///< the solo transmitter when solved
+  std::vector<RoundStats> history;   ///< filled when record_rounds
+};
+
+/// Read-only view of one round handed to observers.
+struct RoundView {
+  std::uint64_t round;
+  std::span<const NodeId> transmitters;
+  std::span<const NodeId> listeners;
+  std::span<const Feedback> listener_feedback;
+  /// Protocol objects indexed by NodeId, for state probes (is_contending).
+  std::span<const std::unique_ptr<NodeProtocol>> nodes;
+};
+
+/// Observer invoked after every completed round (post feedback delivery).
+using RoundObserver = std::function<void(const RoundView&)>;
+
+/// Runs one execution. `rng` seeds each node's private stream via split().
+RunResult run_execution(const Deployment& dep, const Algorithm& algorithm,
+                        const ChannelAdapter& channel, const EngineConfig& config,
+                        Rng rng, const RoundObserver& observer = {});
+
+}  // namespace fcr

@@ -1,0 +1,66 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+ContentionDecay contention_decay(std::span<const RoundStats> history) {
+  FCR_ENSURE_ARG(!history.empty(), "history is empty; record_rounds was off?");
+  ContentionDecay out;
+
+  const double initial = static_cast<double>(history.front().contending);
+  // Geometric-mean survival ratio over strictly-shrinking steps.
+  double log_sum = 0.0;
+  std::size_t steps = 0;
+  std::size_t prev = history.front().contending;
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const std::size_t cur = history[i].contending;
+    if (cur < prev && prev > 0) {
+      log_sum += std::log(static_cast<double>(cur + 1) /
+                          static_cast<double>(prev + 1));
+      ++steps;
+    }
+    prev = cur;
+  }
+  if (steps > 0) {
+    out.survival_ratio = std::exp(log_sum / static_cast<double>(steps));
+  }
+
+  for (const RoundStats& s : history) {
+    if (out.half_life == 0 &&
+        static_cast<double>(s.contending) <= initial / 2.0) {
+      out.half_life = s.round;
+    }
+    if (out.rounds_to_one == 0 && s.contending <= 1) {
+      out.rounds_to_one = s.round;
+    }
+  }
+  return out;
+}
+
+double mean_transmitter_load(std::span<const RoundStats> history,
+                             std::size_t node_count) {
+  FCR_ENSURE_ARG(!history.empty(), "history is empty");
+  FCR_ENSURE_ARG(node_count > 0, "node count must be positive");
+  double total = 0.0;
+  for (const RoundStats& s : history) {
+    total += static_cast<double>(s.transmitters);
+  }
+  return total / (static_cast<double>(history.size()) *
+                  static_cast<double>(node_count));
+}
+
+std::optional<double> reception_efficiency(
+    std::span<const RoundStats> history) {
+  std::size_t tx = 0, rx = 0;
+  for (const RoundStats& s : history) {
+    tx += s.transmitters;
+    rx += s.receptions;
+  }
+  if (tx == 0) return std::nullopt;
+  return static_cast<double>(rx) / static_cast<double>(tx);
+}
+
+}  // namespace fcr

@@ -1,0 +1,39 @@
+// Derived metrics over recorded round histories — the analysis-facing
+// summary of what an execution's contention process looked like.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "sim/engine.hpp"
+
+namespace fcr {
+
+/// Summary of the active-set (contention) decay of one recorded execution.
+struct ContentionDecay {
+  /// Fitted per-round survival ratio g (contending_{r+1} ~ g * contending_r)
+  /// over rounds where the count actually decreased; the empirical gamma of
+  /// Corollary 7. 1.0 when the count never moved.
+  double survival_ratio = 1.0;
+  /// Rounds for the active set to first fall below half its initial size.
+  std::uint64_t half_life = 0;
+  /// Rounds to reach a single contender (0 when never reached).
+  std::uint64_t rounds_to_one = 0;
+};
+
+/// Computes decay statistics from a RunResult recorded with
+/// config.record_rounds = true. Requires a non-empty history.
+ContentionDecay contention_decay(std::span<const RoundStats> history);
+
+/// Mean fraction of nodes transmitting per round (the realized offered
+/// load; ~ p * active fraction for the paper's algorithm).
+double mean_transmitter_load(std::span<const RoundStats> history,
+                             std::size_t node_count);
+
+/// Receptions per transmission over the execution (how often the channel
+/// delivered anything; the paper's spatial-reuse dividend). nullopt when no
+/// transmissions occurred.
+std::optional<double> reception_efficiency(std::span<const RoundStats> history);
+
+}  // namespace fcr

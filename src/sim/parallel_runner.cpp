@@ -1,0 +1,80 @@
+#include "sim/parallel_runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
+                                   const ChannelFactory& make_channel,
+                                   const AlgorithmFactory& make_algorithm,
+                                   const TrialConfig& config,
+                                   std::size_t threads) {
+  FCR_ENSURE_ARG(config.trials > 0, "need at least one trial");
+  FCR_ENSURE_ARG(make_deployment && make_channel && make_algorithm,
+                 "all three factories must be set");
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<std::size_t>(threads, config.trials);
+
+  const Rng master(config.seed);
+
+  // Per-trial slots, filled independently; order restored afterwards so the
+  // aggregate is identical to the serial runner's.
+  struct Slot {
+    bool solved = false;
+    std::uint64_t rounds = 0;
+  };
+  std::vector<Slot> slots(config.trials);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::string first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1);
+      if (t >= config.trials || failed.load()) return;
+      try {
+        Rng deploy_rng = master.split(2 * t);
+        const Rng run_rng = master.split(2 * t + 1);
+        const Deployment dep = make_deployment(deploy_rng);
+        const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
+        const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
+        FCR_CHECK(channel != nullptr && algorithm != nullptr);
+        const RunResult r =
+            run_execution(dep, *algorithm, *channel, config.engine, run_rng);
+        slots[t].solved = r.solved;
+        slots[t].rounds = r.rounds;
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = e.what();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+
+  FCR_CHECK_MSG(!failed.load(), "parallel trial failed: " << first_error);
+
+  TrialSetResult out;
+  out.trials = config.trials;
+  for (const Slot& s : slots) {
+    if (s.solved) {
+      ++out.solved;
+      out.rounds.push_back(s.rounds);
+    }
+  }
+  return out;
+}
+
+}  // namespace fcr

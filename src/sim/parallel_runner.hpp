@@ -1,0 +1,25 @@
+// Parallel trial execution.
+//
+// Trials are embarrassingly parallel AND deterministically seeded (trial t
+// always derives its streams from master.split(2t), master.split(2t+1)),
+// so a multi-threaded batch produces BIT-IDENTICAL results to the serial
+// runner — verified by tests. Use it for large sweeps; the serial
+// run_trials remains the reference implementation.
+#pragma once
+
+#include "sim/runner.hpp"
+
+namespace fcr {
+
+/// Like run_trials, but distributes trials over `threads` worker threads
+/// (0 = hardware concurrency). Factories must be thread-safe to CALL
+/// concurrently (the library's factories are: they only read shared state
+/// and construct fresh objects). Results are identical to run_trials with
+/// the same config.
+TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
+                                   const ChannelFactory& make_channel,
+                                   const AlgorithmFactory& make_algorithm,
+                                   const TrialConfig& config,
+                                   std::size_t threads = 0);
+
+}  // namespace fcr

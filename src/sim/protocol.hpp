@@ -1,0 +1,72 @@
+// Protocol interface: how an algorithm's per-node state machine plugs into
+// the synchronous round engine.
+//
+// Model contract (paper, Section 2): in each round a node either transmits
+// at fixed power or listens; listeners may decode one message per the
+// channel model; transmitters learn nothing about the fate of their
+// transmission (no acknowledgments in either the SINR or the radio model).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "geom/grid.hpp"
+#include "radio/channel.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// A node's choice for one round.
+enum class Action : std::uint8_t { kListen = 0, kTransmit = 1 };
+
+/// What a node learns at the end of a round.
+struct Feedback {
+  bool transmitted = false;       ///< echo of the node's own action
+  bool received = false;          ///< decoded a message (listeners only)
+  NodeId sender = kInvalidNode;   ///< decoded sender when received
+  /// Channel observation for models with carrier information. In the SINR
+  /// and plain radio models listeners cannot distinguish collision from
+  /// silence, so this is kMessage or kSilence; the collision-detection radio
+  /// model may report kCollision.
+  RadioObservation observation = RadioObservation::kSilence;
+};
+
+/// Per-node protocol state machine. Owned by the engine; one per node.
+class NodeProtocol {
+ public:
+  virtual ~NodeProtocol() = default;
+
+  /// Decides the node's action for round `round` (1-based).
+  virtual Action on_round_begin(std::uint64_t round) = 0;
+
+  /// Delivers the round outcome to the node.
+  virtual void on_round_end(const Feedback& feedback) = 0;
+
+  /// Whether the node still considers itself in contention. Purely
+  /// observational (used by instrumentation such as the link-class metrics);
+  /// the engine never acts on it. Default: always contending.
+  virtual bool is_contending() const { return true; }
+};
+
+/// Factory for a protocol: one Algorithm instance configures a family of
+/// per-node state machines for one execution.
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates the state machine for node `id` with its private random stream.
+  virtual std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const = 0;
+
+  /// True when the algorithm was constructed with a bound on the network
+  /// size (the paper's algorithm needs none; ALOHA/Decay/JS16-style do).
+  virtual bool uses_size_bound() const { return false; }
+
+  /// True when the algorithm relies on collision-detection feedback and is
+  /// only meaningful on a CD-capable channel.
+  virtual bool requires_collision_detection() const { return false; }
+};
+
+}  // namespace fcr

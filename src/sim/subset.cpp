@@ -1,0 +1,44 @@
+#include "sim/subset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+/// Permanent bystander: never transmits, never contends.
+class DormantNode final : public NodeProtocol {
+ public:
+  Action on_round_begin(std::uint64_t) override { return Action::kListen; }
+  void on_round_end(const Feedback&) override {}
+  bool is_contending() const override { return false; }
+};
+
+}  // namespace
+
+ActiveSubsetAlgorithm::ActiveSubsetAlgorithm(
+    std::shared_ptr<const Algorithm> inner, std::vector<NodeId> activated)
+    : inner_(std::move(inner)), activated_(std::move(activated)) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner algorithm must be set");
+  FCR_ENSURE_ARG(!activated_.empty(), "activated set must be non-empty");
+  std::sort(activated_.begin(), activated_.end());
+  FCR_ENSURE_ARG(std::adjacent_find(activated_.begin(), activated_.end()) ==
+                     activated_.end(),
+                 "activated set contains duplicates");
+}
+
+std::string ActiveSubsetAlgorithm::name() const {
+  return "subset(" + inner_->name() + ", " +
+         std::to_string(activated_.size()) + " active)";
+}
+
+std::unique_ptr<NodeProtocol> ActiveSubsetAlgorithm::make_node(NodeId id,
+                                                               Rng rng) const {
+  const bool active =
+      std::binary_search(activated_.begin(), activated_.end(), id);
+  if (!active) return std::make_unique<DormantNode>();
+  return inner_->make_node(id, rng);
+}
+
+}  // namespace fcr

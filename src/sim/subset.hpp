@@ -1,0 +1,39 @@
+// Active-subset wrapper: runs an algorithm on only a subset of a
+// deployment's nodes, making every other node a permanent bystander (it
+// listens forever and contends for nothing).
+//
+// The contention-resolution problem itself is defined this way — "an
+// unknown subset of nodes in V are activated" (paper, Section 2) — and the
+// Theorem 12 lower bound depends on it: the adversary embeds a TWO-player
+// instance inside a large n-node network by activating just two nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+/// Wraps `inner` so only the ids in `activated` participate.
+class ActiveSubsetAlgorithm final : public Algorithm {
+ public:
+  ActiveSubsetAlgorithm(std::shared_ptr<const Algorithm> inner,
+                        std::vector<NodeId> activated);
+
+  std::string name() const override;
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+
+  bool uses_size_bound() const override { return inner_->uses_size_bound(); }
+  bool requires_collision_detection() const override {
+    return inner_->requires_collision_detection();
+  }
+
+  const std::vector<NodeId>& activated() const { return activated_; }
+
+ private:
+  std::shared_ptr<const Algorithm> inner_;
+  std::vector<NodeId> activated_;
+};
+
+}  // namespace fcr

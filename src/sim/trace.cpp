@@ -1,0 +1,144 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fcr {
+
+RoundObserver ExecutionTrace::observer() {
+  return [this](const RoundView& view) {
+    TraceRound r;
+    r.round = view.round;
+    r.transmitters.assign(view.transmitters.begin(), view.transmitters.end());
+    for (std::size_t i = 0; i < view.listeners.size(); ++i) {
+      if (view.listener_feedback[i].received) {
+        r.receptions.push_back(
+            TraceReception{view.listeners[i], view.listener_feedback[i].sender});
+      }
+    }
+    for (const auto& node : view.nodes) {
+      if (node->is_contending()) ++r.contending;
+    }
+    rounds_.push_back(std::move(r));
+  };
+}
+
+ExecutionTrace ExecutionTrace::from_rounds(std::vector<TraceRound> rounds) {
+  ExecutionTrace trace;
+  trace.rounds_ = std::move(rounds);
+  return trace;
+}
+
+std::size_t ExecutionTrace::total_receptions() const {
+  std::size_t total = 0;
+  for (const TraceRound& r : rounds_) total += r.receptions.size();
+  return total;
+}
+
+std::size_t ExecutionTrace::total_transmissions() const {
+  std::size_t total = 0;
+  for (const TraceRound& r : rounds_) total += r.transmitters.size();
+  return total;
+}
+
+std::uint64_t ExecutionTrace::first_solo_round() const {
+  for (const TraceRound& r : rounds_) {
+    if (r.transmitters.size() == 1) return r.round;
+  }
+  return 0;
+}
+
+std::vector<std::size_t> ExecutionTrace::transmissions_per_node() const {
+  NodeId max_id = 0;
+  for (const TraceRound& r : rounds_) {
+    for (const NodeId id : r.transmitters) max_id = std::max(max_id, id);
+  }
+  std::vector<std::size_t> counts(rounds_.empty() ? 0 : max_id + 1, 0);
+  for (const TraceRound& r : rounds_) {
+    for (const NodeId id : r.transmitters) ++counts[id];
+  }
+  return counts;
+}
+
+ExecutionTrace read_trace_csv(std::istream& in) {
+  std::string line;
+  FCR_ENSURE_ARG(static_cast<bool>(std::getline(in, line)), "trace CSV is empty");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  FCR_ENSURE_ARG(line == "round,event,node,sender",
+                 "expected trace header, got '" << line << "'");
+
+  std::vector<TraceRound> rounds;
+  auto round_at = [&rounds](std::uint64_t round) -> TraceRound& {
+    FCR_ENSURE_ARG(round >= 1, "rounds are 1-based");
+    while (rounds.size() < round) {
+      rounds.push_back(TraceRound{rounds.size() + 1, {}, {}, 0});
+    }
+    return rounds[round - 1];
+  };
+  auto parse_u64 = [](const std::string& field, const char* what,
+                      std::size_t line_no) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+    FCR_ENSURE_ARG(end && *end == '\0' && !field.empty(),
+                   "line " << line_no << ": bad " << what << " '" << field
+                           << "'");
+    return static_cast<std::uint64_t>(v);
+  };
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // Split into exactly 4 fields (the format never quotes).
+    std::array<std::string, 4> fields;
+    std::size_t start = 0;
+    for (std::size_t f = 0; f < 4; ++f) {
+      const std::size_t comma = line.find(',', start);
+      const bool last = f == 3;
+      FCR_ENSURE_ARG(last == (comma == std::string::npos),
+                     "line " << line_no << ": expected 4 fields");
+      fields[f] = line.substr(start, last ? std::string::npos : comma - start);
+      start = comma + 1;
+    }
+    const std::uint64_t round = parse_u64(fields[0], "round", line_no);
+    const auto node =
+        static_cast<NodeId>(parse_u64(fields[2], "node id", line_no));
+    TraceRound& r = round_at(round);
+    if (fields[1] == "tx") {
+      FCR_ENSURE_ARG(fields[3].empty(),
+                     "line " << line_no << ": tx events carry no sender");
+      r.transmitters.push_back(node);
+    } else if (fields[1] == "rx") {
+      const auto sender =
+          static_cast<NodeId>(parse_u64(fields[3], "sender id", line_no));
+      r.receptions.push_back(TraceReception{node, sender});
+    } else {
+      FCR_ENSURE_ARG(false, "line " << line_no << ": unknown event '"
+                                    << fields[1] << "'");
+    }
+  }
+  return ExecutionTrace::from_rounds(std::move(rounds));
+}
+
+void ExecutionTrace::write_csv(std::ostream& out) const {
+  CsvWriter csv(out, {"round", "event", "node", "sender"});
+  for (const TraceRound& r : rounds_) {
+    for (const NodeId id : r.transmitters) {
+      csv.row({CsvWriter::num(r.round), "tx", CsvWriter::num(std::uint64_t{id}),
+               ""});
+    }
+    for (const TraceReception& rx : r.receptions) {
+      csv.row({CsvWriter::num(r.round), "rx",
+               CsvWriter::num(std::uint64_t{rx.listener}),
+               CsvWriter::num(std::uint64_t{rx.sender})});
+    }
+  }
+}
+
+}  // namespace fcr

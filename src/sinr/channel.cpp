@@ -1,0 +1,144 @@
+#include "sinr/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+SinrChannel::SinrChannel(SinrParams params) : params_(params) {
+  params_.validate(/*strict_alpha=*/false);
+  const double a = params_.alpha;
+  if (a == 2.0) {
+    alpha_kind_ = AlphaKind::kTwo;
+  } else if (a == 3.0) {
+    alpha_kind_ = AlphaKind::kThree;
+  } else if (a == 4.0) {
+    alpha_kind_ = AlphaKind::kFour;
+  } else if (a == 6.0) {
+    alpha_kind_ = AlphaKind::kSix;
+  } else {
+    alpha_kind_ = AlphaKind::kGeneric;
+  }
+}
+
+double SinrChannel::signal_from_dist_sq(double d2) const {
+  FCR_CHECK_MSG(d2 > 0.0, "signal at zero distance is undefined");
+  switch (alpha_kind_) {
+    case AlphaKind::kTwo:
+      return params_.power / d2;
+    case AlphaKind::kThree:
+      return params_.power / (d2 * std::sqrt(d2));
+    case AlphaKind::kFour:
+      return params_.power / (d2 * d2);
+    case AlphaKind::kSix:
+      return params_.power / (d2 * d2 * d2);
+    case AlphaKind::kGeneric:
+      return params_.power * std::pow(d2, -0.5 * params_.alpha);
+  }
+  return 0.0;  // unreachable
+}
+
+std::vector<Reception> SinrChannel::resolve(
+    const Deployment& dep, std::span<const NodeId> transmitters,
+    std::span<const NodeId> listeners) const {
+  std::vector<Reception> out(listeners.size());
+  if (transmitters.empty()) return out;
+
+  // Flat position arrays keep the per-listener scan tight and vectorizable.
+  const std::size_t t = transmitters.size();
+  std::vector<double> tx(t), ty(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    const Vec2 p = dep.position(transmitters[j]);
+    tx[j] = p.x;
+    ty[j] = p.y;
+  }
+
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    const Vec2 v = dep.position(listeners[i]);
+    double total = 0.0;
+    double best_signal = -1.0;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < t; ++j) {
+      const double dx = tx[j] - v.x;
+      const double dy = ty[j] - v.y;
+      const double s = signal_from_dist_sq(dx * dx + dy * dy);
+      total += s;
+      if (s > best_signal) {
+        best_signal = s;
+        best_j = j;
+      }
+    }
+    // Strongest transmitter maximizes SINR; if it fails, every sender fails.
+    // Clamp the denominator at 0: (total - best_signal) can dip a hair below
+    // zero in floating point when there is a single transmitter.
+    const double denom = std::max(0.0, params_.noise + (total - best_signal));
+    if (best_signal >= params_.beta * denom) {
+      // denom == 0 (no noise, sole transmitter): infinite SINR, receives.
+      out[i].sender = transmitters[best_j];
+    }
+  }
+  return out;
+}
+
+std::vector<Reception> SinrChannel::resolve_exhaustive(
+    const Deployment& dep, std::span<const NodeId> transmitters,
+    std::span<const NodeId> listeners) const {
+  std::vector<Reception> out(listeners.size());
+  std::vector<NodeId> interferers;
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    const NodeId v = listeners[i];
+    double best_sinr = -1.0;
+    for (const NodeId u : transmitters) {
+      interferers.clear();
+      for (const NodeId w : transmitters) {
+        if (w != u) interferers.push_back(w);
+      }
+      const double s = sinr(dep, u, v, interferers);
+      if (s >= params_.beta && s > best_sinr) {
+        best_sinr = s;
+        out[i].sender = u;
+      }
+    }
+  }
+  return out;
+}
+
+double SinrChannel::sinr(const Deployment& dep, NodeId sender, NodeId receiver,
+                         std::span<const NodeId> interferers) const {
+  FCR_ENSURE_ARG(sender != receiver, "sender and receiver must differ");
+  const Vec2 rv = dep.position(receiver);
+  const double signal = signal_from_dist_sq(dist_sq(dep.position(sender), rv));
+  double interference = 0.0;
+  for (const NodeId w : interferers) {
+    FCR_ENSURE_ARG(w != sender && w != receiver,
+                   "interferer set must exclude sender and receiver");
+    interference += signal_from_dist_sq(dist_sq(dep.position(w), rv));
+  }
+  const double denom = params_.noise + interference;
+  if (denom == 0.0) return std::numeric_limits<double>::infinity();
+  return signal / denom;
+}
+
+bool SinrChannel::can_receive(const Deployment& dep, NodeId sender,
+                              NodeId receiver,
+                              std::span<const NodeId> interferers) const {
+  return sinr(dep, sender, receiver, interferers) >= params_.beta;
+}
+
+double SinrChannel::interference_at(const Deployment& dep, Vec2 point,
+                                    std::span<const NodeId> transmitters,
+                                    NodeId exclude) const {
+  double total = 0.0;
+  for (const NodeId w : transmitters) {
+    if (w == exclude) continue;
+    const double d2 = dist_sq(dep.position(w), point);
+    if (d2 == 0.0) continue;  // a transmitter exactly at the probe point
+    total += signal_from_dist_sq(d2);
+  }
+  return total;
+}
+
+}  // namespace fcr

@@ -1,0 +1,79 @@
+// SINR reception resolution: given a deployment and a set of concurrent
+// transmitters, decide for every listener whether it decodes a message and
+// from whom.
+//
+// Key correctness-preserving optimization: for a listener v with total
+// received power S(v) = sum_w signal(w, v), the SINR of candidate sender u
+// is signal(u,v) / (N + S(v) - signal(u,v)), which is strictly increasing in
+// signal(u,v). Therefore v decodes *some* message iff it decodes its
+// strongest (nearest) transmitter, and resolution needs one O(T) pass per
+// listener instead of O(T^2). A pairwise `sinr()` entry point exists for
+// tests and analysis probes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sinr/params.hpp"
+
+namespace fcr {
+
+/// Outcome of one listener in one round.
+struct Reception {
+  NodeId sender = kInvalidNode;  ///< decoded sender, or kInvalidNode
+  bool received() const { return sender != kInvalidNode; }
+};
+
+/// Immutable SINR channel bound to a parameter set.
+class SinrChannel {
+ public:
+  explicit SinrChannel(SinrParams params);
+
+  const SinrParams& params() const { return params_; }
+
+  /// Resolves one synchronous round: for each id in `listeners`, decides
+  /// whether it decodes a message from some id in `transmitters`.
+  /// Preconditions: ids valid; `transmitters` and `listeners` disjoint.
+  /// Returns one Reception per listener, in listener order.
+  std::vector<Reception> resolve(const Deployment& dep,
+                                 std::span<const NodeId> transmitters,
+                                 std::span<const NodeId> listeners) const;
+
+  /// Reference implementation of resolve(): evaluates the SINR inequality
+  /// for EVERY (listener, candidate sender) pair — O(T^2 L) — with no
+  /// strongest-transmitter shortcut. Used by tests to validate resolve()
+  /// and by the micro-benchmarks to quantify the optimization; returns the
+  /// decodable sender with the highest SINR per listener.
+  std::vector<Reception> resolve_exhaustive(
+      const Deployment& dep, std::span<const NodeId> transmitters,
+      std::span<const NodeId> listeners) const;
+
+  /// Exact SINR of link (sender -> receiver) when `interferers` (which must
+  /// not contain sender or receiver) also transmit. Infinity when the
+  /// denominator is zero (no noise, no interference).
+  double sinr(const Deployment& dep, NodeId sender, NodeId receiver,
+              std::span<const NodeId> interferers) const;
+
+  /// True iff the SINR of the link meets the decoding threshold beta.
+  bool can_receive(const Deployment& dep, NodeId sender, NodeId receiver,
+                   std::span<const NodeId> interferers) const;
+
+  /// Sum of received powers at an arbitrary point from the given
+  /// transmitters (id `exclude` skipped). Used by the E9 interference
+  /// instrumentation (Lemmas 3 and 4 measure exactly this quantity).
+  double interference_at(const Deployment& dep, Vec2 point,
+                         std::span<const NodeId> transmitters,
+                         NodeId exclude = kInvalidNode) const;
+
+  /// Received signal strength over squared distance d2, i.e.
+  /// P * (d2)^(-alpha/2), with fast paths for integer alpha.
+  double signal_from_dist_sq(double d2) const;
+
+ private:
+  SinrParams params_;
+  // Dispatch tag for the path-loss fast path, chosen at construction.
+  enum class AlphaKind { kTwo, kThree, kFour, kSix, kGeneric } alpha_kind_;
+};
+
+}  // namespace fcr

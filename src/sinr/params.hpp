@@ -1,0 +1,79 @@
+// SINR model parameters (paper, Section 2).
+//
+// A listening node v receives a message from transmitter u, with the set I
+// of other concurrent transmitters, iff
+//
+//     (P / d(u,v)^alpha) / (N + sum_{w in I} P / d(w,v)^alpha) >= beta .
+//
+// The paper requires alpha > 2 (super-quadratic fading — the source of the
+// spatial reuse its upper bound exploits), noise N >= 0, and a single-hop
+// power assumption P > c * beta * N * d(u,v)^alpha for all pairs, with
+// c >= 4 sufficing.
+#pragma once
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+/// Parameters of the fading channel. Plain aggregate with validation.
+struct SinrParams {
+  double alpha = 3.0;   ///< path-loss exponent; paper requires alpha > 2
+  double beta = 1.5;    ///< decoding SINR threshold, > 0
+  double noise = 1e-9;  ///< ambient noise N >= 0
+  double power = 1.0;   ///< fixed uniform transmission power P > 0
+
+  /// Throws std::invalid_argument when any field is out of the model's
+  /// domain. `strict_alpha` enforces the paper's alpha > 2 (E6 relaxes it to
+  /// probe what happens as fading becomes quadratic).
+  void validate(bool strict_alpha = true) const {
+    FCR_ENSURE_ARG(alpha > 0.0, "alpha must be positive, got " << alpha);
+    if (strict_alpha) {
+      FCR_ENSURE_ARG(alpha > 2.0, "the fading model requires alpha > 2, got " << alpha);
+    }
+    FCR_ENSURE_ARG(beta > 0.0, "beta must be positive, got " << beta);
+    FCR_ENSURE_ARG(noise >= 0.0, "noise must be non-negative, got " << noise);
+    FCR_ENSURE_ARG(power > 0.0, "power must be positive, got " << power);
+  }
+
+  /// Received signal strength of a transmitter at distance d.
+  double signal(double d) const { return power / std::pow(d, alpha); }
+
+  /// The single-hop constant c (>= 4 suffices per the paper).
+  static constexpr double kSingleHopC = 4.0;
+
+  /// Minimum power establishing the single-hop property for the given
+  /// longest link: P > c * beta * N * d^alpha. `margin >= 1` scales above
+  /// the threshold (margin = 1 sits exactly at it). A tiny noise floor keeps
+  /// the power positive when N = 0.
+  static double single_hop_power(double alpha, double beta, double noise,
+                                 double longest_link, double margin = 2.0) {
+    FCR_ENSURE_ARG(margin >= 1.0, "margin must be >= 1");
+    FCR_ENSURE_ARG(longest_link > 0.0, "longest link must be positive");
+    return margin * kSingleHopC * beta * std::max(noise, 1e-30) *
+           std::pow(longest_link, alpha);
+  }
+
+  /// True when this parameter set satisfies the single-hop assumption for a
+  /// network whose longest link is `longest_link`.
+  bool is_single_hop(double longest_link) const {
+    return power > kSingleHopC * beta * noise * std::pow(longest_link, alpha);
+  }
+
+  /// Builds a validated parameter set whose power is set from the single-hop
+  /// bound for the given longest link (normalized deployments: R).
+  static SinrParams for_longest_link(double alpha, double beta, double noise,
+                                     double longest_link, double margin = 2.0) {
+    SinrParams p;
+    p.alpha = alpha;
+    p.beta = beta;
+    p.noise = noise;
+    p.power = single_hop_power(alpha, beta, noise, longest_link, margin);
+    p.validate(/*strict_alpha=*/false);
+    FCR_CHECK(p.is_single_hop(longest_link) || noise == 0.0);
+    return p;
+  }
+};
+
+}  // namespace fcr

@@ -1,0 +1,65 @@
+#include "sinr/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fcr {
+
+bool ModelReport::all_satisfied() const {
+  for (const ModelCheck& c : checks) {
+    if (!c.satisfied) return false;
+  }
+  return true;
+}
+
+std::string ModelReport::to_string() const {
+  std::ostringstream os;
+  for (const ModelCheck& c : checks) {
+    os << (c.satisfied ? "PASS " : "FAIL ") << c.name << " — " << c.detail
+       << '\n';
+  }
+  return os.str();
+}
+
+ModelReport validate_model(const Deployment& dep, const SinrParams& params) {
+  ModelReport report;
+  auto add = [&report](std::string name, bool ok, std::string detail) {
+    report.checks.push_back({std::move(name), ok, std::move(detail)});
+  };
+
+  {
+    std::ostringstream os;
+    os << "alpha = " << params.alpha;
+    add("alpha > 2", params.alpha > 2.0, os.str());
+  }
+  {
+    std::ostringstream os;
+    os << "beta = " << params.beta;
+    add("beta >= 1 (unique decodable sender)", params.beta >= 1.0, os.str());
+  }
+  {
+    const double longest = dep.size() >= 2 ? dep.max_link() : 1.0;
+    const double threshold = SinrParams::kSingleHopC * params.beta *
+                             params.noise * std::pow(longest, params.alpha);
+    std::ostringstream os;
+    os << "P = " << params.power << " vs 4*beta*N*R^alpha = " << threshold;
+    add("single-hop power", params.power > threshold, os.str());
+  }
+  {
+    std::ostringstream os;
+    os << "shortest link = " << (dep.size() >= 2 ? dep.min_link() : 1.0);
+    add("normalized (shortest link = 1)", dep.is_normalized(1e-6), os.str());
+  }
+  {
+    const double log_r =
+        dep.size() >= 2 ? std::log2(std::max(dep.link_ratio(), 1.0)) : 0.0;
+    const double log_n = std::log2(static_cast<double>(dep.size()));
+    std::ostringstream os;
+    os << "log2 R = " << log_r << ", log2 n = " << log_n;
+    add("R in poly(n) regime (advisory)", log_r <= 4.0 * log_n + 16.0,
+        os.str());
+  }
+  return report;
+}
+
+}  // namespace fcr

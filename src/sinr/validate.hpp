@@ -1,0 +1,42 @@
+// Model validation: one call that audits a (deployment, parameters) pair
+// against every assumption the paper's analysis makes, producing a
+// structured report. Experiment harnesses and the fcrsim tool run this
+// before trusting results; tests use it to construct known-violating
+// configurations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sinr/params.hpp"
+
+namespace fcr {
+
+/// One audited assumption.
+struct ModelCheck {
+  std::string name;     ///< e.g. "alpha > 2"
+  bool satisfied = false;
+  std::string detail;   ///< human-readable numbers behind the verdict
+};
+
+/// Full audit result.
+struct ModelReport {
+  std::vector<ModelCheck> checks;
+
+  bool all_satisfied() const;
+  /// Lines of "PASS/FAIL name — detail".
+  std::string to_string() const;
+};
+
+/// Audits:
+///   * alpha > 2 (super-quadratic fading; Definition 1's eps > 0),
+///   * beta >= 1 (unique decodable sender per listener; the reception
+///     resolver's strongest-transmitter argument needs no tie-breaking),
+///   * single-hop power P > 4 beta N R^alpha (paper Section 2),
+///   * normalization (shortest link 1; the link-class indexing convention),
+///   * R within the poly(n) regime the paper's O(log n) reading assumes
+///     (log2 R <= 4 log2 n + 16; advisory only).
+ModelReport validate_model(const Deployment& dep, const SinrParams& params);
+
+}  // namespace fcr

@@ -1,0 +1,49 @@
+#include "stats/bootstrap.hpp"
+
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+
+ConfidenceInterval bootstrap_ci(std::span<const double> values,
+                                const Statistic& statistic, Rng& rng,
+                                std::size_t resamples, double alpha) {
+  FCR_ENSURE_ARG(!values.empty(), "bootstrap of empty sample");
+  FCR_ENSURE_ARG(resamples >= 10, "need at least 10 resamples");
+  FCR_ENSURE_ARG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  FCR_ENSURE_ARG(static_cast<bool>(statistic), "statistic must be set");
+
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(values.size());
+  for (std::size_t b = 0; b < resamples; ++b) {
+    for (double& v : resample) {
+      v = values[rng.uniform_int(values.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  ConfidenceInterval ci;
+  ci.lo = percentile(stats, alpha / 2.0);
+  ci.hi = percentile(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values, Rng& rng,
+                                       std::size_t resamples, double alpha) {
+  return bootstrap_ci(
+      values, [](std::span<const double> v) { return median(v); }, rng,
+      resamples, alpha);
+}
+
+ConfidenceInterval bootstrap_quantile_ci(std::span<const double> values,
+                                         double q, Rng& rng,
+                                         std::size_t resamples, double alpha) {
+  FCR_ENSURE_ARG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  return bootstrap_ci(
+      values, [q](std::span<const double> v) { return percentile(v, q); }, rng,
+      resamples, alpha);
+}
+
+}  // namespace fcr

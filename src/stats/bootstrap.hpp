@@ -1,0 +1,45 @@
+// Percentile-bootstrap confidence intervals for robust statistics (median,
+// arbitrary quantiles) of completion-round samples — the experiment tables'
+// error bars.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace fcr {
+
+/// A two-sided confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double x) const { return x >= lo && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Statistic evaluated on a resample.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap: resamples `values` with replacement `resamples`
+/// times, evaluates `statistic` on each resample, and returns the
+/// [alpha/2, 1 - alpha/2] percentile interval of the statistic's bootstrap
+/// distribution. alpha = 0.05 gives a 95% CI.
+ConfidenceInterval bootstrap_ci(std::span<const double> values,
+                                const Statistic& statistic, Rng& rng,
+                                std::size_t resamples = 1000,
+                                double alpha = 0.05);
+
+/// Convenience: bootstrap CI of the median.
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values, Rng& rng,
+                                       std::size_t resamples = 1000,
+                                       double alpha = 0.05);
+
+/// Convenience: bootstrap CI of an arbitrary quantile q.
+ConfidenceInterval bootstrap_quantile_ci(std::span<const double> values,
+                                         double q, Rng& rng,
+                                         std::size_t resamples = 1000,
+                                         double alpha = 0.05);
+
+}  // namespace fcr

@@ -1,0 +1,42 @@
+#include "stats/chernoff.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+double chernoff_upper_tail(double mu, double delta) {
+  FCR_ENSURE_ARG(mu >= 0.0, "mean must be non-negative");
+  FCR_ENSURE_ARG(delta > 0.0, "delta must be positive");
+  return std::exp(-delta * delta * mu / (2.0 + delta));
+}
+
+double chernoff_lower_tail(double mu, double delta) {
+  FCR_ENSURE_ARG(mu >= 0.0, "mean must be non-negative");
+  FCR_ENSURE_ARG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+double claim3_doubling_bound(double mu) {
+  FCR_ENSURE_ARG(mu >= 0.0, "mean must be non-negative");
+  return std::exp(-mu / 3.0);
+}
+
+double corollary5_halving_bound(double mu) {
+  FCR_ENSURE_ARG(mu >= 0.0, "mean must be non-negative");
+  return std::exp(-mu / 8.0);
+}
+
+std::size_t whp_segments(double p_segment, std::size_t n, double c) {
+  FCR_ENSURE_ARG(p_segment > 0.0 && p_segment < 1.0,
+                 "per-segment success probability must be in (0,1)");
+  FCR_ENSURE_ARG(n >= 2, "network size must be at least 2");
+  FCR_ENSURE_ARG(c > 0.0, "exponent must be positive");
+  // (1 - p)^T <= n^{-c}  <=>  T >= c ln n / -ln(1 - p).
+  const double t =
+      c * std::log(static_cast<double>(n)) / -std::log1p(-p_segment);
+  return static_cast<std::size_t>(std::ceil(t));
+}
+
+}  // namespace fcr

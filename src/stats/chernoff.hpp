@@ -1,0 +1,30 @@
+// The Chernoff bounds the paper's proofs invoke, as callable closed forms —
+// so tests and experiments can place measured tail frequencies next to the
+// bounds the analysis charges (Claim 3 and Corollary 5 cite them
+// explicitly).
+#pragma once
+
+#include <cstddef>
+
+namespace fcr {
+
+/// Upper tail for a sum X of independent [0,1] variables with mean mu:
+/// Pr[X >= (1 + delta) mu] <= exp(-delta^2 mu / (2 + delta)), delta > 0.
+double chernoff_upper_tail(double mu, double delta);
+
+/// Lower tail: Pr[X <= (1 - delta) mu] <= exp(-delta^2 mu / 2),
+/// 0 < delta < 1.
+double chernoff_lower_tail(double mu, double delta);
+
+/// The form quoted in Claim 3: Pr[X >= 2 mu] <= exp(-mu / 3).
+double claim3_doubling_bound(double mu);
+
+/// The form used in Corollary 5: Pr[X < mu / 2] <= exp(-mu / 8).
+double corollary5_halving_bound(double mu);
+
+/// High-probability round budget: the smallest T such that a per-segment
+/// success probability `p_segment` yields failure probability at most
+/// n^{-c} after T independent segments (the Theorem 11 wrap-up argument).
+std::size_t whp_segments(double p_segment, std::size_t n, double c = 1.0);
+
+}  // namespace fcr

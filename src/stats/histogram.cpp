@@ -1,0 +1,59 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  FCR_ENSURE_ARG(hi > lo, "histogram range must be non-empty");
+  FCR_ENSURE_ARG(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  FCR_ENSURE_ARG(i < counts_.size(), "bucket index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i) + width_; }
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  const std::size_t peak = counts_.empty()
+      ? 0
+      : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_bar_width / peak;
+    const int n = std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %8zu ",
+                                bucket_lo(i), bucket_hi(i), counts_[i]);
+    FCR_CHECK(n > 0);
+    out.append(line, static_cast<std::size_t>(n));
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace fcr

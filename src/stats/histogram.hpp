@@ -1,0 +1,38 @@
+// Fixed-width histogram for distribution-shaped experiment outputs
+// (e.g. distribution of completion rounds across trials).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fcr {
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples are
+/// clamped into the first/last bucket and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  const std::vector<std::size_t>& buckets() const { return counts_; }
+
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// One-line-per-bucket ASCII rendering with proportional bars.
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace fcr

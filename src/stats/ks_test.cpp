@@ -1,0 +1,76 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+double kolmogorov_tail(double lambda) {
+  FCR_ENSURE_ARG(lambda >= 0.0, "lambda must be non-negative");
+  if (lambda < 1e-8) return 1.0;
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                 lambda * lambda);
+    sum += (j % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test_one_sample(std::span<const double> sample, const Cdf& cdf) {
+  FCR_ENSURE_ARG(!sample.empty(), "KS test of empty sample");
+  FCR_ENSURE_ARG(static_cast<bool>(cdf), "reference CDF must be set");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    FCR_CHECK_MSG(f >= -1e-12 && f <= 1.0 + 1e-12,
+                  "reference CDF returned " << f << " outside [0, 1]");
+    // Empirical CDF jumps: compare against both sides of the step.
+    const double above = static_cast<double>(i + 1) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+
+  KsResult out;
+  out.statistic = d;
+  out.p_value = kolmogorov_tail(std::sqrt(n) * d);
+  return out;
+}
+
+KsResult ks_test_two_sample(std::span<const double> a,
+                            std::span<const double> b) {
+  FCR_ENSURE_ARG(!a.empty() && !b.empty(), "KS test of empty sample");
+  std::vector<double> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    // Advance past ties together so the comparison happens between steps.
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+
+  KsResult out;
+  out.statistic = d;
+  const double ne = na * nb / (na + nb);
+  out.p_value = kolmogorov_tail(std::sqrt(ne) * d);
+  return out;
+}
+
+}  // namespace fcr

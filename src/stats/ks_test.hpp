@@ -1,0 +1,32 @@
+// Kolmogorov–Smirnov tests: principled "are these distributions the same"
+// machinery for the robustness experiments (E13's indistinguishability
+// claims) and the exact-vs-simulated validation.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace fcr {
+
+/// A cumulative distribution function F(x) = P(X <= x).
+using Cdf = std::function<double(double)>;
+
+/// Result of a KS test.
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1 - F2|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov tail probability
+};
+
+/// One-sample KS: empirical distribution of `sample` against a reference
+/// CDF. Exact statistic; asymptotic p-value (good for n >= ~30).
+KsResult ks_test_one_sample(std::span<const double> sample, const Cdf& cdf);
+
+/// Two-sample KS between two empirical samples.
+KsResult ks_test_two_sample(std::span<const double> a,
+                            std::span<const double> b);
+
+/// The Kolmogorov distribution tail Q(lambda) = 2 sum_{j>=1} (-1)^{j-1}
+/// exp(-2 j^2 lambda^2) — the asymptotic p-value kernel.
+double kolmogorov_tail(double lambda);
+
+}  // namespace fcr

@@ -1,0 +1,46 @@
+#include "stats/regression.hpp"
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  FCR_ENSURE_ARG(x.size() == y.size(), "x and y must have equal length");
+  FCR_ENSURE_ARG(x.size() >= 2, "need at least two points to fit a line");
+
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  FCR_ENSURE_ARG(sxx > 0.0, "x values are all equal; slope undefined");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0.0) {
+    fit.r_squared = 1.0;  // y constant and perfectly predicted
+  } else {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - fit.predict(x[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace fcr

@@ -1,0 +1,22 @@
+// Ordinary least squares y = a + b*x, used by the scaling experiments to
+// verify shapes: E1 fits measured rounds against log2(n) and reports R^2 —
+// the paper's O(log n) claim translates to "linear in log n with high R^2".
+#pragma once
+
+#include <span>
+
+namespace fcr {
+
+/// Result of a simple linear regression.
+struct LinearFit {
+  double intercept = 0.0;  ///< a
+  double slope = 0.0;      ///< b
+  double r_squared = 0.0;  ///< coefficient of determination in [0, 1]
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y = a + b*x by OLS. Requires at least two points and non-constant x.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace fcr

@@ -1,0 +1,78 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+void StreamingSummary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingSummary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double StreamingSummary::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingSummary::stddev() const { return std::sqrt(variance()); }
+
+double StreamingSummary::min() const { return n_ == 0 ? 0.0 : min_; }
+double StreamingSummary::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double StreamingSummary::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile(std::span<const double> values, double q) {
+  FCR_ENSURE_ARG(!values.empty(), "percentile of empty sample");
+  FCR_ENSURE_ARG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) { return percentile(values, 0.5); }
+
+BatchSummary BatchSummary::of(std::span<const double> values) {
+  BatchSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  StreamingSummary stream;
+  for (const double v : values) stream.add(v);
+  s.mean = stream.mean();
+  s.stddev = stream.stddev();
+  s.min = stream.min();
+  s.max = stream.max();
+  s.p25 = percentile(values, 0.25);
+  s.median = percentile(values, 0.50);
+  s.p75 = percentile(values, 0.75);
+  s.p95 = percentile(values, 0.95);
+  return s;
+}
+
+std::vector<double> to_doubles(std::span<const std::uint64_t> values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const auto v : values) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+}  // namespace fcr

@@ -1,0 +1,61 @@
+// Streaming and batch summary statistics for experiment aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fcr {
+
+/// Streaming mean/variance via Welford's algorithm; numerically stable.
+class StreamingSummary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean; 0 for fewer than 2 samples.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile with linear interpolation between order statistics
+/// (inclusive method). q in [0, 1]. Throws on empty input.
+double percentile(std::span<const double> values, double q);
+
+/// Convenience: median.
+double median(std::span<const double> values);
+
+/// Summary of a batch: min/p25/median/p75/p95/max/mean/stddev.
+struct BatchSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  static BatchSummary of(std::span<const double> values);
+};
+
+/// Converts integral sequences to double for the batch helpers.
+std::vector<double> to_doubles(std::span<const std::uint64_t> values);
+
+}  // namespace fcr

@@ -1,0 +1,70 @@
+// Lightweight runtime-contract macros used throughout fadingcr.
+//
+// FCR_CHECK(cond)        — invariant that must hold in every build; violation
+//                          throws fcr::ContractViolation with location info.
+// FCR_CHECK_MSG(cond, m) — same, with a caller-supplied message.
+// FCR_ENSURE_ARG(cond,m) — argument validation for public API entry points;
+//                          violation throws std::invalid_argument.
+//
+// Contracts throw (rather than abort) so that tests can assert on violations
+// and long experiment sweeps can skip a bad configuration and continue.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fcr {
+
+/// Thrown when an internal invariant (FCR_CHECK) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+[[noreturn]] inline void argument_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace fcr
+
+#define FCR_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) ::fcr::detail::contract_failure(#cond, __FILE__, __LINE__, \
+                                                 std::string{});            \
+  } while (false)
+
+#define FCR_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream fcr_check_os_;                                \
+      fcr_check_os_ << msg;                                            \
+      ::fcr::detail::contract_failure(#cond, __FILE__, __LINE__,       \
+                                      fcr_check_os_.str());            \
+    }                                                                  \
+  } while (false)
+
+#define FCR_ENSURE_ARG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream fcr_check_os_;                                \
+      fcr_check_os_ << msg;                                            \
+      ::fcr::detail::argument_failure(#cond, __FILE__, __LINE__,       \
+                                      fcr_check_os_.str());            \
+    }                                                                  \
+  } while (false)

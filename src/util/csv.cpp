@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  FCR_ENSURE_ARG(!header.empty(), "CSV header must be non-empty");
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  FCR_ENSURE_ARG(fields.size() == columns_,
+                 "CSV row has " << fields.size() << " fields, expected " << columns_);
+  write_row(fields);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string CsvWriter::num(std::int64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string CsvWriter::num(std::uint64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace fcr

@@ -1,0 +1,39 @@
+// Minimal CSV writer used by bench harnesses to dump experiment series.
+//
+// Values are written with full round-trip precision for doubles; fields
+// containing separators/quotes/newlines are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fcr {
+
+/// Streams rows of a CSV table to an std::ostream. The header is written on
+/// construction; each `row(...)` call must supply exactly as many fields.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Appends one row; field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Formats a double with enough digits to round-trip.
+  static std::string num(double v);
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v) { return num(static_cast<std::int64_t>(v)); }
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& field);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace fcr

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fcr {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace fcr

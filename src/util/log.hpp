@@ -1,0 +1,36 @@
+// Leveled logging to stderr. Benches run quiet by default; tests can raise
+// the level to debug a failing scenario.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fcr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line `[LEVEL] message` to stderr if level >= threshold.
+void log_message(LogLevel level, const std::string& message);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace fcr
+
+#define FCR_LOG(level, expr)                                     \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::fcr::log_level())) {                  \
+      std::ostringstream fcr_log_os_;                            \
+      fcr_log_os_ << expr;                                       \
+      ::fcr::log_message(level, fcr_log_os_.str());              \
+    }                                                            \
+  } while (false)
+
+#define FCR_DEBUG(expr) FCR_LOG(::fcr::LogLevel::kDebug, expr)
+#define FCR_INFO(expr) FCR_LOG(::fcr::LogLevel::kInfo, expr)
+#define FCR_WARN(expr) FCR_LOG(::fcr::LogLevel::kWarn, expr)
+#define FCR_ERROR(expr) FCR_LOG(::fcr::LogLevel::kError, expr)

@@ -1,0 +1,49 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace fcr {
+
+double Rng::exponential(double lambda) {
+  FCR_ENSURE_ARG(lambda > 0.0, "exponential: lambda must be positive");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal() {
+  // Box–Muller; draw both uniforms every call and discard the second variate
+  // so that the number of engine steps per call is constant.
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  FCR_ENSURE_ARG(lambda >= 0.0, "poisson: lambda must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  // Adequate for deployment generation (cluster sizes), not for inference.
+  const double x = lambda + std::sqrt(lambda) * normal() + 0.5;
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  FCR_ENSURE_ARG(p > 0.0 && p <= 1.0, "geometric: p must be in (0, 1]");
+  if (p == 1.0) return 0;
+  const double u = 1.0 - uniform();  // (0, 1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace fcr

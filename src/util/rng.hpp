@@ -1,0 +1,132 @@
+// Deterministic random number generation for fadingcr.
+//
+// Experiments in this repository must be bit-for-bit reproducible across
+// platforms and standard libraries. The C++ standard fixes engine output but
+// not distribution output, so we provide our own engine (xoshiro256**,
+// seeded through SplitMix64 per Blackman & Vigna) and our own distributions.
+//
+// Stream splitting: `Rng::split(tag)` derives an independent child stream
+// from a parent deterministically, so per-node / per-trial randomness does
+// not depend on iteration order.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+/// SplitMix64 step: used for seeding and stream derivation.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with fcr-specific splitting and distribution helpers.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also be handed to
+/// standard algorithms (e.g. std::shuffle) where cross-platform determinism
+/// is not required.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from SplitMix64(seed); a zero seed is
+  /// valid (the state is guaranteed nonzero by construction).
+  explicit Rng(std::uint64_t seed = 0x5EEDC0DE5EEDC0DEULL) {
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child stream; (parent state, tag) -> child seed.
+  /// Children with distinct tags from the same parent are independent, and
+  /// splitting does not perturb the parent's own sequence.
+  [[nodiscard]] Rng split(std::uint64_t tag) const {
+    std::uint64_t s = state_[0] ^ rotl(state_[2], 13) ^ (tag * 0xD1342543DE82EF95ULL);
+    Rng child;
+    for (auto& w : child.state_) w = splitmix64(s);
+    return child;
+  }
+
+  /// Uniform double in [0, 1): 53 mantissa bits.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    FCR_ENSURE_ARG(lo <= hi, "uniform: lo=" << lo << " > hi=" << hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased multiply-shift.
+  std::uint64_t uniform_int(std::uint64_t bound) {
+    FCR_ENSURE_ARG(bound > 0, "uniform_int: bound must be positive");
+    // Rejection loop to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    FCR_ENSURE_ARG(lo <= hi, "uniform_int: empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : uniform_int(span));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda);
+
+  /// Standard normal via Box–Muller (deterministic; no cached spare so the
+  /// stream position is call-count invariant).
+  double normal();
+
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Poisson with mean lambda (Knuth for small lambda, PTRS-style
+  /// normal-rejection fallback for large lambda).
+  std::uint64_t poisson(double lambda);
+
+  /// Geometric: number of Bernoulli(p) failures before the first success.
+  std::uint64_t geometric(double p);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace fcr

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace fcr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FCR_ENSURE_ARG(!header_.empty(), "table header must be non-empty");
+}
+
+void TablePrinter::row(std::vector<std::string> fields) {
+  FCR_ENSURE_ARG(fields.size() == header_.size(),
+                 "table row has " << fields.size() << " fields, expected "
+                                  << header_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& fields) {
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << fields[c];
+      out << std::string(width[c] - fields[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& r : rows_) emit(r);
+}
+
+void TablePrinter::write_csv(std::ostream& out) const {
+  CsvWriter csv(out, header_);
+  for (const auto& r : rows_) csv.row(r);
+}
+
+std::string TablePrinter::fmt(double v, int decimals) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string TablePrinter::fmt(std::int64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string TablePrinter::fmt(std::uint64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  FCR_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace fcr

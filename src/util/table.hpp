@@ -1,0 +1,41 @@
+// Console table printer: the bench binaries print their experiment rows with
+// this so tables are readable in a terminal and greppable in CI logs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fcr {
+
+/// Accumulates rows and prints an aligned ASCII table.
+///
+///   TablePrinter t({"n", "median", "p95"});
+///   t.row({"256", "21", "29"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void row(std::vector<std::string> fields);
+
+  /// Prints header, separator, and all rows, column-aligned.
+  void print(std::ostream& out) const;
+
+  /// Writes the same table as CSV (header + rows) for post-processing.
+  void write_csv(std::ostream& out) const;
+
+  /// Convenience numeric formatting (fixed decimals for doubles).
+  static std::string fmt(double v, int decimals = 2);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(int v) { return fmt(static_cast<std::int64_t>(v)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fcr

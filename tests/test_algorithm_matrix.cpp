@@ -1,0 +1,105 @@
+// Parameterized correctness matrix: every registry algorithm x several
+// deployment shapes, each on its native channel. Asserts the universal
+// contract — the winner transmitted alone, no phantom winners, solve rates
+// consistent with each algorithm's guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "algorithms/registry.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+struct MatrixCase {
+  std::string algorithm;
+  std::string shape;
+};
+
+Deployment make_shape(const std::string& shape, std::size_t n, Rng& rng) {
+  if (shape == "square") {
+    return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+        .normalized();
+  }
+  if (shape == "clusters") {
+    return two_clusters(n, 300.0, 4.0, rng).normalized();
+  }
+  if (shape == "chain") {
+    return exponential_chain(n, static_cast<double>(n) * 64.0, rng)
+        .normalized();
+  }
+  ADD_FAILURE() << "unknown shape " << shape;
+  return single_pair(1.0);
+}
+
+class AlgorithmMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(AlgorithmMatrix, SolvesWithAValidWinner) {
+  const MatrixCase c = GetParam();
+  const AlgorithmSpec& spec = algorithm_spec(c.algorithm);
+  const std::size_t n = 64;
+
+  Rng rng(9000 + c.algorithm.size() * 13 + c.shape.size());
+  const Deployment dep = make_shape(c.shape, n, rng);
+  const auto channel =
+      (c.algorithm == "fading" || c.algorithm == "no-knockout")
+          ? sinr_channel_factory(3.0, 1.5, 1e-9)(dep)
+          : radio_channel_factory(spec.needs_collision_detection)(dep);
+  const auto algo = make_algorithm(c.algorithm, dep.size());
+
+  EngineConfig config;
+  config.max_rounds = 50000;
+
+  std::size_t solved = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    std::uint64_t solo_round = 0;
+    NodeId solo_tx = kInvalidNode;
+    const RunResult r = run_execution(
+        dep, *algo, *channel, config, rng.split(seed),
+        [&](const RoundView& view) {
+          if (view.transmitters.size() == 1 && solo_round == 0) {
+            solo_round = view.round;
+            solo_tx = view.transmitters[0];
+          }
+        });
+    if (!r.solved) continue;
+    ++solved;
+    EXPECT_EQ(r.rounds, solo_round) << "seed " << seed;
+    EXPECT_EQ(r.winner, solo_tx) << "seed " << seed;
+    EXPECT_LT(r.winner, dep.size());
+  }
+  // Every algorithm except the deliberately hopeless control must solve all
+  // five runs at n = 64 within 50k rounds.
+  if (c.algorithm != "no-knockout") {
+    EXPECT_EQ(solved, 5u);
+  }
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string s = info.param.algorithm + "_" + info.param.shape;
+  for (char& ch : s) {
+    if (ch == '-') ch = '_';
+  }
+  return s;
+}
+
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    for (const char* shape : {"square", "clusters", "chain"}) {
+      cases.push_back({spec.key, shape});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithmsAllShapes, AlgorithmMatrix,
+                         ::testing::ValuesIn(all_cases()), matrix_name);
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,232 @@
+// Baseline-algorithm tests: schedules, state machines, and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/aloha.hpp"
+#include "algorithms/backoff.hpp"
+#include "algorithms/decay.hpp"
+#include "algorithms/fast_decay.hpp"
+#include "algorithms/no_knockout.hpp"
+#include "algorithms/registry.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+/// Measures a node's empirical transmit frequency in round `round` over
+/// `samples` independent instantiations.
+double transmit_frequency(const Algorithm& algo, std::uint64_t round,
+                          int samples, std::uint64_t warmup_rounds = 0) {
+  int transmitted = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto node = algo.make_node(0, Rng(static_cast<std::uint64_t>(s) + 1));
+    for (std::uint64_t r = 1; r <= warmup_rounds; ++r) {
+      node->on_round_begin(r);
+      node->on_round_end(Feedback{});
+    }
+    if (node->on_round_begin(round) == Action::kTransmit) ++transmitted;
+    node->on_round_end(Feedback{});
+  }
+  return static_cast<double>(transmitted) / samples;
+}
+
+// -------------------------------------------------------------------- decay
+
+TEST(Decay, SweepLengthFromSizeBound) {
+  EXPECT_EQ(DecayKnownN(1024).sweep_length(), 11u);  // log2(1024) + 1
+  EXPECT_EQ(DecayKnownN(1000).sweep_length(), 11u);  // ceil(log2 1000) + 1
+  EXPECT_EQ(DecayKnownN(2).sweep_length(), 2u);
+  EXPECT_THROW(DecayKnownN(0), std::invalid_argument);
+}
+
+TEST(Decay, LadderProbabilitiesHalvePerSlot) {
+  const DecayKnownN algo(64);  // sweep length 7
+  const int samples = 8000;
+  // Slot 0 (round 1): p = 1/2. Slot 2 (round 3): p = 1/8.
+  EXPECT_NEAR(transmit_frequency(algo, 1, samples, 0), 0.5, 0.03);
+  const double p3 = transmit_frequency(algo, 3, samples, 2);
+  EXPECT_NEAR(p3, 0.125, 0.02);
+}
+
+TEST(Decay, SweepRepeats) {
+  const DecayKnownN algo(64);  // sweep length 7: round 8 is slot 0 again
+  const int samples = 8000;
+  EXPECT_NEAR(transmit_frequency(algo, 8, samples, 7), 0.5, 0.03);
+}
+
+TEST(Decay, SolvesOnRadioChannel) {
+  Rng rng(600);
+  const Deployment dep = uniform_square(128, 30.0, rng).normalized();
+  const DecayKnownN algo(dep.size());
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(DecayDoubling, EpochStructureDeepensOverTime) {
+  const DecayDoubling algo;
+  const int samples = 8000;
+  // Round 1 = epoch 1 slot 0: p = 1/2.
+  EXPECT_NEAR(transmit_frequency(algo, 1, samples, 0), 0.5, 0.03);
+  // Round 3 = epoch 2 slot 1: p = 1/4.
+  EXPECT_NEAR(transmit_frequency(algo, 3, samples, 2), 0.25, 0.02);
+  // Round 6 = epoch 3 slot 2: p = 1/8.
+  EXPECT_NEAR(transmit_frequency(algo, 6, samples, 5), 0.125, 0.02);
+}
+
+TEST(DecayDoubling, SolvesWithoutKnowledge) {
+  Rng rng(601);
+  const Deployment dep = uniform_square(64, 20.0, rng).normalized();
+  const DecayDoubling algo;
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+  EXPECT_FALSE(algo.uses_size_bound());
+}
+
+// --------------------------------------------------------------- fast decay
+
+TEST(FastDecay, LadderIsCoarserThanDecay) {
+  const FastDecay fast(1 << 16);
+  const DecayKnownN slow(1 << 16);
+  EXPECT_GE(fast.sigma(), 2.0);
+  EXPECT_LT(fast.sweep_length(), slow.sweep_length());
+  // sigma = 2^ceil(log2 log2 N) = 2^ceil(log2 16) = 16 for N = 2^16.
+  EXPECT_DOUBLE_EQ(fast.sigma(), 16.0);
+  EXPECT_THROW(FastDecay(1), std::invalid_argument);
+}
+
+TEST(FastDecay, FirstSlotIsHalf) {
+  const FastDecay algo(1024);
+  EXPECT_NEAR(transmit_frequency(algo, 1, 8000, 0), 0.5, 0.03);
+}
+
+TEST(FastDecay, SolvesOnRadioChannel) {
+  Rng rng(602);
+  const Deployment dep = uniform_square(128, 30.0, rng).normalized();
+  const FastDecay algo(dep.size());
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+}
+
+// ------------------------------------------------------------------ backoff
+
+TEST(Backoff, TransmitsExactlyOncePerEpoch) {
+  const BinaryExponentialBackoff algo;
+  const auto node = algo.make_node(0, Rng(7));
+  // Epoch windows: [1,2], [3,6], [7,14], [15,30], ...
+  std::uint64_t start = 1, window = 2;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    int tx = 0;
+    for (std::uint64_t r = start; r < start + window; ++r) {
+      if (node->on_round_begin(r) == Action::kTransmit) ++tx;
+      node->on_round_end(Feedback{});
+    }
+    EXPECT_EQ(tx, 1) << "epoch " << epoch;
+    start += window;
+    window *= 2;
+  }
+}
+
+TEST(Backoff, SolvesEventually) {
+  Rng rng(603);
+  const Deployment dep = uniform_square(32, 15.0, rng).normalized();
+  const BinaryExponentialBackoff algo;
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+}
+
+// -------------------------------------------------------------------- aloha
+
+TEST(Aloha, TransmitProbabilityIsOneOverN) {
+  const SlottedAloha algo(50);
+  EXPECT_NEAR(transmit_frequency(algo, 1, 20000, 0), 1.0 / 50.0, 0.005);
+  EXPECT_THROW(SlottedAloha(0), std::invalid_argument);
+}
+
+TEST(Aloha, WithExactKnowledgeSolvesFast) {
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(128, 30.0, rng).normalized(); },
+      radio_channel_factory(false),
+      [](const Deployment& dep) {
+        return std::make_unique<SlottedAloha>(dep.size());
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 30;
+        c.engine.max_rounds = 2000;
+        return c;
+      }());
+  EXPECT_EQ(result.solved, result.trials);
+  // Per-round success ~ 1/e: median should be a small constant.
+  EXPECT_LT(result.summary().median, 20.0);
+}
+
+// -------------------------------------------------------------- no-knockout
+
+TEST(NoKnockout, NeverDeactivates) {
+  const NoKnockoutControl algo(0.3);
+  const auto node = algo.make_node(0, Rng(9));
+  Feedback heard;
+  heard.received = true;
+  for (int r = 1; r <= 100; ++r) {
+    node->on_round_begin(static_cast<std::uint64_t>(r));
+    node->on_round_end(heard);
+  }
+  EXPECT_TRUE(node->is_contending());
+}
+
+TEST(NoKnockout, FailsOnModeratelyLargeNetworks) {
+  // Solo probability with n = 64, p = 0.2: 64 * 0.2 * 0.8^63 ~ 1e-5.
+  Rng rng(604);
+  const Deployment dep = uniform_square(64, 20.0, rng).normalized();
+  const NoKnockoutControl algo(0.2);
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 2000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_FALSE(r.solved);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, CatalogIsCompleteAndConsistent) {
+  const auto& catalog = algorithm_catalog();
+  EXPECT_EQ(catalog.size(), 9u);
+  for (const AlgorithmSpec& spec : catalog) {
+    const auto algo = make_algorithm(spec.key, 16);
+    ASSERT_NE(algo, nullptr) << spec.key;
+    EXPECT_EQ(algo->uses_size_bound(), spec.needs_size_bound) << spec.key;
+    EXPECT_EQ(algo->requires_collision_detection(),
+              spec.needs_collision_detection)
+        << spec.key;
+    EXPECT_FALSE(algo->name().empty());
+    EXPECT_FALSE(spec.expected_rounds.empty());
+  }
+}
+
+TEST(Registry, UnknownKeyThrows) {
+  EXPECT_THROW(make_algorithm("nope", 16), std::invalid_argument);
+  EXPECT_THROW(algorithm_spec("nope"), std::invalid_argument);
+}
+
+TEST(Registry, PProbagatesToConstantProbabilityAlgorithms) {
+  const auto algo = make_algorithm("fading", 0, 0.37);
+  EXPECT_NE(algo->name().find("0.37"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,157 @@
+// Parameterized sweeps of the analysis machinery across path-loss
+// exponents and class-bound constants — the Definition 1 / Section 3.3
+// machinery must stay coherent over its whole parameter domain, not just
+// the α = 3 defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/class_bounds.hpp"
+#include "core/exact.hpp"
+#include "core/good_nodes.hpp"
+#include "core/theory.hpp"
+#include "deploy/generators.hpp"
+
+namespace fcr {
+namespace {
+
+// ------------------------------------------------------- good nodes vs alpha
+
+class GoodNodesAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GoodNodesAlphaSweep, BudgetsGrowAndClassificationIsCoherent) {
+  const double alpha = GetParam();
+  GoodNodeParams params;
+  params.alpha = alpha;
+
+  // eps > 0 and budgets strictly increasing in t.
+  EXPECT_GT(params.epsilon(), 0.0);
+  for (std::size_t t = 0; t < 6; ++t) {
+    EXPECT_GT(params.annulus_limit(t + 1), params.annulus_limit(t));
+  }
+
+  // On a uniform deployment every classification query must be callable and
+  // self-consistent (good == profile().good; S_i only contains good nodes).
+  Rng rng(static_cast<std::uint64_t>(alpha * 1000.0));
+  const Deployment dep = uniform_square(150, 25.0, rng).normalized();
+  std::vector<NodeId> ids(dep.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  const GoodNodeAnalyzer analyzer(dep, ids, params);
+  for (NodeId u = 0; u < 30; ++u) {
+    EXPECT_EQ(analyzer.is_good(u), analyzer.profile(u).good) << u;
+  }
+  for (std::size_t i = 0; i < analyzer.classes().class_count(); ++i) {
+    for (const NodeId u : analyzer.well_spaced_subset(i, 2.0)) {
+      EXPECT_TRUE(analyzer.is_good(u)) << "class " << i << " node " << u;
+      EXPECT_EQ(analyzer.classes().class_of(u), static_cast<std::int32_t>(i));
+    }
+  }
+
+  // Stronger fading tolerates MORE annulus occupancy at every t >= 1.
+  if (alpha > 2.5) {
+    GoodNodeParams weaker;
+    weaker.alpha = alpha - 0.4;
+    EXPECT_GT(params.annulus_limit(2), weaker.annulus_limit(2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GoodNodesAlphaSweep,
+                         ::testing::Values(2.2, 2.5, 3.0, 4.0, 6.0));
+
+// -------------------------------------------------- class bounds vs params
+
+struct BoundsCase {
+  double gamma;
+  double rho;
+  double delta;
+};
+
+class ClassBoundsSweep : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(ClassBoundsSweep, InvariantsHoldAcrossTheConstantDomain) {
+  const BoundsCase c = GetParam();
+  ClassBoundParams params;
+  params.gamma = c.gamma;
+  params.rho = c.rho;
+  params.delta = c.delta;
+  ASSERT_NO_THROW(params.validate());
+
+  const ClassBoundVectors b(4096, 6, params);
+  const std::size_t T = b.zero_step();
+  EXPECT_GT(T, 0u);
+  // Monotone in t, q_hat <= q, Lemma 9 where applicable.
+  const double ratio = params.rho / (1.0 - params.rho);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double prev = b.q(0, i);
+    for (std::size_t t = 1; t <= T; ++t) {
+      EXPECT_LE(b.q(t, i), prev + 1e-9);
+      prev = b.q(t, i);
+      EXPECT_LE(b.q_hat(t, i), b.q(t, i) + 1e-12);
+      if (t + 1 <= T && b.q(t + 1, i) < 4096.0 && b.q(t + 1, i) >= 1.0) {
+        EXPECT_LE(b.q_below(t, i), b.q(t, i) * ratio * (1.0 + 1e-9))
+            << "i=" << i << " t=" << t;
+      }
+    }
+    EXPECT_DOUBLE_EQ(b.q(T, i), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Constants, ClassBoundsSweep,
+    ::testing::Values(BoundsCase{0.75, 0.05, 0.5},   // library defaults
+                      BoundsCase{0.5, 0.05, 0.5},    // faster knockouts
+                      BoundsCase{0.9, 0.02, 0.5},    // slow, tight rho
+                      BoundsCase{0.6, 0.1, 0.4},     // chunky rho
+                      BoundsCase{0.8, 0.01, 0.1}));  // tiny delta
+
+// -------------------------------------------------------- exact on shapes
+
+TEST(ExactShapes, TinyInstancesAreLotteryDominated) {
+  // A micro-finding the exact solver exposes: at n = 6 and p = 0.2, a
+  // network WITHOUT knockouts resolves in 1/(n p (1-p)^{n-1}) ~ 2.54
+  // expected rounds (the full state has the best solo probability when
+  // n <= ~1/p), and knockouts actually SLOW tiny instances slightly by
+  // shrinking the active set below the lottery sweet spot. The knockout
+  // mechanism earns its keep only once n >> 1/p — consistent with the
+  // asymptotic framing of Theorem 11.
+  Rng rng(60);
+  const double p = 0.2;
+  const Deployment chain = exponential_chain(6, 40.0, rng).normalized();
+  const Deployment cluster = uniform_disk(6, 2.0, rng).normalized();
+
+  const auto exact_for = [p](const Deployment& dep) {
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+    const SinrChannel channel(params);
+    return ExactFadingAnalysis(dep, channel, p).expected_rounds();
+  };
+  const double e_chain = exact_for(chain);
+  const double e_cluster = exact_for(cluster);
+  const double lottery = 1.0 / (6.0 * p * std::pow(1.0 - p, 5.0));
+
+  // Knockouts cost a bit at this scale but stay within the lone-survivor
+  // worst case 1/p.
+  EXPECT_GT(e_chain, lottery);
+  EXPECT_GT(e_cluster, lottery);
+  EXPECT_LT(e_chain, 1.0 / p);
+  EXPECT_LT(e_cluster, 1.0 / p);
+}
+
+TEST(ExactShapes, HigherPFirstHelpsThenHurts) {
+  // The E5 landscape in exact form on one tiny instance: expected rounds
+  // at p = 0.3 beat p = 0.05, and p = 0.9 is worse than p = 0.3.
+  Rng rng(61);
+  const Deployment dep = uniform_square(8, 6.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  const double e_low = ExactFadingAnalysis(dep, channel, 0.05).expected_rounds();
+  const double e_mid = ExactFadingAnalysis(dep, channel, 0.3).expected_rounds();
+  const double e_high = ExactFadingAnalysis(dep, channel, 0.9).expected_rounds();
+  EXPECT_LT(e_mid, e_low);
+  EXPECT_LT(e_mid, e_high);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,189 @@
+// Tests for the trace auditor and the adaptive-p variant.
+#include <gtest/gtest.h>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/adaptive.hpp"
+#include "ext/faults.hpp"
+#include "ext/rayleigh.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+SinrParams params_for(const Deployment& dep) {
+  return SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+}
+
+ExecutionTrace record_run(const Deployment& dep, const ChannelAdapter& channel,
+                          const Algorithm& algo, std::uint64_t seed,
+                          std::uint64_t max_rounds = 500) {
+  ExecutionTrace trace;
+  EngineConfig config;
+  config.max_rounds = max_rounds;
+  config.stop_on_solve = false;
+  run_execution(dep, algo, channel, config, Rng(seed), trace.observer());
+  return trace;
+}
+
+// -------------------------------------------------------------------- audit
+
+TEST(Audit, RealExecutionIsClean) {
+  Rng rng(40);
+  const Deployment dep = uniform_square(48, 14.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const SinrChannelAdapter adapter(params);
+  const SinrChannel channel(params);
+  const FadingContentionResolution algo;
+  const ExecutionTrace trace = record_run(dep, adapter, algo, 41, 60);
+
+  const AuditReport report = audit_trace(trace, dep, channel);
+  EXPECT_TRUE(report.clean()) << report.violations.size() << " violations; first: "
+                              << (report.violations.empty()
+                                      ? ""
+                                      : report.violations.front().what);
+  EXPECT_EQ(report.rounds_checked, trace.rounds().size());
+  EXPECT_EQ(report.receptions_checked, trace.total_receptions());
+  EXPECT_GT(report.receptions_checked, 0u);
+}
+
+TEST(Audit, DetectsForgedReception) {
+  Rng rng(42);
+  const Deployment dep = uniform_square(24, 10.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const SinrChannelAdapter adapter(params);
+  const SinrChannel channel(params);
+  const FadingContentionResolution algo;
+  ExecutionTrace trace = record_run(dep, adapter, algo, 43, 30);
+
+  // Forge: claim a reception from a node that never transmitted that round.
+  ASSERT_FALSE(trace.rounds().empty());
+  std::vector<TraceRound> rounds = trace.rounds();
+  for (TraceRound& r : rounds) {
+    if (!r.transmitters.empty()) {
+      NodeId not_tx = 0;
+      while (std::find(r.transmitters.begin(), r.transmitters.end(), not_tx) !=
+             r.transmitters.end()) {
+        ++not_tx;
+      }
+      NodeId listener = not_tx + 1;
+      while (std::find(r.transmitters.begin(), r.transmitters.end(),
+                       listener) != r.transmitters.end() ||
+             listener == not_tx) {
+        ++listener;
+      }
+      r.receptions.push_back({listener, not_tx});
+      break;
+    }
+  }
+  const AuditReport report =
+      audit_trace(ExecutionTrace::from_rounds(std::move(rounds)), dep, channel);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Audit, DetectsSuppressedReception) {
+  Rng rng(44);
+  const Deployment dep = uniform_square(24, 10.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const SinrChannelAdapter adapter(params);
+  const SinrChannel channel(params);
+  const FadingContentionResolution algo;
+  ExecutionTrace trace = record_run(dep, adapter, algo, 45, 60);
+
+  // Remove one recorded reception: completeness check must flag it.
+  std::vector<TraceRound> rounds = trace.rounds();
+  bool removed = false;
+  for (TraceRound& r : rounds) {
+    if (!r.receptions.empty()) {
+      r.receptions.pop_back();
+      removed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(removed);
+  const ExecutionTrace cut = ExecutionTrace::from_rounds(std::move(rounds));
+  EXPECT_FALSE(audit_trace(cut, dep, channel, true).clean());
+  // Without completeness (stochastic-channel mode) the cut is tolerated.
+  EXPECT_TRUE(audit_trace(cut, dep, channel, false).clean());
+}
+
+TEST(Audit, RayleighTracePassesWithoutCompleteness) {
+  // Under stochastic fading, receptions are a random subset/superset of the
+  // deterministic model's; the deterministic auditor should not be run in
+  // completeness mode, and even existence checks can flag fading-enabled
+  // decodes — so only verify the auditor runs and reports coherently.
+  Rng rng(46);
+  const Deployment dep = uniform_square(32, 12.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const RayleighSinrAdapter adapter(params, 1.0, rng.split(1));
+  const SinrChannel channel(params);
+  const FadingContentionResolution algo;
+  const ExecutionTrace trace = record_run(dep, adapter, algo, 47, 40);
+  const AuditReport strict = audit_trace(trace, dep, channel, true);
+  EXPECT_EQ(strict.rounds_checked, trace.rounds().size());
+  // Fading flips marginal links in both directions; strict mode usually
+  // reports violations — which is exactly the signal the auditor exists
+  // to give (this trace did NOT come from the deterministic channel).
+  SUCCEED();
+}
+
+// ----------------------------------------------------------------- adaptive
+
+TEST(Adaptive, Validation) {
+  EXPECT_THROW(AdaptiveFading(0.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW(AdaptiveFading(0.5, 0.4, 4), std::invalid_argument);
+  EXPECT_THROW(AdaptiveFading(0.1, 0.5, 0), std::invalid_argument);
+  EXPECT_NE(AdaptiveFading().name().find("adaptive"), std::string::npos);
+}
+
+TEST(Adaptive, RampsUpUnderSilence) {
+  const AdaptiveFading algo(0.01, 0.8, 2);
+  const auto node = algo.make_node(0, Rng(48));
+  // Feed 40 silent rounds: p doubles every 2 rounds, 0.01 -> 0.8 cap.
+  int tx_early = 0, tx_late = 0;
+  for (std::uint64_t r = 1; r <= 400; ++r) {
+    const bool tx = node->on_round_begin(r) == Action::kTransmit;
+    if (r <= 4 && tx) ++tx_early;
+    if (r > 360 && tx) ++tx_late;
+    node->on_round_end(Feedback{});
+  }
+  EXPECT_LE(tx_early, 2);
+  EXPECT_GE(tx_late, 20);  // ~0.8 * 40 expected
+}
+
+TEST(Adaptive, KnockoutStillWorks) {
+  const AdaptiveFading algo;
+  const auto node = algo.make_node(0, Rng(49));
+  node->on_round_begin(1);
+  Feedback heard;
+  heard.received = true;
+  node->on_round_end(heard);
+  EXPECT_FALSE(node->is_contending());
+}
+
+TEST(Adaptive, SolvesAndComparesToFixedP) {
+  auto run = [](const AlgorithmFactory& factory) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+        sinr_channel_factory(3.0, 1.5, 1e-9), factory, [] {
+          TrialConfig c;
+          c.trials = 30;
+          c.engine.max_rounds = 50000;
+          return c;
+        }());
+  };
+  const auto adaptive = run([](const Deployment&) {
+    return std::make_unique<AdaptiveFading>();
+  });
+  const auto fixed = run([](const Deployment&) {
+    return std::make_unique<FadingContentionResolution>();
+  });
+  EXPECT_EQ(adaptive.solved, adaptive.trials);
+  // No strong claim on which wins (that's E11's job); both must be sane.
+  EXPECT_LT(adaptive.summary().median, 50.0 * fixed.summary().median + 100.0);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,107 @@
+// Collision-detection leader election tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cd_leader.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(CdLeader, DeclaresItsModelRequirement) {
+  const CollisionDetectLeader algo;
+  EXPECT_TRUE(algo.requires_collision_detection());
+  EXPECT_FALSE(algo.uses_size_bound());
+  EXPECT_DOUBLE_EQ(algo.transmit_probability(), 0.5);
+  EXPECT_THROW(CollisionDetectLeader(0.0), std::invalid_argument);
+  EXPECT_THROW(CollisionDetectLeader(1.0), std::invalid_argument);
+}
+
+TEST(CdLeader, EngineRejectsPlainChannels) {
+  Rng rng(700);
+  const Deployment dep = uniform_square(8, 5.0, rng).normalized();
+  const CollisionDetectLeader algo;
+  const RadioChannelAdapter plain(false);
+  EXPECT_THROW(run_execution(dep, algo, plain, EngineConfig{}, rng.split(1)),
+               std::invalid_argument);
+}
+
+TEST(CdLeader, ListeningCandidateWithdrawsOnActivity) {
+  const CollisionDetectLeader algo;
+  const auto node = algo.make_node(0, Rng(3));
+  // Force a listen round by replaying until the node listens, then deliver
+  // a collision observation: the candidate must withdraw.
+  Feedback collision;
+  collision.observation = RadioObservation::kCollision;
+  for (std::uint64_t r = 1; r <= 200; ++r) {
+    const Action a = node->on_round_begin(r);
+    if (a == Action::kListen) {
+      node->on_round_end(collision);
+      EXPECT_FALSE(node->is_contending());
+      return;
+    }
+    Feedback own;
+    own.transmitted = true;
+    node->on_round_end(own);
+  }
+  FAIL() << "node never listened in 200 rounds with p = 0.5";
+}
+
+TEST(CdLeader, SilenceKeepsCandidacy) {
+  const CollisionDetectLeader algo;
+  const auto node = algo.make_node(0, Rng(4));
+  Feedback silence;  // defaults: kSilence, not received
+  for (std::uint64_t r = 1; r <= 100; ++r) {
+    node->on_round_begin(r);
+    node->on_round_end(silence);
+  }
+  EXPECT_TRUE(node->is_contending());
+}
+
+TEST(CdLeader, SolvesInLogarithmicRounds) {
+  for (const std::size_t n : {16u, 256u}) {
+    const auto result = run_trials(
+        [n](Rng& rng) {
+          return uniform_square(n, 20.0, rng).normalized();
+        },
+        radio_channel_factory(true),
+        [](const Deployment&) {
+          return std::make_unique<CollisionDetectLeader>();
+        },
+        [] {
+          TrialConfig c;
+          c.trials = 30;
+          c.engine.max_rounds = 2000;
+          return c;
+        }());
+    EXPECT_EQ(result.solved, result.trials) << "n=" << n;
+    // Survivor halving: ~log2 n busy rounds plus constant slack.
+    EXPECT_LT(result.summary().median,
+              4.0 * std::log2(static_cast<double>(n)) + 20.0)
+        << "n=" << n;
+  }
+}
+
+TEST(CdLeader, CandidateCountShrinksMonotonically) {
+  Rng rng(701);
+  const Deployment dep = uniform_square(128, 30.0, rng).normalized();
+  const CollisionDetectLeader algo;
+  const RadioChannelAdapter channel(true);
+  EngineConfig config;
+  config.record_rounds = true;
+  config.max_rounds = 2000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(9));
+  ASSERT_TRUE(r.solved);
+  std::size_t prev = dep.size();
+  for (const RoundStats& s : r.history) {
+    EXPECT_LE(s.contending, prev);
+    prev = s.contending;
+  }
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,106 @@
+// Equivalence and invariance properties of the SINR channel:
+//   * the optimized resolver vs the exhaustive reference, across shapes,
+//   * scale invariance (positions x s, power x s^alpha, N = 0),
+//   * the Poisson field generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/generators.hpp"
+#include "sinr/channel.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(ChannelEquivalence, OptimizedMatchesExhaustiveAcrossShapes) {
+  Rng rng(90);
+  for (int trial = 0; trial < 12; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Deployment dep =
+        trial % 3 == 0
+            ? uniform_square(50, 12.0, trial_rng).normalized()
+            : trial % 3 == 1
+                  ? two_clusters(50, 300.0, 5.0, trial_rng).normalized()
+                  : exponential_chain(50, 4096.0, trial_rng).normalized();
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+    const SinrChannel channel(params);
+
+    std::vector<NodeId> tx, listeners;
+    for (NodeId i = 0; i < dep.size(); ++i) {
+      (trial_rng.bernoulli(0.25) ? tx : listeners).push_back(i);
+    }
+    const auto fast = channel.resolve(dep, tx, listeners);
+    const auto slow = channel.resolve_exhaustive(dep, tx, listeners);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].sender, slow[i].sender)
+          << "trial " << trial << " listener " << listeners[i];
+    }
+  }
+}
+
+TEST(ChannelEquivalence, ScaleInvarianceWithoutNoise) {
+  // Scaling all positions by s and the power by s^alpha leaves every SINR
+  // unchanged when N = 0 — the geometry only enters through ratios.
+  Rng rng(91);
+  const Deployment dep = uniform_square(40, 10.0, rng);
+  const double s = 37.0;
+  const Deployment scaled = dep.scaled(s);
+
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.5;
+  params.noise = 0.0;
+  params.power = 1.0;
+  SinrParams scaled_params = params;
+  scaled_params.power = params.power * std::pow(s, params.alpha);
+
+  const SinrChannel base(params);
+  const SinrChannel big(scaled_params);
+
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < dep.size(); ++i) {
+    (rng.bernoulli(0.3) ? tx : listeners).push_back(i);
+  }
+  const auto a = base.resolve(dep, tx, listeners);
+  const auto b = big.resolve(scaled, tx, listeners);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sender, b[i].sender) << i;
+  }
+  // Spot-check exact SINR equality on a few links.
+  if (!tx.empty() && !listeners.empty()) {
+    std::vector<NodeId> others(tx.begin() + 1, tx.end());
+    EXPECT_NEAR(base.sinr(dep, tx[0], listeners[0], others),
+                big.sinr(scaled, tx[0], listeners[0], others),
+                1e-9 * std::max(1.0, base.sinr(dep, tx[0], listeners[0], others)));
+  }
+}
+
+TEST(PoissonField, CountIsPoissonDistributed) {
+  Rng rng(92);
+  StreamingSummary counts;
+  for (int i = 0; i < 300; ++i) {
+    const Deployment dep = poisson_field(0.5, 10.0, rng);
+    counts.add(static_cast<double>(dep.size()));
+    for (const Vec2 p : dep.positions()) {
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LT(p.x, 10.0);
+    }
+  }
+  // Mean ~ intensity * side^2 = 50; variance ~ mean for Poisson.
+  EXPECT_NEAR(counts.mean(), 50.0, 2.0);
+  EXPECT_NEAR(counts.variance(), 50.0, 15.0);
+}
+
+TEST(PoissonField, Validation) {
+  Rng rng(93);
+  EXPECT_THROW(poisson_field(0.0, 10.0, rng), std::invalid_argument);
+  EXPECT_THROW(poisson_field(1.0, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(poisson_field(1e6, 1e3, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,157 @@
+// Class-bound vector tests (paper Section 3.3): construction, the Lemma 9
+// property, the q_hat permanence threshold, and the Claim 8 shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/class_bounds.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(ClassBoundParams, DefaultsAreConsistent) {
+  const ClassBoundParams p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_GT(p.gamma_slow(), p.gamma);
+  EXPECT_LT(p.gamma_slow(), 1.0);
+  EXPECT_GE(p.ell(), 1u);
+}
+
+TEST(ClassBoundParams, ValidationRejectsInconsistentConstants) {
+  ClassBoundParams p;
+  p.gamma = 0.99;
+  p.rho = 0.5;  // gamma_slow = 0.99 + 1 > 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  ClassBoundParams q;
+  q.gamma = 0.1;
+  q.delta = 0.1;
+  q.rho = 0.2;  // rho/(1-rho) = 0.25 > gamma*delta = 0.01
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(ClassBounds, StartStepsAreStaggered) {
+  const ClassBoundVectors b(1000, 5);
+  const std::size_t l = b.params().ell();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.start_step(i), i * l);
+  }
+  EXPECT_THROW(b.start_step(5), std::invalid_argument);
+}
+
+TEST(ClassBounds, QIsFlatThenGeometric) {
+  const ClassBoundVectors b(1000, 3);
+  const double gs = b.params().gamma_slow();
+  // Class 0 starts immediately.
+  EXPECT_DOUBLE_EQ(b.q(0, 0), 1000.0);
+  EXPECT_DOUBLE_EQ(b.q(1, 0), 1000.0 * gs);
+  EXPECT_DOUBLE_EQ(b.q(2, 0), 1000.0 * gs * gs);
+  // Class 1 is flat until its start step.
+  const std::size_t s1 = b.start_step(1);
+  for (std::size_t t = 0; t <= s1; ++t) EXPECT_DOUBLE_EQ(b.q(t, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(b.q(s1 + 1, 1), 1000.0 * gs);
+}
+
+TEST(ClassBounds, QCollapsesBelowOneToZero) {
+  const ClassBoundVectors b(10, 1);
+  const std::size_t T = b.zero_step();
+  EXPECT_DOUBLE_EQ(b.q(T, 0), 0.0);
+  EXPECT_GT(b.q(T - 1, 0), 0.0);
+}
+
+TEST(ClassBounds, QIsNonIncreasingInT) {
+  const ClassBoundVectors b(5000, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double prev = b.q(0, i);
+    for (std::size_t t = 1; t < b.zero_step() + 2; ++t) {
+      const double cur = b.q(t, i);
+      EXPECT_LE(cur, prev) << "class " << i << " step " << t;
+      prev = cur;
+    }
+  }
+}
+
+TEST(ClassBounds, Lemma9Property) {
+  // If q_{t+1}(i) < n then q_t(<i) <= q_t(i) * rho / (1 - rho).
+  const ClassBoundVectors b(100000, 6);
+  const double ratio = b.params().rho / (1.0 - b.params().rho);
+  const double n = 100000.0;
+  for (std::size_t i = 1; i < 6; ++i) {
+    for (std::size_t t = 0; t + 1 < b.zero_step(); ++t) {
+      if (b.q(t + 1, i) < n) {
+        EXPECT_LE(b.q_below(t, i), b.q(t, i) * ratio * (1.0 + 1e-9))
+            << "i=" << i << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ClassBounds, QHatIsStricterThanQ) {
+  const ClassBoundVectors b(4096, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t t = 1; t <= b.zero_step(); ++t) {
+      EXPECT_LE(b.q_hat(t, i), b.q(t, i) + 1e-12) << "i=" << i << " t=" << t;
+      EXPECT_GE(b.q_hat(t, i), 0.0);
+    }
+  }
+  EXPECT_THROW(b.q_hat(0, 0), std::invalid_argument);
+}
+
+TEST(ClassBounds, QHatAbsorbsLowerClassMigrations) {
+  // The permanence argument: q_hat_{t+1}(i) + q_t(<i) <= q_{t+1}(i),
+  // so a class below q_hat plus every possible migrant stays below q.
+  const ClassBoundVectors b(100000, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t t = 0; t + 1 <= b.zero_step(); ++t) {
+      if (b.q(t + 1, i) >= 100000.0) continue;  // vacuous while flat
+      if (b.q(t + 1, i) < 1.0) continue;  // integer-collapse tail: the paper
+      // handles sizes below the w.h.p. regime separately (Section 3.3).
+      EXPECT_LE(b.q_hat(t + 1, i) + b.q_below(t, i),
+                b.q(t + 1, i) + 1e-6)
+          << "i=" << i << " t=" << t;
+    }
+  }
+}
+
+TEST(ClassBounds, Claim8ZeroStepScalesAsLogNPlusLogR) {
+  // T should grow linearly in log n for fixed m and linearly in m (= log R)
+  // for fixed n.
+  const ClassBoundParams p;
+  const double per_log_n = 1.0 / std::log2(1.0 / p.gamma_slow());
+
+  const std::size_t t1 = ClassBoundVectors(1 << 10, 4, p).zero_step();
+  const std::size_t t2 = ClassBoundVectors(1 << 20, 4, p).zero_step();
+  // Doubling log n adds ~10 * per_log_n steps.
+  EXPECT_NEAR(static_cast<double>(t2 - t1), 10.0 * per_log_n,
+              0.15 * 10.0 * per_log_n + 2.0);
+
+  const std::size_t m1 = ClassBoundVectors(1 << 10, 4, p).zero_step();
+  const std::size_t m2 = ClassBoundVectors(1 << 10, 16, p).zero_step();
+  // Adding 12 classes adds 12 * ell steps.
+  EXPECT_EQ(m2 - m1, 12 * p.ell());
+}
+
+TEST(ClassBounds, VectorAtMatchesScalarQueries) {
+  const ClassBoundVectors b(512, 5);
+  for (std::size_t t = 0; t < 30; t += 7) {
+    const auto v = b.vector_at(t);
+    ASSERT_EQ(v.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(v[i], b.q(t, i));
+  }
+}
+
+TEST(ClassBounds, ConstructionValidation) {
+  EXPECT_THROW(ClassBoundVectors(0, 3), std::invalid_argument);
+  EXPECT_THROW(ClassBoundVectors(10, 0), std::invalid_argument);
+}
+
+TEST(ClassBounds, SingleNodeVanishesImmediately) {
+  const ClassBoundVectors b(1, 1);
+  // q_0(0) = 1 >= 1, so the first zero step is the first decayed step.
+  EXPECT_DOUBLE_EQ(b.q(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.q(1, 0), 0.0);
+  EXPECT_EQ(b.zero_step(), 1u);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,140 @@
+// Wrapper-composition tests: the Algorithm decorators must compose
+// arbitrarily (staggered over crash over interleave over mixed, lossy over
+// carrier-sense channels, ...) and keep solving — the library's
+// orthogonality contract. Also: RNG statistical hygiene checks.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "algorithms/decay.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/faults.hpp"
+#include "ext/interleave.hpp"
+#include "ext/mixed.hpp"
+#include "ext/staggered.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sim/subset.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(Composition, DeepWrapperStackSolves) {
+  // staggered( crash( interleave( mixed(fading, decay), fading ) ) )
+  Rng rng(30);
+  const Deployment dep = uniform_square(48, 14.0, rng).normalized();
+
+  auto mixed = std::make_shared<MixedAlgorithm>(
+      std::vector<std::shared_ptr<const Algorithm>>{
+          std::make_shared<FadingContentionResolution>(),
+          std::make_shared<DecayKnownN>(dep.size())},
+      round_robin_assignment(2));
+  auto interleaved = std::make_shared<InterleavedAlgorithm>(
+      mixed, std::make_shared<FadingContentionResolution>(0.1));
+  auto crashy = std::make_shared<CrashFaults>(interleaved, 0.002);
+  const StaggeredActivation full(crashy, uniform_activation(20, 31));
+
+  EXPECT_TRUE(full.uses_size_bound());  // decay's need surfaces through 3 layers
+  EXPECT_FALSE(full.requires_collision_detection());
+  EXPECT_NE(full.name().find("staggered("), std::string::npos);
+
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  EngineConfig config;
+  config.max_rounds = 50000;
+  std::size_t solved = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    if (run_execution(dep, full, *channel, config, rng.split(seed)).solved) {
+      ++solved;
+    }
+  }
+  EXPECT_GE(solved, 9u);  // crash faults may rarely kill everyone
+}
+
+TEST(Composition, SubsetOfStaggeredPopulation) {
+  Rng rng(31);
+  const Deployment dep = uniform_square(40, 12.0, rng).normalized();
+  auto staggered = std::make_shared<StaggeredActivation>(
+      std::make_shared<FadingContentionResolution>(), linear_activation(3));
+  const ActiveSubsetAlgorithm subset(staggered, {2, 9, 17, 33});
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  EngineConfig config;
+  config.max_rounds = 50000;
+  const RunResult r = run_execution(dep, subset, *channel, config, rng.split(1));
+  ASSERT_TRUE(r.solved);
+  const auto& act = subset.activated();
+  EXPECT_NE(std::find(act.begin(), act.end(), r.winner), act.end());
+}
+
+TEST(Composition, WrappersPreserveDeterminism) {
+  Rng rng(32);
+  const Deployment dep = uniform_square(32, 10.0, rng).normalized();
+  const CrashFaults algo(std::make_shared<FadingContentionResolution>(), 0.01);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  EngineConfig config;
+  config.max_rounds = 50000;
+  const RunResult a = run_execution(dep, algo, *channel, config, Rng(7));
+  const RunResult b = run_execution(dep, algo, *channel, config, Rng(7));
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+// ----------------------------------------------------------- rng hygiene
+
+TEST(RngHygiene, MonobitBalanced) {
+  // Bit balance of the raw stream: over 10^6 bits the ones-fraction must be
+  // within 4 sigma of 1/2 (sigma = 0.5 / sqrt(bits)).
+  Rng rng(33);
+  const int words = 16000;
+  std::int64_t ones = 0;
+  for (int i = 0; i < words; ++i) {
+    ones += std::popcount(rng());
+  }
+  const double bits = 64.0 * words;
+  const double frac = static_cast<double>(ones) / bits;
+  EXPECT_NEAR(frac, 0.5, 4.0 * 0.5 / std::sqrt(bits));
+}
+
+TEST(RngHygiene, NoLag1Correlation) {
+  Rng rng(34);
+  const int n = 100000;
+  double prev = rng.uniform();
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double cur = rng.uniform();
+    sum_xy += prev * cur;
+    sum_x += prev;
+    sum_x2 += prev * prev;
+    prev = cur;
+  }
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  const double corr = cov / var;
+  EXPECT_NEAR(corr, 0.0, 0.02);
+}
+
+TEST(RngHygiene, SplitStreamsAreCrossUncorrelated) {
+  Rng parent(35);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  const int n = 100000;
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0, sum_a2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double xa = a.uniform();
+    const double xb = b.uniform();
+    sum_ab += xa * xb;
+    sum_a += xa;
+    sum_b += xb;
+    sum_a2 += xa * xa;
+  }
+  const double mean_a = sum_a / n, mean_b = sum_b / n;
+  const double var_a = sum_a2 / n - mean_a * mean_a;
+  const double cov = sum_ab / n - mean_a * mean_b;
+  EXPECT_NEAR(cov / var_a, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace fcr

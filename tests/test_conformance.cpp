@@ -1,0 +1,124 @@
+// Protocol-conformance suite: contracts every Algorithm in the registry
+// (and key wrappers) must satisfy, parameterized over all of them.
+//
+//   * make_node never returns null, for any id;
+//   * behaviour is a pure function of (id, rng, feedback history):
+//     identical inputs give identical action sequences;
+//   * fresh nodes are contending (they just joined the contention);
+//   * protocols tolerate arbitrary feedback without crashing;
+//   * capability flags match the registry spec.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/registry.hpp"
+#include "core/fading_cr.hpp"
+#include "ext/faults.hpp"
+#include "ext/interleave.hpp"
+#include "ext/staggered.hpp"
+#include "sim/subset.hpp"
+
+namespace fcr {
+namespace {
+
+/// Builders for the wrappers, so they get conformance coverage too.
+std::unique_ptr<Algorithm> make_conformance_subject(const std::string& key) {
+  if (key == "wrap-interleave") {
+    return std::make_unique<InterleavedAlgorithm>(
+        std::make_shared<FadingContentionResolution>(),
+        std::make_shared<FadingContentionResolution>(0.1));
+  }
+  if (key == "wrap-staggered") {
+    return std::make_unique<StaggeredActivation>(
+        std::make_shared<FadingContentionResolution>(), linear_activation(2));
+  }
+  if (key == "wrap-crash") {
+    return std::make_unique<CrashFaults>(
+        std::make_shared<FadingContentionResolution>(), 0.05);
+  }
+  if (key == "wrap-subset") {
+    return std::make_unique<ActiveSubsetAlgorithm>(
+        std::make_shared<FadingContentionResolution>(),
+        std::vector<NodeId>{0, 2, 5});
+  }
+  return make_algorithm(key, 64);
+}
+
+std::vector<std::string> conformance_keys() {
+  std::vector<std::string> keys;
+  for (const AlgorithmSpec& spec : algorithm_catalog()) keys.push_back(spec.key);
+  keys.insert(keys.end(), {"wrap-interleave", "wrap-staggered", "wrap-crash",
+                           "wrap-subset"});
+  return keys;
+}
+
+class Conformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Conformance, MakeNodeNeverNull) {
+  const auto algo = make_conformance_subject(GetParam());
+  for (const NodeId id : {0u, 1u, 63u, 1000000u}) {
+    EXPECT_NE(algo->make_node(id, Rng(id)), nullptr) << id;
+  }
+}
+
+TEST_P(Conformance, ActionsAreDeterministicGivenInputs) {
+  const auto algo = make_conformance_subject(GetParam());
+  for (const NodeId id : {0u, 7u}) {
+    const auto a = algo->make_node(id, Rng(42));
+    const auto b = algo->make_node(id, Rng(42));
+    for (std::uint64_t round = 1; round <= 300; ++round) {
+      ASSERT_EQ(a->on_round_begin(round), b->on_round_begin(round))
+          << "id " << id << " round " << round;
+      Feedback f;
+      f.received = round % 7 == 0;
+      f.sender = f.received ? 3 : kInvalidNode;
+      a->on_round_end(f);
+      b->on_round_end(f);
+      ASSERT_EQ(a->is_contending(), b->is_contending());
+    }
+  }
+}
+
+TEST_P(Conformance, ToleratesArbitraryFeedback) {
+  const auto algo = make_conformance_subject(GetParam());
+  const auto node = algo->make_node(1, Rng(9));
+  Rng rng(10);
+  for (std::uint64_t round = 1; round <= 500; ++round) {
+    node->on_round_begin(round);
+    Feedback f;
+    f.transmitted = rng.bernoulli(0.3);
+    f.received = !f.transmitted && rng.bernoulli(0.3);
+    f.sender = f.received ? static_cast<NodeId>(rng.uniform_int(64)) : kInvalidNode;
+    f.observation = f.received ? RadioObservation::kMessage
+                    : rng.bernoulli(0.2) ? RadioObservation::kCollision
+                                         : RadioObservation::kSilence;
+    EXPECT_NO_THROW(node->on_round_end(f));
+  }
+  SUCCEED();
+}
+
+TEST_P(Conformance, CapabilityFlagsMatchSpecWhereRegistered) {
+  const std::string key = GetParam();
+  if (key.rfind("wrap-", 0) == 0) return;  // wrappers delegate; tested elsewhere
+  const AlgorithmSpec& spec = algorithm_spec(key);
+  const auto algo = make_conformance_subject(key);
+  EXPECT_EQ(algo->uses_size_bound(), spec.needs_size_bound);
+  EXPECT_EQ(algo->requires_collision_detection(),
+            spec.needs_collision_detection);
+  EXPECT_FALSE(algo->name().empty());
+}
+
+std::string conformance_name(const ::testing::TestParamInfo<std::string>& pi) {
+  std::string s = pi.param;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Conformance,
+                         ::testing::ValuesIn(conformance_keys()),
+                         conformance_name);
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,211 @@
+// Deployment and generator tests: link statistics against brute force,
+// normalization semantics, and the contract of every generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "deploy/deployment.hpp"
+#include "deploy/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+double brute_min_link(const std::vector<Vec2>& pts) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::min(best, dist(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+double brute_max_link(const std::vector<Vec2>& pts) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::max(best, dist(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+TEST(Deployment, LinkStatisticsMatchBruteForce) {
+  Rng rng(100);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Deployment dep = uniform_square(60, 25.0, rng);
+    EXPECT_NEAR(dep.min_link(), brute_min_link(dep.positions()), 1e-9);
+    EXPECT_NEAR(dep.max_link(), brute_max_link(dep.positions()), 1e-9);
+  }
+}
+
+TEST(Deployment, SingleNodeHasTrivialStatistics) {
+  const Deployment dep({{3.0, 4.0}});
+  EXPECT_EQ(dep.size(), 1u);
+  EXPECT_DOUBLE_EQ(dep.link_ratio(), 1.0);
+  EXPECT_EQ(dep.link_class_count(), 1u);
+  EXPECT_TRUE(dep.is_normalized());
+}
+
+TEST(Deployment, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(Deployment({}), std::invalid_argument);
+  EXPECT_THROW(Deployment({{1, 1}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Deployment, PositionAccessIsBoundsChecked) {
+  const Deployment dep({{0, 0}, {1, 0}});
+  EXPECT_EQ(dep.position(1), (Vec2{1, 0}));
+  EXPECT_THROW(dep.position(2), std::invalid_argument);
+}
+
+TEST(Deployment, NormalizationSetsShortestLinkToOne) {
+  const Deployment dep({{0, 0}, {0, 0.25}, {0, 10.0}});
+  EXPECT_FALSE(dep.is_normalized());
+  const Deployment norm = dep.normalized();
+  EXPECT_TRUE(norm.is_normalized());
+  EXPECT_NEAR(norm.min_link(), 1.0, 1e-12);
+  // The ratio R is scale invariant.
+  EXPECT_NEAR(norm.link_ratio(), dep.link_ratio(), 1e-9);
+}
+
+TEST(Deployment, LinkRatioIsScaleInvariant) {
+  Rng rng(101);
+  const Deployment dep = uniform_square(40, 10.0, rng);
+  const Deployment big = dep.scaled(1000.0);
+  EXPECT_NEAR(big.link_ratio(), dep.link_ratio(), 1e-6);
+  EXPECT_THROW(dep.scaled(0.0), std::invalid_argument);
+}
+
+TEST(Deployment, LinkClassCountCoversRatio) {
+  // R = 8 exactly: distances 1 and 8 -> classes 0..3 (floor(log2 8) = 3).
+  const Deployment dep({{0, 0}, {1, 0}, {9, 0}});
+  EXPECT_NEAR(dep.link_ratio(), 9.0, 1e-12);
+  EXPECT_EQ(dep.link_class_count(),
+            static_cast<std::size_t>(std::floor(std::log2(9.0))) + 1);
+}
+
+// ----------------------------------------------------------------generators
+
+TEST(Generators, UniformSquareBounds) {
+  Rng rng(102);
+  const Deployment dep = uniform_square(500, 42.0, rng);
+  EXPECT_EQ(dep.size(), 500u);
+  for (const Vec2 p : dep.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 42.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 42.0);
+  }
+}
+
+TEST(Generators, UniformDiskBounds) {
+  Rng rng(103);
+  const Deployment dep = uniform_disk(500, 7.0, rng);
+  for (const Vec2 p : dep.positions()) {
+    EXPECT_LE(p.norm(), 7.0 + 1e-12);
+  }
+}
+
+TEST(Generators, UniformDiskIsAreaUniform) {
+  // Half the points should fall within radius R/sqrt(2).
+  Rng rng(104);
+  const Deployment dep = uniform_disk(20000, 1.0, rng);
+  std::size_t inner = 0;
+  for (const Vec2 p : dep.positions()) {
+    if (p.norm() <= 1.0 / std::sqrt(2.0)) ++inner;
+  }
+  EXPECT_NEAR(static_cast<double>(inner) / 20000.0, 0.5, 0.02);
+}
+
+TEST(Generators, PerturbedGridShapeAndSpacing) {
+  Rng rng(105);
+  const Deployment dep = perturbed_grid(8, 6, 5.0, 1.0, rng);
+  EXPECT_EQ(dep.size(), 48u);
+  // Jitter 1.0 < spacing/2, so the minimum link stays >= spacing - 2*jitter.
+  EXPECT_GE(dep.min_link(), 5.0 - 2.0 - 1e-12);
+  EXPECT_THROW(perturbed_grid(2, 2, 5.0, 2.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, ExponentialChainHitsExactSpan) {
+  Rng rng(106);
+  for (const double span : {64.0, 1024.0, 1048576.0}) {
+    const Deployment dep = exponential_chain(32, span, rng);
+    EXPECT_EQ(dep.size(), 32u);
+    EXPECT_NEAR(dep.min_link(), 1.0, 1e-6);
+    EXPECT_NEAR(dep.link_ratio(), span, span * 1e-6);
+  }
+}
+
+TEST(Generators, ExponentialChainRejectsTightSpan) {
+  Rng rng(107);
+  EXPECT_THROW(exponential_chain(32, 16.0, rng), std::invalid_argument);
+  EXPECT_THROW(exponential_chain(1, 10.0, rng), std::invalid_argument);
+}
+
+TEST(Generators, ExponentialChainUniformWhenSpanEqualsGaps) {
+  Rng rng(108);
+  // span = n - 1 forces q = 1: unit spacing.
+  const Deployment dep = exponential_chain(10, 9.0, rng);
+  EXPECT_NEAR(dep.link_ratio(), 9.0, 1e-6);
+  EXPECT_NEAR(dep.min_link(), 1.0, 1e-6);
+}
+
+TEST(Generators, TwoClustersSeparationAndSizes) {
+  Rng rng(109);
+  const Deployment dep = two_clusters(21, 100.0, 2.0, rng);
+  EXPECT_EQ(dep.size(), 21u);
+  // Count nodes near each center.
+  std::size_t near_a = 0, near_b = 0;
+  for (const Vec2 p : dep.positions()) {
+    if (dist(p, {0, 0}) <= 2.0 + 1e-9) ++near_a;
+    if (dist(p, {100.0, 0}) <= 2.0 + 1e-9) ++near_b;
+  }
+  EXPECT_EQ(near_a, 11u);
+  EXPECT_EQ(near_b, 10u);
+  EXPECT_THROW(two_clusters(10, 3.0, 2.0, rng), std::invalid_argument);
+}
+
+TEST(Generators, RingRadiusAndCount) {
+  Rng rng(110);
+  const Deployment dep = ring(24, 10.0, 0.01, rng);
+  EXPECT_EQ(dep.size(), 24u);
+  for (const Vec2 p : dep.positions()) {
+    EXPECT_NEAR(p.norm(), 10.0, 1e-9);
+  }
+}
+
+TEST(Generators, ThomasClustersCount) {
+  Rng rng(111);
+  const Deployment dep = thomas_clusters(100, 5, 1.0, 100.0, rng);
+  EXPECT_EQ(dep.size(), 100u);
+}
+
+TEST(Generators, SinglePair) {
+  const Deployment dep = single_pair(3.5);
+  EXPECT_EQ(dep.size(), 2u);
+  EXPECT_DOUBLE_EQ(dep.min_link(), 3.5);
+  EXPECT_DOUBLE_EQ(dep.link_ratio(), 1.0);
+  EXPECT_THROW(single_pair(0.0), std::invalid_argument);
+}
+
+TEST(Generators, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  const Deployment da = uniform_square(50, 10.0, a);
+  const Deployment db = uniform_square(50, 10.0, b);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(da.positions()[i], db.positions()[i]);
+  }
+}
+
+TEST(MinPairwiseDistance, AgreesWithBruteForce) {
+  Rng rng(112);
+  const auto dep = uniform_square(80, 9.0, rng);
+  EXPECT_NEAR(min_pairwise_distance(dep.positions()),
+              brute_min_link(dep.positions()), 1e-12);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,121 @@
+// Duty-cycling tests: wake schedules, radio-off semantics, and the
+// aligned-vs-unaligned contention behaviour.
+#include <gtest/gtest.h>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/duty_cycle.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(DutyCycle, SleepsOutsideItsSlot) {
+  auto inner = std::make_shared<FadingContentionResolution>(0.999);
+  const DutyCycled algo(inner, 4, [](NodeId) { return std::uint64_t{2}; });
+  const auto node = algo.make_node(0, Rng(1));
+  int awake_tx = 0;
+  for (std::uint64_t r = 1; r <= 40; ++r) {
+    const Action a = node->on_round_begin(r);
+    if (r % 4 != 2) {
+      EXPECT_EQ(a, Action::kListen) << r;  // asleep: radio off
+    } else if (a == Action::kTransmit) {
+      ++awake_tx;
+    }
+    node->on_round_end(Feedback{});
+  }
+  EXPECT_GE(awake_tx, 9);  // p ~ 1 on the ~10 awake slots
+}
+
+TEST(DutyCycle, SleepingNodesMissKnockouts) {
+  auto inner = std::make_shared<FadingContentionResolution>(0.5);
+  const DutyCycled algo(inner, 2, [](NodeId) { return std::uint64_t{0}; });
+  const auto node = algo.make_node(0, Rng(2));
+  Feedback heard;
+  heard.received = true;
+  // Round 1 is a sleep round (phase 0 wakes at rounds divisible by 2):
+  // deliver a knockout — it must be lost.
+  node->on_round_begin(1);
+  node->on_round_end(heard);
+  EXPECT_TRUE(node->is_contending());
+  // Round 2 is awake: the knockout lands.
+  node->on_round_begin(2);
+  node->on_round_end(heard);
+  EXPECT_FALSE(node->is_contending());
+}
+
+TEST(DutyCycle, PhaseAssignments) {
+  EXPECT_EQ(aligned_phases()(7), 0u);
+  const auto random = random_phases(8, 3);
+  for (NodeId id = 0; id < 40; ++id) {
+    const auto phase = random(id);
+    EXPECT_LT(phase, 8u);
+    EXPECT_EQ(phase, random_phases(8, 3)(id));  // deterministic
+  }
+}
+
+TEST(DutyCycle, Validation) {
+  auto inner = std::make_shared<FadingContentionResolution>();
+  EXPECT_THROW(DutyCycled(nullptr, 4, aligned_phases()),
+               std::invalid_argument);
+  EXPECT_THROW(DutyCycled(inner, 0, aligned_phases()), std::invalid_argument);
+  EXPECT_THROW(DutyCycled(inner, 4, PhaseAssignment{}), std::invalid_argument);
+  const DutyCycled bad_phase(inner, 4, [](NodeId) { return std::uint64_t{9}; });
+  EXPECT_THROW(bad_phase.make_node(0, Rng(1)), ContractViolation);
+}
+
+TEST(DutyCycle, AlignedCyclesCostRoughlyPeriodTimesRounds) {
+  // All nodes share the wake slot: the contention plays out identically to
+  // the always-on run but stretched by the period (only every period-th
+  // round does anything).
+  auto run_with = [](std::uint64_t period) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(64, 16.0, rng).normalized(); },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [period](const Deployment&) -> std::unique_ptr<Algorithm> {
+          auto inner = std::make_shared<FadingContentionResolution>();
+          if (period == 1) {
+            return std::make_unique<FadingContentionResolution>();
+          }
+          return std::make_unique<DutyCycled>(inner, period, aligned_phases());
+        },
+        [] {
+          TrialConfig c;
+          c.trials = 20;
+          c.engine.max_rounds = 50000;
+          return c;
+        }());
+  };
+  const auto base = run_with(1);
+  const auto cycled = run_with(4);
+  ASSERT_EQ(base.solved, base.trials);
+  ASSERT_EQ(cycled.solved, cycled.trials);
+  const double ratio = cycled.summary().median / base.summary().median;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(DutyCycle, UnalignedPhasesStillSolve) {
+  // Random phases partition the network into period-many sub-contentions;
+  // a solo transmission in ANY slot resolves the whole thing, so completion
+  // is fast (each slot has ~n/period contenders).
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(64, 16.0, rng).normalized(); },
+      sinr_channel_factory(3.0, 1.5, 1e-9),
+      [](const Deployment&) {
+        return std::make_unique<DutyCycled>(
+            std::make_shared<FadingContentionResolution>(), 4,
+            random_phases(4, 99));
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 20;
+        c.engine.max_rounds = 50000;
+        return c;
+      }());
+  EXPECT_EQ(result.solved, result.trials);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,216 @@
+// Engine tests: solo-round termination semantics, feedback delivery,
+// observers, determinism, and model-capability enforcement — using scripted
+// protocols whose actions are fully controlled.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+/// Protocol that transmits exactly in the rounds listed for its id.
+class ScriptedNode final : public NodeProtocol {
+ public:
+  ScriptedNode(std::vector<std::uint64_t> transmit_rounds,
+               std::vector<Feedback>* feedback_log)
+      : rounds_(std::move(transmit_rounds)), log_(feedback_log) {}
+
+  Action on_round_begin(std::uint64_t round) override {
+    for (const auto r : rounds_) {
+      if (r == round) return Action::kTransmit;
+    }
+    return Action::kListen;
+  }
+
+  void on_round_end(const Feedback& feedback) override {
+    if (log_ != nullptr) log_->push_back(feedback);
+  }
+
+ private:
+  std::vector<std::uint64_t> rounds_;
+  std::vector<Feedback>* log_;
+};
+
+/// Algorithm wrapping per-id transmit schedules.
+class ScriptedAlgorithm final : public Algorithm {
+ public:
+  explicit ScriptedAlgorithm(
+      std::map<NodeId, std::vector<std::uint64_t>> schedules)
+      : schedules_(std::move(schedules)) {}
+
+  std::string name() const override { return "scripted"; }
+
+  std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng) const override {
+    auto it = schedules_.find(id);
+    return std::make_unique<ScriptedNode>(
+        it == schedules_.end() ? std::vector<std::uint64_t>{} : it->second,
+        logs_.count(id) ? logs_.at(id) : nullptr);
+  }
+
+  void attach_log(NodeId id, std::vector<Feedback>* log) { logs_[id] = log; }
+
+ private:
+  std::map<NodeId, std::vector<std::uint64_t>> schedules_;
+  std::map<NodeId, std::vector<Feedback>*> logs_;
+};
+
+Deployment three_nodes() { return Deployment({{0, 0}, {1, 0}, {2, 0}}); }
+
+TEST(Engine, SoloTransmissionSolvesInThatRound) {
+  // Round 1: nodes 0 and 1 collide. Round 2: only node 2 transmits.
+  ScriptedAlgorithm algo({{0, {1}}, {1, {1}}, {2, {2}}});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, config, Rng(1));
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.rounds, 2u);
+  EXPECT_EQ(r.winner, 2u);
+}
+
+TEST(Engine, FirstRoundSoloWins) {
+  std::map<NodeId, std::vector<std::uint64_t>> schedules;
+  schedules[1] = {1};
+  ScriptedAlgorithm algo(std::move(schedules));
+  const RadioChannelAdapter channel(false);
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, EngineConfig{}, Rng(1));
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.winner, 1u);
+}
+
+TEST(Engine, NoSoloMeansUnsolvedAtMaxRounds) {
+  // All three transmit every round: never solo.
+  ScriptedAlgorithm algo(
+      {{0, {1, 2, 3}}, {1, {1, 2, 3}}, {2, {1, 2, 3}}});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 3;
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, config, Rng(1));
+  EXPECT_FALSE(r.solved);
+  EXPECT_EQ(r.rounds, 3u);
+  EXPECT_EQ(r.winner, kInvalidNode);
+}
+
+TEST(Engine, SilenceIsNotASolution) {
+  ScriptedAlgorithm algo({});  // nobody ever transmits
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5;
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, config, Rng(1));
+  EXPECT_FALSE(r.solved);
+}
+
+TEST(Engine, FeedbackDeliveredToEveryNodeEveryRound) {
+  ScriptedAlgorithm algo({{0, {1}}, {1, {2}}});
+  std::vector<Feedback> log0, log1, log2;
+  algo.attach_log(0, &log0);
+  algo.attach_log(1, &log1);
+  algo.attach_log(2, &log2);
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.stop_on_solve = false;
+  config.max_rounds = 2;
+  run_execution(three_nodes(), algo, channel, config, Rng(1));
+
+  ASSERT_EQ(log0.size(), 2u);
+  ASSERT_EQ(log1.size(), 2u);
+  ASSERT_EQ(log2.size(), 2u);
+  // Round 1: node 0 transmitted (learns only that); 1 and 2 hear node 0.
+  EXPECT_TRUE(log0[0].transmitted);
+  EXPECT_FALSE(log0[0].received);
+  EXPECT_TRUE(log1[0].received);
+  EXPECT_EQ(log1[0].sender, 0u);
+  EXPECT_TRUE(log2[0].received);
+  // Round 2: node 1 transmitted; 0 and 2 hear node 1.
+  EXPECT_TRUE(log1[1].transmitted);
+  EXPECT_TRUE(log0[1].received);
+  EXPECT_EQ(log0[1].sender, 1u);
+}
+
+TEST(Engine, RecordRoundsCapturesHistory) {
+  ScriptedAlgorithm algo({{0, {1, 2}}, {1, {1}}, {2, {2}}});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.record_rounds = true;
+  config.stop_on_solve = false;
+  config.max_rounds = 2;
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, config, Rng(1));
+  ASSERT_EQ(r.history.size(), 2u);
+  EXPECT_EQ(r.history[0].round, 1u);
+  EXPECT_EQ(r.history[0].transmitters, 2u);
+  EXPECT_EQ(r.history[0].receptions, 0u);  // collision
+  EXPECT_EQ(r.history[1].transmitters, 2u);
+  // stop_on_solve=false keeps running; solved stays false (no solo round).
+  EXPECT_FALSE(r.solved);
+}
+
+TEST(Engine, StopOnSolveFalseStillReportsFirstSoloRound) {
+  ScriptedAlgorithm algo({{0, {1, 3}}, {1, {2}}});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.stop_on_solve = false;
+  config.max_rounds = 4;
+  const RunResult r =
+      run_execution(three_nodes(), algo, channel, config, Rng(1));
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.rounds, 1u);  // first solo round, not the last
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(Engine, ObserverSeesEveryRound) {
+  ScriptedAlgorithm algo({{0, {1}}, {1, {1}}, {2, {3}}});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 5;
+  std::vector<std::size_t> tx_counts;
+  const RunResult r = run_execution(
+      three_nodes(), algo, channel, config, Rng(1),
+      [&](const RoundView& view) { tx_counts.push_back(view.transmitters.size()); });
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.rounds, 3u);
+  EXPECT_EQ(tx_counts, (std::vector<std::size_t>{2, 0, 1}));
+}
+
+TEST(Engine, CdAlgorithmRejectedOnPlainChannel) {
+  /// Minimal algorithm flagged as CD-requiring.
+  class NeedsCd final : public Algorithm {
+   public:
+    std::string name() const override { return "needs-cd"; }
+    std::unique_ptr<NodeProtocol> make_node(NodeId, Rng) const override {
+      return std::make_unique<ScriptedNode>(std::vector<std::uint64_t>{},
+                                            nullptr);
+    }
+    bool requires_collision_detection() const override { return true; }
+  };
+  const NeedsCd algo;
+  const RadioChannelAdapter plain(false);
+  EXPECT_THROW(
+      run_execution(three_nodes(), algo, plain, EngineConfig{}, Rng(1)),
+      std::invalid_argument);
+  const RadioChannelAdapter cd(true);
+  EXPECT_NO_THROW(
+      run_execution(three_nodes(), algo, cd, EngineConfig{}, Rng(1)));
+}
+
+TEST(Engine, InvalidConfigRejected) {
+  ScriptedAlgorithm algo({});
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 0;
+  EXPECT_THROW(
+      run_execution(three_nodes(), algo, channel, config, Rng(1)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

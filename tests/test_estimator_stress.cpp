@@ -1,0 +1,146 @@
+// Contention-estimator tests plus randomized stress invariants for the
+// spatial grid at larger scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/contention_estimator.hpp"
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "geom/grid.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+// ---------------------------------------------------------------- estimator
+
+TEST(ContentionEstimator, RecoversTheTruthOnSyntheticStreams) {
+  // Simulate the exact generative model: k-1 other nodes, each transmitting
+  // w.p. p; a listening observer sees silence iff all are quiet.
+  Rng rng(1);
+  const double p = 0.2;
+  for (const int k : {2, 5, 20, 60}) {
+    ContentionEstimator est(p);
+    for (int round = 0; round < 20000; ++round) {
+      bool active = false;
+      for (int other = 0; other < k - 1; ++other) {
+        if (rng.bernoulli(p)) active = true;
+      }
+      est.observe(active);
+    }
+    const auto k_hat = est.estimate();
+    ASSERT_TRUE(k_hat.has_value());
+    const auto ci = est.ci95_halfwidth();
+    ASSERT_TRUE(ci.has_value());
+    EXPECT_NEAR(*k_hat, static_cast<double>(k), std::max(4.0 * *ci, 0.5))
+        << "k=" << k;
+  }
+}
+
+TEST(ContentionEstimator, ExtremesStayFinite) {
+  ContentionEstimator quiet(0.3);
+  for (int i = 0; i < 100; ++i) quiet.observe(false);
+  ASSERT_TRUE(quiet.estimate().has_value());
+  EXPECT_NEAR(*quiet.estimate(), 1.0, 0.1);  // nobody else out there
+
+  ContentionEstimator jammed(0.3);
+  for (int i = 0; i < 100; ++i) jammed.observe(true);
+  ASSERT_TRUE(jammed.estimate().has_value());
+  EXPECT_GT(*jammed.estimate(), 10.0);  // large but finite
+  EXPECT_TRUE(std::isfinite(*jammed.estimate()));
+}
+
+TEST(ContentionEstimator, Validation) {
+  EXPECT_THROW(ContentionEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(ContentionEstimator(1.0), std::invalid_argument);
+  const ContentionEstimator empty(0.2);
+  EXPECT_FALSE(empty.estimate().has_value());
+  EXPECT_FALSE(empty.ci95_halfwidth().has_value());
+}
+
+TEST(ContentionEstimator, MoreObservationsTightenTheCi) {
+  Rng rng(2);
+  ContentionEstimator est(0.25);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 500; ++i) est.observe(rng.bernoulli(0.6));
+    const auto ci = est.ci95_halfwidth();
+    ASSERT_TRUE(ci.has_value());
+    EXPECT_LT(*ci, prev);
+    prev = *ci;
+  }
+}
+
+// -------------------------------------------------------------- grid stress
+
+TEST(GridStress, RandomizedQueriesMatchBruteForceAtScale) {
+  Rng rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    // Mixed-density instance: a uniform cloud plus a tight clump.
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 900; ++i) {
+      pts.push_back({trial_rng.uniform(0.0, 100.0),
+                     trial_rng.uniform(0.0, 100.0)});
+    }
+    for (int i = 0; i < 100; ++i) {
+      pts.push_back({50.0 + trial_rng.uniform(0.0, 0.5),
+                     50.0 + trial_rng.uniform(0.0, 0.5)});
+    }
+    const SpatialGrid grid(pts);
+
+    for (int q = 0; q < 60; ++q) {
+      const Vec2 query{trial_rng.uniform(-10.0, 110.0),
+                       trial_rng.uniform(-10.0, 110.0)};
+      // Nearest.
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vec2 p : pts) best = std::min(best, dist(p, query));
+      const auto got = grid.nearest(query);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_NEAR(got->distance, best, 1e-9);
+      // Annulus count at a random shell.
+      const double inner = trial_rng.uniform(0.0, 30.0);
+      const double outer = inner + trial_rng.uniform(0.1, 40.0);
+      std::size_t want = 0;
+      for (const Vec2 p : pts) {
+        const double d = dist(p, query);
+        if (d > inner && d <= outer) ++want;
+      }
+      EXPECT_EQ(grid.count_in_annulus(query, inner, outer), want);
+    }
+  }
+}
+
+TEST(GridStress, LinkClassPartitionSumsAcrossDensities) {
+  // Partition totals and per-node class coherence on a hard mixed-scale
+  // instance (tight clump inside a sparse field).
+  Rng rng(4);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)});
+  }
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({100.0 + rng.uniform(0.0, 2.0),
+                   100.0 + rng.uniform(0.0, 2.0)});
+  }
+  const Deployment dep(std::move(pts));
+  std::vector<NodeId> ids(dep.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  const LinkClassPartition part(dep, ids);
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < part.class_count(); ++i) {
+    total += part.size_of(i);
+    for (const NodeId u : part.nodes_in(i)) {
+      EXPECT_EQ(part.class_of(u), static_cast<std::int32_t>(i));
+    }
+  }
+  EXPECT_EQ(total, dep.size());
+  EXPECT_EQ(part.size_below(part.class_count()), dep.size());
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,204 @@
+// Exact Markov-chain analysis vs the simulator — the strongest validation
+// in the suite: on tiny instances the whole stack (RNG, engine, channel,
+// algorithm) must reproduce closed-form expectations — plus the optimal
+// hitting-game value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "lowerbound/optimal.hpp"
+#include "lowerbound/players.hpp"
+#include "sim/channel_adapter.hpp"
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+
+namespace fcr {
+namespace {
+
+SinrParams params_for(const Deployment& dep) {
+  return SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+}
+
+TEST(Exact, TwoNodesIsGeometric) {
+  // Two nodes: the pair is decodable (single hop), so the first round with
+  // any transmission resolves or knocks out: states full -> absorbed or
+  // single -> geometric. Known closed form: E = (1 + ...) — verify against
+  // first-step analysis computed independently here.
+  const Deployment dep = single_pair(1.0).normalized();
+  const SinrChannel channel(params_for(dep));
+  const double p = 0.3;
+  const ExactFadingAnalysis exact(dep, channel, p);
+
+  // From {a, b}: P(solo) = 2p(1-p) solves; P(both transmit) = p^2 keeps
+  // both active (transmitters can't receive); P(neither) = (1-p)^2 stays.
+  // No knockout can occur with both transmitting (no listeners), so the
+  // chain never leaves the full state until the solo round:
+  // E = 1 / (2p(1-p)).
+  EXPECT_NEAR(exact.expected_rounds(), 1.0 / (2.0 * p * (1.0 - p)), 1e-12);
+  // Lone-node state: geometric(p).
+  EXPECT_NEAR(exact.expected_rounds(0b01), 1.0 / p, 1e-12);
+}
+
+TEST(Exact, TransitionMatchesChannelSemantics) {
+  // Three collinear nodes, unit spacing: if only node 0 transmits, nodes 1
+  // and 2 decode it (single-hop power) and are knocked out.
+  const Deployment dep = Deployment({{0, 0}, {1, 0}, {2, 0}}).normalized();
+  const SinrChannel channel(params_for(dep));
+  const ExactFadingAnalysis exact(dep, channel, 0.2);
+  EXPECT_EQ(exact.transition(0b111, 0b001), 0b001u);
+  // Everyone transmits: no listeners, nothing changes.
+  EXPECT_EQ(exact.transition(0b111, 0b111), 0b111u);
+  // Nobody transmits: nothing changes.
+  EXPECT_EQ(exact.transition(0b111, 0b000), 0b111u);
+  EXPECT_THROW(exact.transition(0b011, 0b100), std::invalid_argument);
+}
+
+TEST(Exact, SolveProbabilityIsMonotoneAndConverges) {
+  Rng rng(95);
+  const Deployment dep = uniform_square(6, 5.0, rng).normalized();
+  const SinrChannel channel(params_for(dep));
+  const ExactFadingAnalysis exact(dep, channel, 0.2);
+  double prev = 0.0;
+  for (const std::uint64_t r : {1u, 2u, 5u, 10u, 50u, 200u}) {
+    const double q = exact.solve_probability_within(r);
+    EXPECT_GE(q, prev);
+    EXPECT_LE(q, 1.0 + 1e-12);
+    prev = q;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+TEST(Exact, SimulatorMatchesExactExpectation) {
+  // THE validation: Monte Carlo mean completion time over the full stack
+  // must match the Markov-chain expectation within confidence bounds.
+  for (const std::uint64_t instance_seed : {101u, 202u}) {
+    Rng rng(instance_seed);
+    const Deployment dep = uniform_square(7, 6.0, rng).normalized();
+    const SinrParams params = params_for(dep);
+    const SinrChannel channel(params);
+    const double p = 0.25;
+    const ExactFadingAnalysis exact(dep, channel, p);
+    const double expected = exact.expected_rounds();
+
+    const SinrChannelAdapter adapter(params);
+    const FadingContentionResolution algo(p);
+    StreamingSummary rounds;
+    EngineConfig config;
+    config.max_rounds = 100000;
+    const std::size_t trials = 4000;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const RunResult r =
+          run_execution(dep, algo, adapter, config, rng.split(1000 + t));
+      ASSERT_TRUE(r.solved);
+      rounds.add(static_cast<double>(r.rounds));
+    }
+    // 4 standard errors of slack.
+    EXPECT_NEAR(rounds.mean(), expected, 4.0 * rounds.ci95_halfwidth() / 1.96)
+        << "instance " << instance_seed << " exact=" << expected;
+  }
+}
+
+TEST(Exact, SimulatorMatchesExactTailProbability) {
+  Rng rng(303);
+  const Deployment dep = uniform_square(6, 5.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const SinrChannel channel(params);
+  const double p = 0.2;
+  const ExactFadingAnalysis exact(dep, channel, p);
+
+  const std::uint64_t horizon = 5;
+  const double q_exact = exact.solve_probability_within(horizon);
+
+  const SinrChannelAdapter adapter(params);
+  const FadingContentionResolution algo(p);
+  EngineConfig config;
+  config.max_rounds = horizon;
+  std::size_t solved = 0;
+  const std::size_t trials = 6000;
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (run_execution(dep, algo, adapter, config, rng.split(t)).solved) {
+      ++solved;
+    }
+  }
+  const double q_sim = static_cast<double>(solved) / trials;
+  // Binomial standard error ~ sqrt(q(1-q)/trials) < 0.0065.
+  EXPECT_NEAR(q_sim, q_exact, 0.03);
+}
+
+TEST(Exact, Validation) {
+  const Deployment dep = single_pair(1.0);
+  const SinrChannel channel(params_for(dep));
+  EXPECT_THROW(ExactFadingAnalysis(dep, channel, 0.0), std::invalid_argument);
+  const Deployment one({{0, 0}});
+  EXPECT_THROW(ExactFadingAnalysis(one, channel, 0.2), std::invalid_argument);
+}
+
+// ----------------------------------------------------- optimal hitting game
+
+TEST(OptimalHitting, ClosedFormKnownValues) {
+  // k = 4, T = 1: 2 classes of 2 -> 2 unsplit pairs of C(4,2)=6.
+  EXPECT_EQ(min_unsplit_pairs(4, 1), 2u);
+  EXPECT_NEAR(optimal_hitting_success(4, 1), 1.0 - 2.0 / 6.0, 1e-12);
+  // T = 2 splits everything: 4 classes of 1.
+  EXPECT_EQ(min_unsplit_pairs(4, 2), 0u);
+  EXPECT_DOUBLE_EQ(optimal_hitting_success(4, 2), 1.0);
+  // T = 0: everything unsplit.
+  EXPECT_EQ(min_unsplit_pairs(4, 0), 6u);
+  EXPECT_DOUBLE_EQ(optimal_hitting_success(4, 0), 0.0);
+}
+
+TEST(OptimalHitting, WhpThresholdIsLogarithmic) {
+  // The exact threshold sits in [ceil(log2 k) - 1, ceil(log2 k)]: reaching
+  // success 1 - 1/k needs the balanced partition's unsplit count to drop to
+  // (k-1)/2, which ~k/2 classes achieve — one round before perfect
+  // splitting (e.g. k = 3, T = 1: one unsplit pair of three is exactly the
+  // 1 - 1/k bar). Powers of two need the full ceil(log2 k).
+  for (const std::size_t k : {2u, 3u, 4u, 7u, 8u, 9u, 64u, 100u, 4096u}) {
+    const std::size_t t = optimal_rounds_for_whp(k);
+    const auto ceil_log2 = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(k))));
+    EXPECT_LE(t, ceil_log2) << "k=" << k;
+    EXPECT_GE(t + 1, ceil_log2) << "k=" << k;
+    // Below the computed threshold the bar is strictly missed (Lemma 13).
+    if (t > 0) {
+      EXPECT_LT(optimal_hitting_success(k, t - 1),
+                1.0 - 1.0 / static_cast<double>(k))
+          << "k=" << k;
+    }
+    // Powers of two need every round.
+    if ((k & (k - 1)) == 0) {
+      EXPECT_EQ(t, ceil_log2) << "k=" << k;
+    }
+  }
+}
+
+TEST(OptimalHitting, MonotoneInRounds) {
+  for (std::size_t t = 0; t < 12; ++t) {
+    EXPECT_LE(optimal_hitting_success(1000, t),
+              optimal_hitting_success(1000, t + 1));
+  }
+}
+
+TEST(OptimalHitting, NoPlayerBeatsTheOptimum) {
+  // Empirical cross-check: the random-half player's per-(k, T) success rate
+  // must not exceed the closed-form optimum (within sampling error).
+  Rng rng(96);
+  const std::size_t k = 32, T = 3;
+  const double optimum = optimal_hitting_success(k, T);
+  std::size_t wins = 0;
+  const std::size_t games = 4000;
+  for (std::size_t g = 0; g < games; ++g) {
+    Rng game_rng = rng.split(g);
+    const HittingGameReferee ref(k, game_rng);
+    RandomHalfPlayer player(k, game_rng.split(1));
+    if (play_hitting_game(ref, player, T).won) ++wins;
+  }
+  const double rate = static_cast<double>(wins) / static_cast<double>(games);
+  EXPECT_LE(rate, optimum + 0.02);
+}
+
+}  // namespace
+}  // namespace fcr

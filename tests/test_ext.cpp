@@ -1,0 +1,269 @@
+// Extension-module tests: power control, carrier sensing, interleaving.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/fast_decay.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/carrier_sense.hpp"
+#include "ext/interleave.hpp"
+#include "ext/power_control.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+SinrParams basic_params() {
+  SinrParams p;
+  p.alpha = 3.0;
+  p.beta = 1.5;
+  p.noise = 0.0;
+  p.power = 1.0;
+  return p;
+}
+
+// ----------------------------------------------------------- power control
+
+TEST(PowerControl, UniformPowersMatchFixedPowerChannel) {
+  Rng rng(800);
+  const Deployment dep = uniform_square(40, 10.0, rng).normalized();
+  SinrParams params = basic_params();
+  params.noise = 1e-9;
+  params.power = 7.0;
+
+  const SinrChannel fixed(params);
+  const PowerControlSinrChannel pc(params);
+
+  std::vector<NodeId> tx = {0, 1, 2, 3};
+  std::vector<NodeId> listeners;
+  for (NodeId i = 4; i < dep.size(); ++i) listeners.push_back(i);
+  const std::vector<double> powers(tx.size(), params.power);
+
+  const auto a = fixed.resolve(dep, tx, listeners);
+  const auto b = pc.resolve(dep, tx, powers, listeners);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sender, b[i].sender) << "listener " << listeners[i];
+  }
+}
+
+TEST(PowerControl, StrongerTransmitterWinsTheLink) {
+  // Two transmitters equidistant from the listener: the higher-power one is
+  // decoded once its power advantage clears beta.
+  const Deployment dep({{0.0, 0.0}, {-1.0, 0.0}, {1.0, 0.0}});
+  const PowerControlSinrChannel pc(basic_params());
+  const std::vector<NodeId> tx = {1, 2};
+  const std::vector<NodeId> listeners = {0};
+
+  const std::vector<double> boosted = {10.0, 1.0};
+  auto receptions = pc.resolve(dep, tx, boosted, listeners);
+  EXPECT_EQ(receptions[0].sender, 1u);
+
+  const std::vector<double> equal = {1.0, 1.0};
+  receptions = pc.resolve(dep, tx, equal, listeners);
+  EXPECT_FALSE(receptions[0].received());  // symmetric: SINR = 1 < beta
+}
+
+TEST(PowerControl, ValidatesPowerVector) {
+  const Deployment dep = single_pair(2.0);
+  const PowerControlSinrChannel pc(basic_params());
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  const std::vector<double> wrong_size = {};
+  EXPECT_THROW(pc.resolve(dep, tx, wrong_size, listeners),
+               std::invalid_argument);
+  const std::vector<double> non_positive = {0.0};
+  EXPECT_THROW(pc.resolve(dep, tx, non_positive, listeners),
+               std::invalid_argument);
+}
+
+TEST(PowerControl, RandomPowerAdapterRunsThePapersAlgorithm) {
+  Rng rng(801);
+  const Deployment dep = uniform_square(64, 20.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const RandomPowerSinrAdapter adapter(params, 4, 2.0, rng.split(5));
+  EXPECT_EQ(adapter.name(), "sinr-power-control");
+  EXPECT_EQ(adapter.levels(), 4u);
+
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 5000;
+  const RunResult r = run_execution(dep, algo, adapter, config, rng.split(6));
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(PowerControl, AdapterValidation) {
+  EXPECT_THROW(RandomPowerSinrAdapter(basic_params(), 0, 2.0, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RandomPowerSinrAdapter(basic_params(), 2, 1.0, Rng(1)),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- carrier sense
+
+TEST(CarrierSense, BusyChannelIsReportedAboveThreshold) {
+  // Transmitters far from the listener: nothing decodable, but the summed
+  // power can exceed the sensing threshold.
+  const Deployment dep({{0.0, 0.0}, {10.0, 0.0}, {-10.0, 0.0}});
+  SinrParams params = basic_params();
+  const double received_power = 2.0 / 1000.0;  // two signals at distance 10
+  const CarrierSenseSinrAdapter sensitive(params, received_power / 2.0);
+  const CarrierSenseSinrAdapter deaf(params, received_power * 2.0);
+  EXPECT_TRUE(sensitive.provides_collision_detection());
+
+  const std::vector<NodeId> tx = {1, 2};
+  const std::vector<NodeId> listeners = {0};
+  std::vector<Feedback> fb(1);
+
+  sensitive.resolve(dep, tx, listeners, fb);
+  EXPECT_FALSE(fb[0].received);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kCollision);
+
+  deaf.resolve(dep, tx, listeners, fb);
+  EXPECT_FALSE(fb[0].received);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kSilence);
+}
+
+TEST(CarrierSense, DecodedMessageTrumpsBusy) {
+  const Deployment dep = single_pair(1.0);
+  const CarrierSenseSinrAdapter adapter(basic_params(), 1e-12);
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  adapter.resolve(dep, tx, listeners, fb);
+  EXPECT_TRUE(fb[0].received);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kMessage);
+}
+
+TEST(CarrierSense, KnockoutAlgorithmValidation) {
+  EXPECT_THROW(CarrierSenseKnockout(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(CarrierSenseKnockout(0.2, 1.5), std::invalid_argument);
+  const CarrierSenseKnockout algo(0.2, 0.1);
+  EXPECT_TRUE(algo.requires_collision_detection());
+  EXPECT_NE(algo.name().find("0.2"), std::string::npos);
+}
+
+TEST(CarrierSense, SenseKnockoutDeactivatesOnBusyRounds) {
+  const CarrierSenseKnockout algo(0.2, 1.0);  // q = 1: certain withdrawal
+  const auto node = algo.make_node(0, Rng(5));
+  Feedback busy;
+  busy.observation = RadioObservation::kCollision;
+  // Drive rounds until the node listens into a busy round.
+  for (std::uint64_t r = 1; r <= 200 && node->is_contending(); ++r) {
+    const Action a = node->on_round_begin(r);
+    Feedback f = busy;
+    f.transmitted = a == Action::kTransmit;
+    if (f.transmitted) f.observation = RadioObservation::kSilence;
+    node->on_round_end(f);
+  }
+  EXPECT_FALSE(node->is_contending());
+}
+
+TEST(CarrierSense, AggressiveSensingCannotExtinguishTheNetwork) {
+  // Sensing only fires when someone transmitted, and transmitters never
+  // withdraw (they receive no feedback), so even q = 1 keeps at least one
+  // active node per round — the variant is safe and in fact accelerates
+  // convergence to a solo round.
+  Rng rng(802);
+  const Deployment dep = uniform_square(64, 20.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const CarrierSenseSinrAdapter channel(params, params.noise);
+  const CarrierSenseKnockout algo(0.5, 1.0);
+  EngineConfig config;
+  config.max_rounds = 2000;
+  config.record_rounds = true;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+  for (const RoundStats& s : r.history) {
+    EXPECT_GE(s.contending, 1u) << "round " << s.round;
+  }
+}
+
+// -------------------------------------------------------------- interleave
+
+TEST(Interleave, RoutesRoundsToSubProtocols) {
+  /// Sub-protocol that transmits iff its (sub-)round number is even,
+  /// recording the rounds it saw.
+  class Probe final : public NodeProtocol {
+   public:
+    explicit Probe(std::vector<std::uint64_t>* seen) : seen_(seen) {}
+    Action on_round_begin(std::uint64_t round) override {
+      seen_->push_back(round);
+      return Action::kListen;
+    }
+    void on_round_end(const Feedback&) override {}
+   private:
+    std::vector<std::uint64_t>* seen_;
+  };
+  class ProbeAlgo final : public Algorithm {
+   public:
+    explicit ProbeAlgo(std::vector<std::uint64_t>* seen) : seen_(seen) {}
+    std::string name() const override { return "probe"; }
+    std::unique_ptr<NodeProtocol> make_node(NodeId, Rng) const override {
+      return std::make_unique<Probe>(seen_);
+    }
+   private:
+    std::vector<std::uint64_t>* seen_;
+  };
+
+  std::vector<std::uint64_t> odd_seen, even_seen;
+  const InterleavedAlgorithm algo(std::make_shared<ProbeAlgo>(&odd_seen),
+                                  std::make_shared<ProbeAlgo>(&even_seen));
+  const auto node = algo.make_node(0, Rng(1));
+  for (std::uint64_t r = 1; r <= 6; ++r) {
+    node->on_round_begin(r);
+    node->on_round_end(Feedback{});
+  }
+  // Engine rounds 1,3,5 -> odd sub-rounds 1,2,3; rounds 2,4,6 -> even 1,2,3.
+  EXPECT_EQ(odd_seen, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(even_seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Interleave, PropagatesCapabilities) {
+  auto fading = std::make_shared<FadingContentionResolution>();
+  auto fast = std::make_shared<FastDecay>(1024);
+  const InterleavedAlgorithm algo(fading, fast);
+  EXPECT_TRUE(algo.uses_size_bound());  // fast-decay needs N
+  EXPECT_FALSE(algo.requires_collision_detection());
+  EXPECT_NE(algo.name().find("interleave"), std::string::npos);
+  EXPECT_THROW(InterleavedAlgorithm(nullptr, fading), std::invalid_argument);
+}
+
+TEST(Interleave, UnknownRStrategySolvesOnSinr) {
+  // The paper's remark: interleave the R-sensitive algorithm with an
+  // R-insensitive one. Both halves solve on SINR; the combination must too.
+  Rng rng(803);
+  const Deployment dep = exponential_chain(64, 4096.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const InterleavedAlgorithm algo(
+      std::make_shared<FadingContentionResolution>(),
+      std::make_shared<FastDecay>(dep.size()));
+  EngineConfig config;
+  config.max_rounds = 10000;
+  const RunResult r = run_execution(dep, algo, *channel, config, rng.split(4));
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Interleave, IsContendingReflectsBothHalves) {
+  auto fading = std::make_shared<FadingContentionResolution>();
+  const InterleavedAlgorithm algo(fading, fading);
+  const auto node = algo.make_node(0, Rng(2));
+  EXPECT_TRUE(node->is_contending());
+  // Knock out the odd half only: still contending through the even half.
+  node->on_round_begin(1);
+  Feedback heard;
+  heard.received = true;
+  node->on_round_end(heard);
+  EXPECT_TRUE(node->is_contending());
+  // Knock out the even half too.
+  node->on_round_begin(2);
+  node->on_round_end(heard);
+  EXPECT_FALSE(node->is_contending());
+}
+
+}  // namespace
+}  // namespace fcr

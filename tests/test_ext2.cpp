@@ -1,0 +1,224 @@
+// Tests for the second batch of extensions: Rayleigh fading, staggered
+// activation, and the active-subset wrapper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/rayleigh.hpp"
+#include "ext/staggered.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sim/subset.hpp"
+
+namespace fcr {
+namespace {
+
+SinrParams params_for(const Deployment& dep) {
+  return SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+}
+
+// ------------------------------------------------------------------ rayleigh
+
+TEST(Rayleigh, SeverityZeroMatchesDeterministicChannel) {
+  Rng rng(900);
+  const Deployment dep = uniform_square(40, 12.0, rng).normalized();
+  const SinrParams params = params_for(dep);
+  const RayleighSinrAdapter rayleigh(params, 0.0, rng.split(1));
+  const SinrChannelAdapter deterministic(params);
+
+  std::vector<NodeId> tx = {0, 1, 2, 3, 4};
+  std::vector<NodeId> listeners;
+  for (NodeId i = 5; i < dep.size(); ++i) listeners.push_back(i);
+  std::vector<Feedback> a(listeners.size()), b(listeners.size());
+  rayleigh.resolve(dep, tx, listeners, a);
+  deterministic.resolve(dep, tx, listeners, b);
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    EXPECT_EQ(a[i].received, b[i].received) << i;
+    EXPECT_EQ(a[i].sender, b[i].sender) << i;
+  }
+}
+
+TEST(Rayleigh, ValidatesSeverity) {
+  SinrParams p;
+  p.alpha = 3.0;
+  EXPECT_THROW(RayleighSinrAdapter(p, -0.1, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(RayleighSinrAdapter(p, 1.1, Rng(1)), std::invalid_argument);
+  EXPECT_NO_THROW(RayleighSinrAdapter(p, 1.0, Rng(1)));
+}
+
+TEST(Rayleigh, FadingFlipsMarginalReceptions) {
+  // A link whose deterministic SINR sits just above beta should sometimes
+  // fail (and a just-below one sometimes succeed) under full fading.
+  const Deployment dep({{0.0, 0.0}, {1.0, 0.0}, {1.9, 0.0}});
+  SinrParams p;
+  p.alpha = 3.0;
+  p.beta = 1.5;
+  p.noise = 0.0;
+  p.power = 1.0;
+  const RayleighSinrAdapter channel(p, 1.0, Rng(7));
+  const std::vector<NodeId> tx = {1, 2};
+  const std::vector<NodeId> listeners = {0};
+  std::vector<Feedback> fb(1);
+  int received = 0;
+  const int rounds = 2000;
+  for (int r = 0; r < rounds; ++r) {
+    channel.resolve(dep, tx, listeners, fb);
+    if (fb[0].received) ++received;
+  }
+  // Deterministically: SINR(1->0) = (1/1) / (1/0.9^3 ... ) — interferer at
+  // 1.9 from node 0 gives 1/1.9^3 ~ 0.146, SINR ~ 6.9 >= beta: always
+  // received without fading. With fading some rounds must fail.
+  EXPECT_GT(received, 0);
+  EXPECT_LT(received, rounds);
+}
+
+TEST(Rayleigh, PapersAlgorithmStillSolvesUnderFullFading) {
+  Rng rng(901);
+  const Deployment dep = uniform_square(96, 20.0, rng).normalized();
+  const RayleighSinrAdapter channel(params_for(dep), 1.0, rng.split(2));
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const RunResult r =
+        run_execution(dep, algo, channel, config, rng.split(100 + seed));
+    EXPECT_TRUE(r.solved) << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------------------- staggered
+
+TEST(Staggered, SleepingNodesListenAndIgnore) {
+  auto inner = std::make_shared<FadingContentionResolution>(0.99);
+  const StaggeredActivation algo(inner, linear_activation(10));
+  // Node 3 activates at round 31.
+  const auto node = algo.make_node(3, Rng(1));
+  Feedback heard;
+  heard.received = true;
+  for (std::uint64_t r = 1; r <= 30; ++r) {
+    EXPECT_EQ(node->on_round_begin(r), Action::kListen) << r;
+    EXPECT_FALSE(node->is_contending()) << r;
+    node->on_round_end(heard);  // pre-activation receptions must not knock out
+  }
+  // From activation on it contends (p = 0.99: transmits almost surely).
+  bool transmitted = false;
+  for (std::uint64_t r = 31; r <= 40; ++r) {
+    if (node->on_round_begin(r) == Action::kTransmit) transmitted = true;
+    node->on_round_end(Feedback{});
+    EXPECT_TRUE(node->is_contending());
+  }
+  EXPECT_TRUE(transmitted);
+}
+
+TEST(Staggered, InnerRoundsAreRenumberedFromOne) {
+  /// Probe protocol recording the rounds it is shown.
+  class Probe final : public NodeProtocol {
+   public:
+    explicit Probe(std::vector<std::uint64_t>* seen) : seen_(seen) {}
+    Action on_round_begin(std::uint64_t round) override {
+      seen_->push_back(round);
+      return Action::kListen;
+    }
+    void on_round_end(const Feedback&) override {}
+   private:
+    std::vector<std::uint64_t>* seen_;
+  };
+  class ProbeAlgo final : public Algorithm {
+   public:
+    explicit ProbeAlgo(std::vector<std::uint64_t>* seen) : seen_(seen) {}
+    std::string name() const override { return "probe"; }
+    std::unique_ptr<NodeProtocol> make_node(NodeId, Rng) const override {
+      return std::make_unique<Probe>(seen_);
+    }
+   private:
+    std::vector<std::uint64_t>* seen_;
+  };
+
+  std::vector<std::uint64_t> seen;
+  const StaggeredActivation algo(std::make_shared<ProbeAlgo>(&seen),
+                                 [](NodeId) { return std::uint64_t{4}; });
+  const auto node = algo.make_node(0, Rng(1));
+  for (std::uint64_t r = 1; r <= 6; ++r) {
+    node->on_round_begin(r);
+    node->on_round_end(Feedback{});
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));  // rounds 4, 5, 6
+}
+
+TEST(Staggered, Schedules) {
+  EXPECT_EQ(immediate_activation()(7), 1u);
+  EXPECT_EQ(linear_activation(5)(0), 1u);
+  EXPECT_EQ(linear_activation(5)(3), 16u);
+  const auto uniform = uniform_activation(100, 9);
+  for (NodeId id = 0; id < 50; ++id) {
+    const auto r = uniform(id);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+    EXPECT_EQ(r, uniform_activation(100, 9)(id));  // deterministic
+  }
+}
+
+TEST(Staggered, SolvesWithStaggeredArrivals) {
+  Rng rng(902);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const StaggeredActivation algo(
+      std::make_shared<FadingContentionResolution>(),
+      uniform_activation(50, 77));
+  EngineConfig config;
+  config.max_rounds = 20000;
+  const RunResult r = run_execution(dep, algo, *channel, config, rng.split(3));
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Staggered, Validation) {
+  auto inner = std::make_shared<FadingContentionResolution>();
+  EXPECT_THROW(StaggeredActivation(nullptr, immediate_activation()),
+               std::invalid_argument);
+  EXPECT_THROW(StaggeredActivation(inner, ActivationSchedule{}),
+               std::invalid_argument);
+  EXPECT_THROW(uniform_activation(0, 1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- subset
+
+TEST(Subset, DormantNodesNeverTransmit) {
+  auto inner = std::make_shared<FadingContentionResolution>(0.99);
+  const ActiveSubsetAlgorithm algo(inner, {1, 3});
+  for (const NodeId id : {0u, 2u, 4u}) {
+    const auto node = algo.make_node(id, Rng(id));
+    for (std::uint64_t r = 1; r <= 50; ++r) {
+      EXPECT_EQ(node->on_round_begin(r), Action::kListen);
+      node->on_round_end(Feedback{});
+    }
+    EXPECT_FALSE(node->is_contending());
+  }
+  const auto active = algo.make_node(1, Rng(1));
+  EXPECT_TRUE(active->is_contending());
+}
+
+TEST(Subset, Validation) {
+  auto inner = std::make_shared<FadingContentionResolution>();
+  EXPECT_THROW(ActiveSubsetAlgorithm(nullptr, {0}), std::invalid_argument);
+  EXPECT_THROW(ActiveSubsetAlgorithm(inner, {}), std::invalid_argument);
+  EXPECT_THROW(ActiveSubsetAlgorithm(inner, {1, 1}), std::invalid_argument);
+}
+
+TEST(Subset, EngineSolvesAmongActivatedOnly) {
+  Rng rng(903);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const ActiveSubsetAlgorithm algo(
+      std::make_shared<FadingContentionResolution>(), {5, 17, 23, 42});
+  EngineConfig config;
+  config.max_rounds = 20000;
+  const RunResult r = run_execution(dep, algo, *channel, config, rng.split(4));
+  ASSERT_TRUE(r.solved);
+  const auto& act = algo.activated();
+  EXPECT_NE(std::find(act.begin(), act.end(), r.winner), act.end());
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,137 @@
+// Tests for the paper's algorithm: the knockout rule, statelessness
+// guarantees, and end-to-end behaviour on the SINR channel.
+#include <gtest/gtest.h>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(FadingNode, TransmitsWithRoughlyProbabilityP) {
+  FadingNode node(0.25, Rng(1));
+  int transmissions = 0;
+  const int rounds = 20000;
+  for (int r = 1; r <= rounds; ++r) {
+    if (node.on_round_begin(static_cast<std::uint64_t>(r)) == Action::kTransmit) {
+      ++transmissions;
+    }
+    node.on_round_end(Feedback{});  // silence: stays active
+  }
+  EXPECT_NEAR(static_cast<double>(transmissions) / rounds, 0.25, 0.02);
+  EXPECT_TRUE(node.is_contending());
+}
+
+TEST(FadingNode, KnockoutSilencesForever) {
+  FadingNode node(0.5, Rng(2));
+  Feedback heard;
+  heard.received = true;
+  heard.sender = 3;
+  node.on_round_end(heard);
+  EXPECT_FALSE(node.is_contending());
+  for (int r = 1; r <= 1000; ++r) {
+    EXPECT_EQ(node.on_round_begin(static_cast<std::uint64_t>(r)), Action::kListen);
+  }
+}
+
+TEST(FadingNode, OwnTransmissionDoesNotKnockOut) {
+  FadingNode node(0.5, Rng(3));
+  Feedback own;
+  own.transmitted = true;
+  node.on_round_end(own);
+  EXPECT_TRUE(node.is_contending());
+}
+
+TEST(FadingAlgorithm, ValidatesProbability) {
+  EXPECT_THROW(FadingContentionResolution(0.0), std::invalid_argument);
+  EXPECT_THROW(FadingContentionResolution(1.0), std::invalid_argument);
+  EXPECT_THROW(FadingContentionResolution(-0.1), std::invalid_argument);
+  EXPECT_NO_THROW(FadingContentionResolution(0.5));
+}
+
+TEST(FadingAlgorithm, NameEncodesProbability) {
+  EXPECT_EQ(FadingContentionResolution(0.25).name(), "fading-const-p(0.25)");
+  EXPECT_DOUBLE_EQ(FadingContentionResolution().broadcast_probability(),
+                   kDefaultBroadcastProbability);
+}
+
+TEST(FadingAlgorithm, TwoNodesBreakSymmetryQuickly) {
+  // With two nodes the first asymmetric round wins; expected ~1/(2p(1-p)).
+  const FadingContentionResolution algo(0.5);
+  const Deployment dep = single_pair(1.0);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  StreamingSummary rounds;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const RunResult r =
+        run_execution(dep, algo, *channel, EngineConfig{}, Rng(seed));
+    ASSERT_TRUE(r.solved);
+    rounds.add(static_cast<double>(r.rounds));
+  }
+  EXPECT_NEAR(rounds.mean(), 2.0, 1.0);  // geometric with success prob 1/2
+}
+
+TEST(FadingAlgorithm, ActiveSetIsNonIncreasing) {
+  Rng rng(11);
+  const Deployment dep = uniform_square(128, 30.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.stop_on_solve = false;
+  config.max_rounds = 200;
+  config.record_rounds = true;
+  const RunResult r =
+      run_execution(dep, algo, *channel, config, rng.split(1));
+  std::size_t prev = dep.size();
+  for (const RoundStats& s : r.history) {
+    EXPECT_LE(s.contending, prev) << "round " << s.round;
+    prev = s.contending;
+  }
+  // With 128 nodes and 200 rounds, contention should collapse to one node.
+  EXPECT_EQ(r.history.back().contending, 1u);
+}
+
+TEST(FadingAlgorithm, SolvesEveryDeploymentShape) {
+  Rng rng(12);
+  const std::vector<Deployment> shapes = {
+      uniform_square(64, 20.0, rng).normalized(),
+      uniform_disk(64, 12.0, rng).normalized(),
+      two_clusters(64, 200.0, 3.0, rng).normalized(),
+      exponential_chain(64, 1024.0, rng).normalized(),
+      ring(64, 30.0, 0.01, rng).normalized(),
+      perturbed_grid(8, 8, 4.0, 1.0, rng).normalized(),
+  };
+  const FadingContentionResolution algo;
+  for (const Deployment& dep : shapes) {
+    const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+    EngineConfig config;
+    config.max_rounds = 5000;
+    const RunResult r =
+        run_execution(dep, algo, *channel, config, rng.split(dep.size()));
+    EXPECT_TRUE(r.solved) << "R=" << dep.link_ratio();
+    EXPECT_LT(r.rounds, 5000u);
+  }
+}
+
+TEST(FadingAlgorithm, HighProbabilitySuccessRate) {
+  // Theorem 11 promises success w.h.p. within O(log n + log R) rounds; all
+  // trials should finish comfortably within a generous constant * log n.
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(256, 60.0, rng).normalized(); },
+      sinr_channel_factory(3.0, 1.5, 1e-9),
+      [](const Deployment&) {
+        return std::make_unique<FadingContentionResolution>();
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 40;
+        c.engine.max_rounds = 2000;
+        return c;
+      }());
+  EXPECT_EQ(result.solved, result.trials);
+  EXPECT_LT(result.summary().p95, 500.0);
+}
+
+}  // namespace
+}  // namespace fcr

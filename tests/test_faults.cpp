@@ -1,0 +1,178 @@
+// Fault-injection tests: crash-stop wrapper and lossy channel decorator.
+#include <gtest/gtest.h>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/faults.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace fcr {
+namespace {
+
+// ------------------------------------------------------------------- crash
+
+TEST(CrashFaults, ZeroRateIsTransparent) {
+  auto inner = std::make_shared<FadingContentionResolution>();
+  const CrashFaults wrapped(inner, 0.0);
+  const auto node = wrapped.make_node(0, Rng(1));
+  for (std::uint64_t r = 1; r <= 200; ++r) {
+    node->on_round_begin(r);
+    node->on_round_end(Feedback{});
+  }
+  EXPECT_TRUE(node->is_contending());
+}
+
+TEST(CrashFaults, CrashedNodesGoSilentForever) {
+  auto inner = std::make_shared<FadingContentionResolution>(0.9);
+  const CrashFaults wrapped(inner, 0.5);
+  const auto node = wrapped.make_node(0, Rng(2));
+  // With f = 0.5 the node crashes within a few rounds w.h.p.
+  bool crashed = false;
+  for (std::uint64_t r = 1; r <= 100; ++r) {
+    node->on_round_begin(r);
+    node->on_round_end(Feedback{});
+    if (!node->is_contending()) {
+      crashed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(crashed);
+  for (std::uint64_t r = 101; r <= 200; ++r) {
+    EXPECT_EQ(node->on_round_begin(r), Action::kListen);
+    node->on_round_end(Feedback{});
+    EXPECT_FALSE(node->is_contending());
+  }
+}
+
+TEST(CrashFaults, ModerateCrashRateStillSolvesUsually) {
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+      sinr_channel_factory(3.0, 1.5, 1e-9),
+      [](const Deployment&) {
+        return std::make_unique<CrashFaults>(
+            std::make_shared<FadingContentionResolution>(), 0.01);
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 30;
+        c.engine.max_rounds = 5000;
+        return c;
+      }());
+  // A trial fails only if every node crashes before any solo round; with
+  // f = 1% and ~10-round completions this is rare but possible.
+  EXPECT_GE(result.solve_rate(), 0.9);
+  if (!result.rounds.empty()) {
+    EXPECT_LT(result.summary().median, 100.0);
+  }
+}
+
+TEST(CrashFaults, Validation) {
+  auto inner = std::make_shared<FadingContentionResolution>();
+  EXPECT_THROW(CrashFaults(nullptr, 0.1), std::invalid_argument);
+  EXPECT_THROW(CrashFaults(inner, 1.0), std::invalid_argument);
+  EXPECT_THROW(CrashFaults(inner, -0.1), std::invalid_argument);
+  EXPECT_NE(CrashFaults(inner, 0.25).name().find("f=0.25"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------- lossy
+
+TEST(LossyChannel, ZeroDropIsTransparent) {
+  const Deployment dep = single_pair(2.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.5;
+  params.noise = 0.0;
+  params.power = 1.0;
+  const LossyChannelAdapter lossy(make_sinr_adapter(params), 0.0, Rng(3));
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  lossy.resolve(dep, tx, listeners, fb);
+  EXPECT_TRUE(fb[0].received);
+  EXPECT_EQ(fb[0].sender, 0u);
+}
+
+TEST(LossyChannel, DropRateMatchesQ) {
+  const Deployment dep = single_pair(2.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.5;
+  params.noise = 0.0;
+  params.power = 1.0;
+  const double q = 0.3;
+  const LossyChannelAdapter lossy(make_sinr_adapter(params), q, Rng(4));
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  int delivered = 0;
+  const int rounds = 10000;
+  for (int r = 0; r < rounds; ++r) {
+    lossy.resolve(dep, tx, listeners, fb);
+    if (fb[0].received) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / rounds, 1.0 - q, 0.02);
+}
+
+TEST(LossyChannel, DroppedDecodeDowngradesObservation) {
+  // On a CD-capable inner channel the dropped decode leaves a collision
+  // observation; on a plain one, silence.
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1, 2};
+  std::vector<Feedback> fb(2);
+
+  const LossyChannelAdapter cd(make_radio_adapter(true), 0.999999, Rng(5));
+  cd.resolve(dep, tx, listeners, fb);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kCollision);
+  }
+
+  const LossyChannelAdapter plain(make_radio_adapter(false), 0.999999, Rng(6));
+  plain.resolve(dep, tx, listeners, fb);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kSilence);
+  }
+}
+
+TEST(LossyChannel, AlgorithmSlowsGracefullyWithLoss) {
+  auto run_with_q = [](double q) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+        [q](const Deployment& dep) -> std::unique_ptr<ChannelAdapter> {
+          const SinrParams params =
+              SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+          return std::make_unique<LossyChannelAdapter>(
+              make_sinr_adapter(params), q, Rng(77));
+        },
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        [] {
+          TrialConfig c;
+          c.trials = 20;
+          c.engine.max_rounds = 20000;
+          return c;
+        }());
+  };
+  const auto clean = run_with_q(0.0);
+  const auto lossy = run_with_q(0.5);
+  EXPECT_EQ(clean.solved, clean.trials);
+  EXPECT_EQ(lossy.solved, lossy.trials);
+  // Half the knockouts vanish: completion slows, but by a small factor.
+  EXPECT_LT(lossy.summary().median, 4.0 * clean.summary().median + 10.0);
+}
+
+TEST(LossyChannel, Validation) {
+  EXPECT_THROW(LossyChannelAdapter(nullptr, 0.1, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(LossyChannelAdapter(make_radio_adapter(false), 1.0, Rng(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,70 @@
+// Tests for the second-wave deployment generators (multi_scale) and
+// deployment corner cases discovered during the experiments.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(MultiScale, PopulatesEveryRequestedClass) {
+  Rng rng(50);
+  const std::size_t levels = 8, per_level = 16;
+  const Deployment dep = multi_scale(levels, per_level, rng).normalized();
+  EXPECT_EQ(dep.size(), levels * per_level);
+
+  std::vector<NodeId> ids(dep.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  const LinkClassPartition part(dep, ids);
+
+  // Every class 0..levels-1 should hold roughly per_level nodes (boundary
+  // nodes between levels may slip one class).
+  for (std::size_t i = 0; i < levels; ++i) {
+    EXPECT_GE(part.size_of(i), per_level / 2) << "class " << i;
+    EXPECT_LE(part.size_of(i), per_level * 2) << "class " << i;
+  }
+}
+
+TEST(MultiScale, LinkRatioGrowsGeometricallyWithLevels) {
+  Rng rng(51);
+  const double r4 = multi_scale(4, 8, rng).link_ratio();
+  const double r8 = multi_scale(8, 8, rng).link_ratio();
+  EXPECT_GT(r8, 8.0 * r4);  // each extra level doubles the top spacing
+}
+
+TEST(MultiScale, Validation) {
+  Rng rng(52);
+  EXPECT_THROW(multi_scale(0, 8, rng), std::invalid_argument);
+  EXPECT_THROW(multi_scale(4, 1, rng), std::invalid_argument);
+}
+
+TEST(MultiScale, Deterministic) {
+  Rng a(53), b(53);
+  const Deployment da = multi_scale(4, 8, a);
+  const Deployment db = multi_scale(4, 8, b);
+  EXPECT_EQ(da.positions(), db.positions());
+}
+
+TEST(MultiScale, NeighboringScalesAreCoupled) {
+  // The last node of level i and the first of level i+1 sit within one
+  // level-i spacing of each other: the interference-coupling property the
+  // generator exists for (unlike the exponential chain).
+  Rng rng(54);
+  const std::size_t levels = 5, per_level = 8;
+  const Deployment dep = multi_scale(levels, per_level, rng);
+  for (std::size_t i = 0; i + 1 < levels; ++i) {
+    const NodeId last_of_i = static_cast<NodeId>((i + 1) * per_level - 1);
+    const NodeId first_of_next = static_cast<NodeId>((i + 1) * per_level);
+    const double gap =
+        dist(dep.position(last_of_i), dep.position(first_of_next));
+    const double spacing = std::pow(2.0, static_cast<double>(i));
+    EXPECT_LE(gap, 1.2 * spacing) << "levels " << i << "/" << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,189 @@
+// Good-node / annulus analyzer tests (paper Definition 1, Lemmas 2 and 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/good_nodes.hpp"
+#include "deploy/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+std::vector<NodeId> all_ids(const Deployment& dep) {
+  std::vector<NodeId> ids(dep.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return ids;
+}
+
+TEST(GoodNodeParams, EpsilonAndBudget) {
+  GoodNodeParams p;
+  p.alpha = 3.0;
+  EXPECT_DOUBLE_EQ(p.epsilon(), 0.5);
+  // Budget at t: 96 * 2^{t * (alpha - eps)} = 96 * 2^{2.5 t}.
+  EXPECT_DOUBLE_EQ(p.annulus_limit(0), 96.0);
+  EXPECT_DOUBLE_EQ(p.annulus_limit(1), 96.0 * std::pow(2.0, 2.5));
+  EXPECT_DOUBLE_EQ(p.annulus_limit(2), 96.0 * std::pow(2.0, 5.0));
+}
+
+TEST(GoodNodeParams, RequiresSuperQuadraticAlpha) {
+  GoodNodeParams p;
+  p.alpha = 2.0;
+  EXPECT_THROW(p.annulus_limit(0), std::invalid_argument);
+}
+
+TEST(GoodNodes, SparsePairIsGood) {
+  const Deployment dep = single_pair(1.0);
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  EXPECT_TRUE(analyzer.is_good(0));
+  EXPECT_TRUE(analyzer.is_good(1));
+  const AnnulusProfile prof = analyzer.profile(0);
+  EXPECT_EQ(prof.link_class, 0);
+  ASSERT_FALSE(prof.counts.empty());
+  // Annulus t=0 is the half-open shell (1, 2]; the partner at exactly
+  // distance 1 = 2^0 sits on the excluded inner boundary.
+  EXPECT_EQ(prof.counts[0], 0u);
+}
+
+TEST(GoodNodes, DenseAnnulusMakesNodeBad) {
+  // After normalization the shortest link is 1, so the t=0 annulus of a
+  // *class-0* node can never hold 96 unit-separated nodes — the packing
+  // argument of Claim 2 in action. Violations come from big-class nodes
+  // surrounded by small-class swarms (the Lemma 6 scenario): give node 0 a
+  // partner at distance 16 (class 4) and pack > 96 unit-spaced nodes into
+  // its t=0 annulus (16, 32].
+  std::vector<Vec2> pts = {{0.0, 0.0}, {16.0, 0.0}};
+  for (const double radius : {20.0, 22.0, 24.0, 26.0}) {
+    for (int k = 0; k < 40; ++k) {
+      pts.push_back(radius *
+                    unit_at(2.0 * 3.14159265358979323846 * k / 40.0));
+    }
+  }
+  const Deployment dep(std::move(pts));
+  ASSERT_NEAR(dep.min_link(), 1.0, 1.0);  // ring spacing keeps links >= ~2
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  const AnnulusProfile prof = analyzer.profile(0);
+  // Node 0's nearest active neighbor is the partner at 16 / min_link.
+  EXPECT_GE(prof.link_class, 3);
+  EXPECT_GT(prof.counts[0], 96u);
+  EXPECT_FALSE(prof.good);
+  EXPECT_FALSE(analyzer.is_good(0));
+}
+
+TEST(GoodNodes, ProfileCountsMatchAnnulusDefinition) {
+  // Ring of nodes at known radii around node 0 with partner at distance 1.
+  // Annulus t covers (2^t, 2^{t+1}].
+  std::vector<Vec2> pts = {{0, 0}, {1.0, 0}};
+  pts.push_back({0.0, 1.5});   // t=0 (dist 1.5)
+  pts.push_back({0.0, -3.0});  // t=1 (dist 3)
+  pts.push_back({5.0, 0.0});   // t=2 (dist 5)
+  pts.push_back({0.0, 7.0});   // t=2 (dist 7)
+  const Deployment dep(std::move(pts));
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  const AnnulusProfile prof = analyzer.profile(0);
+  ASSERT_GE(prof.counts.size(), 3u);
+  // t=0 shell (1, 2]: the node at 1.5 only (the partner at exactly 1 is on
+  // the excluded boundary); t=1 shell (2, 4]: the node at 3; t=2 shell
+  // (4, 8]: the nodes at 5 and 7.
+  EXPECT_EQ(prof.counts[0], 1u);
+  EXPECT_EQ(prof.counts[1], 1u);
+  EXPECT_EQ(prof.counts[2], 2u);
+}
+
+TEST(GoodNodes, SoleSurvivorProfileIsRejected) {
+  const Deployment dep({{0, 0}, {5, 0}});
+  const std::vector<NodeId> only = {0};
+  const GoodNodeAnalyzer analyzer(dep, only);
+  EXPECT_THROW(analyzer.profile(0), std::invalid_argument);
+}
+
+TEST(GoodNodes, GoodFractionEmptyClassIsNullopt) {
+  const Deployment dep = single_pair(1.0);
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  // Class 0 holds both nodes; any higher class bucket would be empty, but a
+  // pair has exactly one class bucket, so probe class 0 only.
+  const auto frac = analyzer.good_fraction(0);
+  ASSERT_TRUE(frac.has_value());
+  EXPECT_DOUBLE_EQ(*frac, 1.0);
+}
+
+TEST(GoodNodes, WellSpacedSubsetHonorsSpacing) {
+  Rng rng(501);
+  const Deployment dep = uniform_square(300, 30.0, rng).normalized();
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  const double s = 2.0;
+  for (std::size_t i = 0; i < analyzer.classes().class_count(); ++i) {
+    const auto subset = analyzer.well_spaced_subset(i, s);
+    const double spacing = (s + 1.0) * std::pow(2.0, static_cast<double>(i));
+    for (std::size_t a = 0; a < subset.size(); ++a) {
+      for (std::size_t b = a + 1; b < subset.size(); ++b) {
+        EXPECT_GT(dist(dep.position(subset[a]), dep.position(subset[b])),
+                  spacing * (1.0 - 1e-12));
+      }
+    }
+  }
+}
+
+TEST(GoodNodes, WellSpacedSubsetIsConstantFractionOfGood) {
+  // Lemma 2: |S_i| = Theta(#good). The greedy construction with s=2 keeps
+  // at least a 1/49-ish packing fraction; check a loose 1/60 floor.
+  Rng rng(502);
+  const Deployment dep = uniform_square(400, 60.0, rng).normalized();
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  for (std::size_t i = 0; i < analyzer.classes().class_count(); ++i) {
+    const auto good = analyzer.good_in_class(i);
+    if (good.size() < 10) continue;
+    const auto subset = analyzer.well_spaced_subset(i, 2.0);
+    EXPECT_GE(subset.size() * 60, good.size()) << "class " << i;
+    EXPECT_LE(subset.size(), good.size());
+  }
+}
+
+TEST(GoodNodes, PartnerIsNearestActiveNode) {
+  const Deployment dep({{0, 0}, {1, 0}, {10, 0}});
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  EXPECT_EQ(analyzer.partner(0), 1u);
+  EXPECT_EQ(analyzer.partner(1), 0u);
+  EXPECT_EQ(analyzer.partner(2), 1u);
+}
+
+TEST(GoodNodes, Lemma6SmallLowerClassMassImpliesManyGoodNodes) {
+  // Build a deployment dominated by one link class (a lattice with unit-ish
+  // spacing) plus a tiny number of much-closer pairs (smaller classes).
+  // Lemma 6: when n_{<i} <= delta * n_i, at least half of V_i is good.
+  Rng rng(503);
+  std::vector<Vec2> pts;
+  // 20x20 lattice at spacing 8 (class 3 for nearest distance in [8, 16)).
+  for (int r = 0; r < 20; ++r) {
+    for (int c = 0; c < 20; ++c) {
+      pts.push_back({8.0 * c + rng.uniform(-0.4, 0.4),
+                     8.0 * r + rng.uniform(-0.4, 0.4)});
+    }
+  }
+  // 4 tight pairs (unit distance, class 0), far from each other.
+  for (int k = 0; k < 4; ++k) {
+    const Vec2 base{170.0 + 25.0 * k, -40.0};
+    pts.push_back(base);
+    pts.push_back(base + Vec2{1.0, 0.0});
+  }
+  const Deployment dep(std::move(pts));
+  const GoodNodeAnalyzer analyzer(dep, all_ids(dep));
+  const LinkClassPartition& classes = analyzer.classes();
+
+  // Identify the lattice's class: the most populated one.
+  std::size_t big_class = 0;
+  for (std::size_t i = 1; i < classes.class_count(); ++i) {
+    if (classes.size_of(i) > classes.size_of(big_class)) big_class = i;
+  }
+  ASSERT_GE(classes.size_of(big_class), 300u);
+  // Premise: n_{<i} is tiny relative to n_i.
+  EXPECT_LE(classes.size_below(big_class),
+            classes.size_of(big_class) / 10);
+  const auto frac = analyzer.good_fraction(big_class);
+  ASSERT_TRUE(frac.has_value());
+  EXPECT_GE(*frac, 0.5);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,207 @@
+// Spatial grid tests: every query is validated against brute force over
+// several deployment shapes, including the stretched exponential chain that
+// motivates the adaptive cell size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "geom/grid.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, double side, Rng& rng) {
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  return pts;
+}
+
+/// Geometrically stretched line: adversarial for fixed-cell grids.
+std::vector<Vec2> stretched_points(std::size_t n) {
+  std::vector<Vec2> pts;
+  double x = 0.0, gap = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({x, 0.1 * static_cast<double>(i % 3)});
+    x += gap;
+    gap *= 1.8;
+  }
+  return pts;
+}
+
+NodeId brute_nearest(const std::vector<Vec2>& pts, Vec2 q, NodeId exclude) {
+  NodeId best = kInvalidNode;
+  double best_sq = std::numeric_limits<double>::infinity();
+  for (NodeId i = 0; i < pts.size(); ++i) {
+    if (i == exclude) continue;
+    const double d2 = dist_sq(q, pts[i]);
+    if (d2 < best_sq) {
+      best_sq = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(Grid, EmptySubset) {
+  const std::vector<Vec2> pts = {{0, 0}, {1, 1}};
+  const SpatialGrid grid(pts, std::vector<NodeId>{});
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_FALSE(grid.nearest({0, 0}).has_value());
+  EXPECT_TRUE(grid.in_disk({0, 0}, 100.0).empty());
+  EXPECT_EQ(grid.count_in_annulus({0, 0}, 0.0, 100.0), 0u);
+}
+
+TEST(Grid, SinglePoint) {
+  const std::vector<Vec2> pts = {{2.0, 3.0}};
+  const SpatialGrid grid(pts);
+  const auto nn = grid.nearest({0, 0});
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->id, 0u);
+  EXPECT_NEAR(nn->distance, std::sqrt(13.0), 1e-12);
+  // Excluding the only point leaves nothing.
+  EXPECT_FALSE(grid.nearest({0, 0}, 0).has_value());
+}
+
+TEST(Grid, NearestMatchesBruteForceOnUniformPoints) {
+  Rng rng(1);
+  const auto pts = random_points(300, 50.0, rng);
+  const SpatialGrid grid(pts);
+  for (NodeId q = 0; q < pts.size(); ++q) {
+    const auto got = grid.nearest(pts[q], q);
+    ASSERT_TRUE(got.has_value());
+    const NodeId want = brute_nearest(pts, pts[q], q);
+    EXPECT_DOUBLE_EQ(dist(pts[got->id], pts[q]), dist(pts[want], pts[q]));
+  }
+}
+
+TEST(Grid, NearestMatchesBruteForceOnStretchedChain) {
+  const auto pts = stretched_points(40);
+  const SpatialGrid grid(pts);
+  for (NodeId q = 0; q < pts.size(); ++q) {
+    const auto got = grid.nearest(pts[q], q);
+    ASSERT_TRUE(got.has_value());
+    const NodeId want = brute_nearest(pts, pts[q], q);
+    EXPECT_DOUBLE_EQ(dist(pts[got->id], pts[q]), dist(pts[want], pts[q]))
+        << "query " << q;
+  }
+}
+
+TEST(Grid, NearestFromFarOutsideTheBounds) {
+  Rng rng(2);
+  const auto pts = random_points(50, 10.0, rng);
+  const SpatialGrid grid(pts);
+  const Vec2 far{1000.0, -500.0};
+  const auto got = grid.nearest(far);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, brute_nearest(pts, far, kInvalidNode));
+}
+
+TEST(Grid, NearestDistanceAgrees) {
+  Rng rng(3);
+  const auto pts = random_points(100, 20.0, rng);
+  const SpatialGrid grid(pts);
+  for (NodeId q = 0; q < 20; ++q) {
+    const auto d = grid.nearest_distance(pts[q], q);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NEAR(*d, dist(pts[q], pts[brute_nearest(pts, pts[q], q)]), 1e-12);
+  }
+}
+
+TEST(Grid, InDiskMatchesBruteForce) {
+  Rng rng(4);
+  const auto pts = random_points(200, 30.0, rng);
+  const SpatialGrid grid(pts);
+  for (const double radius : {0.5, 3.0, 10.0, 100.0}) {
+    for (NodeId q = 0; q < 10; ++q) {
+      auto got = grid.in_disk(pts[q], radius, q);
+      std::sort(got.begin(), got.end());
+      std::vector<NodeId> want;
+      for (NodeId i = 0; i < pts.size(); ++i) {
+        if (i != q && dist(pts[i], pts[q]) <= radius) want.push_back(i);
+      }
+      EXPECT_EQ(got, want) << "radius " << radius << " query " << q;
+    }
+  }
+}
+
+TEST(Grid, CountInDiskAndAnnulusMatchBruteForce) {
+  Rng rng(5);
+  const auto pts = random_points(200, 30.0, rng);
+  const SpatialGrid grid(pts);
+  for (NodeId q = 0; q < 10; ++q) {
+    for (const double inner : {0.0, 1.0, 4.0}) {
+      const double outer = inner * 2.0 + 1.0;
+      std::size_t want = 0;
+      for (NodeId i = 0; i < pts.size(); ++i) {
+        if (i == q) continue;
+        const double d = dist(pts[i], pts[q]);
+        if (d > inner && d <= outer) ++want;
+      }
+      EXPECT_EQ(grid.count_in_annulus(pts[q], inner, outer, q), want);
+    }
+    std::size_t disk_want = 0;
+    for (NodeId i = 0; i < pts.size(); ++i) {
+      if (i != q && dist(pts[i], pts[q]) <= 5.0) ++disk_want;
+    }
+    EXPECT_EQ(grid.count_in_disk(pts[q], 5.0, q), disk_want);
+  }
+}
+
+TEST(Grid, AnnulusBoundarySemantics) {
+  // Annulus is (inner, outer]: a point exactly at the inner radius is
+  // excluded, exactly at the outer radius included.
+  const std::vector<Vec2> pts = {{1.0, 0.0}, {2.0, 0.0}};
+  const SpatialGrid grid(pts);
+  EXPECT_EQ(grid.count_in_annulus({0, 0}, 1.0, 2.0), 1u);  // only (2,0)
+  EXPECT_EQ(grid.count_in_annulus({0, 0}, 0.5, 1.0), 1u);  // only (1,0)
+}
+
+TEST(Grid, InvalidAnnulusThrows) {
+  const std::vector<Vec2> pts = {{0, 0}};
+  const SpatialGrid grid(pts);
+  EXPECT_THROW(grid.count_in_annulus({0, 0}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Grid, SubsetQueriesIgnoreUnindexedPoints) {
+  const std::vector<Vec2> pts = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const std::vector<NodeId> subset = {0, 2};
+  const SpatialGrid grid(pts, subset);
+  EXPECT_EQ(grid.size(), 2u);
+  const auto nn = grid.nearest({0.9, 0.0});
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->id, 0u);  // point 1 is not indexed
+  EXPECT_EQ(grid.count_in_disk({0, 0}, 10.0), 2u);
+}
+
+TEST(Grid, ExplicitCellSizeIsHonored) {
+  const std::vector<Vec2> pts = {{0, 0}, {10, 10}};
+  const SpatialGrid grid(pts, 2.5);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 2.5);
+  const auto nn = grid.nearest({9.0, 9.0});
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->id, 1u);
+}
+
+TEST(Grid, CoincidentPointsAreAllFound) {
+  const std::vector<Vec2> pts = {{1, 1}, {1, 1}, {1, 1}};
+  const SpatialGrid grid(pts);
+  EXPECT_EQ(grid.count_in_disk({1, 1}, 0.0), 3u);
+  const auto nn = grid.nearest({1, 1}, 0);
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_DOUBLE_EQ(nn->distance, 0.0);
+}
+
+TEST(Grid, OutOfRangeSubsetIdThrows) {
+  const std::vector<Vec2> pts = {{0, 0}};
+  EXPECT_THROW(SpatialGrid(pts, std::vector<NodeId>{5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

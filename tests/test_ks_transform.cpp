@@ -1,0 +1,192 @@
+// Tests for the KS machinery and the isometry transforms, including the
+// bit-exact invariance of executions under exact isometries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "deploy/transform.hpp"
+#include "ext/rayleigh.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "stats/ks_test.hpp"
+
+namespace fcr {
+namespace {
+
+// ----------------------------------------------------------------------- ks
+
+TEST(KolmogorovTail, KnownValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_tail(0.0), 1.0);
+  // Q(1.36) ~ 0.049 — the classic 5% critical value.
+  EXPECT_NEAR(kolmogorov_tail(1.36), 0.049, 0.002);
+  EXPECT_LT(kolmogorov_tail(2.0), 0.001);
+  EXPECT_GT(kolmogorov_tail(0.5), 0.95);
+  EXPECT_THROW(kolmogorov_tail(-1.0), std::invalid_argument);
+}
+
+TEST(KsOneSample, UniformSampleAgainstUniformCdf) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.uniform());
+  const KsResult r = ks_test_one_sample(
+      sample, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_GT(r.p_value, 0.01);  // should not reject
+}
+
+TEST(KsOneSample, DetectsWrongDistribution) {
+  Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.uniform() * 0.5);
+  const KsResult r = ks_test_one_sample(
+      sample, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_GT(r.statistic, 0.4);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, SameDistributionPasses) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.normal());
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.normal());
+  const KsResult r = ks_test_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTwoSample, ShiftedDistributionFails) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.normal());
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.normal() + 0.5);
+  const KsResult r = ks_test_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, HandlesTiesAndIntegers) {
+  // Completion rounds are integers: heavy ties must not break the scan.
+  const std::vector<double> a = {1, 1, 2, 2, 2, 3, 4, 4};
+  const std::vector<double> b = {1, 2, 2, 3, 3, 3, 4, 5};
+  const KsResult r = ks_test_two_sample(a, b);
+  EXPECT_GE(r.statistic, 0.0);
+  EXPECT_LE(r.statistic, 1.0);
+  // Identical samples: statistic exactly 0.
+  const KsResult same = ks_test_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(same.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(same.p_value, 1.0);
+}
+
+TEST(Ks, Validation) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(ks_test_two_sample(empty, one), std::invalid_argument);
+  EXPECT_THROW(ks_test_one_sample(empty, [](double) { return 0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(ks_test_one_sample(one, Cdf{}), std::invalid_argument);
+}
+
+TEST(Ks, RayleighSeveritySweepIsDistributionallyFlat) {
+  // The statistical backbone of E13's claim: completion-round samples at
+  // severity 0 and severity 1 are not distinguishable at the 1% level.
+  auto rounds_at = [](double severity) {
+    std::vector<double> rounds;
+    Rng rng(5);
+    const Deployment dep = uniform_square(96, 20.0, rng).normalized();
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+    const RayleighSinrAdapter channel(params, severity, rng.split(9));
+    const FadingContentionResolution algo;
+    EngineConfig config;
+    config.max_rounds = 20000;
+    for (std::uint64_t t = 0; t < 300; ++t) {
+      const RunResult r =
+          run_execution(dep, algo, channel, config, rng.split(100 + t));
+      rounds.push_back(static_cast<double>(r.rounds));
+    }
+    return rounds;
+  };
+  const KsResult r = ks_test_two_sample(rounds_at(0.0), rounds_at(1.0));
+  EXPECT_GT(r.p_value, 0.01) << "KS statistic " << r.statistic;
+}
+
+// ----------------------------------------------------------------- isometry
+
+TEST(Transform, GeometryIsPreserved) {
+  Rng rng(6);
+  const Deployment dep = uniform_square(60, 15.0, rng);
+  for (const Deployment& t :
+       {translated(dep, 100.0, -50.0), mirrored(dep), rotated90(dep),
+        rotated(dep, 0.7)}) {
+    EXPECT_EQ(t.size(), dep.size());
+    EXPECT_NEAR(t.min_link(), dep.min_link(), 1e-9);
+    EXPECT_NEAR(t.max_link(), dep.max_link(), 1e-9);
+  }
+  // Exact isometries preserve distances bit-for-bit.
+  const Deployment m = mirrored(dep);
+  const Deployment r90 = rotated90(dep);
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 10; j < 20; ++j) {
+      const double d0 = dist_sq(dep.position(i), dep.position(j));
+      EXPECT_EQ(dist_sq(m.position(i), m.position(j)), d0);
+      EXPECT_EQ(dist_sq(r90.position(i), r90.position(j)), d0);
+    }
+  }
+}
+
+TEST(Transform, ExecutionsAreBitIdenticalUnderExactIsometries) {
+  // The whole stack consumes geometry only through squared distances, so
+  // mirroring / rotating by 90 degrees must reproduce the execution
+  // EXACTLY under the same seed.
+  Rng rng(7);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+
+  auto run_on = [&](const Deployment& d, std::uint64_t seed) {
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, d.max_link());
+    const SinrChannelAdapter adapter(params);
+    return run_execution(d, algo, adapter, config, Rng(seed));
+  };
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunResult base = run_on(dep, seed);
+    const RunResult mir = run_on(mirrored(dep), seed);
+    const RunResult rot = run_on(rotated90(dep), seed);
+    EXPECT_EQ(base.rounds, mir.rounds) << seed;
+    EXPECT_EQ(base.winner, mir.winner) << seed;
+    EXPECT_EQ(base.rounds, rot.rounds) << seed;
+    EXPECT_EQ(base.winner, rot.winner) << seed;
+  }
+}
+
+TEST(Transform, GeneralRotationIsDistributionallyInvariant) {
+  // Arbitrary-angle rotation perturbs distances by ~1 ulp; individual
+  // executions may flip marginal receptions, but the completion-round
+  // DISTRIBUTION must be unchanged (KS at the 1% level).
+  Rng rng(8);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const Deployment rot = rotated(dep, 1.234);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+
+  auto sample_on = [&](const Deployment& d) {
+    const SinrParams params =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, d.max_link());
+    const SinrChannelAdapter adapter(params);
+    std::vector<double> rounds;
+    for (std::uint64_t t = 0; t < 300; ++t) {
+      rounds.push_back(static_cast<double>(
+          run_execution(d, algo, adapter, config, Rng(1000 + t)).rounds));
+    }
+    return rounds;
+  };
+  const KsResult r = ks_test_two_sample(sample_on(dep), sample_on(rot));
+  EXPECT_GT(r.p_value, 0.01) << "KS statistic " << r.statistic;
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,138 @@
+// Link-class partition tests against hand-constructed deployments where the
+// nearest-neighbor structure is known exactly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+std::vector<NodeId> all_ids(const Deployment& dep) {
+  std::vector<NodeId> ids(dep.size());
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  return ids;
+}
+
+TEST(LinkClasses, HandBuiltTwoScaleChain) {
+  // Pairs at distance 1 and a far pair at distance 10; cross gaps 100.
+  //   (0,0)-(1,0)            : class 0 members (nearest at 1)
+  //   (101,0)-(111,0)        : nearest at 10 -> class 3 ([8,16))
+  const Deployment dep({{0, 0}, {1, 0}, {101, 0}, {111, 0}});
+  const LinkClassPartition part(dep, all_ids(dep));
+
+  EXPECT_EQ(part.class_of(0), 0);
+  EXPECT_EQ(part.class_of(1), 0);
+  EXPECT_EQ(part.class_of(2), 3);
+  EXPECT_EQ(part.class_of(3), 3);
+  EXPECT_EQ(part.size_of(0), 2u);
+  EXPECT_EQ(part.size_of(3), 2u);
+  EXPECT_EQ(part.size_below(3), 2u);
+  EXPECT_EQ(part.active_count(), 4u);
+  EXPECT_EQ(part.smallest_nonempty(), 0u);
+  EXPECT_DOUBLE_EQ(part.nearest_distance(0), 1.0);
+  EXPECT_DOUBLE_EQ(part.nearest_distance(2), 10.0);
+}
+
+TEST(LinkClasses, ClassBucketsAreHalfOpenPowersOfTwo) {
+  // Distances exactly at 2^i land in class i (range [2^i, 2^{i+1})).
+  const Deployment dep({{0, 0}, {1, 0},        // unit pair: class 0
+                        {100, 0}, {104, 0}});  // distance 4: class 2
+  const LinkClassPartition part(dep, all_ids(dep));
+  EXPECT_EQ(part.class_of(2), 2);
+  EXPECT_EQ(part.class_of(3), 2);
+}
+
+TEST(LinkClasses, MigrationWhenNearestNeighborDeactivates) {
+  // Nodes at 0, 1, 9: with all active, node 0's nearest is 1 (class 0).
+  // When node 1 deactivates, node 0's nearest becomes node 2 at 9: class 3.
+  const Deployment dep({{0, 0}, {1, 0}, {9, 0}});
+  const LinkClassPartition before(dep, all_ids(dep));
+  EXPECT_EQ(before.class_of(0), 0);
+
+  const std::vector<NodeId> after_ids = {0, 2};
+  const LinkClassPartition after(dep, after_ids);
+  EXPECT_EQ(after.class_of(0), 3);  // 9 in [8, 16)
+  EXPECT_EQ(after.class_of(2), 3);
+  // No node can join a *smaller* link class by deactivations (paper §3.3).
+  EXPECT_GE(after.class_of(0), before.class_of(0));
+}
+
+TEST(LinkClasses, SoleSurvivorHasNoClass) {
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const std::vector<NodeId> only = {1};
+  const LinkClassPartition part(dep, only);
+  EXPECT_EQ(part.class_of(1), kNoLinkClass);
+  EXPECT_DOUBLE_EQ(part.nearest_distance(1), 0.0);
+  EXPECT_EQ(part.active_count(), 1u);
+  EXPECT_EQ(part.smallest_nonempty(), part.class_count());
+}
+
+TEST(LinkClasses, EmptyActiveSet) {
+  const Deployment dep({{0, 0}, {1, 0}});
+  const LinkClassPartition part(dep, std::vector<NodeId>{});
+  EXPECT_EQ(part.active_count(), 0u);
+  EXPECT_EQ(part.smallest_nonempty(), part.class_count());
+  EXPECT_THROW(part.class_of(0), std::invalid_argument);
+}
+
+TEST(LinkClasses, InactiveQueriesAreRejected) {
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const std::vector<NodeId> subset = {0, 1};
+  const LinkClassPartition part(dep, subset);
+  EXPECT_THROW(part.class_of(2), std::invalid_argument);
+  EXPECT_THROW(part.nearest_distance(2), std::invalid_argument);
+  EXPECT_THROW(part.class_of(99), std::invalid_argument);
+}
+
+TEST(LinkClasses, DuplicateActiveIdsAreRejected) {
+  const Deployment dep({{0, 0}, {1, 0}});
+  const std::vector<NodeId> dup = {0, 0};
+  EXPECT_THROW(LinkClassPartition(dep, dup), std::invalid_argument);
+}
+
+TEST(LinkClasses, SizesSumToActiveCount) {
+  Rng rng(400);
+  const Deployment dep = uniform_square(200, 40.0, rng).normalized();
+  const LinkClassPartition part(dep, all_ids(dep));
+  const auto sizes = part.sizes();
+  const std::size_t total =
+      std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  EXPECT_EQ(total, 200u);
+  EXPECT_EQ(sizes.size(), dep.link_class_count());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], part.size_of(i));
+  }
+}
+
+TEST(LinkClasses, ClassIndexMatchesNearestDistanceLog) {
+  Rng rng(401);
+  const Deployment dep = uniform_square(100, 25.0, rng).normalized();
+  const LinkClassPartition part(dep, all_ids(dep));
+  for (NodeId id = 0; id < dep.size(); ++id) {
+    const double d = part.nearest_distance(id);
+    const auto i = part.class_of(id);
+    ASSERT_NE(i, kNoLinkClass);
+    EXPECT_GE(d, std::pow(2.0, static_cast<double>(i)) * (1.0 - 1e-9));
+    if (static_cast<std::size_t>(i) + 1 < part.class_count()) {
+      EXPECT_LT(d, std::pow(2.0, static_cast<double>(i + 1)) * (1.0 + 1e-9));
+    }
+  }
+}
+
+TEST(LinkClasses, UnnormalizedDeploymentUsesRelativeDistances) {
+  // Same geometry at 1000x scale must yield identical classes.
+  const Deployment small({{0, 0}, {1, 0}, {101, 0}, {111, 0}});
+  const Deployment big = small.scaled(1000.0);
+  const LinkClassPartition ps(small, all_ids(small));
+  const LinkClassPartition pb(big, all_ids(big));
+  for (NodeId id = 0; id < small.size(); ++id) {
+    EXPECT_EQ(ps.class_of(id), pb.class_of(id));
+  }
+}
+
+}  // namespace
+}  // namespace fcr

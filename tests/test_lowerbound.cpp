@@ -1,0 +1,196 @@
+// Lower-bound machinery tests: the restricted k-hitting game, player
+// strategies, the Lemma 14 reduction, and the two-player simulator —
+// including the reduction's consistency property (the simulated pair's view
+// matches a genuine 2-node execution).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fading_cr.hpp"
+#include "lowerbound/hitting_game.hpp"
+#include "lowerbound/players.hpp"
+#include "lowerbound/reduction.hpp"
+#include "stats/summary.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(HittingGame, RefereeEvaluatesIntersections) {
+  const HittingGameReferee ref(10, {2, 7});
+  EXPECT_EQ(ref.universe_size(), 10u);
+  const std::vector<std::size_t> neither = {0, 1, 3};
+  const std::vector<std::size_t> one = {2, 3, 4};
+  const std::vector<std::size_t> other = {7};
+  const std::vector<std::size_t> both = {2, 7, 9};
+  EXPECT_FALSE(ref.evaluate(neither));
+  EXPECT_TRUE(ref.evaluate(one));
+  EXPECT_TRUE(ref.evaluate(other));
+  EXPECT_FALSE(ref.evaluate(both));
+  EXPECT_FALSE(ref.evaluate({}));
+}
+
+TEST(HittingGame, RefereeValidation) {
+  Rng rng(1);
+  EXPECT_THROW(HittingGameReferee(1, rng), std::invalid_argument);
+  EXPECT_THROW(HittingGameReferee(10, {7, 2}), std::invalid_argument);
+  EXPECT_THROW(HittingGameReferee(10, {2, 10}), std::invalid_argument);
+  const HittingGameReferee ref(10, {2, 7});
+  const std::vector<std::size_t> oob = {11};
+  EXPECT_THROW(ref.evaluate(oob), std::invalid_argument);
+}
+
+TEST(HittingGame, RandomTargetIsUniformish) {
+  Rng rng(2);
+  int first_is_zero = 0;
+  const int samples = 5000;
+  for (int i = 0; i < samples; ++i) {
+    const HittingGameReferee ref(10, rng);
+    EXPECT_LT(ref.target().first, ref.target().second);
+    EXPECT_LT(ref.target().second, 10u);
+    if (ref.target().first == 0) ++first_is_zero;
+  }
+  // P(0 in target) = 2/10; P(0 is the smaller element) = 2/10 as well
+  // (0 is always the smaller element when present).
+  EXPECT_NEAR(static_cast<double>(first_is_zero) / samples, 0.2, 0.02);
+}
+
+TEST(HittingGame, PlayLoopReportsWinningRound) {
+  const HittingGameReferee ref(5, {1, 3});
+  SingletonSweepPlayer player(5);  // proposes {0}, {1}, ...
+  const HittingGameResult r = play_hitting_game(ref, player, 100);
+  EXPECT_TRUE(r.won);
+  EXPECT_EQ(r.rounds, 2u);  // {1} splits the target
+}
+
+TEST(HittingGame, MaxRoundsBoundsTheGame) {
+  const HittingGameReferee ref(5, {1, 3});
+  /// Player that always proposes the full universe (never splits).
+  class FullSetPlayer final : public HittingPlayer {
+   public:
+    std::string name() const override { return "full-set"; }
+    std::vector<std::size_t> propose(std::uint64_t) override {
+      return {0, 1, 2, 3, 4};
+    }
+  };
+  FullSetPlayer player;
+  const HittingGameResult r = play_hitting_game(ref, player, 10);
+  EXPECT_FALSE(r.won);
+  EXPECT_EQ(r.rounds, 10u);
+}
+
+TEST(Players, RandomHalfWinsEachRoundWithProbabilityHalf) {
+  Rng rng(3);
+  StreamingSummary rounds;
+  for (int trial = 0; trial < 400; ++trial) {
+    const HittingGameReferee ref(64, rng);
+    RandomHalfPlayer player(64, rng.split(static_cast<std::uint64_t>(trial)));
+    const HittingGameResult r = play_hitting_game(ref, player, 10000);
+    ASSERT_TRUE(r.won);
+    rounds.add(static_cast<double>(r.rounds));
+  }
+  EXPECT_NEAR(rounds.mean(), 2.0, 0.25);  // geometric(1/2)
+}
+
+TEST(Players, DecayScheduleEventuallyWins) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HittingGameReferee ref(32, rng);
+    DecaySchedulePlayer player(32, rng.split(static_cast<std::uint64_t>(trial)));
+    const HittingGameResult r = play_hitting_game(ref, player, 10000);
+    EXPECT_TRUE(r.won);
+  }
+}
+
+TEST(Players, SingletonSweepWinsWithinKRounds) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const HittingGameReferee ref(32, rng);
+    SingletonSweepPlayer player(32);
+    const HittingGameResult r = play_hitting_game(ref, player, 32);
+    EXPECT_TRUE(r.won);
+    // Wins exactly when the smaller target element is proposed.
+    EXPECT_EQ(r.rounds, ref.target().first + 1);
+  }
+}
+
+TEST(Reduction, ProposesTheBroadcasterSet) {
+  const FadingContentionResolution algo(0.5);
+  AlgorithmHittingPlayer player(algo, 16, Rng(6));
+  const auto proposal = player.propose(1);
+  for (const std::size_t e : proposal) EXPECT_LT(e, 16u);
+  EXPECT_NE(player.name().find("fading"), std::string::npos);
+}
+
+TEST(Reduction, SimulatedPairMatchesRealTwoPlayerRun) {
+  // Core soundness of Lemma 14: with the same seeds, the reduction's
+  // simulated nodes i and j behave exactly like a real 2-node execution
+  // until the game is won. We verify by comparing the winning round of the
+  // reduction (target {i,j}) with the direct two-player run seeded with the
+  // same per-node streams.
+  const FadingContentionResolution algo(0.35);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const Rng master(seed);
+    // Direct two-player run with node streams split(0), split(1).
+    const TwoPlayerResult direct = run_two_player(algo, master, 100000);
+    ASSERT_TRUE(direct.broken);
+
+    // Reduction over k = 2 simulated nodes uses the same split streams.
+    AlgorithmHittingPlayer player(algo, 2, master);
+    const HittingGameReferee ref(2, {0, 1});
+    const HittingGameResult game = play_hitting_game(ref, player, 100000);
+    ASSERT_TRUE(game.won);
+    EXPECT_EQ(game.rounds, direct.rounds) << "seed " << seed;
+  }
+}
+
+TEST(Reduction, WorksForLargerUniverses) {
+  Rng rng(7);
+  const FadingContentionResolution algo(0.5);
+  for (const std::size_t k : {4u, 16u, 64u}) {
+    int wins = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      Rng trial_rng = rng.split(k * 100 + static_cast<std::uint64_t>(trial));
+      const HittingGameReferee ref(k, trial_rng);
+      AlgorithmHittingPlayer player(algo, k, trial_rng.split(999));
+      if (play_hitting_game(ref, player, 20000).won) ++wins;
+    }
+    EXPECT_EQ(wins, 20) << "k=" << k;
+  }
+}
+
+TEST(TwoPlayer, ConstantProbabilityBreaksSymmetryGeometrically) {
+  const FadingContentionResolution algo(0.5);
+  StreamingSummary rounds;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const TwoPlayerResult r = run_two_player(algo, Rng(seed), 100000);
+    ASSERT_TRUE(r.broken);
+    rounds.add(static_cast<double>(r.rounds));
+  }
+  // Asymmetry probability per round: 2 * 0.5 * 0.5 = 0.5 -> mean 2.
+  EXPECT_NEAR(rounds.mean(), 2.0, 0.3);
+}
+
+TEST(TwoPlayer, HighQuantileGrowsWithTargetConfidence) {
+  // Empirical Theorem 12 shape: the number of rounds needed to reach
+  // success probability 1 - 1/k grows like log k for the (optimal-order)
+  // constant-probability strategy.
+  const FadingContentionResolution algo(0.5);
+  std::vector<double> rounds;
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    const TwoPlayerResult r = run_two_player(algo, Rng(seed), 100000);
+    rounds.push_back(static_cast<double>(r.rounds));
+  }
+  const double q16 = percentile(rounds, 1.0 - 1.0 / 16.0);
+  const double q256 = percentile(rounds, 1.0 - 1.0 / 256.0);
+  EXPECT_GT(q256, q16);
+  // log2(256)/log2(16) = 2: doubling the log doubles the quantile (+/- slack).
+  EXPECT_NEAR(q256 / q16, 2.0, 0.6);
+}
+
+TEST(TwoPlayer, Validation) {
+  const FadingContentionResolution algo(0.5);
+  EXPECT_THROW(run_two_player(algo, Rng(1), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,231 @@
+// Property-based suites (parameterized gtest): model invariants checked
+// across a grid of deployment shapes and sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/fading_cr.hpp"
+#include "core/link_classes.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sinr/channel.hpp"
+
+namespace fcr {
+namespace {
+
+struct PropertyCase {
+  const char* shape;
+  std::size_t n;
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+  return os << c.shape << "_n" << c.n;
+}
+
+Deployment make_shape(const PropertyCase& c, Rng& rng) {
+  const std::string shape = c.shape;
+  const double side = 2.0 * std::sqrt(static_cast<double>(c.n));
+  if (shape == "square") return uniform_square(c.n, side, rng).normalized();
+  if (shape == "disk") return uniform_disk(c.n, side / 2.0, rng).normalized();
+  if (shape == "clusters")
+    return two_clusters(c.n, side * 10.0, side / 8.0, rng).normalized();
+  if (shape == "chain")
+    return exponential_chain(c.n, static_cast<double>(c.n) * 16.0, rng)
+        .normalized();
+  if (shape == "ring") return ring(c.n, side, 0.001, rng).normalized();
+  if (shape == "poisson") {
+    // Intensity chosen so the expected count is c.n; actual count varies.
+    return poisson_field(static_cast<double>(c.n) / (side * side), side, rng)
+        .normalized();
+  }
+  ADD_FAILURE() << "unknown shape " << shape;
+  return single_pair(1.0);
+}
+
+class FadingProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(FadingProperties, SolvesWithinGenerousLogBound) {
+  const PropertyCase c = GetParam();
+  Rng rng(1000 + c.n);
+  const Deployment dep = make_shape(c, rng);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const RunResult r =
+        run_execution(dep, algo, *channel, config, rng.split(seed));
+    ASSERT_TRUE(r.solved) << "seed " << seed;
+    const double bound =
+        60.0 * (std::log2(static_cast<double>(dep.size())) +
+                std::log2(std::max(2.0, dep.link_ratio()))) +
+        200.0;
+    EXPECT_LT(static_cast<double>(r.rounds), bound) << "seed " << seed;
+  }
+}
+
+TEST_P(FadingProperties, WinnerTransmittedAloneThatRound) {
+  const PropertyCase c = GetParam();
+  Rng rng(2000 + c.n);
+  const Deployment dep = make_shape(c, rng);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+
+  std::uint64_t solo_round = 0;
+  NodeId solo_tx = kInvalidNode;
+  const RunResult r = run_execution(
+      dep, algo, *channel, config, rng.split(7), [&](const RoundView& view) {
+        if (view.transmitters.size() == 1 && solo_round == 0) {
+          solo_round = view.round;
+          solo_tx = view.transmitters[0];
+        }
+      });
+  ASSERT_TRUE(r.solved);
+  EXPECT_EQ(r.rounds, solo_round);
+  EXPECT_EQ(r.winner, solo_tx);
+}
+
+TEST_P(FadingProperties, EveryReceptionSatisfiesTheSinrInequality) {
+  const PropertyCase c = GetParam();
+  Rng rng(3000 + c.n);
+  const Deployment dep = make_shape(c, rng);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannelAdapter adapter(params);
+  const SinrChannel& channel = adapter.channel();
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 500;
+  config.stop_on_solve = false;
+
+  std::size_t checked = 0;
+  run_execution(
+      dep, algo, adapter, config, rng.split(8), [&](const RoundView& view) {
+        for (std::size_t i = 0; i < view.listeners.size(); ++i) {
+          const Feedback& f = view.listener_feedback[i];
+          if (!f.received || checked >= 200) continue;
+          ++checked;
+          std::vector<NodeId> interferers;
+          for (const NodeId w : view.transmitters) {
+            if (w != f.sender) interferers.push_back(w);
+          }
+          EXPECT_TRUE(channel.can_receive(dep, f.sender, view.listeners[i],
+                                          interferers))
+              << "round " << view.round;
+        }
+      });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(FadingProperties, DeterministicAcrossIdenticalRuns) {
+  const PropertyCase c = GetParam();
+  Rng rng(4000 + c.n);
+  const Deployment dep = make_shape(c, rng);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 20000;
+  const RunResult a = run_execution(dep, algo, *channel, config, Rng(123));
+  const RunResult b = run_execution(dep, algo, *channel, config, Rng(123));
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.winner, b.winner);
+}
+
+TEST_P(FadingProperties, LinkClassIndicesNeverDecreasePerNode) {
+  // Paper Section 3.3: "no node can join a smaller link class" — knockouts
+  // only remove neighbors, so each node's nearest-active distance (hence
+  // class) is non-decreasing while it stays active.
+  const PropertyCase c = GetParam();
+  Rng rng(5000 + c.n);
+  const Deployment dep = make_shape(c, rng);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.stop_on_solve = false;
+  config.max_rounds = 150;
+
+  std::vector<std::int32_t> last_class(dep.size(), -1);
+  run_execution(
+      dep, algo, *channel, config, rng.split(9), [&](const RoundView& view) {
+        std::vector<NodeId> active;
+        for (NodeId id = 0; id < view.nodes.size(); ++id) {
+          if (view.nodes[id]->is_contending()) active.push_back(id);
+        }
+        if (active.size() < 2) return;
+        const LinkClassPartition part(dep, active);
+        for (const NodeId id : active) {
+          const std::int32_t now = part.class_of(id);
+          if (now == kNoLinkClass) continue;
+          EXPECT_GE(now, last_class[id]) << "node " << id;
+          last_class[id] = now;
+        }
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FadingProperties,
+    ::testing::Values(PropertyCase{"square", 32}, PropertyCase{"square", 128},
+                      PropertyCase{"disk", 64}, PropertyCase{"clusters", 64},
+                      PropertyCase{"chain", 48}, PropertyCase{"ring", 64},
+                      PropertyCase{"poisson", 96}),
+    [](const ::testing::TestParamInfo<PropertyCase>& param_info) {
+      std::ostringstream os;
+      os << param_info.param;
+      return os.str();
+    });
+
+// ------------------------------------------------- probability sweep (E5ish)
+
+class ProbabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbabilitySweep, AnyConstantProbabilitySolves) {
+  const double p = GetParam();
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+      sinr_channel_factory(3.0, 1.5, 1e-9),
+      [p](const Deployment&) {
+        return std::make_unique<FadingContentionResolution>(p);
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 10;
+        c.engine.max_rounds = 50000;
+        return c;
+      }());
+  EXPECT_EQ(result.solved, result.trials) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, ProbabilitySweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2, 0.4, 0.6));
+
+// ----------------------------------------------------- alpha sweep (E6ish)
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, SuperQuadraticFadingSolves) {
+  const double alpha = GetParam();
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+      sinr_channel_factory(alpha, 1.5, 1e-9),
+      [](const Deployment&) {
+        return std::make_unique<FadingContentionResolution>();
+      },
+      [] {
+        TrialConfig c;
+        c.trials = 10;
+        c.engine.max_rounds = 50000;
+        return c;
+      }());
+  EXPECT_EQ(result.solved, result.trials) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(2.2, 2.5, 3.0, 4.0, 6.0));
+
+}  // namespace
+}  // namespace fcr

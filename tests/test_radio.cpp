@@ -1,0 +1,122 @@
+// Classical radio channel and channel-adapter tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "deploy/generators.hpp"
+#include "radio/channel.hpp"
+#include "sim/channel_adapter.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(RadioChannel, ObservationSemanticsWithoutCd) {
+  const RadioChannel ch(false);
+  EXPECT_EQ(ch.observe(0), RadioObservation::kSilence);
+  EXPECT_EQ(ch.observe(1), RadioObservation::kMessage);
+  // Collisions are indistinguishable from silence without CD.
+  EXPECT_EQ(ch.observe(2), RadioObservation::kSilence);
+  EXPECT_EQ(ch.observe(100), RadioObservation::kSilence);
+}
+
+TEST(RadioChannel, ObservationSemanticsWithCd) {
+  const RadioChannel ch(true);
+  EXPECT_EQ(ch.observe(0), RadioObservation::kSilence);
+  EXPECT_EQ(ch.observe(1), RadioObservation::kMessage);
+  EXPECT_EQ(ch.observe(2), RadioObservation::kCollision);
+}
+
+TEST(RadioChannel, DecodedSender) {
+  const std::vector<NodeId> one = {7};
+  EXPECT_EQ(RadioChannel::decoded_sender(one), 7u);
+  const std::vector<NodeId> two = {7, 9};
+  EXPECT_EQ(RadioChannel::decoded_sender(two), kInvalidNode);
+  EXPECT_EQ(RadioChannel::decoded_sender({}), kInvalidNode);
+}
+
+TEST(RadioAdapter, BroadcastsSoloMessageToAllListeners) {
+  Rng rng(300);
+  const Deployment dep = uniform_square(10, 5.0, rng);
+  const RadioChannelAdapter adapter(false);
+  const std::vector<NodeId> tx = {3};
+  const std::vector<NodeId> listeners = {0, 1, 2};
+  std::vector<Feedback> fb(listeners.size());
+  adapter.resolve(dep, tx, listeners, fb);
+  for (const Feedback& f : fb) {
+    EXPECT_TRUE(f.received);
+    EXPECT_EQ(f.sender, 3u);
+    EXPECT_EQ(f.observation, RadioObservation::kMessage);
+  }
+}
+
+TEST(RadioAdapter, CollisionLosesMessageEverywhere) {
+  Rng rng(301);
+  const Deployment dep = uniform_square(10, 5.0, rng);
+  const RadioChannelAdapter plain(false);
+  const RadioChannelAdapter cd(true);
+  const std::vector<NodeId> tx = {3, 4};
+  const std::vector<NodeId> listeners = {0, 1};
+  std::vector<Feedback> fb(listeners.size());
+
+  plain.resolve(dep, tx, listeners, fb);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kSilence);
+  }
+
+  cd.resolve(dep, tx, listeners, fb);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kCollision);
+  }
+}
+
+TEST(RadioAdapter, NamesAndCapabilities) {
+  EXPECT_EQ(RadioChannelAdapter(false).name(), "radio");
+  EXPECT_EQ(RadioChannelAdapter(true).name(), "radio-cd");
+  EXPECT_FALSE(RadioChannelAdapter(false).provides_collision_detection());
+  EXPECT_TRUE(RadioChannelAdapter(true).provides_collision_detection());
+}
+
+TEST(SinrAdapter, FeedbackMirrorsReceptions) {
+  const Deployment dep = single_pair(2.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.5;
+  params.noise = 0.0;
+  params.power = 1.0;
+  const SinrChannelAdapter adapter(params);
+  EXPECT_EQ(adapter.name(), "sinr");
+  EXPECT_FALSE(adapter.provides_collision_detection());
+
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  adapter.resolve(dep, tx, listeners, fb);
+  EXPECT_TRUE(fb[0].received);
+  EXPECT_EQ(fb[0].sender, 0u);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kMessage);
+}
+
+TEST(Adapters, SizeMismatchIsRejected) {
+  const Deployment dep = single_pair(2.0);
+  const RadioChannelAdapter adapter(false);
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> wrong(2);
+  EXPECT_THROW(adapter.resolve(dep, tx, listeners, wrong),
+               std::invalid_argument);
+}
+
+TEST(Adapters, FactoriesProduceWorkingAdapters) {
+  SinrParams params;
+  params.alpha = 3.0;
+  const auto sinr = make_sinr_adapter(params);
+  EXPECT_EQ(sinr->name(), "sinr");
+  const auto radio = make_radio_adapter(true);
+  EXPECT_EQ(radio->name(), "radio-cd");
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,228 @@
+// Unit tests for the deterministic RNG and its distributions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  // Regression pin: the seeding path must never change silently, or every
+  // recorded experiment row becomes irreproducible.
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 2);
+}
+
+TEST(Rng, ZeroSeedProducesNonDegenerateStream) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, SplitIsDeterministicAndDoesNotPerturbParent) {
+  Rng parent(7);
+  const std::uint64_t before = Rng(7)();
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(1);
+  EXPECT_EQ(child1(), child2());  // same tag -> same child stream
+  EXPECT_EQ(parent(), before);    // splitting consumed no parent output
+}
+
+TEST(Rng, SplitWithDistinctTagsGivesDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiasedAcrossSmallRange) {
+  Rng r(11);
+  std::vector<int> counts(7, 0);
+  const int samples = 140000;
+  for (int i = 0; i < samples; ++i) ++counts[r.uniform_int(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), samples / 7.0, samples / 7.0 * 0.05);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.uniform_int(std::int64_t{-2}, std::int64_t{2});
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsZeroBound) {
+  Rng r(13);
+  EXPECT_THROW(r.uniform_int(std::uint64_t{0}), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(14);
+  const double p = 0.3;
+  int hits = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    if (r.bernoulli(p)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / samples, p, 0.01);
+}
+
+TEST(Rng, BernoulliExtremesAreExact) {
+  Rng r(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(16);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) sum += r.exponential(lambda);
+  EXPECT_NEAR(sum / samples, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng r(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / samples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / samples, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng r(18);
+  double sum = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / samples, 10.0, 0.05);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng r(19);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(r.poisson(lambda));
+  }
+  EXPECT_NEAR(sum / samples, lambda, 0.05);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng r(20);
+  const double lambda = 200.0;
+  double sum = 0.0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(r.poisson(lambda));
+  }
+  EXPECT_NEAR(sum / samples, lambda, 1.0);
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng r(21);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, GeometricMeanMatchesFailureCount) {
+  Rng r(22);
+  const double p = 0.25;
+  double sum = 0.0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(r.geometric(p));
+  }
+  // Mean failures before success: (1-p)/p = 3.
+  EXPECT_NEAR(sum / samples, (1.0 - p) / p, 0.05);
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+TEST(Rng, InvalidDistributionParametersThrow) {
+  Rng r(24);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(r.poisson(-1.0), std::invalid_argument);
+  EXPECT_THROW(r.geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(r.geometric(1.5), std::invalid_argument);
+  EXPECT_THROW(r.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,220 @@
+// Tests for the Sift baseline, the beep channel, the ASCII plot helper,
+// and the round-analysis pipeline (Corollary 7 on live executions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cd_leader.hpp"
+#include "algorithms/sift.hpp"
+#include "core/fading_cr.hpp"
+#include "core/round_analysis.hpp"
+#include "deploy/generators.hpp"
+#include "geom/ascii_plot.hpp"
+#include "sim/beep.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+// --------------------------------------------------------------------- sift
+
+TEST(Sift, SlotDistributionIsGeometricAndNormalized) {
+  const SiftWindow algo(16, 0.7);
+  double total = 0.0;
+  for (std::size_t s = 0; s < 16; ++s) {
+    const double p = algo.slot_probability(s);
+    total += p;
+    if (s > 0) {
+      EXPECT_NEAR(p / algo.slot_probability(s - 1), 0.7, 1e-12) << s;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_THROW(algo.slot_probability(16), std::invalid_argument);
+}
+
+TEST(Sift, TransmitsExactlyOncePerWindow) {
+  const SiftWindow algo(8, 0.8);
+  const auto node = algo.make_node(0, Rng(3));
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    int tx = 0;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      const std::uint64_t round = static_cast<std::uint64_t>(epoch) * 8 + s + 1;
+      if (node->on_round_begin(round) == Action::kTransmit) ++tx;
+      node->on_round_end(Feedback{});
+    }
+    EXPECT_EQ(tx, 1) << "epoch " << epoch;
+  }
+}
+
+TEST(Sift, EmpiricalSlotFrequenciesMatchTheDistribution) {
+  const SiftWindow algo(8, 0.8);
+  std::vector<int> counts(8, 0);
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const auto node = algo.make_node(0, Rng(static_cast<std::uint64_t>(i)));
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      if (node->on_round_begin(s + 1) == Action::kTransmit) {
+        ++counts[s];
+        break;
+      }
+      node->on_round_end(Feedback{});
+    }
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]) / samples,
+                algo.slot_probability(s), 0.01)
+        << "slot " << s;
+  }
+}
+
+TEST(Sift, SolvesContention) {
+  Rng rng(70);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const SiftWindow algo;
+  const RadioChannelAdapter channel(false);
+  EngineConfig config;
+  config.max_rounds = 20000;
+  const RunResult r = run_execution(dep, algo, channel, config, rng.split(1));
+  EXPECT_TRUE(r.solved);
+}
+
+TEST(Sift, Validation) {
+  EXPECT_THROW(SiftWindow(1, 0.5), std::invalid_argument);
+  EXPECT_THROW(SiftWindow(8, 0.0), std::invalid_argument);
+  EXPECT_THROW(SiftWindow(8, 1.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- beep
+
+TEST(Beep, ActivityBitOnly) {
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const BeepChannelAdapter channel;
+  EXPECT_TRUE(channel.provides_collision_detection());
+  const std::vector<NodeId> listeners = {0};
+  std::vector<Feedback> fb(1);
+
+  channel.resolve(dep, {}, listeners, fb);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kSilence);
+  EXPECT_FALSE(fb[0].received);
+
+  const std::vector<NodeId> one = {1};
+  channel.resolve(dep, one, listeners, fb);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kCollision);
+  EXPECT_FALSE(fb[0].received);  // beeps are not messages
+
+  const std::vector<NodeId> two = {1, 2};
+  channel.resolve(dep, two, listeners, fb);
+  EXPECT_EQ(fb[0].observation, RadioObservation::kCollision);
+}
+
+TEST(Beep, CdLeaderRunsUnmodifiedOnBeeps) {
+  // The survivor-halving strategy only consumes the activity bit, so it
+  // solves contention resolution on the beeping channel at the same
+  // logarithmic rate.
+  Rng rng(71);
+  const Deployment dep = uniform_square(128, 24.0, rng).normalized();
+  const CollisionDetectLeader algo;
+  const BeepChannelAdapter channel;
+  EngineConfig config;
+  config.max_rounds = 2000;
+  int solved = 0;
+  StreamingSummary rounds;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunResult r =
+        run_execution(dep, algo, channel, config, rng.split(seed));
+    if (r.solved) {
+      ++solved;
+      rounds.add(static_cast<double>(r.rounds));
+    }
+  }
+  EXPECT_EQ(solved, 10);
+  EXPECT_LT(rounds.mean(), 6.0 * std::log2(128.0));
+}
+
+// --------------------------------------------------------------- ascii plot
+
+TEST(AsciiPlot, MarksPointsAndHighlights) {
+  const std::vector<Vec2> pts = {{0, 0}, {10, 10}, {5, 5}};
+  const std::vector<std::size_t> highlight = {1};
+  const std::string plot = ascii_scatter(pts, highlight, 20, 10);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  // 10 lines of 20 chars + newlines.
+  EXPECT_EQ(plot.size(), 10u * 21u);
+}
+
+TEST(AsciiPlot, DegenerateAndInvalidInputs) {
+  const std::vector<Vec2> single = {{3, 3}};
+  const std::string plot = ascii_scatter(single, 8, 4);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_THROW(ascii_scatter(single, 1, 4), std::invalid_argument);
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(ascii_scatter(single, bad, 8, 4), std::invalid_argument);
+}
+
+TEST(AsciiPlot, OverlapUsesMixedMarker) {
+  const std::vector<Vec2> pts = {{0, 0}, {0, 0}, {10, 10}};
+  const std::vector<std::size_t> highlight = {0};
+  const std::string plot = ascii_scatter(pts, highlight, 10, 5);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+// ---------------------------------------------------------- round analysis
+
+TEST(RoundAnalysis, RecordsCoverEveryRoundAndClass) {
+  Rng rng(72);
+  const Deployment dep = uniform_square(96, 20.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  RoundAnalysisPipeline pipeline(dep, GoodNodeParams{}, 0.5, 2.0);
+  EngineConfig config;
+  config.max_rounds = 500;
+  config.stop_on_solve = false;
+  run_execution(dep, algo, *channel, config, rng.split(1),
+                pipeline.observer());
+
+  ASSERT_FALSE(pipeline.records().empty());
+  for (const ClassRoundRecord& rec : pipeline.records()) {
+    EXPECT_GT(rec.v_i, 0u);
+    EXPECT_LE(rec.good, rec.v_i);
+    EXPECT_LE(rec.s_i, rec.good);
+    EXPECT_LE(rec.knocked_s_i, rec.s_i);
+    EXPECT_LE(rec.knocked_v_i, rec.v_i);
+    EXPECT_LE(rec.knocked_s_i, rec.knocked_v_i);
+    EXPECT_EQ(rec.premise, static_cast<double>(rec.n_below) <=
+                               0.5 * static_cast<double>(rec.v_i));
+  }
+}
+
+TEST(RoundAnalysis, Corollary7HoldsOnAverage) {
+  // Where the premise holds, the good fraction should be large and a
+  // constant per-round knockout rate should be visible in S_i.
+  Rng rng(73);
+  const Deployment dep = uniform_square(256, 32.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  RoundAnalysisPipeline pipeline(dep, GoodNodeParams{}, 0.5, 2.0);
+  EngineConfig config;
+  config.max_rounds = 300;
+  config.stop_on_solve = false;
+  run_execution(dep, algo, *channel, config, rng.split(1),
+                pipeline.observer());
+
+  const AnalysisSummary s = pipeline.summarize();
+  EXPECT_GT(s.rounds_analyzed, 0u);
+  EXPECT_GT(s.premise_cells, 0u);
+  EXPECT_GE(s.mean_good_fraction, 0.5);  // Lemma 6's conclusion
+  EXPECT_GT(s.mean_s_i_knockout_fraction, 0.05);  // Corollary 7's conclusion
+}
+
+TEST(RoundAnalysis, Validation) {
+  const Deployment dep = single_pair(1.0);
+  EXPECT_THROW(RoundAnalysisPipeline(dep, GoodNodeParams{}, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(RoundAnalysisPipeline(dep, GoodNodeParams{}, 0.5, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

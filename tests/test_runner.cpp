@@ -1,0 +1,137 @@
+// Multi-trial runner tests: aggregation, determinism, factory plumbing.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+TrialConfig small_config(std::size_t trials = 8, std::uint64_t seed = 1) {
+  TrialConfig c;
+  c.trials = trials;
+  c.seed = seed;
+  c.engine.max_rounds = 20000;
+  return c;
+}
+
+TEST(Runner, AggregatesSolvedTrials) {
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(32, 20.0, rng).normalized(); },
+      sinr_channel_factory(3.0, 1.5, 1e-9),
+      [](const Deployment&) {
+        return std::make_unique<FadingContentionResolution>();
+      },
+      small_config());
+  EXPECT_EQ(result.trials, 8u);
+  EXPECT_EQ(result.solved, 8u);
+  EXPECT_EQ(result.rounds.size(), 8u);
+  EXPECT_DOUBLE_EQ(result.solve_rate(), 1.0);
+  const BatchSummary s = result.summary();
+  EXPECT_GT(s.median, 0.0);
+  EXPECT_LE(s.min, s.median);
+  EXPECT_LE(s.median, s.max);
+}
+
+TEST(Runner, SameSeedSameResults) {
+  auto run_once = [] {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(24, 15.0, rng).normalized(); },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        small_config(6, 99));
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(24, 15.0, rng).normalized(); },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        small_config(6, seed));
+  };
+  const auto a = run_with_seed(1);
+  const auto b = run_with_seed(2);
+  EXPECT_NE(a.rounds, b.rounds);
+}
+
+TEST(Runner, FixedDeploymentFactoryReturnsNormalizedCopy) {
+  Rng rng(7);
+  const Deployment dep = uniform_square(16, 10.0, rng);
+  const DeploymentFactory factory = fixed_deployment(dep);
+  Rng unused(0);
+  const Deployment a = factory(unused);
+  const Deployment b = factory(unused);
+  EXPECT_TRUE(a.is_normalized(1e-9));
+  EXPECT_EQ(a.size(), dep.size());
+  EXPECT_EQ(a.positions(), b.positions());
+}
+
+TEST(Runner, SizeAwareAlgorithmsSeeTheDeployment) {
+  std::size_t observed_n = 0;
+  run_trials(
+      [](Rng& rng) { return uniform_square(20, 15.0, rng).normalized(); },
+      radio_channel_factory(false),
+      [&](const Deployment& dep) {
+        observed_n = dep.size();
+        return make_algorithm("aloha", dep.size());
+      },
+      small_config(2));
+  EXPECT_EQ(observed_n, 20u);
+}
+
+TEST(Runner, UnsolvedTrialsAreCounted) {
+  // An impossible setup: no-knockout with n = 64 and tiny round budget.
+  TrialConfig c = small_config(4);
+  c.engine.max_rounds = 3;
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(64, 20.0, rng).normalized(); },
+      radio_channel_factory(false),
+      [](const Deployment&) { return make_algorithm("no-knockout", 0); },
+      c);
+  EXPECT_LT(result.solved, result.trials);
+  EXPECT_EQ(result.rounds.size(), result.solved);
+}
+
+TEST(Runner, ValidatesInputs) {
+  TrialConfig c = small_config(0);
+  EXPECT_THROW(
+      run_trials([](Rng& rng) { return uniform_square(4, 5.0, rng); },
+                 radio_channel_factory(false),
+                 [](const Deployment&) { return make_algorithm("backoff", 0); },
+                 c),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_trials(nullptr, radio_channel_factory(false),
+                 [](const Deployment&) { return make_algorithm("backoff", 0); },
+                 small_config()),
+      std::invalid_argument);
+}
+
+TEST(Runner, RadioChannelFactoryRespectsCdFlag) {
+  const Deployment dep = single_pair(1.0);
+  EXPECT_FALSE(radio_channel_factory(false)(dep)->provides_collision_detection());
+  EXPECT_TRUE(radio_channel_factory(true)(dep)->provides_collision_detection());
+}
+
+TEST(Runner, SinrChannelFactorySetsSingleHopPower) {
+  Rng rng(8);
+  const Deployment dep = uniform_square(16, 12.0, rng).normalized();
+  const auto adapter = sinr_channel_factory(3.0, 1.5, 1e-6)(dep);
+  const auto* sinr = dynamic_cast<const SinrChannelAdapter*>(adapter.get());
+  ASSERT_NE(sinr, nullptr);
+  EXPECT_TRUE(sinr->channel().params().is_single_hop(dep.max_link()));
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,196 @@
+// Tests for the second-wave sim/ and sinr/ features: parallel runner,
+// contention metrics, model validation, and the umbrella header.
+#include <gtest/gtest.h>
+
+#include "fadingcr.hpp"  // the umbrella header must compile standalone
+
+namespace fcr {
+namespace {
+
+TrialConfig quick_config(std::size_t trials) {
+  TrialConfig c;
+  c.trials = trials;
+  c.engine.max_rounds = 20000;
+  return c;
+}
+
+DeploymentFactory uniform_factory(std::size_t n) {
+  return [n](Rng& rng) {
+    return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+        .normalized();
+  };
+}
+
+AlgorithmFactory fading_factory() {
+  return [](const Deployment&) {
+    return std::make_unique<FadingContentionResolution>();
+  };
+}
+
+// ----------------------------------------------------------- parallel runner
+
+TEST(ParallelRunner, BitIdenticalToSerial) {
+  const TrialConfig config = quick_config(24);
+  const auto serial =
+      run_trials(uniform_factory(48), sinr_channel_factory(3.0, 1.5, 1e-9),
+                 fading_factory(), config);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto parallel = run_trials_parallel(
+        uniform_factory(48), sinr_channel_factory(3.0, 1.5, 1e-9),
+        fading_factory(), config, threads);
+    EXPECT_EQ(parallel.trials, serial.trials) << threads;
+    EXPECT_EQ(parallel.solved, serial.solved) << threads;
+    EXPECT_EQ(parallel.rounds, serial.rounds) << threads;
+  }
+}
+
+TEST(ParallelRunner, MoreThreadsThanTrials) {
+  const auto result = run_trials_parallel(
+      uniform_factory(16), sinr_channel_factory(3.0, 1.5, 1e-9),
+      fading_factory(), quick_config(3), 64);
+  EXPECT_EQ(result.trials, 3u);
+  EXPECT_EQ(result.solved, 3u);
+}
+
+TEST(ParallelRunner, PropagatesFactoryErrors) {
+  const AlgorithmFactory broken = [](const Deployment&) {
+    throw std::runtime_error("factory exploded");
+    return std::unique_ptr<Algorithm>{};
+  };
+  EXPECT_THROW(
+      run_trials_parallel(uniform_factory(8),
+                          sinr_channel_factory(3.0, 1.5, 1e-9), broken,
+                          quick_config(4), 2),
+      ContractViolation);
+}
+
+TEST(ParallelRunner, Validation) {
+  EXPECT_THROW(run_trials_parallel(nullptr, radio_channel_factory(false),
+                                   fading_factory(), quick_config(2)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ metrics
+
+RunResult recorded_run(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const Deployment dep =
+      uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+          .normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.record_rounds = true;
+  config.stop_on_solve = false;
+  config.max_rounds = 400;
+  return run_execution(dep, algo, *channel, config, rng.split(1));
+}
+
+TEST(Metrics, ContentionDecayShape) {
+  const RunResult r = recorded_run(128, 5);
+  const ContentionDecay d = contention_decay(r.history);
+  EXPECT_GT(d.survival_ratio, 0.0);
+  EXPECT_LT(d.survival_ratio, 1.0);  // the active set does shrink
+  EXPECT_GE(d.half_life, 1u);
+  EXPECT_GE(d.rounds_to_one, d.half_life);
+  EXPECT_GT(d.rounds_to_one, 0u);
+}
+
+TEST(Metrics, TransmitterLoadTracksP) {
+  const RunResult r = recorded_run(128, 6);
+  // Early rounds: ~p * n transmitters; averaged over the whole (shrinking)
+  // execution the load is below p but positive.
+  const double load = mean_transmitter_load(r.history, 128);
+  EXPECT_GT(load, 0.0);
+  EXPECT_LT(load, 0.25);
+}
+
+TEST(Metrics, ReceptionEfficiency) {
+  const RunResult r = recorded_run(128, 7);
+  const auto eff = reception_efficiency(r.history);
+  ASSERT_TRUE(eff.has_value());
+  EXPECT_GT(*eff, 0.0);  // spatial reuse: messages do get through
+
+  const std::vector<RoundStats> silent = {{1, 0, 0, 5}};
+  EXPECT_FALSE(reception_efficiency(silent).has_value());
+}
+
+TEST(Metrics, Validation) {
+  const std::vector<RoundStats> empty;
+  EXPECT_THROW(contention_decay(empty), std::invalid_argument);
+  const std::vector<RoundStats> one = {{1, 2, 1, 4}};
+  EXPECT_THROW(mean_transmitter_load(one, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- model validation
+
+TEST(Validate, CanonicalSetupPassesAllChecks) {
+  Rng rng(8);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const ModelReport report = validate_model(dep, params);
+  EXPECT_TRUE(report.all_satisfied()) << report.to_string();
+  EXPECT_EQ(report.checks.size(), 5u);
+}
+
+TEST(Validate, FlagsEachViolationIndividually) {
+  Rng rng(9);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+
+  SinrParams bad_alpha = params;
+  bad_alpha.alpha = 2.0;
+  EXPECT_FALSE(validate_model(dep, bad_alpha).all_satisfied());
+
+  SinrParams bad_beta = params;
+  bad_beta.beta = 0.5;
+  EXPECT_FALSE(validate_model(dep, bad_beta).all_satisfied());
+
+  SinrParams weak = params;
+  weak.power = params.power / 100.0;
+  const ModelReport weak_report = validate_model(dep, weak);
+  EXPECT_FALSE(weak_report.all_satisfied());
+  // Exactly the single-hop check fails.
+  std::size_t failures = 0;
+  for (const ModelCheck& c : weak_report.checks) {
+    if (!c.satisfied) {
+      ++failures;
+      EXPECT_EQ(c.name, "single-hop power");
+    }
+  }
+  EXPECT_EQ(failures, 1u);
+}
+
+TEST(Validate, FlagsUnnormalizedDeployments) {
+  Rng rng(10);
+  const Deployment raw = uniform_square(64, 16.0, rng);  // not normalized
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, raw.max_link());
+  const ModelReport report = validate_model(raw, params);
+  bool norm_failed = false;
+  for (const ModelCheck& c : report.checks) {
+    if (c.name.find("normalized") != std::string::npos && !c.satisfied) {
+      norm_failed = true;
+    }
+  }
+  EXPECT_TRUE(norm_failed);
+}
+
+TEST(Validate, ReportRendersOneLinePerCheck) {
+  Rng rng(11);
+  const Deployment dep = uniform_square(16, 8.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const std::string text = validate_model(dep, params).to_string();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,205 @@
+// SINR channel tests: the model equation on hand-computed configurations,
+// the strongest-transmitter optimization against exhaustive per-sender
+// checks, parameter validation, and the single-hop power bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "deploy/generators.hpp"
+#include "sinr/channel.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+SinrParams basic_params(double alpha = 3.0, double beta = 1.5,
+                        double noise = 0.0, double power = 1.0) {
+  SinrParams p;
+  p.alpha = alpha;
+  p.beta = beta;
+  p.noise = noise;
+  p.power = power;
+  return p;
+}
+
+TEST(SinrParams, ValidationRejectsBadDomains) {
+  EXPECT_NO_THROW(basic_params().validate());
+  EXPECT_THROW(basic_params(2.0).validate(true), std::invalid_argument);
+  EXPECT_NO_THROW(basic_params(2.0).validate(false));
+  EXPECT_THROW(basic_params(3.0, 0.0).validate(), std::invalid_argument);
+  EXPECT_THROW(basic_params(3.0, 1.0, -1.0).validate(), std::invalid_argument);
+  EXPECT_THROW(basic_params(3.0, 1.0, 0.0, 0.0).validate(), std::invalid_argument);
+}
+
+TEST(SinrParams, SignalDecaysWithExponent) {
+  const SinrParams p = basic_params(3.0);
+  EXPECT_DOUBLE_EQ(p.signal(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.signal(2.0), 1.0 / 8.0);
+}
+
+TEST(SinrParams, SingleHopPowerBound) {
+  const double power = SinrParams::single_hop_power(3.0, 1.5, 1e-6, 100.0, 2.0);
+  EXPECT_DOUBLE_EQ(power, 2.0 * 4.0 * 1.5 * 1e-6 * 1e6);
+  const SinrParams p = SinrParams::for_longest_link(3.0, 1.5, 1e-6, 100.0, 2.0);
+  EXPECT_TRUE(p.is_single_hop(100.0));
+  SinrParams weak = p;
+  weak.power = p.power / 4.0;
+  EXPECT_FALSE(weak.is_single_hop(100.0));
+}
+
+TEST(SinrChannel, SoleTransmitterNoNoiseHasInfiniteSinr) {
+  const Deployment dep = single_pair(10.0);
+  const SinrChannel ch(basic_params());
+  EXPECT_TRUE(std::isinf(ch.sinr(dep, 0, 1, {})));
+  EXPECT_TRUE(ch.can_receive(dep, 0, 1, {}));
+}
+
+TEST(SinrChannel, HandComputedThreeNodeCase) {
+  // Receiver at origin; sender at distance 1; interferer at distance 2.
+  // alpha=3, P=1, N=0: SINR = 1 / (1/8) = 8.
+  const Deployment dep({{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}});
+  const SinrChannel ch(basic_params());
+  const std::vector<NodeId> interferers = {2};
+  EXPECT_NEAR(ch.sinr(dep, 1, 0, interferers), 8.0, 1e-12);
+  EXPECT_TRUE(ch.can_receive(dep, 1, 0, interferers));
+}
+
+TEST(SinrChannel, NoiseLimitsRange) {
+  // SINR = P d^-a / N; with P=1, N=1e-3, beta=1.5, alpha=3 the max decoding
+  // distance is (1/(1.5e-3))^(1/3) ~ 8.74.
+  const SinrParams p = basic_params(3.0, 1.5, 1e-3);
+  const SinrChannel ch(p);
+  const Deployment near = single_pair(8.0);
+  EXPECT_TRUE(ch.can_receive(near, 0, 1, {}));
+  const Deployment far = single_pair(9.0);
+  EXPECT_FALSE(ch.can_receive(far, 0, 1, {}));
+}
+
+TEST(SinrChannel, InterferenceBlocksReception) {
+  // Interferer right next to the receiver swamps the sender.
+  const Deployment dep({{0.0, 0.0}, {1.0, 0.0}, {0.1, 0.1}});
+  const SinrChannel ch(basic_params());
+  const std::vector<NodeId> interferers = {2};
+  EXPECT_FALSE(ch.can_receive(dep, 1, 0, interferers));
+}
+
+TEST(SinrChannel, ResolveEmptyTransmitterSet) {
+  Rng rng(200);
+  const Deployment dep = uniform_square(10, 5.0, rng);
+  const SinrChannel ch(basic_params());
+  const std::vector<NodeId> listeners = {0, 1, 2};
+  const auto receptions = ch.resolve(dep, {}, listeners);
+  ASSERT_EQ(receptions.size(), 3u);
+  for (const Reception& r : receptions) EXPECT_FALSE(r.received());
+}
+
+TEST(SinrChannel, ResolveSoloTransmitterReachesAllInSingleHopRange) {
+  Rng rng(201);
+  Deployment dep = uniform_square(32, 10.0, rng).normalized();
+  const SinrParams p =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link(), 2.0);
+  const SinrChannel ch(p);
+  std::vector<NodeId> listeners;
+  for (NodeId i = 1; i < dep.size(); ++i) listeners.push_back(i);
+  const std::vector<NodeId> tx = {0};
+  const auto receptions = ch.resolve(dep, tx, listeners);
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    EXPECT_TRUE(receptions[i].received()) << "listener " << listeners[i];
+    EXPECT_EQ(receptions[i].sender, 0u);
+  }
+}
+
+TEST(SinrChannel, ResolveAgreesWithExhaustivePerSenderCheck) {
+  // The strongest-transmitter shortcut must match testing every candidate
+  // sender with the full SINR formula (beta > 1 makes the decodable sender
+  // unique when one exists).
+  Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng trial_rng = rng.split(static_cast<std::uint64_t>(trial));
+    const Deployment dep = uniform_square(40, 8.0, trial_rng).normalized();
+    const SinrParams p =
+        SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link(), 2.0);
+    const SinrChannel ch(p);
+
+    std::vector<NodeId> tx, listeners;
+    for (NodeId i = 0; i < dep.size(); ++i) {
+      (trial_rng.bernoulli(0.3) ? tx : listeners).push_back(i);
+    }
+    if (tx.empty()) continue;
+
+    const auto receptions = ch.resolve(dep, tx, listeners);
+    for (std::size_t li = 0; li < listeners.size(); ++li) {
+      const NodeId v = listeners[li];
+      NodeId exhaustive = kInvalidNode;
+      for (const NodeId u : tx) {
+        std::vector<NodeId> others;
+        for (const NodeId w : tx) {
+          if (w != u) others.push_back(w);
+        }
+        if (ch.can_receive(dep, u, v, others)) {
+          EXPECT_EQ(exhaustive, kInvalidNode)
+              << "two decodable senders with beta > 1";
+          exhaustive = u;
+        }
+      }
+      EXPECT_EQ(receptions[li].sender, exhaustive) << "listener " << v;
+    }
+  }
+}
+
+TEST(SinrChannel, FastAlphaPathsMatchGenericPow) {
+  for (const double alpha : {2.0, 3.0, 4.0, 6.0}) {
+    const SinrChannel fast(basic_params(alpha));
+    // Force the generic path with a nearby non-special alpha.
+    const SinrChannel generic(basic_params(alpha + 1e-13));
+    for (const double d2 : {0.25, 1.0, 7.3, 1e6}) {
+      EXPECT_NEAR(fast.signal_from_dist_sq(d2),
+                  generic.signal_from_dist_sq(d2),
+                  fast.signal_from_dist_sq(d2) * 1e-9)
+          << "alpha " << alpha << " d2 " << d2;
+    }
+  }
+}
+
+TEST(SinrChannel, InterferenceAtPointSumsSignals) {
+  const Deployment dep({{1.0, 0.0}, {2.0, 0.0}, {4.0, 0.0}});
+  const SinrChannel ch(basic_params(3.0));
+  const std::vector<NodeId> tx = {0, 1, 2};
+  const double at_origin = ch.interference_at(dep, {0, 0}, tx);
+  EXPECT_NEAR(at_origin, 1.0 + 1.0 / 8.0 + 1.0 / 64.0, 1e-12);
+  // Excluding one transmitter removes its term.
+  EXPECT_NEAR(ch.interference_at(dep, {0, 0}, tx, 0), 1.0 / 8.0 + 1.0 / 64.0,
+              1e-12);
+}
+
+TEST(SinrChannel, SinrArgumentValidation) {
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const SinrChannel ch(basic_params());
+  EXPECT_THROW(ch.sinr(dep, 0, 0, {}), std::invalid_argument);
+  const std::vector<NodeId> bad = {0};  // interferer equals sender
+  EXPECT_THROW(ch.sinr(dep, 0, 1, bad), std::invalid_argument);
+}
+
+TEST(SinrChannel, ReceptionIsMonotoneInBeta) {
+  Rng rng(203);
+  const Deployment dep = uniform_square(30, 6.0, rng).normalized();
+  const std::vector<NodeId> tx = {0, 1, 2};
+  std::vector<NodeId> listeners;
+  for (NodeId i = 3; i < dep.size(); ++i) listeners.push_back(i);
+
+  std::size_t prev = listeners.size() + 1;
+  for (const double beta : {1.0, 2.0, 4.0, 8.0}) {
+    const SinrChannel ch(basic_params(3.0, beta, 1e-9, 10.0));
+    const auto receptions = ch.resolve(dep, tx, listeners);
+    std::size_t count = 0;
+    for (const Reception& r : receptions) {
+      if (r.received()) ++count;
+    }
+    EXPECT_LE(count, prev) << "beta " << beta;
+    prev = count;
+  }
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,31 @@
+// End-to-end smoke test: the paper's algorithm resolves contention on a
+// small uniform deployment over the SINR channel.
+#include <gtest/gtest.h>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(Smoke, FadingAlgorithmResolvesSmallUniformDeployment) {
+  Rng rng(42);
+  const Deployment dep = uniform_square(64, 100.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+
+  EngineConfig config;
+  config.max_rounds = 10000;
+  const RunResult result =
+      run_execution(dep, algo, *channel, config, rng.split(1));
+
+  EXPECT_TRUE(result.solved);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_LT(result.rounds, 10000u);
+  EXPECT_NE(result.winner, kInvalidNode);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,173 @@
+// Tests for the base statistics module: streaming summaries, percentiles,
+// regression, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+// ----------------------------------------------------------------- summary
+
+TEST(StreamingSummary, EmptyIsZeroed) {
+  const StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(StreamingSummary, KnownMoments) {
+  StreamingSummary s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(StreamingSummary, NumericallyStableOnShiftedData) {
+  // Welford must handle a large offset without catastrophic cancellation.
+  StreamingSummary s;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);  // linear interpolation
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);  // order-independent
+}
+
+TEST(Percentile, Validation) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(percentile(one, 1.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 1.0);
+}
+
+TEST(BatchSummary, ConsistentWithPieces) {
+  Rng rng(10);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.uniform(0.0, 10.0));
+  const BatchSummary s = BatchSummary::of(v);
+  EXPECT_EQ(s.count, 500u);
+  EXPECT_DOUBLE_EQ(s.median, median(v));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(v, 0.95));
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+  EXPECT_LE(s.p75, s.p95);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(BatchSummary, EmptyBatch) {
+  const BatchSummary s = BatchSummary::of(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(ToDoubles, ConvertsFaithfully) {
+  const std::vector<std::uint64_t> v = {1, 2, 1ULL << 40};
+  const auto d = to_doubles(v);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[2], std::pow(2.0, 40.0));
+}
+
+// --------------------------------------------------------------- regression
+
+TEST(Regression, ExactLineIsRecovered) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(3.0 + 2.0 * xi);
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(10.0), 23.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineHasHighButImperfectR2) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(1.0 + 0.5 * i + rng.normal(0.0, 3.0));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 0.5, 0.02);
+  EXPECT_GT(fit.r_squared, 0.9);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(Regression, ConstantYIsPerfectFit) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(Regression, Validation) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {2.0};
+  EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+  const std::vector<double> x2 = {1.0, 1.0};
+  const std::vector<double> y2 = {2.0, 3.0};
+  EXPECT_THROW(linear_fit(x2, y2), std::invalid_argument);  // constant x
+  const std::vector<double> y3 = {1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(x2, y3), std::invalid_argument);  // length mismatch
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(3.0);    // bucket 1
+  h.add(9.99);   // bucket 4
+  h.add(-1.0);   // underflow -> bucket 0
+  h.add(100.0);  // overflow  -> bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[4], 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find("##########"), std::string::npos);
+  EXPECT_NE(r.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bucket_lo(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,137 @@
+// Tests for bootstrap confidence intervals and the Chernoff-bound helpers,
+// plus Monte Carlo validation that the bounds actually bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/chernoff.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+// ---------------------------------------------------------------- bootstrap
+
+TEST(Bootstrap, MedianCiCoversTheTruth) {
+  // Large normal sample: the CI must cover the true median (0) and be
+  // reasonably tight.
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.normal());
+  Rng boot_rng(2);
+  const ConfidenceInterval ci = bootstrap_median_ci(sample, boot_rng);
+  EXPECT_TRUE(ci.contains(0.0)) << "[" << ci.lo << ", " << ci.hi << "]";
+  EXPECT_LT(ci.width(), 0.2);
+  EXPECT_LE(ci.lo, ci.hi);
+}
+
+TEST(Bootstrap, QuantileCiOrdersWithQ) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i) sample.push_back(rng.uniform());
+  Rng boot_rng(4);
+  const ConfidenceInterval low = bootstrap_quantile_ci(sample, 0.25, boot_rng);
+  const ConfidenceInterval high = bootstrap_quantile_ci(sample, 0.75, boot_rng);
+  EXPECT_LT(low.hi, high.lo);
+  // A 95% CI misses the true value 5% of the time; assert the weaker and
+  // deterministic property that each interval sits near its target.
+  EXPECT_NEAR(0.5 * (low.lo + low.hi), 0.25, 0.05);
+  EXPECT_NEAR(0.5 * (high.lo + high.hi), 0.75, 0.05);
+}
+
+TEST(Bootstrap, DeterministicUnderSeed) {
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8};
+  Rng a(9), b(9);
+  const ConfidenceInterval ca = bootstrap_median_ci(sample, a, 200);
+  const ConfidenceInterval cb = bootstrap_median_ci(sample, b, 200);
+  EXPECT_DOUBLE_EQ(ca.lo, cb.lo);
+  EXPECT_DOUBLE_EQ(ca.hi, cb.hi);
+}
+
+TEST(Bootstrap, Validation) {
+  Rng rng(5);
+  const std::vector<double> empty;
+  EXPECT_THROW(bootstrap_median_ci(empty, rng), std::invalid_argument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(bootstrap_median_ci(one, rng, 5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_quantile_ci(one, 1.5, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(one, Statistic{}, rng), std::invalid_argument);
+}
+
+TEST(Bootstrap, SingletonSampleDegenerates) {
+  const std::vector<double> one = {7.0};
+  Rng rng(6);
+  const ConfidenceInterval ci = bootstrap_median_ci(one, rng, 100);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+// ----------------------------------------------------------------- chernoff
+
+TEST(Chernoff, ClosedForms) {
+  EXPECT_DOUBLE_EQ(claim3_doubling_bound(3.0), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(corollary5_halving_bound(8.0), std::exp(-1.0));
+  EXPECT_NEAR(chernoff_upper_tail(10.0, 1.0), std::exp(-10.0 / 3.0), 1e-12);
+  EXPECT_NEAR(chernoff_lower_tail(10.0, 0.5), std::exp(-1.25), 1e-12);
+}
+
+TEST(Chernoff, BoundsDecreaseWithMean) {
+  EXPECT_GT(claim3_doubling_bound(1.0), claim3_doubling_bound(10.0));
+  EXPECT_GT(corollary5_halving_bound(1.0), corollary5_halving_bound(10.0));
+}
+
+TEST(Chernoff, Validation) {
+  EXPECT_THROW(chernoff_upper_tail(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chernoff_upper_tail(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(chernoff_lower_tail(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(whp_segments(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(whp_segments(0.5, 1), std::invalid_argument);
+}
+
+TEST(Chernoff, MonteCarloTailsRespectTheBounds) {
+  // Sum of 40 Bernoulli(0.25): mu = 10. Empirical doubling/halving tail
+  // frequencies must sit below the closed-form bounds.
+  Rng rng(7);
+  const int trials = 20000;
+  const double mu = 10.0;
+  int doubled = 0, halved = 0;
+  for (int t = 0; t < trials; ++t) {
+    int x = 0;
+    for (int i = 0; i < 40; ++i) {
+      if (rng.bernoulli(0.25)) ++x;
+    }
+    if (x >= 2.0 * mu) ++doubled;
+    if (x < mu / 2.0) ++halved;
+  }
+  EXPECT_LE(static_cast<double>(doubled) / trials, claim3_doubling_bound(mu));
+  EXPECT_LE(static_cast<double>(halved) / trials, corollary5_halving_bound(mu));
+}
+
+TEST(Chernoff, WhpSegmentsShape) {
+  // Constant per-segment success: T grows logarithmically in n and with c.
+  const std::size_t t1 = whp_segments(0.5, 1 << 10);
+  const std::size_t t2 = whp_segments(0.5, 1 << 20);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * static_cast<double>(t1), 1.0);
+  EXPECT_GT(whp_segments(0.5, 1 << 10, 2.0), t1);
+  // Higher per-segment success needs fewer segments.
+  EXPECT_LT(whp_segments(0.9, 1 << 10), t1);
+  // A Monte Carlo sanity check: after T segments, failure rate <= 1/n.
+  Rng rng(8);
+  const std::size_t n = 256;
+  const std::size_t T = whp_segments(0.5, n);
+  int failures = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    bool ok = false;
+    for (std::size_t s = 0; s < T && !ok; ++s) ok = rng.bernoulli(0.5);
+    if (!ok) ++failures;
+  }
+  EXPECT_LE(static_cast<double>(failures) / trials,
+            1.2 / static_cast<double>(n));
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,101 @@
+// Tests for the proof-constant chain (Section 3.2) and its closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(Theory, AlphaThreeBetaOnePointFiveChain) {
+  const TheoryConstants tc = theory_constants(3.0, 1.5);
+  EXPECT_DOUBLE_EQ(tc.epsilon, 0.5);
+  // c_max = 96 / (1 - 2^{-1/2}).
+  EXPECT_NEAR(tc.c_max, 96.0 / (1.0 - 1.0 / std::sqrt(2.0)), 1e-9);
+  // c = 1 / (2^5 * 1.5).
+  EXPECT_NEAR(tc.c_corollary5, 1.0 / 48.0, 1e-12);
+  EXPECT_NEAR(tc.p, tc.c_corollary5 / (4.0 * tc.c_max), 1e-15);
+  EXPECT_NEAR(tc.c_prime,
+              tc.c_corollary5 * tc.c_corollary5 / (24.0 * tc.c_max * tc.c_max),
+              1e-15);
+  EXPECT_NEAR(tc.c_geo, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(tc.gamma_good, (1.0 - 1.0 / std::sqrt(2.0)) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tc.delta, tc.gamma_good / 2.0);
+}
+
+TEST(Theory, AllConstantsInDomain) {
+  for (const double alpha : {2.1, 2.5, 3.0, 4.0, 6.0}) {
+    for (const double beta : {1.0, 1.5, 3.0}) {
+      const TheoryConstants tc = theory_constants(alpha, beta);
+      EXPECT_GT(tc.epsilon, 0.0);
+      EXPECT_GT(tc.c_max, 96.0);          // 1/(1-2^{-eps}) > 1
+      EXPECT_GT(tc.c_corollary5, 0.0);
+      EXPECT_GT(tc.p, 0.0);
+      EXPECT_LT(tc.p, 0.25);              // p = c/(4 c_max) << 1/4
+      EXPECT_GT(tc.s, 1.0);
+      EXPECT_GT(tc.c_geo, 1.0);           // the Lemma 6 series must converge
+      EXPECT_GT(tc.gamma_good, 0.0);
+      EXPECT_LT(tc.gamma_good, 0.5);
+      EXPECT_GT(tc.delta, 0.0);
+      EXPECT_LT(tc.delta, tc.gamma_good);
+    }
+  }
+}
+
+TEST(Theory, RequiresSuperQuadraticAlpha) {
+  EXPECT_THROW(theory_constants(2.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(theory_constants(1.5, 1.5), std::invalid_argument);
+  EXPECT_THROW(theory_constants(3.0, 0.0), std::invalid_argument);
+}
+
+TEST(Theory, CmaxDecreasesWithAlpha) {
+  // Stronger fading (larger eps) shrinks the geometric tail.
+  const double c3 = theory_constants(3.0, 1.5).c_max;
+  const double c4 = theory_constants(4.0, 1.5).c_max;
+  const double c6 = theory_constants(6.0, 1.5).c_max;
+  EXPECT_GT(c3, c4);
+  EXPECT_GT(c4, c6);
+}
+
+TEST(Theory, CmaxBlowsUpAsAlphaApproachesTwo) {
+  const double near = theory_constants(2.01, 1.5).c_max;
+  EXPECT_GT(near, 10000.0);  // eps -> 0 makes the series diverge
+}
+
+TEST(Theory, InterferenceBudgetsScaleWithLinkClass) {
+  const TheoryConstants tc = theory_constants(3.0, 1.5);
+  const double power = 8.0;
+  // Budget drops by 2^alpha per class.
+  const double b0 = outside_interference_budget(tc, power, 0);
+  const double b1 = outside_interference_budget(tc, power, 1);
+  EXPECT_NEAR(b0 / b1, std::pow(2.0, 3.0), 1e-9);
+  EXPECT_NEAR(b0, tc.c_corollary5 * power, 1e-12);
+
+  const double m0 = max_interference_coefficient(tc, power, 0);
+  EXPECT_NEAR(m0, tc.c_max * power, 1e-9);
+  EXPECT_GT(m0, b0);  // the all-transmit budget dominates the w.h.p. one
+}
+
+TEST(Theory, BudgetValidation) {
+  const TheoryConstants tc = theory_constants(3.0, 1.5);
+  EXPECT_THROW(outside_interference_budget(tc, 0.0, 0), std::invalid_argument);
+  EXPECT_THROW(max_interference_coefficient(tc, -1.0, 0), std::invalid_argument);
+}
+
+TEST(Theory, PredictedStepsShape) {
+  // Theta(log n + log R): doubling n (fixed m) adds a constant; doubling m
+  // (fixed n) adds ell per extra class.
+  const double t_small = predicted_steps(1 << 8, 4);
+  const double t_big_n = predicted_steps(1 << 16, 4);
+  const double t_big_m = predicted_steps(1 << 8, 8);
+  EXPECT_GT(t_big_n, t_small);
+  EXPECT_GT(t_big_m, t_small);
+  // Linearity in log n: the increment 8->16 bits roughly equals 16->24 bits.
+  const double inc1 = predicted_steps(1 << 16, 4) - predicted_steps(1 << 8, 4);
+  const double inc2 = predicted_steps(1 << 24, 4) - predicted_steps(1 << 16, 4);
+  EXPECT_NEAR(inc1, inc2, 2.0);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,157 @@
+// Execution-trace and knockout-forest tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/fading_cr.hpp"
+#include "core/knockout_forest.hpp"
+#include "deploy/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+
+namespace fcr {
+namespace {
+
+/// Runs one fading execution with both instrumentation hooks attached.
+struct InstrumentedRun {
+  Deployment dep;
+  ExecutionTrace trace;
+  KnockoutForest forest;
+  RunResult result;
+
+  explicit InstrumentedRun(std::size_t n, std::uint64_t seed)
+      : dep([&] {
+          Rng rng(seed);
+          return uniform_square(n, 20.0, rng).normalized();
+        }()),
+        forest(dep.size()) {
+    const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+    const FadingContentionResolution algo;
+    EngineConfig config;
+    config.max_rounds = 10000;
+    auto trace_obs = trace.observer();
+    auto forest_obs = forest.observer();
+    result = run_execution(dep, algo, *channel, config, Rng(seed + 1),
+                           [&](const RoundView& view) {
+                             trace_obs(view);
+                             forest_obs(view);
+                           });
+  }
+};
+
+TEST(Trace, RecordsEveryRoundUntilSolved) {
+  InstrumentedRun run(64, 42);
+  ASSERT_TRUE(run.result.solved);
+  ASSERT_EQ(run.trace.rounds().size(), run.result.rounds);
+  EXPECT_EQ(run.trace.first_solo_round(), run.result.rounds);
+  // The final round has exactly one transmitter: the winner.
+  const TraceRound& last = run.trace.rounds().back();
+  ASSERT_EQ(last.transmitters.size(), 1u);
+  EXPECT_EQ(last.transmitters[0], run.result.winner);
+}
+
+TEST(Trace, TransmissionAccountingIsConsistent) {
+  InstrumentedRun run(64, 43);
+  const auto per_node = run.trace.transmissions_per_node();
+  std::size_t total = 0;
+  for (const std::size_t c : per_node) total += c;
+  EXPECT_EQ(total, run.trace.total_transmissions());
+  EXPECT_GT(run.trace.total_transmissions(), 0u);
+  EXPECT_GT(run.trace.total_receptions(), 0u);
+}
+
+TEST(Trace, CsvHasOneLinePerEvent) {
+  InstrumentedRun run(32, 44);
+  std::ostringstream os;
+  run.trace.write_csv(os);
+  std::size_t lines = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 1 /*header*/ + run.trace.total_transmissions() +
+                       run.trace.total_receptions());
+  EXPECT_EQ(os.str().substr(0, 24), "round,event,node,sender\n");
+}
+
+TEST(Trace, EmptyTraceBehaves) {
+  ExecutionTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.total_receptions(), 0u);
+  EXPECT_EQ(trace.first_solo_round(), 0u);
+  EXPECT_TRUE(trace.transmissions_per_node().empty());
+}
+
+TEST(KnockoutForest, KillersAreRecordedWithRounds) {
+  InstrumentedRun run(64, 45);
+  ASSERT_TRUE(run.result.solved);
+  std::size_t knocked = 0;
+  for (NodeId id = 0; id < run.dep.size(); ++id) {
+    if (run.forest.killer(id) != kInvalidNode) {
+      ++knocked;
+      EXPECT_GE(run.forest.knockout_round(id), 1u);
+      EXPECT_LE(run.forest.knockout_round(id), run.result.rounds);
+      // A node cannot knock itself out.
+      EXPECT_NE(run.forest.killer(id), id);
+    } else {
+      EXPECT_EQ(run.forest.knockout_round(id), 0u);
+    }
+  }
+  EXPECT_EQ(knocked, run.forest.knockout_count());
+  EXPECT_EQ(run.forest.survivors().size() + knocked, run.dep.size());
+}
+
+TEST(KnockoutForest, WinnerIsASurvivor) {
+  InstrumentedRun run(64, 46);
+  ASSERT_TRUE(run.result.solved);
+  const auto survivors = run.forest.survivors();
+  EXPECT_NE(std::find(survivors.begin(), survivors.end(), run.result.winner),
+            survivors.end());
+}
+
+TEST(KnockoutForest, KillerChainsHaveIncreasingRounds) {
+  InstrumentedRun run(128, 47);
+  for (NodeId id = 0; id < run.dep.size(); ++id) {
+    const NodeId k = run.forest.killer(id);
+    if (k == kInvalidNode || run.forest.killer(k) == kInvalidNode) continue;
+    // The killer was still active when it transmitted, so its own knockout
+    // round is strictly later (a node cannot transmit after deactivation).
+    EXPECT_GT(run.forest.knockout_round(k), run.forest.knockout_round(id));
+  }
+}
+
+TEST(KnockoutForest, SubtreeAndDegreeAccounting) {
+  InstrumentedRun run(96, 48);
+  std::size_t degree_total = 0;
+  for (NodeId id = 0; id < run.dep.size(); ++id) {
+    degree_total += run.forest.out_degree(id);
+    EXPECT_GE(run.forest.subtree_size(id), run.forest.out_degree(id));
+  }
+  EXPECT_EQ(degree_total, run.forest.knockout_count());
+  // Sum of root subtrees = all knocked-out nodes.
+  std::size_t root_subtrees = 0;
+  for (const NodeId r : run.forest.survivors()) {
+    root_subtrees += run.forest.subtree_size(r);
+  }
+  EXPECT_EQ(root_subtrees, run.forest.knockout_count());
+}
+
+TEST(KnockoutForest, DepthIsBoundedByRounds) {
+  InstrumentedRun run(128, 49);
+  ASSERT_TRUE(run.result.solved);
+  EXPECT_GT(run.forest.depth(), 0u);
+  // Rounds strictly increase along a chain, so depth <= total rounds.
+  EXPECT_LE(run.forest.depth(), run.result.rounds);
+}
+
+TEST(KnockoutForest, HandlesNoKnockouts) {
+  KnockoutForest forest(4);
+  EXPECT_EQ(forest.depth(), 0u);
+  EXPECT_EQ(forest.knockout_count(), 0u);
+  EXPECT_EQ(forest.survivors().size(), 4u);
+  EXPECT_EQ(forest.subtree_size(0), 0u);
+  EXPECT_THROW(forest.killer(4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fcr

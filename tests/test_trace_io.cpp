@@ -1,0 +1,117 @@
+// Trace CSV round-trip tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/audit.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+
+namespace fcr {
+namespace {
+
+ExecutionTrace make_real_trace(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const Deployment dep = uniform_square(n, 12.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  ExecutionTrace trace;
+  EngineConfig config;
+  config.max_rounds = 200;
+  config.stop_on_solve = false;
+  run_execution(dep, algo, *channel, config, rng.split(1), trace.observer());
+  return trace;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryEvent) {
+  const ExecutionTrace original = make_real_trace(32, 50);
+  std::stringstream ss;
+  original.write_csv(ss);
+  const ExecutionTrace loaded = read_trace_csv(ss);
+
+  ASSERT_EQ(loaded.rounds().size(), original.rounds().size());
+  for (std::size_t i = 0; i < original.rounds().size(); ++i) {
+    const TraceRound& a = original.rounds()[i];
+    const TraceRound& b = loaded.rounds()[i];
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.transmitters, b.transmitters) << "round " << a.round;
+    ASSERT_EQ(a.receptions.size(), b.receptions.size()) << "round " << a.round;
+    for (std::size_t j = 0; j < a.receptions.size(); ++j) {
+      EXPECT_EQ(a.receptions[j].listener, b.receptions[j].listener);
+      EXPECT_EQ(a.receptions[j].sender, b.receptions[j].sender);
+    }
+  }
+  EXPECT_EQ(loaded.total_transmissions(), original.total_transmissions());
+  EXPECT_EQ(loaded.total_receptions(), original.total_receptions());
+  EXPECT_EQ(loaded.first_solo_round(), original.first_solo_round());
+}
+
+TEST(TraceIo, SilentRoundsAreMaterialized) {
+  // Rounds with no events vanish from the CSV; the reader recreates them as
+  // empty rounds so indices stay aligned.
+  std::vector<TraceRound> rounds(3);
+  for (std::size_t i = 0; i < 3; ++i) rounds[i].round = i + 1;
+  rounds[2].transmitters = {4};  // only round 3 has an event
+  const ExecutionTrace sparse = ExecutionTrace::from_rounds(rounds);
+
+  std::stringstream ss;
+  sparse.write_csv(ss);
+  const ExecutionTrace loaded = read_trace_csv(ss);
+  ASSERT_EQ(loaded.rounds().size(), 3u);
+  EXPECT_TRUE(loaded.rounds()[0].transmitters.empty());
+  EXPECT_TRUE(loaded.rounds()[1].transmitters.empty());
+  EXPECT_EQ(loaded.rounds()[2].transmitters, std::vector<NodeId>{4});
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("wrong,header\n");
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("round,event,node,sender\n1,zap,3,\n");
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("round,event,node,sender\n1,tx,3,9\n");  // tx + sender
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("round,event,node,sender\n0,tx,3,\n");  // round 0
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("round,event,node,sender\n1,rx,3\n");  // 3 fields
+    EXPECT_THROW(read_trace_csv(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, LoadedTracePassesTheAuditor) {
+  Rng rng(51);
+  const Deployment dep = uniform_square(32, 12.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannelAdapter adapter(params);
+  const SinrChannel channel(params);
+  const FadingContentionResolution algo;
+  ExecutionTrace trace;
+  EngineConfig config;
+  config.max_rounds = 100;
+  config.stop_on_solve = false;
+  run_execution(dep, algo, adapter, config, rng.split(1), trace.observer());
+
+  std::stringstream ss;
+  trace.write_csv(ss);
+  const ExecutionTrace loaded = read_trace_csv(ss);
+  EXPECT_TRUE(audit_trace(loaded, dep, channel).clean());
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,129 @@
+// Wide integration scenarios: knowledge misestimation, composed fault
+// models, Poisson fields across intensities, and a pinned-slope regression
+// guarding the E1 headline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/registry.hpp"
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "ext/duty_cycle.hpp"
+#include "ext/faults.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/runner.hpp"
+#include "stats/regression.hpp"
+
+namespace fcr {
+namespace {
+
+TrialConfig cfg(std::size_t trials, std::uint64_t seed = 77) {
+  TrialConfig c;
+  c.trials = trials;
+  c.seed = seed;
+  c.engine.max_rounds = 100000;
+  return c;
+}
+
+TEST(WideIntegration, AlohaDegradesWithMisestimation) {
+  // ALOHA's knowledge dependence, quantified: correct n is fast; a 16x
+  // overestimate costs roughly the same factor in the median.
+  auto run_with_estimate = [](std::size_t factor) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(128, 24.0, rng).normalized(); },
+        radio_channel_factory(false),
+        [factor](const Deployment& dep) {
+          return make_algorithm("aloha", dep.size() * factor);
+        },
+        cfg(25));
+  };
+  const auto exact = run_with_estimate(1);
+  const auto over16 = run_with_estimate(16);
+  ASSERT_EQ(exact.solved, exact.trials);
+  ASSERT_EQ(over16.solved, over16.trials);
+  EXPECT_GT(over16.summary().median, 4.0 * exact.summary().median);
+}
+
+TEST(WideIntegration, DutyCycledLossyCrashyNetworkStillResolves) {
+  // All three fault models at once: duty cycle 1/2 (random phases), 25%
+  // decode loss, 0.5% per-round crashes.
+  const auto result = run_trials(
+      [](Rng& rng) { return uniform_square(64, 16.0, rng).normalized(); },
+      [](const Deployment& dep) -> std::unique_ptr<ChannelAdapter> {
+        const SinrParams params =
+            SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+        return std::make_unique<LossyChannelAdapter>(make_sinr_adapter(params),
+                                                     0.25, Rng(5));
+      },
+      [](const Deployment&) -> std::unique_ptr<Algorithm> {
+        auto inner = std::make_shared<DutyCycled>(
+            std::make_shared<FadingContentionResolution>(), 2,
+            random_phases(2, 9));
+        return std::make_unique<CrashFaults>(inner, 0.005);
+      },
+      cfg(20));
+  EXPECT_GE(result.solve_rate(), 0.9);
+}
+
+TEST(WideIntegration, PoissonFieldsAcrossIntensities) {
+  for (const double intensity : {0.05, 0.25, 1.0}) {
+    const auto result = run_trials(
+        [intensity](Rng& rng) {
+          return poisson_field(intensity, 30.0, rng).normalized();
+        },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        cfg(15, 1000 + static_cast<std::uint64_t>(intensity * 100)));
+    EXPECT_EQ(result.solved, result.trials) << "intensity " << intensity;
+  }
+}
+
+TEST(WideIntegration, E1SlopeRegressionPin) {
+  // Guard the headline number: the fading algorithm's median-vs-log2(n)
+  // slope on uniform deployments stays in a sane band (measured ~2.1 at
+  // p = 0.2). A slope drifting out of [1, 4] signals a behaviour change in
+  // the engine, channel, or algorithm.
+  std::vector<double> xs, med;
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const auto result = run_trials_parallel(
+        [n](Rng& rng) {
+          return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)),
+                                rng)
+              .normalized();
+        },
+        sinr_channel_factory(3.0, 1.5, 1e-9),
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        cfg(30, n));
+    ASSERT_EQ(result.solved, result.trials);
+    xs.push_back(std::log2(static_cast<double>(n)));
+    med.push_back(result.summary().median);
+  }
+  const LinearFit fit = linear_fit(xs, med);
+  EXPECT_GT(fit.slope, 1.0);
+  EXPECT_LT(fit.slope, 4.0);
+}
+
+TEST(WideIntegration, EveryRegistryAlgorithmHandlesTinyNetworks) {
+  // n = 2 and n = 3 edge cases across the whole catalog.
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    for (const std::size_t n : {2u, 3u}) {
+      const auto result = run_trials(
+          [n](Rng& rng) { return uniform_square(n, 4.0, rng).normalized(); },
+          spec.key == "fading" || spec.key == "no-knockout"
+              ? sinr_channel_factory(3.0, 1.5, 1e-9)
+              : radio_channel_factory(spec.needs_collision_detection),
+          [&spec](const Deployment& dep) {
+            return make_algorithm(spec.key, dep.size());
+          },
+          cfg(10, n * 31));
+      EXPECT_EQ(result.solved, result.trials) << spec.key << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,0 +1,254 @@
+// fcrsim — the everything CLI: compose any deployment x channel x algorithm
+// from the library and run a trial batch, with optional CSV outputs for
+// downstream plotting.
+//
+// Examples:
+//   fcrsim --deployment uniform --n 256 --algorithm fading --trials 100
+//   fcrsim --deployment chain --n 128 --span 1048576 --algorithm fading
+//   fcrsim --deployment clusters --n 300 --algorithm decay --channel radio
+//   fcrsim --deployment-file nodes.csv --algorithm fading --trace trace.csv
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "algorithms/registry.hpp"
+#include "core/deployment_stats.hpp"
+#include "core/fading_cr.hpp"
+#include "core/knockout_forest.hpp"
+#include "deploy/generators.hpp"
+#include "deploy/io.hpp"
+#include "ext/rayleigh.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+#include "sinr/validate.hpp"
+#include "stats/bootstrap.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace fcr {
+namespace {
+
+DeploymentFactory make_deployment_factory(const CliParser& cli) {
+  const std::string file = cli.get_string("deployment-file");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    FCR_ENSURE_ARG(in.good(), "cannot open deployment file: " << file);
+    return fixed_deployment(read_deployment_csv(in));
+  }
+  const std::string kind = cli.get_string("deployment");
+  const auto n = static_cast<std::size_t>(cli.get_int("n"));
+  const double side = cli.get_double("side") > 0.0
+                          ? cli.get_double("side")
+                          : 2.0 * std::sqrt(static_cast<double>(n));
+  if (kind == "uniform") {
+    return [n, side](Rng& rng) {
+      return uniform_square(n, side, rng).normalized();
+    };
+  }
+  if (kind == "disk") {
+    return [n, side](Rng& rng) {
+      return uniform_disk(n, side / 2.0, rng).normalized();
+    };
+  }
+  if (kind == "clusters") {
+    const auto clusters = static_cast<std::size_t>(cli.get_int("clusters"));
+    return [n, clusters, side](Rng& rng) {
+      return thomas_clusters(n, clusters, side / 40.0, side, rng).normalized();
+    };
+  }
+  if (kind == "chain") {
+    const double span = cli.get_double("span");
+    return [n, span](Rng& rng) {
+      return exponential_chain(n, span, rng).normalized();
+    };
+  }
+  if (kind == "ring") {
+    return [n, side](Rng& rng) {
+      return ring(n, side, 0.001, rng).normalized();
+    };
+  }
+  if (kind == "multi-scale") {
+    const auto levels = static_cast<std::size_t>(cli.get_int("levels"));
+    return [levels, n](Rng& rng) {
+      return multi_scale(levels, std::max<std::size_t>(2, n / levels), rng)
+          .normalized();
+    };
+  }
+  FCR_ENSURE_ARG(false, "unknown deployment kind: " << kind);
+  return {};
+}
+
+ChannelFactory make_channel_factory(const CliParser& cli) {
+  const std::string kind = cli.get_string("channel");
+  const double alpha = cli.get_double("alpha");
+  const double beta = cli.get_double("beta");
+  const double noise = cli.get_double("noise");
+  if (kind == "sinr") return sinr_channel_factory(alpha, beta, noise);
+  if (kind == "rayleigh") {
+    const double severity = cli.get_double("fading-severity");
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    return [=](const Deployment& dep) -> std::unique_ptr<ChannelAdapter> {
+      const SinrParams params =
+          SinrParams::for_longest_link(alpha, beta, noise, dep.max_link());
+      return std::make_unique<RayleighSinrAdapter>(params, severity,
+                                                   Rng(seed ^ 0xFADEDFADEULL));
+    };
+  }
+  if (kind == "radio") return radio_channel_factory(false);
+  if (kind == "radio-cd") return radio_channel_factory(true);
+  FCR_ENSURE_ARG(false, "unknown channel kind: " << kind);
+  return {};
+}
+
+int run(int argc, const char* const* argv) {
+  CliParser cli(
+      "fcrsim: run any (deployment, channel, algorithm) combination from "
+      "the fadingcr library and report completion statistics.");
+  cli.add_flag("deployment", "uniform",
+               "uniform | disk | clusters | chain | ring | multi-scale");
+  cli.add_flag("deployment-file", "", "CSV file (x,y header) overriding --deployment");
+  cli.add_flag("n", "128", "number of nodes");
+  cli.add_flag("side", "0", "region side (0: auto 2*sqrt(n))");
+  cli.add_flag("clusters", "8", "cluster count (clusters deployment)");
+  cli.add_flag("span", "16384", "link ratio R (chain deployment)");
+  cli.add_flag("levels", "8", "link classes (multi-scale deployment)");
+  cli.add_flag("channel", "sinr", "sinr | rayleigh | radio | radio-cd");
+  cli.add_flag("alpha", "3.0", "path-loss exponent");
+  cli.add_flag("beta", "1.5", "SINR decoding threshold");
+  cli.add_flag("noise", "1e-9", "ambient noise");
+  cli.add_flag("fading-severity", "1.0", "Rayleigh severity (rayleigh channel)");
+  cli.add_flag("algorithm", "fading",
+               "registry key: fading | decay | decay-doubling | fast-decay | "
+               "backoff | aloha | cd-leader | no-knockout");
+  cli.add_flag("p", "0.2", "broadcast probability (constant-p algorithms)");
+  cli.add_flag("trials", "100", "number of independent trials");
+  cli.add_flag("seed", "20160725", "master seed");
+  cli.add_flag("max-rounds", "1000000", "per-trial round budget");
+  cli.add_flag("csv", "", "write per-trial results to this CSV file");
+  cli.add_flag("trace", "", "write the first trial's event trace to this CSV");
+  cli.add_flag("deployment-out", "",
+               "write the traced trial's deployment to this CSV "
+               "(for fcrtrace --audit)");
+  cli.add_flag("validate", "false",
+               "audit the instance against the paper's model assumptions");
+  cli.add_flag("describe", "false",
+               "print the instance's structural statistics (link classes, "
+               "nearest-neighbor distribution, density)");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n(use --help for the flag list)\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  const DeploymentFactory deploy = make_deployment_factory(cli);
+  const ChannelFactory channel = make_channel_factory(cli);
+  const std::string algo_key = cli.get_string("algorithm");
+  const double p = cli.get_double("p");
+  const AlgorithmFactory algorithm = [algo_key, p](const Deployment& dep) {
+    return make_algorithm(algo_key, dep.size(), p);
+  };
+
+  TrialConfig config;
+  config.trials = static_cast<std::size_t>(cli.get_int("trials"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.engine.max_rounds =
+      static_cast<std::uint64_t>(cli.get_int("max-rounds"));
+
+  // Describe the instance once.
+  {
+    Rng probe_rng(config.seed);
+    const Deployment probe = deploy(probe_rng);
+    const auto ch = channel(probe);
+    std::cout << "instance: n = " << probe.size() << ", R = "
+              << probe.link_ratio() << " (" << probe.link_class_count()
+              << " link classes), channel = " << ch->name()
+              << ", algorithm = " << algorithm(probe)->name() << '\n';
+    if (cli.get_bool("describe")) {
+      std::cout << '\n' << to_string(describe(probe));
+    }
+    if (cli.get_bool("validate")) {
+      const SinrParams audit_params = SinrParams::for_longest_link(
+          cli.get_double("alpha"), cli.get_double("beta"),
+          cli.get_double("noise"), probe.size() >= 2 ? probe.max_link() : 1.0);
+      std::cout << "\nmodel audit (paper Section 2 assumptions):\n"
+                << validate_model(probe, audit_params).to_string() << '\n';
+    }
+  }
+
+  const TrialSetResult result = run_trials(deploy, channel, algorithm, config);
+  const BatchSummary s = result.summary();
+
+  TablePrinter table({"metric", "value"});
+  table.row({"trials", TablePrinter::fmt(static_cast<std::uint64_t>(result.trials))});
+  table.row({"solved", TablePrinter::fmt(static_cast<std::uint64_t>(result.solved))});
+  table.row({"solve rate", TablePrinter::fmt(result.solve_rate(), 4)});
+  if (!result.rounds.empty()) {
+    table.row({"median rounds", TablePrinter::fmt(s.median, 1)});
+    table.row({"mean rounds", TablePrinter::fmt(s.mean, 2)});
+    table.row({"p95 rounds", TablePrinter::fmt(s.p95, 1)});
+    table.row({"max rounds", TablePrinter::fmt(s.max, 0)});
+    Rng boot_rng(config.seed ^ 0xB007);
+    const ConfidenceInterval ci =
+        bootstrap_median_ci(to_doubles(result.rounds), boot_rng);
+    std::ostringstream ci_str;
+    ci_str << "[" << TablePrinter::fmt(ci.lo, 1) << ", "
+           << TablePrinter::fmt(ci.hi, 1) << "]";
+    table.row({"median 95% CI", ci_str.str()});
+  }
+  table.print(std::cout);
+
+  if (const std::string csv_path = cli.get_string("csv"); !csv_path.empty()) {
+    std::ofstream out(csv_path);
+    FCR_ENSURE_ARG(out.good(), "cannot open CSV output: " << csv_path);
+    CsvWriter csv(out, {"trial", "rounds"});
+    for (std::size_t t = 0; t < result.rounds.size(); ++t) {
+      csv.row({CsvWriter::num(static_cast<std::uint64_t>(t)),
+               CsvWriter::num(result.rounds[t])});
+    }
+    std::cout << "wrote " << result.rounds.size() << " rows to " << csv_path
+              << '\n';
+  }
+
+  if (const std::string trace_path = cli.get_string("trace");
+      !trace_path.empty()) {
+    Rng rng(config.seed);
+    Rng deploy_rng = rng.split(0);
+    const Deployment dep = deploy(deploy_rng);
+    const auto ch = channel(dep);
+    const auto algo = algorithm(dep);
+    ExecutionTrace trace;
+    EngineConfig ec = config.engine;
+    run_execution(dep, *algo, *ch, ec, rng.split(1), trace.observer());
+    std::ofstream out(trace_path);
+    FCR_ENSURE_ARG(out.good(), "cannot open trace output: " << trace_path);
+    trace.write_csv(out);
+    std::cout << "wrote " << trace.rounds().size() << "-round trace to "
+              << trace_path << '\n';
+    if (const std::string dep_path = cli.get_string("deployment-out");
+        !dep_path.empty()) {
+      std::ofstream dep_out(dep_path);
+      FCR_ENSURE_ARG(dep_out.good(),
+                     "cannot open deployment output: " << dep_path);
+      write_deployment_csv(dep, dep_out);
+      std::cout << "wrote the traced deployment to " << dep_path << '\n';
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fcr
+
+int main(int argc, char** argv) {
+  try {
+    return fcr::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fcrsim: " << e.what() << '\n';
+    return 1;
+  }
+}

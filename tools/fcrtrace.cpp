@@ -1,0 +1,106 @@
+// fcrtrace — offline trace tooling: load an event trace (and its
+// deployment), print statistics, and audit the trace against the SINR
+// physics it claims to have run under.
+//
+//   fcrsim --n 64 --trace t.csv          # produce a trace (and keep nodes)
+//   fcrtrace --trace t.csv --deployment d.csv --audit
+#include <fstream>
+#include <iostream>
+
+#include "deploy/io.hpp"
+#include "sim/audit.hpp"
+#include "sim/trace.hpp"
+#include "sinr/channel.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace fcr {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  CliParser cli("fcrtrace: statistics and SINR-consistency audit for "
+                "recorded execution traces.");
+  cli.add_flag("trace", "", "trace CSV (round,event,node,sender)");
+  cli.add_flag("deployment", "", "deployment CSV (x,y) — required for --audit");
+  cli.add_flag("audit", "false", "re-verify every event against the SINR model");
+  cli.add_flag("strict", "true",
+               "audit completeness too (disable for stochastic channels)");
+  cli.add_flag("alpha", "3.0", "path-loss exponent used by the recording");
+  cli.add_flag("beta", "1.5", "SINR threshold used by the recording");
+  cli.add_flag("noise", "1e-9", "noise used by the recording");
+  cli.add_flag("margin", "2.0", "single-hop power margin used by the recording");
+  cli.add_flag("max-violations", "10", "violations to print before truncating");
+  if (!cli.parse(argc, argv)) {
+    std::cerr << cli.error() << "\n(use --help for the flag list)\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    cli.print_help(std::cout);
+    return 0;
+  }
+
+  const std::string trace_path = cli.get_string("trace");
+  FCR_ENSURE_ARG(!trace_path.empty(), "--trace is required");
+  std::ifstream trace_in(trace_path);
+  FCR_ENSURE_ARG(trace_in.good(), "cannot open trace: " << trace_path);
+  const ExecutionTrace trace = read_trace_csv(trace_in);
+
+  TablePrinter stats({"metric", "value"});
+  stats.row({"rounds", TablePrinter::fmt(
+                           static_cast<std::uint64_t>(trace.rounds().size()))});
+  stats.row({"transmissions",
+             TablePrinter::fmt(
+                 static_cast<std::uint64_t>(trace.total_transmissions()))});
+  stats.row({"receptions",
+             TablePrinter::fmt(
+                 static_cast<std::uint64_t>(trace.total_receptions()))});
+  stats.row({"first solo round",
+             TablePrinter::fmt(trace.first_solo_round())});
+  const auto per_node = trace.transmissions_per_node();
+  std::size_t peak = 0;
+  for (const std::size_t c : per_node) peak = std::max(peak, c);
+  stats.row({"peak tx by one node",
+             TablePrinter::fmt(static_cast<std::uint64_t>(peak))});
+  stats.print(std::cout);
+
+  if (!cli.get_bool("audit")) return 0;
+
+  const std::string dep_path = cli.get_string("deployment");
+  FCR_ENSURE_ARG(!dep_path.empty(), "--audit requires --deployment");
+  std::ifstream dep_in(dep_path);
+  FCR_ENSURE_ARG(dep_in.good(), "cannot open deployment: " << dep_path);
+  const Deployment dep = read_deployment_csv(dep_in);
+
+  const SinrParams params = SinrParams::for_longest_link(
+      cli.get_double("alpha"), cli.get_double("beta"), cli.get_double("noise"),
+      dep.size() >= 2 ? dep.max_link() : 1.0, cli.get_double("margin"));
+  const SinrChannel channel(params);
+
+  const AuditReport report =
+      audit_trace(trace, dep, channel, cli.get_bool("strict"));
+  std::cout << "\naudit: " << report.rounds_checked << " rounds, "
+            << report.receptions_checked << " receptions, "
+            << report.violations.size() << " violation(s)\n";
+  const auto limit =
+      static_cast<std::size_t>(cli.get_int("max-violations"));
+  for (std::size_t i = 0; i < report.violations.size() && i < limit; ++i) {
+    std::cout << "  round " << report.violations[i].round << ": "
+              << report.violations[i].what << '\n';
+  }
+  if (report.violations.size() > limit) {
+    std::cout << "  ... " << report.violations.size() - limit << " more\n";
+  }
+  return report.clean() ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace fcr
+
+int main(int argc, char** argv) {
+  try {
+    return fcr::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "fcrtrace: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,18 @@
+# CTest driver: fcrsim records a trace + deployment; fcrtrace must audit it
+# clean (exit code 0).
+execute_process(
+  COMMAND ${FCRSIM} --n 32 --trials 1
+          --trace ${WORKDIR}/rt_trace.csv
+          --deployment-out ${WORKDIR}/rt_dep.csv
+  RESULT_VARIABLE sim_result)
+if(NOT sim_result EQUAL 0)
+  message(FATAL_ERROR "fcrsim failed: ${sim_result}")
+endif()
+
+execute_process(
+  COMMAND ${FCRTRACE} --trace ${WORKDIR}/rt_trace.csv
+          --deployment ${WORKDIR}/rt_dep.csv --audit
+  RESULT_VARIABLE trace_result)
+if(NOT trace_result EQUAL 0)
+  message(FATAL_ERROR "fcrtrace audit failed: ${trace_result}")
+endif()
