@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Static-analysis driver: fcrlint (always), clang-tidy and cppcheck (when
+# installed). Exit code 0 iff every available analyzer is clean.
+#
+# Usage:
+#   scripts/analyze.sh [--build-dir DIR] [--tidy-changed-only [BASE_REF]]
+#
+#   --build-dir DIR          reuse/configure this build tree (default:
+#                            build-analyze) for compile_commands.json and
+#                            the fcrlint binary
+#   --tidy-changed-only      run clang-tidy only on files changed relative
+#                            to BASE_REF (default: origin/main); used by the
+#                            CI lint job to keep PR feedback fast. fcrlint
+#                            always scans the whole tree — it is cheap.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-analyze
+TIDY_CHANGED_ONLY=0
+BASE_REF=origin/main
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --tidy-changed-only)
+      TIDY_CHANGED_ONLY=1
+      shift
+      if [ $# -gt 0 ] && [[ $1 != --* ]]; then BASE_REF=$1; shift; fi ;;
+    *) echo "analyze.sh: unknown option $1" >&2; exit 2 ;;
+  esac
+done
+
+# Configure once, exporting compile_commands.json for the analyzers. Prefer
+# Ninja, fall back to the default generator; never pass -G to an already
+# configured tree (the generator cannot change).
+GEN_ARGS=()
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ] && command -v ninja >/dev/null 2>&1; then
+  GEN_ARGS=(-G Ninja)
+fi
+cmake -B "$BUILD_DIR" -S . "${GEN_ARGS[@]}" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+status=0
+
+echo "=== fcrlint (project determinism/hygiene rules) ==="
+cmake --build "$BUILD_DIR" --target fcrlint
+if ! "$BUILD_DIR/tools/fcrlint" --root . src tools bench tests examples; then
+  status=1
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy ==="
+  if [ "$TIDY_CHANGED_ONLY" -eq 1 ]; then
+    mapfile -t TIDY_FILES < <(git diff --name-only --diff-filter=d "$BASE_REF" -- \
+      'src/*.cpp' 'tools/*.cpp' 2>/dev/null || true)
+  else
+    mapfile -t TIDY_FILES < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+  fi
+  if [ "${#TIDY_FILES[@]}" -eq 0 ]; then
+    echo "clang-tidy: no files to analyze"
+  elif command -v run-clang-tidy >/dev/null 2>&1 && [ "$TIDY_CHANGED_ONLY" -eq 0 ]; then
+    run-clang-tidy -quiet -p "$BUILD_DIR" "${TIDY_FILES[@]}" || status=1
+  else
+    for f in "${TIDY_FILES[@]}"; do
+      echo "--- $f"
+      clang-tidy --quiet -p "$BUILD_DIR" "$f" || status=1
+    done
+  fi
+else
+  echo "=== clang-tidy not installed; skipping (see docs/ANALYSIS.md) ==="
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+  echo "=== cppcheck ==="
+  # check-level=exhaustive is too slow for the full tree; the default level
+  # already covers the bug classes we care about (UB, bounds, lifetimes).
+  cppcheck --project="$BUILD_DIR/compile_commands.json" \
+    --enable=warning,performance,portability \
+    --suppress='*:*/_deps/*' \
+    --suppress=missingIncludeSystem \
+    --inline-suppr \
+    --error-exitcode=1 \
+    --quiet || status=1
+else
+  echo "=== cppcheck not installed; skipping (see docs/ANALYSIS.md) ==="
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "ANALYSIS CLEAN"
+else
+  echo "ANALYSIS FINDINGS (see above)" >&2
+fi
+exit "$status"

@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# Full verification: warning-clean build, unit tests, every experiment's
-# SHAPE verdict. Exit code 0 iff everything passes.
+# Full verification: warning-clean build, unit tests, static analysis, and
+# every experiment's SHAPE verdict. Exit code 0 iff everything passes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DFCR_WERROR=ON
+# Prefer Ninja when available, otherwise fall back to CMake's default
+# generator; never pass -G to an already configured tree (the generator
+# cannot change after the first configure).
+GEN_ARGS=()
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  GEN_ARGS=(-G Ninja)
+fi
+cmake -B build -S . "${GEN_ARGS[@]}" -DFCR_WERROR=ON
 cmake --build build
 
 ctest --test-dir build --output-on-failure
 
 status=0
+
+# Static analysis (fcrlint always; clang-tidy/cppcheck when installed).
+# Reuse the main build tree: it already exports compile_commands.json.
+if ! scripts/analyze.sh --build-dir build; then
+  status=1
+fi
+
 for b in build/bench/bench_e*; do
   echo "### $b"
   if ! "$b"; then
@@ -20,6 +34,6 @@ done
 if [ "$status" -eq 0 ]; then
   echo "ALL CHECKS PASSED"
 else
-  echo "EXPERIMENT SHAPE FAILURES (see above)" >&2
+  echo "CHECK FAILURES (see above)" >&2
 fi
 exit "$status"

@@ -1,5 +1,8 @@
 #include "algorithms/backoff.hpp"
 
+// FCRLINT_ALLOW(ensure-arg): make_node accepts any id and any Rng stream;
+// the protocol has no parameters with invalid values.
+
 namespace fcr {
 namespace {
 

@@ -7,6 +7,9 @@
 #include "geom/bbox.hpp"
 #include "stats/summary.hpp"
 
+// FCRLINT_ALLOW(ensure-arg): describe() is total — empty and single-node
+// deployments are valid inputs and every branch handles them explicitly.
+
 namespace fcr {
 
 DeploymentStats describe(const Deployment& dep) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace fcr {
 namespace {
 
@@ -16,6 +18,9 @@ Deployment map_positions(const Deployment& dep, Fn&& fn) {
 }  // namespace
 
 Deployment translated(const Deployment& dep, double dx, double dy) {
+  FCR_ENSURE_ARG(std::isfinite(dx) && std::isfinite(dy),
+                 "translated: offset (" << dx << ", " << dy
+                                        << ") must be finite");
   return map_positions(dep, [dx, dy](Vec2 p) { return Vec2{p.x + dx, p.y + dy}; });
 }
 
@@ -28,6 +33,8 @@ Deployment rotated90(const Deployment& dep) {
 }
 
 Deployment rotated(const Deployment& dep, double angle) {
+  FCR_ENSURE_ARG(std::isfinite(angle),
+                 "rotated: angle " << angle << " must be finite");
   const double c = std::cos(angle);
   const double s = std::sin(angle);
   return map_positions(dep, [c, s](Vec2 p) {

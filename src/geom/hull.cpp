@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace fcr {
 namespace {
 
@@ -14,6 +16,13 @@ double cross(Vec2 a, Vec2 b, Vec2 c) {
 }  // namespace
 
 std::vector<Vec2> convex_hull(std::span<const Vec2> points) {
+  // A NaN coordinate would break the comparator's strict weak ordering
+  // (undefined behaviour in std::sort), so reject it up front.
+  for (const Vec2 p : points) {
+    FCR_ENSURE_ARG(std::isfinite(p.x) && std::isfinite(p.y),
+                   "convex_hull: non-finite point (" << p.x << ", " << p.y
+                                                     << ")");
+  }
   std::vector<Vec2> pts(points.begin(), points.end());
   std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
     return a.x < b.x || (a.x == b.x && a.y < b.y);

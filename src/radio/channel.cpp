@@ -1,5 +1,8 @@
 #include "radio/channel.hpp"
 
+// FCRLINT_ALLOW(ensure-arg): every transmitter_count / transmitter-set value
+// is meaningful (0, 1, many); there is no invalid input to reject.
+
 namespace fcr {
 
 RadioObservation RadioChannel::observe(std::size_t transmitter_count) const {

@@ -5,10 +5,20 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/check.hpp"
+
 namespace fcr {
 
 AuditReport audit_trace(const ExecutionTrace& trace, const Deployment& dep,
                         const SinrChannel& channel, bool check_completeness) {
+  for (const TraceRound& r : trace.rounds()) {
+    for (const NodeId id : r.transmitters) {
+      FCR_ENSURE_ARG(id < dep.size(),
+                     "audit_trace: round " << r.round << " transmitter " << id
+                                           << " outside deployment of "
+                                           << dep.size() << " nodes");
+    }
+  }
   AuditReport report;
   auto violation = [&report](std::uint64_t round, const std::string& what) {
     report.violations.push_back({round, what});

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/check.hpp"
+
 namespace fcr {
 
 bool ModelReport::all_satisfied() const {
@@ -22,6 +24,12 @@ std::string ModelReport::to_string() const {
 }
 
 ModelReport validate_model(const Deployment& dep, const SinrParams& params) {
+  FCR_ENSURE_ARG(std::isfinite(params.alpha) && std::isfinite(params.beta) &&
+                     std::isfinite(params.noise) && std::isfinite(params.power),
+                 "validate_model: SINR parameters must be finite (alpha="
+                     << params.alpha << ", beta=" << params.beta
+                     << ", noise=" << params.noise << ", power="
+                     << params.power << ")");
   ModelReport report;
   auto add = [&report](std::string name, bool ok, std::string detail) {
     report.checks.push_back({std::move(name), ok, std::move(detail)});

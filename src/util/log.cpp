@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cstdio>
 
+// FCRLINT_ALLOW(ensure-arg): logging must never throw; any level enum value
+// and any message string are accepted (unknown levels print as "?").
+
 namespace fcr {
 namespace {
 

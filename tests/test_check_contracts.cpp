@@ -1,0 +1,119 @@
+// Contract-macro coverage for src/util/check.hpp: exception taxonomy
+// (ContractViolation for internal invariants vs std::invalid_argument for
+// public-API argument validation), file:line provenance in violation
+// messages, message streaming, and single evaluation of conditions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+TEST(Contracts, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(FCR_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FCR_CHECK_MSG(true, "never rendered"));
+  EXPECT_NO_THROW(FCR_ENSURE_ARG(true, "never rendered"));
+}
+
+TEST(Contracts, CheckThrowsContractViolation) {
+  EXPECT_THROW(FCR_CHECK(false), ContractViolation);
+  EXPECT_THROW(FCR_CHECK_MSG(false, "boom"), ContractViolation);
+}
+
+TEST(Contracts, EnsureArgThrowsInvalidArgument) {
+  EXPECT_THROW(FCR_ENSURE_ARG(false, "bad arg"), std::invalid_argument);
+}
+
+TEST(Contracts, TaxonomyIsDistinct) {
+  // FCR_CHECK failures are logic errors but NOT invalid_argument …
+  try {
+    FCR_CHECK(false);
+    FAIL() << "FCR_CHECK(false) did not throw";
+  } catch (const std::invalid_argument&) {
+    FAIL() << "FCR_CHECK must not throw std::invalid_argument";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+  // … and FCR_ENSURE_ARG failures are invalid_argument, not
+  // ContractViolation, so callers can tell bad inputs from internal bugs.
+  try {
+    FCR_ENSURE_ARG(false, "nope");
+    FAIL() << "FCR_ENSURE_ARG(false, ...) did not throw";
+  } catch (const ContractViolation&) {
+    FAIL() << "FCR_ENSURE_ARG must not throw ContractViolation";
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Contracts, ViolationMessageCarriesFileLineAndExpression) {
+  std::string what;
+  const int violation_line = __LINE__ + 2;  // the FCR_CHECK below
+  try {
+    FCR_CHECK(2 + 2 == 5);
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check_contracts.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find(':' + std::to_string(violation_line)), std::string::npos)
+      << what;
+}
+
+TEST(Contracts, EnsureArgMessageCarriesFileLineAndStreamedDetail) {
+  const int n = -3;
+  std::string what;
+  const int violation_line = __LINE__ + 2;  // the FCR_ENSURE_ARG below
+  try {
+    FCR_ENSURE_ARG(n >= 0, "n must be non-negative, got " << n);
+  } catch (const std::invalid_argument& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("invalid argument"), std::string::npos) << what;
+  EXPECT_NE(what.find("n >= 0"), std::string::npos) << what;
+  EXPECT_NE(what.find("n must be non-negative, got -3"), std::string::npos)
+      << what;
+  EXPECT_NE(what.find("test_check_contracts.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find(':' + std::to_string(violation_line)), std::string::npos)
+      << what;
+}
+
+TEST(Contracts, CheckMsgStreamsArbitraryValues) {
+  std::string what;
+  try {
+    FCR_CHECK_MSG(false, "x=" << 42 << " y=" << 2.5 << " s=" << "str");
+  } catch (const ContractViolation& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("x=42 y=2.5 s=str"), std::string::npos) << what;
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto once = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  FCR_CHECK(once());
+  EXPECT_EQ(evaluations, 1);
+  FCR_ENSURE_ARG(once(), "msg");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Contracts, MessageOnlyBuiltOnFailure) {
+  // The streamed message must not be evaluated when the condition holds.
+  int renders = 0;
+  auto render = [&renders] {
+    ++renders;
+    return "msg";
+  };
+  FCR_CHECK_MSG(true, render());
+  FCR_ENSURE_ARG(true, render());
+  EXPECT_EQ(renders, 0);
+}
+
+}  // namespace
+}  // namespace fcr

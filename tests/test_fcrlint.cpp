@@ -1,0 +1,303 @@
+// Unit tests for the fcrlint rule engine (tools/fcrlint_rules.hpp): the
+// masking pass, each rule in isolation, the allow-annotation grammar, and
+// end-to-end lint_file runs over the fixture inputs in tests/fcrlint/.
+//
+// Test inputs that contain banned tokens are built as string literals; the
+// engine masks string literals before scanning, so this file itself stays
+// clean under the tree-wide fcrlint_tree test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fcrlint_rules.hpp"
+
+namespace {
+
+using fcrlint::Finding;
+using fcrlint::lint_file;
+using fcrlint::mask_comments_and_strings;
+using fcrlint::mask_strings;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(FCRLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ------------------------------------------------------------------ masking
+
+TEST(FcrlintMask, BlanksCommentsAndStringsButKeepsLines) {
+  const std::string src =
+      "int a; // trailing comment\n"
+      "/* block\n   comment */ int b;\n"
+      "const char* s = \"masked contents\";\n";
+  const std::string masked = mask_comments_and_strings(src);
+  EXPECT_EQ(masked.size(), src.size());
+  EXPECT_EQ(std::count(masked.begin(), masked.end(), '\n'), 4);
+  EXPECT_EQ(masked.find("comment"), std::string::npos);
+  EXPECT_EQ(masked.find("masked contents"), std::string::npos);
+  EXPECT_NE(masked.find("int a;"), std::string::npos);
+  EXPECT_NE(masked.find("int b;"), std::string::npos);
+}
+
+TEST(FcrlintMask, HandlesRawStringsEscapesAndCharLiterals) {
+  const std::string src =
+      "auto r = R\"(raw with \" quote)\";\n"
+      "char c = '\\\"';\n"
+      "const char* t = \"esc \\\" still string\";\n"
+      "int after = 1;\n";
+  const std::string masked = mask_comments_and_strings(src);
+  EXPECT_EQ(masked.find("raw with"), std::string::npos);
+  EXPECT_EQ(masked.find("still string"), std::string::npos);
+  EXPECT_NE(masked.find("int after = 1;"), std::string::npos);
+}
+
+TEST(FcrlintMask, DigitSeparatorsAreNotCharLiterals) {
+  const std::string src = "const long big = 1'000'000; int next = 2;\n";
+  EXPECT_NE(mask_comments_and_strings(src).find("int next = 2;"),
+            std::string::npos);
+}
+
+TEST(FcrlintMask, MaskStringsKeepsComments) {
+  const std::string src = "// keep me\nconst char* s = \"drop me\";\n";
+  const std::string masked = mask_strings(src);
+  EXPECT_NE(masked.find("keep me"), std::string::npos);
+  EXPECT_EQ(masked.find("drop me"), std::string::npos);
+}
+
+// -------------------------------------------------------------- determinism
+
+TEST(FcrlintDeterminism, FlagsEntropyAndWallClockSources) {
+  const std::string src =
+      "#include <cstdlib>\n"
+      "long f() {\n"
+      "  std::random_device rd;\n"                 // line 3
+      "  std::srand(7);\n"                         // line 4
+      "  long t = time(nullptr);\n"                // line 5
+      "  auto n = std::chrono::steady_clock::now();\n"  // line 6
+      "  (void)n;\n"
+      "  return std::rand() + t + rd();\n"         // line 8: rand (rd( is fine)
+      "}\n";
+  const auto findings = lint_file("src/sim/clocky.cpp", src);
+  EXPECT_EQ(count_rule(findings, "determinism"), 5);
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == "determinism") lines.push_back(f.line);
+  }
+  EXPECT_EQ(lines, (std::vector<int>{3, 4, 5, 6, 8}));
+}
+
+TEST(FcrlintDeterminism, SkipsCommentsStringsAndSimilarIdentifiers) {
+  const std::string src =
+      "// std::rand() and time(nullptr) discussed in prose\n"
+      "const char* s = \"random_device\";\n"
+      "std::uint64_t run_time(int x);\n"   // suffix of banned token: fine
+      "int timestamp = 0;\n"               // prefix: fine
+      "double now_estimate(int);\n"        // 'now' not followed by '('
+      "int f() { return timestamp; }\n";
+  const auto findings = lint_file("src/core/ok.cpp", src);
+  EXPECT_EQ(count_rule(findings, "determinism"), 0);
+}
+
+TEST(FcrlintDeterminism, ExemptsRngImplementationAndNonSrcTrees) {
+  const std::string src = "int f() { std::random_device rd; return rd(); }\n";
+  EXPECT_EQ(count_rule(lint_file("src/util/rng.cpp", src), "determinism"), 0);
+  EXPECT_EQ(count_rule(lint_file("src/util/rng.hpp", src), "determinism"), 0);
+  EXPECT_EQ(count_rule(lint_file("tests/test_x.cpp", src), "determinism"), 0);
+  EXPECT_EQ(count_rule(lint_file("src/radio/x.cpp", src), "determinism"), 1);
+}
+
+TEST(FcrlintDeterminism, AllowAnnotationSuppressesLine) {
+  const std::string allow_same_line =
+      "long t = time(nullptr);  // FCRLINT_ALLOW(determinism): fixture\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/a.cpp", allow_same_line),
+                       "determinism"),
+            0);
+  const std::string allow_line_above =
+      "// FCRLINT_ALLOW(determinism): fixture needs the wall clock\n"
+      "long t = time(nullptr);\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/b.cpp", allow_line_above),
+                       "determinism"),
+            0);
+  const std::string allow_too_far =
+      "// FCRLINT_ALLOW(determinism): too far away to apply\n"
+      "int unrelated = 0;\n"
+      "long t = time(nullptr);\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/c.cpp", allow_too_far),
+                       "determinism"),
+            1);
+}
+
+// --------------------------------------------------------------- sinr-float
+
+TEST(FcrlintSinrFloat, FlagsFloatOnlyUnderSinr) {
+  const std::string src = "float narrow(float x) { return x; }\n";
+  EXPECT_EQ(count_rule(lint_file("src/sinr/margin.cpp", src), "sinr-float"), 2);
+  EXPECT_EQ(count_rule(lint_file("src/geom/margin.cpp", src), "sinr-float"), 0);
+}
+
+TEST(FcrlintSinrFloat, TokenBoundariesRespected) {
+  const std::string src =
+      "double floater = 1.0;\n"
+      "int float_count = 2;\n"
+      "// float in a comment\n"
+      "double f() { return floater + float_count; }\n";
+  EXPECT_EQ(count_rule(lint_file("src/sinr/ok.cpp", src), "sinr-float"), 0);
+}
+
+// --------------------------------------------------------------- ensure-arg
+
+TEST(FcrlintEnsureArg, FlagsValidationFreeApiImplementations) {
+  const std::string bare = "namespace fcr { int api(int x) { return x; } }\n";
+  const auto findings = lint_file("src/core/api.cpp", bare);
+  EXPECT_EQ(count_rule(findings, "ensure-arg"), 1);
+  // Headers and out-of-src files are out of scope.
+  EXPECT_EQ(count_rule(lint_file("src/core/api.hpp", bare), "ensure-arg"), 0);
+  EXPECT_EQ(count_rule(lint_file("bench/api.cpp", bare), "ensure-arg"), 0);
+}
+
+TEST(FcrlintEnsureArg, ValidationOrReasonedAllowSatisfiesRule) {
+  const std::string validated =
+      "#include \"util/check.hpp\"\n"
+      "namespace fcr { int api(int x) {\n"
+      "  FCR_ENSURE_ARG(x >= 0, \"x\");\n"
+      "  return x; } }\n";
+  EXPECT_EQ(count_rule(lint_file("src/core/api.cpp", validated), "ensure-arg"),
+            0);
+  const std::string allowed =
+      "// FCRLINT_ALLOW(ensure-arg): pure arithmetic, every input valid\n"
+      "namespace fcr { int api(int x) { return x; } }\n";
+  EXPECT_EQ(count_rule(lint_file("src/core/api.cpp", allowed), "ensure-arg"),
+            0);
+}
+
+// -------------------------------------------------------------- pragma-once
+
+TEST(FcrlintPragmaOnce, RequiresPragmaInHeaders) {
+  const std::string guarded = "#ifndef X\n#define X\nint f();\n#endif\n";
+  EXPECT_EQ(count_rule(lint_file("src/geom/g.hpp", guarded), "pragma-once"), 1);
+  const std::string pragmad = "// docs\n#pragma once\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/geom/g.hpp", pragmad), "pragma-once"), 0);
+  // Non-headers are out of scope, and a pragma mentioned in a comment does
+  // not count as one.
+  EXPECT_EQ(count_rule(lint_file("src/geom/g.cpp", guarded), "pragma-once"), 0);
+  const std::string commented = "// #pragma once\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/geom/h.hpp", commented), "pragma-once"),
+            1);
+}
+
+// ---------------------------------------------------------- include-hygiene
+
+TEST(FcrlintIncludeHygiene, FlagsRelativeBitsAndDeprecatedC) {
+  const std::string src =
+      "#include <math.h>\n"
+      "#include <bits/stdc++.h>\n"
+      "#include \"../core/theory.hpp\"\n"
+      "#include <cmath>\n"
+      "#include \"util/check.hpp\"\n";
+  const auto findings = lint_file("tools/x.cpp", src);
+  EXPECT_EQ(count_rule(findings, "include-hygiene"), 3);
+  std::vector<int> lines;
+  for (const Finding& f : findings) {
+    if (f.rule == "include-hygiene") lines.push_back(f.line);
+  }
+  EXPECT_EQ(lines, (std::vector<int>{1, 2, 3}));
+  EXPECT_NE(findings[0].message.find("<cmath>"), std::string::npos);
+}
+
+// ------------------------------------------------------------- allow-syntax
+
+TEST(FcrlintAllowSyntax, MalformedAnnotationsAreFindings) {
+  // These markers live inside C++ string literals, which the engine masks
+  // before annotation parsing — so this test file stays clean under the
+  // tree-wide fcrlint_tree scan while the lint_file inputs exercise the
+  // malformed shapes.
+  const std::string unknown_rule =
+      "// FCRLINT_ALLOW(no-such-rule): reason\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/x/a.cpp", unknown_rule), "allow-syntax"),
+            1);
+  const std::string no_reason = "// FCRLINT_ALLOW(determinism):\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/x/b.cpp", no_reason), "allow-syntax"), 1);
+  const std::string no_colon = "// FCRLINT_ALLOW(determinism) oops\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/x/c.cpp", no_colon), "allow-syntax"), 1);
+  const std::string fine =
+      "// FCRLINT_ALLOW(determinism): legitimate documented reason\nint f();\n";
+  EXPECT_EQ(count_rule(lint_file("src/x/d.cpp", fine), "allow-syntax"), 0);
+}
+
+TEST(FcrlintAllowSyntax, MarkersInsideStringLiteralsAreIgnored) {
+  const std::string src =
+      "const char* help = \"suppress with FCRLINT_ALLOW(<rule>): <reason>\";\n";
+  EXPECT_EQ(count_rule(lint_file("src/x/help.cpp", src), "allow-syntax"), 0);
+}
+
+// ------------------------------------------------------- fixtures on disk
+
+TEST(FcrlintFixtures, BadDeterminismFixture) {
+  const auto findings = lint_file("src/sim/bad_determinism.cpp",
+                                  read_fixture("bad_determinism.cpp.txt"));
+  EXPECT_EQ(count_rule(findings, "determinism"), 5);
+  EXPECT_EQ(count_rule(findings, "ensure-arg"), 0);
+  std::vector<int> lines;
+  for (const Finding& f : findings) lines.push_back(f.line);
+  EXPECT_EQ(lines, (std::vector<int>{14, 15, 16, 17, 18}));
+}
+
+TEST(FcrlintFixtures, BadSinrFloatFixture) {
+  const auto findings = lint_file("src/sinr/bad_sinr_float.cpp",
+                                  read_fixture("bad_sinr_float.cpp.txt"));
+  // Line 10 declares a float and casts to float: two findings, same line.
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"sinr-float", "sinr-float"}));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 10);
+  EXPECT_EQ(findings[1].line, 10);
+}
+
+TEST(FcrlintFixtures, MissingPragmaFixture) {
+  const auto findings = lint_file("src/geom/missing_pragma.hpp",
+                                  read_fixture("missing_pragma.hpp.txt"));
+  EXPECT_EQ(rules_of(findings), (std::vector<std::string>{"pragma-once"}));
+}
+
+TEST(FcrlintFixtures, BadIncludesFixture) {
+  const auto findings = lint_file("src/core/bad_includes.cpp",
+                                  read_fixture("bad_includes.cpp.txt"));
+  EXPECT_EQ(count_rule(findings, "include-hygiene"), 3);
+}
+
+TEST(FcrlintFixtures, BadAllowFixture) {
+  const auto findings = lint_file("src/ext/bad_allow.cpp",
+                                  read_fixture("bad_allow.cpp.txt"));
+  EXPECT_EQ(count_rule(findings, "allow-syntax"), 4);
+  // The one well-formed annotation suppresses ensure-arg for the file.
+  EXPECT_EQ(count_rule(findings, "ensure-arg"), 0);
+}
+
+TEST(FcrlintFixtures, CleanFixtureHasNoFindings) {
+  const auto findings =
+      lint_file("src/core/clean_api.cpp", read_fixture("clean_api.cpp.txt"));
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s)";
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// fcrlint CLI — walks the tree and applies the rules in fcrlint_rules.hpp.
+//
+// Usage:
+//   fcrlint [--root DIR] [--quiet] [PATH...]
+//
+// PATHs (default: src) are resolved relative to --root (default: the current
+// directory) and scanned recursively for .hpp/.h/.cpp/.cc files. Findings are
+// printed as file:line: [rule] message; exit status is nonzero iff any
+// finding was reported. Registered as a CTest test over the whole tree.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fcrlint_rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void print_rules() {
+  std::cout << "fcrlint rules:\n";
+  for (const std::string_view r : fcrlint::kRuleNames) {
+    std::cout << "  " << r << '\n';
+  }
+  std::cout << "suppress with: FCRLINT_ALLOW(<rule>): <reason>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "fcrlint: --root needs an argument\n";
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fcrlint [--root DIR] [--quiet] [--list-rules] "
+                   "[PATH...]\n";
+      print_rules();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fcrlint: unknown option " << arg << '\n';
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<fcrlint::Finding> findings;
+  std::size_t files_scanned = 0;
+  for (const std::string& p : paths) {
+    const fs::path base = root / p;
+    if (!fs::exists(base)) {
+      std::cerr << "fcrlint: no such path: " << base.string() << '\n';
+      return 2;
+    }
+    std::vector<fs::path> files;
+    if (fs::is_directory(base)) {
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(base);
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) {
+      ++files_scanned;
+      const std::string rel =
+          fs::relative(f, root).lexically_normal().generic_string();
+      const std::vector<fcrlint::Finding> file_findings =
+          fcrlint::lint_file(rel, read_file(f));
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  for (const fcrlint::Finding& f : findings) {
+    std::cout << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  }
+  if (!quiet || !findings.empty()) {
+    std::cout << "fcrlint: " << findings.size() << " finding(s) in "
+              << files_scanned << " file(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,474 @@
+// fcrlint — fadingcr's project-specific linter (rule engine).
+//
+// Generic static analyzers cannot enforce the invariants this repository's
+// headline claims rest on (bit-identical serial/parallel results, double-only
+// SINR arithmetic), so fcrlint checks them mechanically:
+//
+//   determinism      — wall-clock and platform entropy sources (std::rand,
+//                      std::random_device, time(), *_clock::now(), ...) are
+//                      banned in src/ outside src/util/rng.*; all randomness
+//                      must flow through fcr::Rng so runs replay from a seed.
+//   sinr-float       — `float` is banned under src/sinr/: SINR feasibility
+//                      margins sit near the decodability threshold beta and
+//                      single-precision rounding flips verdicts.
+//   ensure-arg       — every public-API .cpp in src/ must validate arguments
+//                      with FCR_ENSURE_ARG or carry an explicit, reasoned
+//                      allow annotation.
+//   pragma-once      — every header carries #pragma once.
+//   include-hygiene  — no parent-relative ("../") includes, no <bits/...>,
+//                      no deprecated C headers (<math.h> → <cmath>).
+//   allow-syntax     — allow annotations must name a known rule and give a
+//                      non-empty reason (suppressions are documented).
+//
+// Suppression: an allow annotation in a comment, written as the marker
+// FCRLINT_ALLOW(ensure-arg): the reason the rule does not apply here
+// (with the appropriate rule name). For the file-scoped ensure-arg and
+// pragma-once rules the annotation may appear anywhere in the file; for
+// line-scoped rules it must sit on the offending line or the line directly
+// above it. Annotations inside string literals are ignored, and every
+// occurrence of the marker in a comment must be well-formed.
+//
+// The engine is header-only and pure (path + content in, findings out) so
+// tests/test_fcrlint.cpp can unit-test every rule against fixture inputs;
+// tools/fcrlint.cpp adds the filesystem walk and CLI.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcrlint {
+
+struct Finding {
+  std::string file;
+  int line = 1;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+inline constexpr std::array<std::string_view, 6> kRuleNames = {
+    "determinism",     "sinr-float",   "ensure-arg",
+    "pragma-once",     "include-hygiene", "allow-syntax"};
+
+inline bool is_known_rule(std::string_view rule) {
+  return std::find(kRuleNames.begin(), kRuleNames.end(), rule) !=
+         kRuleNames.end();
+}
+
+namespace detail {
+
+inline bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace detail
+
+/// Replaces the contents of comments (when `mask_comments`) and
+/// string/character literals with spaces, preserving line structure, so
+/// token scans cannot match inside them. Handles //, /*...*/, "...", '...',
+/// and raw strings R"delim(...)delim".
+inline std::string mask_literals(std::string_view src, bool mask_comments) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of an active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (mask_comments) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (mask_comments) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || !detail::is_ident_char(src[i - 1]) ||
+                    src[i - 1] == 'R')) {
+          if (i > 0 && src[i - 1] == 'R' &&
+              (i == 1 || !detail::is_ident_char(src[i - 2]))) {
+            // Raw string: R"delim( ... )delim"
+            std::size_t open = src.find('(', i + 1);
+            if (open == std::string_view::npos) break;  // ill-formed; give up
+            raw_delim = ")" + std::string(src.substr(i + 1, open - i - 1)) + "\"";
+            for (std::size_t j = i + 1; j <= open; ++j) out[j] = ' ';
+            i = open;
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' && (i == 0 || !detail::is_ident_char(src[i - 1]))) {
+          // Character literal (the ident-char guard skips digit separators
+          // like 1'000'000).
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (mask_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (mask_comments) out[i] = out[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n' && mask_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Token-scan view: comments AND strings blanked.
+inline std::string mask_comments_and_strings(std::string_view src) {
+  return mask_literals(src, /*mask_comments=*/true);
+}
+
+/// Annotation-scan view: strings blanked, comments kept (allow annotations
+/// live in comments; marker text inside string literals must not count).
+inline std::string mask_strings(std::string_view src) {
+  return mask_literals(src, /*mask_comments=*/false);
+}
+
+namespace detail {
+
+inline int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                         static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+/// Finds the next whole-identifier occurrence of `token` at or after `from`.
+inline std::size_t find_token(std::string_view text, std::string_view token,
+                              std::size_t from = 0) {
+  for (std::size_t pos = text.find(token, from); pos != std::string_view::npos;
+       pos = text.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// True when `token` at `pos` is followed (ignoring whitespace) by `punct`.
+inline bool followed_by(std::string_view text, std::size_t pos,
+                        std::string_view token, char punct) {
+  std::size_t i = pos + token.size();
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  return i < text.size() && text[i] == punct;
+}
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace detail
+
+/// A parsed allow annotation (rule suppression with a documented reason).
+struct Allow {
+  int line = 1;
+  std::string rule;
+  std::string reason;
+};
+
+/// Extracts all allow annotations from the strings-masked content (see
+/// mask_strings — comments are live, string literals are not); malformed
+/// ones (unknown rule, missing reason) become allow-syntax findings.
+inline std::vector<Allow> parse_allows(std::string_view raw,
+                                       const std::string& file,
+                                       std::vector<Finding>& out) {
+  static constexpr std::string_view kMarker = "FCRLINT_ALLOW";
+  std::vector<Allow> allows;
+  for (std::size_t pos = raw.find(kMarker); pos != std::string_view::npos;
+       pos = raw.find(kMarker, pos + kMarker.size())) {
+    const int line = detail::line_of(raw, pos);
+    std::size_t i = pos + kMarker.size();
+    auto bad = [&](const char* why) {
+      out.push_back({file, line, "allow-syntax",
+                     std::string("malformed FCRLINT_ALLOW annotation: ") + why +
+                         " — expected FCRLINT_ALLOW(<rule>): <reason>"});
+    };
+    if (i >= raw.size() || raw[i] != '(') {
+      bad("missing '(<rule>)'");
+      continue;
+    }
+    const std::size_t close = raw.find(')', i);
+    const std::size_t eol = raw.find('\n', i);
+    if (close == std::string_view::npos || (eol != std::string_view::npos && close > eol)) {
+      bad("missing ')'");
+      continue;
+    }
+    const std::string rule(raw.substr(i + 1, close - i - 1));
+    if (!is_known_rule(rule)) {
+      bad(("unknown rule '" + rule + "'").c_str());
+      continue;
+    }
+    i = close + 1;
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+    if (i >= raw.size() || raw[i] != ':') {
+      bad("missing ': <reason>'");
+      continue;
+    }
+    ++i;
+    const std::size_t end = raw.find('\n', i);
+    std::string reason(raw.substr(i, end == std::string_view::npos ? end : end - i));
+    const std::size_t first = reason.find_first_not_of(" \t");
+    reason = first == std::string::npos ? std::string{} : reason.substr(first);
+    if (reason.empty()) {
+      bad("empty reason");
+      continue;
+    }
+    allows.push_back({line, rule, reason});
+  }
+  return allows;
+}
+
+inline bool allowed_on_line(const std::vector<Allow>& allows,
+                            std::string_view rule, int line) {
+  return std::any_of(allows.begin(), allows.end(), [&](const Allow& a) {
+    return a.rule == rule && (a.line == line || a.line == line - 1);
+  });
+}
+
+inline bool allowed_anywhere(const std::vector<Allow>& allows,
+                             std::string_view rule) {
+  return std::any_of(allows.begin(), allows.end(),
+                     [&](const Allow& a) { return a.rule == rule; });
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each takes the repo-relative path (generic '/' separators), the
+// masked content (comments/strings blanked), the raw content, and the parsed
+// allows; each returns its findings.
+// ---------------------------------------------------------------------------
+
+/// determinism: entropy/wall-clock sources are banned in src/ outside
+/// src/util/rng.* — randomness must come from fcr::Rng (seeded, splittable).
+inline std::vector<Finding> check_determinism(const std::string& path,
+                                              std::string_view masked,
+                                              const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/") ||
+      detail::starts_with(path, "src/util/rng.")) {
+    return out;
+  }
+  struct Banned {
+    std::string_view token;
+    char must_follow;  // '\0' = token alone suffices
+    std::string_view hint;
+  };
+  static constexpr Banned kBanned[] = {
+      {"rand", '(', "use fcr::Rng instead of the C PRNG"},
+      {"srand", '(', "seeding the C PRNG breaks replayability"},
+      {"random_device", '\0', "platform entropy is not reproducible"},
+      {"time", '(', "wall-clock input makes runs non-replayable"},
+      {"clock", '(', "wall-clock input makes runs non-replayable"},
+      {"gettimeofday", '(', "wall-clock input makes runs non-replayable"},
+      {"clock_gettime", '(', "wall-clock input makes runs non-replayable"},
+      {"now", '(', "std::chrono::*::now() makes runs non-replayable"},
+  };
+  for (const Banned& b : kBanned) {
+    for (std::size_t pos = detail::find_token(masked, b.token);
+         pos != std::string_view::npos;
+         pos = detail::find_token(masked, b.token, pos + 1)) {
+      if (b.must_follow != '\0' &&
+          !detail::followed_by(masked, pos, b.token, b.must_follow)) {
+        continue;
+      }
+      const int line = detail::line_of(masked, pos);
+      if (allowed_on_line(allows, "determinism", line)) continue;
+      out.push_back({path, line, "determinism",
+                     "non-deterministic source '" + std::string(b.token) +
+                         "' — " + std::string(b.hint) +
+                         " (all randomness must flow through fcr::Rng)"});
+    }
+  }
+  return out;
+}
+
+/// sinr-float: single-precision arithmetic is banned in SINR feasibility
+/// math; margins near the beta threshold flip under float rounding.
+inline std::vector<Finding> check_sinr_float(const std::string& path,
+                                             std::string_view masked,
+                                             const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/sinr/")) return out;
+  for (std::size_t pos = detail::find_token(masked, "float");
+       pos != std::string_view::npos;
+       pos = detail::find_token(masked, "float", pos + 1)) {
+    const int line = detail::line_of(masked, pos);
+    if (allowed_on_line(allows, "sinr-float", line)) continue;
+    out.push_back({path, line, "sinr-float",
+                   "'float' in SINR math — use double; single-precision "
+                   "rounding flips feasibility verdicts near beta"});
+  }
+  return out;
+}
+
+/// ensure-arg: public-API implementation files must validate their inputs.
+inline std::vector<Finding> check_ensure_arg(const std::string& path,
+                                             std::string_view masked,
+                                             const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/") || !detail::ends_with(path, ".cpp")) {
+    return out;
+  }
+  if (detail::find_token(masked, "FCR_ENSURE_ARG") != std::string_view::npos) {
+    return out;
+  }
+  if (allowed_anywhere(allows, "ensure-arg")) return out;
+  out.push_back({path, 1, "ensure-arg",
+                 "no FCR_ENSURE_ARG argument validation in this public API "
+                 "implementation — validate entry-point arguments or annotate "
+                 "with FCRLINT_ALLOW(ensure-arg): <reason>"});
+  return out;
+}
+
+/// pragma-once: every header must carry #pragma once.
+inline std::vector<Finding> check_pragma_once(const std::string& path,
+                                              std::string_view masked,
+                                              const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::ends_with(path, ".hpp") && !detail::ends_with(path, ".h")) {
+    return out;
+  }
+  std::size_t pos = 0;
+  while (pos != std::string_view::npos) {
+    const std::size_t hash = masked.find('#', pos);
+    if (hash == std::string_view::npos) break;
+    std::size_t i = hash + 1;
+    while (i < masked.size() && (masked[i] == ' ' || masked[i] == '\t')) ++i;
+    if (masked.compare(i, 6, "pragma") == 0) {
+      std::size_t j = i + 6;
+      while (j < masked.size() && (masked[j] == ' ' || masked[j] == '\t')) ++j;
+      if (masked.compare(j, 4, "once") == 0) return out;  // found it
+    }
+    pos = hash + 1;
+  }
+  if (!allowed_anywhere(allows, "pragma-once")) {
+    out.push_back({path, 1, "pragma-once",
+                   "header is missing #pragma once"});
+  }
+  return out;
+}
+
+/// include-hygiene: no parent-relative includes, no <bits/...>, no
+/// deprecated C headers.
+inline std::vector<Finding> check_include_hygiene(
+    const std::string& path, std::string_view masked, std::string_view raw,
+    const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  static constexpr std::string_view kDeprecatedC[] = {
+      "assert.h", "ctype.h",  "errno.h",  "float.h",    "inttypes.h",
+      "limits.h", "locale.h", "math.h",   "setjmp.h",   "signal.h",
+      "stdarg.h", "stddef.h", "stdint.h", "stdio.h",    "stdlib.h",
+      "string.h", "time.h",   "wchar.h"};
+  std::size_t start = 0;
+  int line = 0;
+  while (start < masked.size()) {
+    ++line;
+    std::size_t end = masked.find('\n', start);
+    if (end == std::string_view::npos) end = masked.size();
+    std::string_view m = masked.substr(start, end - start);
+    // The include path itself is a string/angle token; read it from raw.
+    std::string_view r = raw.substr(start, end - start);
+    start = end + 1;
+    std::size_t i = m.find_first_not_of(" \t");
+    if (i == std::string_view::npos || m[i] != '#') continue;
+    ++i;
+    while (i < m.size() && (m[i] == ' ' || m[i] == '\t')) ++i;
+    if (m.compare(i, 7, "include") != 0) continue;
+    if (allowed_on_line(allows, "include-hygiene", line)) continue;
+    auto flag = [&](const std::string& msg) {
+      out.push_back({path, line, "include-hygiene", msg});
+    };
+    if (r.find("\"../") != std::string_view::npos ||
+        r.find("/../") != std::string_view::npos) {
+      flag("parent-relative include — include project headers by their "
+           "src/-relative path");
+    }
+    if (r.find("<bits/") != std::string_view::npos) {
+      flag("<bits/...> is a libstdc++ internal — include the standard header");
+    }
+    for (const std::string_view dep : kDeprecatedC) {
+      const std::string angled = "<" + std::string(dep) + ">";
+      if (r.find(angled) != std::string_view::npos) {
+        flag("deprecated C header " + angled + " — use <c" +
+             std::string(dep.substr(0, dep.size() - 2)) + ">");
+      }
+    }
+  }
+  return out;
+}
+
+/// Runs every rule on one file. `path` must be repo-relative with '/'
+/// separators (e.g. "src/sinr/channel.cpp").
+inline std::vector<Finding> lint_file(const std::string& path,
+                                      std::string_view content) {
+  std::vector<Finding> out;
+  const std::string masked = mask_comments_and_strings(content);
+  const std::vector<Allow> allows = parse_allows(mask_strings(content), path, out);
+  auto append = [&out](std::vector<Finding> f) {
+    out.insert(out.end(), f.begin(), f.end());
+  };
+  append(check_determinism(path, masked, allows));
+  append(check_sinr_float(path, masked, allows));
+  append(check_ensure_arg(path, masked, allows));
+  append(check_pragma_once(path, masked, allows));
+  append(check_include_hygiene(path, masked, content, allows));
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace fcrlint
