@@ -11,6 +11,7 @@
 #include "core/fading_cr.hpp"
 #include "deploy/generators.hpp"
 #include "exp_common.hpp"
+#include "sim/parallel_runner.hpp"
 #include "stats/regression.hpp"
 #include "util/cli.hpp"
 
@@ -57,17 +58,17 @@ int run(int argc, const char* const* argv) {
       return uniform_square(n, side, rng).normalized();
     };
 
-    const auto fading = run_trials(
+    const auto fading = run_trials_parallel(
         deploy, sinr_channel_factory(3.0, 1.5, 1e-9),
         [p](const Deployment&) {
           return std::make_unique<FadingContentionResolution>(p);
         },
         trial_config(trials, n));
-    const auto decay = run_trials(
+    const auto decay = run_trials_parallel(
         deploy, radio_channel_factory(false),
         [](const Deployment& dep) { return make_algorithm("decay", dep.size()); },
         trial_config(radio_trials, n + 1));
-    const auto aloha = run_trials(
+    const auto aloha = run_trials_parallel(
         deploy, radio_channel_factory(false),
         [](const Deployment& dep) { return make_algorithm("aloha", dep.size()); },
         trial_config(radio_trials, n + 2));

@@ -21,6 +21,7 @@
 #include "core/fading_cr.hpp"
 #include "deploy/generators.hpp"
 #include "exp_common.hpp"
+#include "sim/parallel_runner.hpp"
 #include "stats/regression.hpp"
 #include "util/cli.hpp"
 
@@ -65,7 +66,7 @@ int run(int argc, const char* const* argv) {
     const DeploymentFactory deploy = [n, span](Rng& rng) {
       return exponential_chain(n, span, rng).normalized();
     };
-    const auto fading = run_trials(
+    const auto fading = run_trials_parallel(
         deploy, sinr_channel_factory(3.0, 1.5, 1e-9),
         [](const Deployment&) {
           return std::make_unique<FadingContentionResolution>();
@@ -107,7 +108,7 @@ int run(int argc, const char* const* argv) {
     Rng probe_rng(kSeed);
     const Deployment probe = deploy(probe_rng);
     const double log_r = std::log2(probe.link_ratio());
-    const auto fading = run_trials(
+    const auto fading = run_trials_parallel(
         deploy, sinr_channel_factory(3.0, 1.5, 1e-9),
         [](const Deployment&) {
           return std::make_unique<FadingContentionResolution>();

@@ -11,7 +11,10 @@
 #include "deploy/generators.hpp"
 #include "geom/grid.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_runner.hpp"
 #include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "sinr/batch.hpp"
 #include "sinr/channel.hpp"
 #include "util/rng.hpp"
 
@@ -58,6 +61,62 @@ void BM_SinrResolve(benchmark::State& state) {
                           static_cast<std::int64_t>(tx.size() * listeners.size()));
 }
 BENCHMARK(BM_SinrResolve)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BatchResolve(benchmark::State& state) {
+  // The certified-filter batch path (exact mode): bit-identical output to
+  // BM_SinrResolve's scan. The resolver persists across iterations the way
+  // it persists across a trial's rounds, so scratch reuse is measured too.
+  // scripts/perf_smoke.sh compares this against BM_SinrResolve at the same
+  // n and records the ratio in BENCH_resolve.json.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  BatchResolver resolver(params);
+  Rng rng(3);
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < n; ++i) {
+    (rng.bernoulli(0.2) ? tx : listeners).push_back(i);
+  }
+  std::vector<Reception> out;
+  for (auto _ : state) {
+    resolver.resolve(dep, tx, listeners, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tx.size() * listeners.size()));
+  state.counters["certified"] =
+      static_cast<double>(resolver.last_stats().certified);
+  state.counters["exact_fallbacks"] =
+      static_cast<double>(resolver.last_stats().exact_fallbacks);
+}
+BENCHMARK(BM_BatchResolve)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BatchResolveTiled(benchmark::State& state) {
+  // The approximate far-field tile accumulator (opt-in mode): aggregates
+  // distant tiles once per tile. Not bit-identical — see docs/PERF.md for
+  // the error bound.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  BatchResolveOptions options;
+  options.far_field_tiles = true;
+  BatchResolver resolver(params, options);
+  Rng rng(3);
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < n; ++i) {
+    (rng.bernoulli(0.2) ? tx : listeners).push_back(i);
+  }
+  std::vector<Reception> out;
+  for (auto _ : state) {
+    resolver.resolve(dep, tx, listeners, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tx.size() * listeners.size()));
+}
+BENCHMARK(BM_BatchResolveTiled)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void BM_SinrResolveExhaustive(benchmark::State& state) {
   // The O(T^2 L) reference resolver; the ratio to BM_SinrResolve quantifies
@@ -127,6 +186,32 @@ void BM_FullExecution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullExecution)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TrialBatchPool(benchmark::State& state) {
+  // A whole small trial set through run_trials_parallel per iteration.
+  // The persistent pool makes the per-call overhead a few enqueues instead
+  // of a spawn-and-join of fresh std::threads; many small batches is
+  // exactly the sweep-driver pattern.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DeploymentFactory deploy = [n](Rng& rng) {
+    return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+        .normalized();
+  };
+  TrialConfig config;
+  config.trials = 8;
+  config.seed = 20160725;
+  config.engine.max_rounds = 100000;
+  for (auto _ : state) {
+    const TrialSetResult r =
+        run_trials_parallel(deploy, sinr_channel_factory(3.0, 1.5, 1e-9),
+                            [](const Deployment&) {
+                              return std::make_unique<FadingContentionResolution>();
+                            },
+                            config, ThreadPool::global().worker_count());
+    benchmark::DoNotOptimize(r.solved);
+  }
+}
+BENCHMARK(BM_TrialBatchPool)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace fcr

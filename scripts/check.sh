@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Full verification: warning-clean build, unit tests, static analysis, and
 # every experiment's SHAPE verdict. Exit code 0 iff everything passes.
+# --perf-smoke additionally runs scripts/perf_smoke.sh (resolver benchmarks
+# into BENCH_resolve.json; crash-gated only, timings are informational).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PERF_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --perf-smoke) PERF_SMOKE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 1 ;;
+  esac
+done
 
 # Prefer Ninja when available, otherwise fall back to CMake's default
 # generator; never pass -G to an already configured tree (the generator
@@ -30,6 +40,13 @@ for b in build/bench/bench_e*; do
     status=1
   fi
 done
+
+if [ "$PERF_SMOKE" -eq 1 ]; then
+  echo "### perf smoke"
+  if ! scripts/perf_smoke.sh --build-dir build; then
+    status=1
+  fi
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "ALL CHECKS PASSED"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Perf smoke: run the SINR resolver micro-benchmarks and record the raw
+# google-benchmark output in BENCH_resolve.json.
+#
+# GATING: this script fails only when the benchmark binary is missing or
+# CRASHES. Timings are machine-dependent, so the batch-vs-scan speedup is
+# reported for humans (and archived as a CI artifact) but never turned
+# into a pass/fail threshold here — the >= 2x acceptance claim is checked
+# on the reference container, not on whatever machine runs CI today.
+#
+# Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT=BENCH_resolve.json
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 1 ;;
+  esac
+done
+
+BIN="$BUILD_DIR/bench/bench_micro"
+if [ ! -x "$BIN" ]; then
+  echo "perf_smoke: $BIN not built (cmake --build $BUILD_DIR --target bench_micro)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_SinrResolve/|BM_BatchResolve' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+# Non-gating speedup report: batch vs reference scan at each common n.
+python3 - "$OUT" <<'EOF' || true
+import json, sys
+runs = {b["name"]: b["real_time"] for b in json.load(open(sys.argv[1]))["benchmarks"]}
+for name, t in sorted(runs.items()):
+    if not name.startswith("BM_SinrResolve/"):
+        continue
+    n = name.split("/")[1]
+    batch = runs.get(f"BM_BatchResolve/{n}")
+    if batch:
+        print(f"perf_smoke: n={n}: scan {t/1e6:.3f} ms, batch {batch/1e6:.3f} ms, "
+              f"speedup {t/batch:.2f}x")
+EOF
+
+echo "perf_smoke: wrote $OUT"

@@ -29,6 +29,8 @@
 
 // Channel models.
 #include "radio/channel.hpp"      // classical radio (collision) model
+#include "sinr/accumulate.hpp"    // deterministic pairwise summation
+#include "sinr/batch.hpp"         // batched/tiled round resolution
 #include "sinr/channel.hpp"       // the paper's fading channel
 #include "sinr/params.hpp"        // SINR parameters, single-hop bound
 #include "sinr/validate.hpp"      // model-assumption audit
@@ -43,6 +45,7 @@
 #include "sim/protocol.hpp"       // Algorithm / NodeProtocol interfaces
 #include "sim/runner.hpp"         // multi-trial batches
 #include "sim/subset.hpp"         // activated-subset wrapper
+#include "sim/thread_pool.hpp"    // persistent work-stealing pool
 #include "sim/trace.hpp"          // execution tracing
 
 // The paper (core contribution + analysis machinery).

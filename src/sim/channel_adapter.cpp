@@ -11,13 +11,12 @@ void SinrChannelAdapter::resolve(const Deployment& dep,
   FCR_ENSURE_ARG(out.size() == listeners.size(),
                  "feedback span size mismatch: " << out.size() << " vs "
                                                  << listeners.size());
-  const std::vector<Reception> receptions =
-      channel_.resolve(dep, transmitters, listeners);
+  resolver_.resolve(dep, transmitters, listeners, receptions_);
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     Feedback& f = out[i];
     f.transmitted = false;
-    f.received = receptions[i].received();
-    f.sender = receptions[i].sender;
+    f.received = receptions_[i].received();
+    f.sender = receptions_[i].sender;
     f.observation = f.received ? RadioObservation::kMessage
                                : RadioObservation::kSilence;
   }

@@ -10,6 +10,7 @@
 #include "deploy/deployment.hpp"
 #include "radio/channel.hpp"
 #include "sim/protocol.hpp"
+#include "sinr/batch.hpp"
 #include "sinr/channel.hpp"
 
 namespace fcr {
@@ -33,22 +34,29 @@ class ChannelAdapter {
                        std::span<Feedback> out) const = 0;
 };
 
-/// SINR fading channel adapter (the paper's model).
+/// SINR fading channel adapter (the paper's model). Rounds are resolved by
+/// the exact-mode BatchResolver — bit-identical to SinrChannel::resolve
+/// but reusing scratch across the trial's rounds. The resolver holds
+/// mutable per-round state, so one adapter instance must not resolve
+/// concurrently from several threads; the trial runners create one adapter
+/// per trial, which confines each instance to its worker.
 class SinrChannelAdapter final : public ChannelAdapter {
  public:
-  explicit SinrChannelAdapter(SinrParams params) : channel_(params) {}
-  explicit SinrChannelAdapter(SinrChannel channel) : channel_(std::move(channel)) {}
+  explicit SinrChannelAdapter(SinrParams params) : resolver_(params) {}
+  explicit SinrChannelAdapter(SinrChannel channel)
+      : resolver_(std::move(channel)) {}
 
   std::string name() const override { return "sinr"; }
 
-  const SinrChannel& channel() const { return channel_; }
+  const SinrChannel& channel() const { return resolver_.channel(); }
 
   void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
                std::span<const NodeId> listeners,
                std::span<Feedback> out) const override;
 
  private:
-  SinrChannel channel_;
+  mutable BatchResolver resolver_;
+  mutable std::vector<Reception> receptions_;
 };
 
 /// Classical radio network adapter; optional collision detection.

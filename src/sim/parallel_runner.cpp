@@ -1,11 +1,10 @@
 #include "sim/parallel_runner.hpp"
 
-#include <atomic>
-#include <mutex>
-#include <string>
+#include <algorithm>
 #include <thread>
 #include <vector>
 
+#include "sim/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace fcr {
@@ -26,45 +25,35 @@ TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
   const Rng master(config.seed);
 
   // Per-trial slots, filled independently; order restored afterwards so the
-  // aggregate is identical to the serial runner's.
+  // aggregate is identical to the serial runner's. Determinism comes from
+  // the SEEDING, not the schedule: trial t always derives its streams from
+  // master.split(2t) / master.split(2t+1), whatever thread runs it.
   struct Slot {
     bool solved = false;
     std::uint64_t rounds = 0;
   };
   std::vector<Slot> slots(config.trials);
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::string first_error;
-  std::mutex error_mutex;
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t t = next.fetch_add(1);
-      if (t >= config.trials || failed.load()) return;
-      try {
-        Rng deploy_rng = master.split(2 * t);
-        const Rng run_rng = master.split(2 * t + 1);
-        const Deployment dep = make_deployment(deploy_rng);
-        const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
-        const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
-        FCR_CHECK(channel != nullptr && algorithm != nullptr);
-        const RunResult r =
-            run_execution(dep, *algorithm, *channel, config.engine, run_rng);
-        slots[t].solved = r.solved;
-        slots[t].rounds = r.rounds;
-      } catch (const std::exception& e) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = e.what();
-      }
-    }
+  const auto run_one = [&](std::size_t t) {
+    Rng deploy_rng = master.split(2 * t);
+    const Rng run_rng = master.split(2 * t + 1);
+    const Deployment dep = make_deployment(deploy_rng);
+    const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
+    const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
+    FCR_CHECK(channel != nullptr && algorithm != nullptr);
+    const RunResult r =
+        run_execution(dep, *algorithm, *channel, config.engine, run_rng);
+    slots[t].solved = r.solved;
+    slots[t].rounds = r.rounds;
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (std::thread& th : pool) th.join();
-
-  FCR_CHECK_MSG(!failed.load(), "parallel trial failed: " << first_error);
+  // The persistent pool distributes trials; after a failure no new trial
+  // is claimed, and the first exception resurfaces here.
+  try {
+    ThreadPool::global().for_each(config.trials, run_one, threads);
+  } catch (const std::exception& e) {
+    FCR_CHECK_MSG(false, "parallel trial failed: " << e.what());
+  }
 
   TrialSetResult out;
   out.trials = config.trials;

@@ -1,0 +1,168 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace fcr {
+
+/// Control block for one for_each() call. Lives on the caller's stack via
+/// shared_ptr copies inside the queued pump closures; the caller cannot
+/// return before every pump finished, so the fn pointer stays valid.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+
+  std::mutex m;  // guards error and pending_pumps
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::size_t pending_pumps = 0;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(signal_m_);
+    stop_ = true;
+  }
+  signal_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t w =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    const std::lock_guard<std::mutex> lock(queues_[w]->m);
+    queues_[w]->tasks.push_back(std::move(task));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(signal_m_);
+    ++version_;
+  }
+  signal_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::pop_any(std::size_t self) {
+  // Own deque first, then steal in a fixed cyclic scan — deterministic
+  // victim order by design (the fcrlint rules ban randomness in src/).
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    WorkQueue& q = *queues_[(self + k) % n];
+    const std::lock_guard<std::mutex> lock(q.m);
+    if (!q.tasks.empty()) {
+      std::function<void()> task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    if (std::function<void()> task = pop_any(self)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(signal_m_);
+    if (stop_) break;
+    const std::uint64_t seen = version_;
+    lock.unlock();
+    // A submit may have raced our failed scan; its version bump happened
+    // after the push, so either this re-scan finds the task or the wait
+    // below sees version_ != seen and loops around.
+    if (std::function<void()> task = pop_any(self)) {
+      task();
+      continue;
+    }
+    lock.lock();
+    signal_cv_.wait(lock, [&] { return stop_ || version_ != seen; });
+    if (stop_) break;
+  }
+  // Shutdown: drain whatever is still queued so no for_each() caller is
+  // left waiting on a pump that never ran.
+  while (std::function<void()> task = pop_any(self)) task();
+}
+
+void ThreadPool::run_pump(Batch& batch) {
+  for (;;) {
+    // Abort is checked BEFORE claiming: once a task failed, no further
+    // index starts executing (the old per-call runner claimed first).
+    if (batch.abort.load()) return;
+    const std::size_t i = batch.next.fetch_add(1);
+    if (i >= batch.count) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(batch.m);
+      if (!batch.error) batch.error = std::current_exception();
+      batch.abort.store(true);
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& fn,
+                          std::size_t max_parallelism) {
+  FCR_ENSURE_ARG(fn != nullptr, "for_each needs a callable");
+  if (count == 0) return;
+
+  const auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->fn = &fn;
+
+  // Helpers beyond the caller: capped by the pool size, the caller's
+  // parallelism budget, and the work available (count indices can keep at
+  // most count threads busy, one of which is the caller).
+  std::size_t helpers = std::min(workers_.size(), count - 1);
+  if (max_parallelism != 0) {
+    helpers = std::min(helpers, max_parallelism - 1);
+  }
+  {
+    // Registered before submission so a pump that finishes instantly
+    // cannot see pending_pumps hit zero early.
+    const std::lock_guard<std::mutex> lock(batch->m);
+    batch->pending_pumps = helpers;
+  }
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([batch] {
+      run_pump(*batch);
+      const std::lock_guard<std::mutex> lock(batch->m);
+      if (--batch->pending_pumps == 0) batch->done_cv.notify_all();
+    });
+  }
+
+  // Caller participates: progress is guaranteed even if every worker is
+  // busy pumping other batches.
+  run_pump(*batch);
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done_cv.wait(lock, [&] { return batch->pending_pumps == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace fcr

@@ -1,0 +1,90 @@
+// Persistent work-stealing thread pool: the scheduling core of the trial
+// engine. Created once (see global()) and reused by run_trials_parallel,
+// the benches, and the tests, replacing the old spawn-and-join of a fresh
+// std::thread batch on every call.
+//
+// Design, sized for this codebase's workload (few, coarse tasks):
+//   * one FIFO deque per worker, each behind its own mutex; a task is
+//     submitted round-robin and an idle worker that finds its own deque
+//     empty STEALS by scanning the other deques in a fixed cyclic order
+//     (no randomness — the fcrlint determinism rules apply here too);
+//   * for_each() is the only consumption API: it schedules shared "pump"
+//     tasks that claim indices from an atomic counter, and the CALLING
+//     thread also pumps. Caller participation guarantees progress even
+//     when every worker is busy with other batches, so concurrent
+//     for_each() calls (racing sweep drivers) cannot deadlock;
+//   * pumps re-check the batch's abort flag BEFORE claiming an index, so
+//     after a task throws, no further index starts executing; the first
+//     exception is rethrown in the caller once the batch drains.
+//
+// Determinism: the pool never influences WHAT is computed, only WHEN —
+// for_each(count, fn) invokes fn exactly once per index in [0, count) (or
+// aborts after a failure), and callers index into pre-sized result slots.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcr {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains queued tasks and joins the workers. Must not run while a
+  /// for_each() on this pool is still in flight on another thread.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Invokes fn(0) .. fn(count-1), distributed over the pool, and blocks
+  /// until all of them finished. The calling thread executes tasks too.
+  /// `max_parallelism` caps the number of threads working on this batch
+  /// INCLUDING the caller (0 = no cap). If a task throws, no new index is
+  /// claimed afterwards and the first exception is rethrown here once the
+  /// in-flight tasks drain. Safe to call from several threads at once.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn,
+                std::size_t max_parallelism = 0);
+
+  /// The process-wide shared pool (hardware-concurrency workers, created
+  /// on first use). This is the instance the trial runner and benches use.
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+  struct WorkQueue {
+    std::mutex m;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  std::function<void()> pop_any(std::size_t self);
+  void submit(std::function<void()> task);
+  static void run_pump(Batch& batch);
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+
+  // Sleep/wake protocol: version_ is bumped under signal_m_ on every
+  // submit; an idle worker records the version, re-scans the deques, and
+  // only then sleeps until the version moves (no missed wakeups).
+  std::mutex signal_m_;
+  std::condition_variable signal_cv_;
+  std::uint64_t version_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fcr

@@ -1,0 +1,55 @@
+// Deterministic floating-point accumulation for interference sums.
+//
+// Every SINR entry point (resolve, sinr, can_receive, resolve_exhaustive,
+// interference_at, and the batched resolver) must agree BIT-FOR-BIT on the
+// decision threshold, so they all sum received powers with the same fixed
+// reduction tree: recursive pairwise (cascade) summation with a small
+// sequential base case. The tree depends only on the element COUNT, never
+// on thread count or evaluation order, so results are reproducible across
+// serial, parallel, and batched execution.
+//
+// Pairwise summation also improves accuracy: worst-case relative error is
+// O(log n * eps) instead of the O(n * eps) of a running sum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fcr {
+
+/// Leaf size of the pairwise reduction tree. Leaves are summed left to
+/// right; larger blocks trade a little accuracy for fewer recursive calls.
+/// This value is part of the bit-level contract between the reference and
+/// batched resolvers — do not change it casually.
+inline constexpr std::size_t kPairwiseBlock = 8;
+
+/// Sums `values` with the canonical pairwise reduction tree.
+inline double pairwise_sum(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n <= kPairwiseBlock) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += values[i];
+    return s;
+  }
+  const std::size_t half = n / 2;
+  return pairwise_sum(values.first(half)) + pairwise_sum(values.subspan(half));
+}
+
+/// Pairwise sum of `values` with index `skip` removed: the interference a
+/// listener sees from everyone but its decoded sender. The remaining
+/// elements are compacted (original order preserved) into `scratch` so the
+/// reduction tree is the tree of an (n-1)-element sum — identical to what
+/// sinr() computes over an explicit interferer list.
+inline double pairwise_sum_excluding(std::span<const double> values,
+                                     std::size_t skip,
+                                     std::vector<double>& scratch) {
+  scratch.clear();
+  if (!values.empty()) scratch.reserve(values.size() - 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != skip) scratch.push_back(values[i]);
+  }
+  return pairwise_sum(scratch);
+}
+
+}  // namespace fcr

@@ -1,0 +1,407 @@
+// BatchResolver implementation. This translation unit is compiled with
+// -O3 -fno-math-errno -ffp-contract=off (plus -march=native when available;
+// see src/sinr/CMakeLists.txt): errno-free sqrt lets the compiler vectorize
+// the scan passes, and disabling FP contraction keeps every d2/signal value
+// bit-identical to the ones channel.cpp computes, whatever the host ISA.
+// IEEE requires +, *, /, sqrt to be correctly rounded, so vectorizing them
+// never changes a result; only contraction (FMA) or reassociation could,
+// and both are off here. The approximate filter below is the ONLY place
+// non-reference arithmetic appears, and its answers are used solely when a
+// conservative error bound proves the exact comparison would agree.
+#include "sinr/batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "sinr/accumulate.hpp"
+#include "util/check.hpp"
+
+namespace fcr {
+namespace {
+
+/// Accumulator lanes for the blocked scan loops. Eight doubles fill an
+/// AVX-512 register (or two AVX2 ones); GCC vectorizes the fixed-trip
+/// inner loops where it refuses to vectorize a plain FP reduction.
+constexpr std::size_t kLanes = 8;
+
+/// Below this many transmitters the filter's fixed overhead beats its
+/// savings; go straight to the exact scan.
+constexpr std::size_t kFilterMinTransmitters = 16;
+
+/// The tile accumulator needs enough transmitters for far tiles to exist.
+constexpr std::size_t kTileMinTransmitters = 64;
+
+/// Never build absurd tile grids (degenerate extents, tiny tile_size).
+constexpr std::size_t kMaxTiles = std::size_t{1} << 20;
+
+/// Certification margin for the reciprocal-sqrt filter (alpha = 3).
+/// fast_rsqrt's measured worst-case relative error over [1e-6, 1e12] is
+/// 4.6e-6, so a signal term P*y^3 is off by at most ~1.4e-5 relative;
+/// 1e-4 leaves a >6x safety factor that also swallows summation-order
+/// rounding and the cancellation in (total - best).
+constexpr double kEpsRsqrt = 1e-4;
+
+/// Certification margin when the filter's terms are computed EXACTLY
+/// (alpha in {2, 4, 6}: one or two IEEE multiplies and a divide). The only
+/// discrepancy vs the canonical pairwise sum is reduction order, bounded
+/// by n * 2^-53 relative — 1e-9 covers n up to ~10^6 with headroom.
+constexpr double kEpsReassoc = 1e-9;
+
+/// The bit-trick rsqrt needs a normal input; below this, fall back to the
+/// exact scan (d2 this small means nodes ~1e-150 apart — never legitimate).
+constexpr double kMinNormalD2 = 1e-300;
+
+/// Approximate 1/sqrt(x) for normal positive doubles: the classic
+/// magic-constant seed (Robertson's 64-bit constant) plus two
+/// Newton-Raphson steps. Relative error <= ~5e-6; see kEpsRsqrt.
+inline double fast_rsqrt(double x) {
+  double y = std::bit_cast<double>(0x5FE6EB50C7B537A9ULL -
+                                   (std::bit_cast<std::uint64_t>(x) >> 1));
+  y = y * (1.5 - 0.5 * x * y * y);
+  y = y * (1.5 - 0.5 * x * y * y);
+  return y;
+}
+
+/// Squared distance from (vx, vy) to every transmitter. Same expression
+/// as the reference scan in channel.cpp — with contraction off these are
+/// the exact doubles the reference computes.
+void pass_d2(const double* xs, const double* ys, std::size_t n, double vx,
+             double vy, double* out) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dx = xs[j] - vx;
+    const double dy = ys[j] - vy;
+    out[j] = dx * dx + dy * dy;
+  }
+}
+
+/// Index of the FIRST minimum of d2 (the canonical best-transmitter rule).
+/// Lane-blocked: a vectorizable min reduction, then one equality scan for
+/// the first attaining index — the branchy fused argmin does not vectorize
+/// and costs ~5x more. With NaN distances no index matches; the caller's
+/// exact fallback then reproduces the reference behavior.
+std::size_t pass_argmin(const double* d2, std::size_t n, double& min_out) {
+  double lane[kLanes];
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    lane[k] = std::numeric_limits<double>::infinity();
+  }
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      const double x = d2[j + k];
+      lane[k] = x < lane[k] ? x : lane[k];
+    }
+  }
+  double mm = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < kLanes; ++k) mm = lane[k] < mm ? lane[k] : mm;
+  for (; j < n; ++j) mm = d2[j] < mm ? d2[j] : mm;
+  min_out = mm;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d2[i] == mm) return i;
+  }
+  return 0;
+}
+
+/// Lane-blocked sum of term(d2[j]) over all transmitters. Approximate by
+/// design: the reduction order differs from pairwise_sum, and `term` may
+/// itself be approximate (rsqrt). Only feeds the certification filter.
+template <typename Term>
+double pass_sum(const double* d2, std::size_t n, Term term) {
+  double acc[kLanes] = {};
+  std::size_t j = 0;
+  for (; j + kLanes <= n; j += kLanes) {
+    for (std::size_t k = 0; k < kLanes; ++k) acc[k] += term(d2[j + k]);
+  }
+  double total = 0.0;
+  for (; j < n; ++j) total += term(d2[j]);
+  for (std::size_t k = 0; k < kLanes; ++k) total += acc[k];
+  return total;
+}
+
+}  // namespace
+
+BatchResolver::BatchResolver(SinrParams params, BatchResolveOptions options)
+    : BatchResolver(SinrChannel(params), options) {}
+
+BatchResolver::BatchResolver(SinrChannel channel, BatchResolveOptions options)
+    : channel_(std::move(channel)), options_(options) {
+  FCR_ENSURE_ARG(options_.tile_size >= 0.0, "tile_size must be >= 0");
+  FCR_ENSURE_ARG(!options_.far_field_tiles || options_.near_ring >= 1,
+                 "near_ring must be >= 1");
+}
+
+void BatchResolver::load_transmitters(const Deployment& dep,
+                                      std::span<const NodeId> transmitters) {
+  const std::size_t t = transmitters.size();
+  tx_ids_.assign(transmitters.begin(), transmitters.end());
+  tx_x_.resize(t);
+  tx_y_.resize(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    const Vec2 p = dep.position(transmitters[j]);
+    tx_x_[j] = p.x;
+    tx_y_[j] = p.y;
+  }
+}
+
+void BatchResolver::resolve(const Deployment& dep,
+                            std::span<const NodeId> transmitters,
+                            std::span<const NodeId> listeners,
+                            std::vector<Reception>& out) {
+  out.assign(listeners.size(), Reception{});
+  stats_ = Stats{};
+  stats_.listeners = listeners.size();
+  if (transmitters.empty()) return;
+
+  load_transmitters(dep, transmitters);
+  tiles_.valid = false;
+  if (options_.far_field_tiles &&
+      transmitters.size() >= kTileMinTransmitters) {
+    build_tiles();
+  }
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    const Vec2 v = dep.position(listeners[i]);
+    out[i] = tiles_.valid ? resolve_tiled(v) : resolve_plain(v);
+  }
+}
+
+std::vector<Reception> BatchResolver::resolve(
+    const Deployment& dep, std::span<const NodeId> transmitters,
+    std::span<const NodeId> listeners) {
+  std::vector<Reception> out;
+  resolve(dep, transmitters, listeners, out);
+  return out;
+}
+
+Reception BatchResolver::resolve_plain(Vec2 v) {
+  const std::size_t t = tx_ids_.size();
+  d2_.resize(t);
+  pass_d2(tx_x_.data(), tx_y_.data(), t, v.x, v.y, d2_.data());
+  double mm = 0.0;
+  const std::size_t best = pass_argmin(d2_.data(), t, mm);
+  FCR_ENSURE_ARG(mm > 0.0,
+                 "signal at zero distance is undefined (colocated nodes)");
+
+  const AlphaKind kind = channel_.alpha_kind();
+  if (t < kFilterMinTransmitters || kind == AlphaKind::kGeneric ||
+      !(mm >= kMinNormalD2)) {
+    return resolve_exact(best);
+  }
+
+  const double p = channel_.params().power;
+  double stotal = 0.0;
+  double eps = kEpsRsqrt;
+  switch (kind) {
+    case AlphaKind::kTwo:
+      stotal = pass_sum(d2_.data(), t, [p](double x) { return p / x; });
+      eps = kEpsReassoc;
+      break;
+    case AlphaKind::kThree:
+      stotal = pass_sum(d2_.data(), t, [p](double x) {
+        const double y = fast_rsqrt(x);
+        return p * (y * y * y);
+      });
+      eps = kEpsRsqrt;
+      break;
+    case AlphaKind::kFour:
+      stotal = pass_sum(d2_.data(), t, [p](double x) { return p / (x * x); });
+      eps = kEpsReassoc;
+      break;
+    case AlphaKind::kSix:
+      stotal =
+          pass_sum(d2_.data(), t, [p](double x) { return p / (x * x * x); });
+      eps = kEpsReassoc;
+      break;
+    case AlphaKind::kGeneric:
+      return resolve_exact(best);  // unreachable (gated above)
+  }
+
+  // Certification: sbest is the EXACT canonical signal of the best
+  // transmitter (same double the exact scan computes from d2_[best]).
+  // stotal approximates the total received power with per-term relative
+  // error <= eps, so the exact interference I = S - sbest lies within
+  // +-margin of itilde; a decision is accepted only if it would hold at
+  // BOTH ends of that interval. Everything else reruns exactly.
+  const double sbest = channel_.signal_from_dist_sq(mm);
+  if (!std::isfinite(stotal) || !std::isfinite(sbest)) {
+    return resolve_exact(best);
+  }
+  const double itilde = stotal - sbest;
+  const double margin = eps * (stotal + sbest);
+  const SinrParams& prm = channel_.params();
+  const double ihigh = (itilde > 0.0 ? itilde : 0.0) + margin;
+  const double ilow_raw = itilde - margin;
+  const double ilow = ilow_raw > 0.0 ? ilow_raw : 0.0;
+  if (sbest >= prm.beta * (prm.noise + ihigh)) {
+    ++stats_.certified;
+    return Reception{tx_ids_[best]};
+  }
+  if (sbest < prm.beta * (prm.noise + ilow)) {
+    ++stats_.certified;
+    return Reception{};
+  }
+  return resolve_exact(best);
+}
+
+Reception BatchResolver::resolve_exact(std::size_t best) {
+  ++stats_.exact_fallbacks;
+  const std::size_t t = tx_ids_.size();
+  sig_.resize(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    sig_[j] = channel_.signal_from_dist_sq(d2_[j]);
+  }
+  const double interference = pairwise_sum_excluding(sig_, best, scratch_);
+  if (channel_.decodes(sig_[best], interference)) {
+    return Reception{tx_ids_[best]};
+  }
+  return Reception{};
+}
+
+void BatchResolver::build_tiles() {
+  TileGrid& g = tiles_;
+  g.valid = false;
+  const std::size_t t = tx_ids_.size();
+
+  double min_x = tx_x_[0], max_x = tx_x_[0];
+  double min_y = tx_y_[0], max_y = tx_y_[0];
+  for (std::size_t j = 1; j < t; ++j) {
+    min_x = std::min(min_x, tx_x_[j]);
+    max_x = std::max(max_x, tx_x_[j]);
+    min_y = std::min(min_y, tx_y_[j]);
+    max_y = std::max(max_y, tx_y_[j]);
+  }
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+
+  double size = options_.tile_size;
+  if (size <= 0.0) {
+    // Tile count ~ T^(2/3): per-listener work is (near members) + (far
+    // tiles) ~ T*ring^2/G + G, minimized around G ~ T^(2/3).
+    const double dim = std::clamp(2.0 * std::cbrt(static_cast<double>(t)),
+                                  4.0, 512.0);
+    size = extent / dim;
+  }
+  if (!(size > 0.0) || !std::isfinite(size)) return;  // degenerate extent
+
+  g.min_x = min_x;
+  g.min_y = min_y;
+  g.size = size;
+  g.inv_size = 1.0 / size;
+  g.gx = static_cast<std::size_t>((max_x - min_x) * g.inv_size) + 1;
+  g.gy = static_cast<std::size_t>((max_y - min_y) * g.inv_size) + 1;
+  if (g.gx == 0 || g.gy == 0 || g.gx > kMaxTiles / g.gy) return;
+  const std::size_t tiles = g.gx * g.gy;
+
+  const auto tile_of = [&g](double x, double y) {
+    std::size_t ix = static_cast<std::size_t>((x - g.min_x) * g.inv_size);
+    std::size_t iy = static_cast<std::size_t>((y - g.min_y) * g.inv_size);
+    ix = std::min(ix, g.gx - 1);
+    iy = std::min(iy, g.gy - 1);
+    return iy * g.gx + ix;
+  };
+
+  // Counting sort of transmitter indices by tile id: deterministic, and
+  // members within a tile stay in ascending transmitter order.
+  g.offsets.assign(tiles + 1, 0);
+  for (std::size_t j = 0; j < t; ++j) {
+    ++g.offsets[tile_of(tx_x_[j], tx_y_[j]) + 1];
+  }
+  for (std::size_t i = 0; i < tiles; ++i) g.offsets[i + 1] += g.offsets[i];
+  g.members.resize(t);
+  std::vector<std::size_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (std::size_t j = 0; j < t; ++j) {
+    g.members[cursor[tile_of(tx_x_[j], tx_y_[j])]++] = j;
+  }
+
+  g.cx.assign(tiles, 0.0);
+  g.cy.assign(tiles, 0.0);
+  g.occupied.clear();
+  for (std::size_t id = 0; id < tiles; ++id) {
+    const std::size_t begin = g.offsets[id], end = g.offsets[id + 1];
+    if (begin == end) continue;
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      sx += tx_x_[g.members[k]];
+      sy += tx_y_[g.members[k]];
+    }
+    const double count = static_cast<double>(end - begin);
+    g.cx[id] = sx / count;
+    g.cy[id] = sy / count;
+    g.occupied.push_back(id);
+  }
+  g.valid = true;
+}
+
+Reception BatchResolver::resolve_tiled(Vec2 v) {
+  const TileGrid& g = tiles_;
+  const auto clamp_idx = [](double r, std::size_t n) {
+    if (!(r > 0.0)) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(r);
+    return i >= n ? n - 1 : i;
+  };
+  const std::size_t vix = clamp_idx((v.x - g.min_x) * g.inv_size, g.gx);
+  const std::size_t viy = clamp_idx((v.y - g.min_y) * g.inv_size, g.gy);
+  const std::size_t ring = options_.near_ring;
+
+  // Gather near-ring members (ascending tile id, ascending index within).
+  near_.clear();
+  const std::size_t ix_lo = vix > ring ? vix - ring : 0;
+  const std::size_t ix_hi = std::min(g.gx - 1, vix + ring);
+  const std::size_t iy_lo = viy > ring ? viy - ring : 0;
+  const std::size_t iy_hi = std::min(g.gy - 1, viy + ring);
+  for (std::size_t iy = iy_lo; iy <= iy_hi; ++iy) {
+    for (std::size_t ix = ix_lo; ix <= ix_hi; ++ix) {
+      const std::size_t id = iy * g.gx + ix;
+      for (std::size_t k = g.offsets[id]; k < g.offsets[id + 1]; ++k) {
+        near_.push_back(g.members[k]);
+      }
+    }
+  }
+  // No transmitter anywhere near: the strongest one is in some far tile,
+  // and approximating ITS signal is exactly what the tile mode must not
+  // do to the decisive term — resolve this listener exactly instead.
+  if (near_.empty()) return resolve_plain(v);
+
+  // Near field: exact signals; best transmitter = argmin d2 among near
+  // members (the global nearest lives in the ring except in corner-case
+  // geometries — tile mode is approximate, see docs/PERF.md).
+  sig_.resize(near_.size());
+  double best_d2 = std::numeric_limits<double>::infinity();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < near_.size(); ++k) {
+    const std::size_t j = near_[k];
+    const double dx = tx_x_[j] - v.x;
+    const double dy = tx_y_[j] - v.y;
+    const double d2 = dx * dx + dy * dy;
+    sig_[k] = channel_.signal_from_dist_sq(d2);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best_k = k;
+    }
+  }
+  const double i_near = pairwise_sum_excluding(sig_, best_k, scratch_);
+
+  // Far field: one signal evaluation per occupied tile beyond the ring,
+  // weighted by the tile's transmitter count, summed in ascending tile id
+  // order (deterministic).
+  double i_far = 0.0;
+  for (const std::size_t id : g.occupied) {
+    const std::size_t ix = id % g.gx;
+    const std::size_t iy = id / g.gx;
+    const std::size_t ddx = ix > vix ? ix - vix : vix - ix;
+    const std::size_t ddy = iy > viy ? iy - viy : viy - iy;
+    if (std::max(ddx, ddy) <= ring) continue;
+    const double d2c = dist_sq(Vec2{g.cx[id], g.cy[id]}, v);
+    const double count =
+        static_cast<double>(g.offsets[id + 1] - g.offsets[id]);
+    i_far += count * channel_.signal_from_dist_sq(d2c);
+  }
+
+  ++stats_.tiled;
+  if (channel_.decodes(sig_[best_k], i_near + i_far)) {
+    return Reception{tx_ids_[near_[best_k]]};
+  }
+  return Reception{};
+}
+
+}  // namespace fcr

@@ -1,9 +1,9 @@
 #include "sinr/channel.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "sinr/accumulate.hpp"
 #include "util/check.hpp"
 
 namespace fcr {
@@ -25,7 +25,8 @@ SinrChannel::SinrChannel(SinrParams params) : params_(params) {
 }
 
 double SinrChannel::signal_from_dist_sq(double d2) const {
-  FCR_CHECK_MSG(d2 > 0.0, "signal at zero distance is undefined");
+  FCR_ENSURE_ARG(d2 > 0.0,
+                 "signal at zero distance is undefined (colocated nodes)");
   switch (alpha_kind_) {
     case AlphaKind::kTwo:
       return params_.power / d2;
@@ -49,7 +50,7 @@ std::vector<Reception> SinrChannel::resolve(
 
   // Flat position arrays keep the per-listener scan tight and vectorizable.
   const std::size_t t = transmitters.size();
-  std::vector<double> tx(t), ty(t);
+  std::vector<double> tx(t), ty(t), sig(t), scratch;
   for (std::size_t j = 0; j < t; ++j) {
     const Vec2 p = dep.position(transmitters[j]);
     tx[j] = p.x;
@@ -58,25 +59,27 @@ std::vector<Reception> SinrChannel::resolve(
 
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     const Vec2 v = dep.position(listeners[i]);
-    double total = 0.0;
-    double best_signal = -1.0;
+    // Canonical best transmitter: argmin of squared distance, first index
+    // on ties. Signal strength is non-increasing in distance, so this is
+    // the strongest transmitter without computing any signal.
+    double best_d2 = std::numeric_limits<double>::infinity();
     std::size_t best_j = 0;
     for (std::size_t j = 0; j < t; ++j) {
       const double dx = tx[j] - v.x;
       const double dy = ty[j] - v.y;
-      const double s = signal_from_dist_sq(dx * dx + dy * dy);
-      total += s;
-      if (s > best_signal) {
-        best_signal = s;
+      const double d2 = dx * dx + dy * dy;
+      sig[j] = signal_from_dist_sq(d2);
+      if (d2 < best_d2) {
+        best_d2 = d2;
         best_j = j;
       }
     }
-    // Strongest transmitter maximizes SINR; if it fails, every sender fails.
-    // Clamp the denominator at 0: (total - best_signal) can dip a hair below
-    // zero in floating point when there is a single transmitter.
-    const double denom = std::max(0.0, params_.noise + (total - best_signal));
-    if (best_signal >= params_.beta * denom) {
-      // denom == 0 (no noise, sole transmitter): infinite SINR, receives.
+    // Strongest transmitter maximizes SINR; if it fails, every sender
+    // fails. Interference is the pairwise sum over the OTHER signals (all
+    // non-negative, so no clamp is needed), in transmitter order — exactly
+    // what sinr()/can_receive() compute over an explicit interferer list.
+    const double interference = pairwise_sum_excluding(sig, best_j, scratch);
+    if (decodes(sig[best_j], interference)) {
       out[i].sender = transmitters[best_j];
     }
   }
@@ -90,15 +93,27 @@ std::vector<Reception> SinrChannel::resolve_exhaustive(
   std::vector<NodeId> interferers;
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     const NodeId v = listeners[i];
-    double best_sinr = -1.0;
+    const Vec2 rv = dep.position(v);
+    double best_rank = -1.0;
     for (const NodeId u : transmitters) {
       interferers.clear();
       for (const NodeId w : transmitters) {
         if (w != u) interferers.push_back(w);
       }
-      const double s = sinr(dep, u, v, interferers);
-      if (s >= params_.beta && s > best_sinr) {
-        best_sinr = s;
+      const double signal =
+          signal_from_dist_sq(dist_sq(dep.position(u), rv));
+      const double interference =
+          link_interference(dep, rv, u, v, interferers);
+      // Decodability uses the shared multiplicative predicate (so this
+      // agrees with resolve() on the decision BIT); ties between decodable
+      // senders are broken by SINR value, earliest candidate wins.
+      if (!decodes(signal, interference)) continue;
+      const double denom = params_.noise + interference;
+      const double rank = denom == 0.0
+                              ? std::numeric_limits<double>::infinity()
+                              : signal / denom;
+      if (rank > best_rank) {
+        best_rank = rank;
         out[i].sender = u;
       }
     }
@@ -111,13 +126,8 @@ double SinrChannel::sinr(const Deployment& dep, NodeId sender, NodeId receiver,
   FCR_ENSURE_ARG(sender != receiver, "sender and receiver must differ");
   const Vec2 rv = dep.position(receiver);
   const double signal = signal_from_dist_sq(dist_sq(dep.position(sender), rv));
-  double interference = 0.0;
-  for (const NodeId w : interferers) {
-    FCR_ENSURE_ARG(w != sender && w != receiver,
-                   "interferer set must exclude sender and receiver");
-    interference += signal_from_dist_sq(dist_sq(dep.position(w), rv));
-  }
-  const double denom = params_.noise + interference;
+  const double denom =
+      params_.noise + link_interference(dep, rv, sender, receiver, interferers);
   if (denom == 0.0) return std::numeric_limits<double>::infinity();
   return signal / denom;
 }
@@ -125,20 +135,40 @@ double SinrChannel::sinr(const Deployment& dep, NodeId sender, NodeId receiver,
 bool SinrChannel::can_receive(const Deployment& dep, NodeId sender,
                               NodeId receiver,
                               std::span<const NodeId> interferers) const {
-  return sinr(dep, sender, receiver, interferers) >= params_.beta;
+  FCR_ENSURE_ARG(sender != receiver, "sender and receiver must differ");
+  const Vec2 rv = dep.position(receiver);
+  const double signal = signal_from_dist_sq(dist_sq(dep.position(sender), rv));
+  return decodes(signal,
+                 link_interference(dep, rv, sender, receiver, interferers));
+}
+
+double SinrChannel::link_interference(
+    const Deployment& dep, Vec2 rv, NodeId sender, NodeId receiver,
+    std::span<const NodeId> interferers) const {
+  std::vector<double> terms;
+  terms.reserve(interferers.size());
+  for (const NodeId w : interferers) {
+    FCR_ENSURE_ARG(w != sender && w != receiver,
+                   "interferer set must exclude sender and receiver");
+    terms.push_back(signal_from_dist_sq(dist_sq(dep.position(w), rv)));
+  }
+  return pairwise_sum(terms);
 }
 
 double SinrChannel::interference_at(const Deployment& dep, Vec2 point,
                                     std::span<const NodeId> transmitters,
                                     NodeId exclude) const {
-  double total = 0.0;
+  std::vector<double> terms;
+  terms.reserve(transmitters.size());
   for (const NodeId w : transmitters) {
     if (w == exclude) continue;
     const double d2 = dist_sq(dep.position(w), point);
-    if (d2 == 0.0) continue;  // a transmitter exactly at the probe point
-    total += signal_from_dist_sq(d2);
+    FCR_ENSURE_ARG(d2 > 0.0,
+                   "probe point coincides with transmitter " << w
+                       << " (interference is unbounded; pass it as exclude)");
+    terms.push_back(signal_from_dist_sq(d2));
   }
-  return total;
+  return pairwise_sum(terms);
 }
 
 }  // namespace fcr

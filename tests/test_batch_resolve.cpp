@@ -1,0 +1,215 @@
+// BatchResolver equivalence suite: the batched hot path must return
+// BIT-IDENTICAL Reception vectors to SinrChannel::resolve in exact mode,
+// across path-loss exponents (fast paths and the generic pow path),
+// deployment shapes, and repeated scratch-reusing calls. The tile mode is
+// approximate by contract; its tests bound the disagreement instead.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "deploy/generators.hpp"
+#include "sinr/batch.hpp"
+#include "sinr/channel.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+Deployment shaped_deployment(int shape, std::size_t n, Rng& rng) {
+  switch (shape % 3) {
+    case 0:
+      return uniform_square(n, 2.0 * std::sqrt(static_cast<double>(n)), rng)
+          .normalized();
+    case 1:
+      return two_clusters(n, 300.0, 5.0, rng).normalized();
+    default:
+      return exponential_chain(n, 4096.0, rng).normalized();
+  }
+}
+
+void split_nodes(const Deployment& dep, double p, Rng& rng,
+                 std::vector<NodeId>& tx, std::vector<NodeId>& listeners) {
+  tx.clear();
+  listeners.clear();
+  for (NodeId i = 0; i < dep.size(); ++i) {
+    (rng.bernoulli(p) ? tx : listeners).push_back(i);
+  }
+}
+
+TEST(BatchResolve, BitIdenticalAcrossAlphasAndShapes) {
+  // alpha 2.5 exercises the generic-pow (always-exact) path; 3 the rsqrt
+  // filter; 2/4/6 the exact-term filters.
+  for (const double alpha : {2.0, 2.5, 3.0, 4.0, 6.0}) {
+    Rng rng(1000 + static_cast<std::uint64_t>(alpha * 10.0));
+    for (int shape = 0; shape < 6; ++shape) {
+      Rng trial_rng = rng.split(static_cast<std::uint64_t>(shape));
+      const Deployment dep = shaped_deployment(shape, 240, trial_rng);
+      const SinrParams params =
+          SinrParams::for_longest_link(alpha, 1.5, 1e-9, dep.max_link());
+      const SinrChannel channel(params);
+      BatchResolver resolver(params);
+
+      std::vector<NodeId> tx, listeners;
+      split_nodes(dep, 0.3, trial_rng, tx, listeners);
+
+      const auto reference = channel.resolve(dep, tx, listeners);
+      const auto batched = resolver.resolve(dep, tx, listeners);
+      ASSERT_EQ(batched.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(batched[i].sender, reference[i].sender)
+            << "alpha " << alpha << " shape " << shape << " listener " << i;
+      }
+      const auto& stats = resolver.last_stats();
+      EXPECT_EQ(stats.certified + stats.exact_fallbacks, listeners.size());
+    }
+  }
+}
+
+TEST(BatchResolve, FilterCertifiesTheBulkOfListeners) {
+  // The perf claim is hollow if everything falls back to the exact scan:
+  // on a uniform workload with alpha = 3 the certified filter must decide
+  // nearly every listener (near-threshold listeners are rare).
+  Rng rng(77);
+  const Deployment dep = uniform_square(512, 2.0 * std::sqrt(512.0), rng)
+                             .normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  BatchResolver resolver(params);
+  std::vector<NodeId> tx, listeners;
+  split_nodes(dep, 0.2, rng, tx, listeners);
+  (void)resolver.resolve(dep, tx, listeners);
+  const auto& stats = resolver.last_stats();
+  EXPECT_EQ(stats.listeners, listeners.size());
+  EXPECT_GE(stats.certified * 10, stats.listeners * 9)
+      << "certified " << stats.certified << " of " << stats.listeners;
+}
+
+TEST(BatchResolve, ScratchReuseAcrossRoundsStaysBitIdentical) {
+  // One resolver across many rounds with shrinking transmitter sets (the
+  // trial-engine usage pattern): every round must still match a fresh
+  // reference resolution exactly.
+  Rng rng(42);
+  const Deployment dep =
+      uniform_square(300, 2.0 * std::sqrt(300.0), rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  BatchResolver resolver(params);
+
+  std::vector<NodeId> tx, listeners;
+  std::vector<Reception> batched;
+  for (int round = 0; round < 12; ++round) {
+    split_nodes(dep, 0.35 / (1 + round % 4), rng, tx, listeners);
+    if (tx.empty()) continue;
+    resolver.resolve(dep, tx, listeners, batched);
+    const auto reference = channel.resolve(dep, tx, listeners);
+    ASSERT_EQ(batched.size(), reference.size()) << "round " << round;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(batched[i].sender, reference[i].sender)
+          << "round " << round << " listener " << i;
+    }
+  }
+}
+
+TEST(BatchResolve, EmptyTransmittersResolveToSilence) {
+  Rng rng(7);
+  const Deployment dep = uniform_square(20, 6.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  BatchResolver resolver(params);
+  const std::vector<NodeId> none;
+  const std::vector<NodeId> listeners = {0, 1, 2};
+  const auto out = resolver.resolve(dep, none, listeners);
+  ASSERT_EQ(out.size(), 3u);
+  for (const Reception& r : out) EXPECT_FALSE(r.received());
+}
+
+TEST(BatchResolve, ColocatedListenerThrowsLikeTheReference) {
+  // An id appearing as both transmitter and listener is a zero-distance
+  // link; both paths must reject it the same way (the documented single
+  // colocation behavior).
+  Rng rng(8);
+  const Deployment dep = uniform_square(40, 8.0, rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  BatchResolver resolver(params);
+  std::vector<NodeId> tx, listeners;
+  for (NodeId i = 0; i < 20; ++i) tx.push_back(i);
+  for (NodeId i = 19; i < dep.size(); ++i) listeners.push_back(i);  // 19 overlaps
+  EXPECT_THROW((void)channel.resolve(dep, tx, listeners),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolver.resolve(dep, tx, listeners),
+               std::invalid_argument);
+}
+
+TEST(BatchResolve, OptionValidation) {
+  SinrParams params;
+  params.alpha = 3.0;
+  BatchResolveOptions bad_tile;
+  bad_tile.tile_size = -1.0;
+  EXPECT_THROW(BatchResolver(params, bad_tile), std::invalid_argument);
+  BatchResolveOptions bad_ring;
+  bad_ring.far_field_tiles = true;
+  bad_ring.near_ring = 0;
+  EXPECT_THROW(BatchResolver(params, bad_ring), std::invalid_argument);
+}
+
+TEST(BatchResolveTiled, AgreesWithExactAwayFromTheThreshold) {
+  // Tile mode is approximate: decisions may flip only where the SINR sits
+  // within the far-field error bound of the threshold. On a uniform
+  // workload that is a thin shell — demand >= 97% agreement and that
+  // every disagreement is a borderline listener in the exact resolver.
+  Rng rng(5150);
+  const Deployment dep =
+      uniform_square(2048, 2.0 * std::sqrt(2048.0), rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  BatchResolveOptions options;
+  options.far_field_tiles = true;
+  BatchResolver resolver(params, options);
+
+  std::vector<NodeId> tx, listeners;
+  split_nodes(dep, 0.2, rng, tx, listeners);
+  const auto reference = channel.resolve(dep, tx, listeners);
+  const auto tiled = resolver.resolve(dep, tx, listeners);
+  ASSERT_EQ(tiled.size(), reference.size());
+  EXPECT_GT(resolver.last_stats().tiled, 0u);
+
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (tiled[i].sender == reference[i].sender) ++agree;
+  }
+  EXPECT_GE(agree * 100, reference.size() * 97)
+      << agree << " of " << reference.size();
+}
+
+TEST(BatchResolveTiled, HugeNearRingMatchesExactDecisions) {
+  // With a near ring wider than the whole grid there is no far field, so
+  // tile mode computes exact signals (only the summation grouping
+  // differs); decisions must match the reference on this workload.
+  Rng rng(6001);
+  const Deployment dep =
+      uniform_square(256, 2.0 * std::sqrt(256.0), rng).normalized();
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  const SinrChannel channel(params);
+  BatchResolveOptions options;
+  options.far_field_tiles = true;
+  options.near_ring = 1u << 20;
+  BatchResolver resolver(params, options);
+
+  std::vector<NodeId> tx, listeners;
+  split_nodes(dep, 0.25, rng, tx, listeners);
+  const auto reference = channel.resolve(dep, tx, listeners);
+  const auto tiled = resolver.resolve(dep, tx, listeners);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(tiled[i].sender, reference[i].sender) << "listener " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fcr

@@ -181,6 +181,34 @@ TEST(SinrChannel, SinrArgumentValidation) {
   EXPECT_THROW(ch.sinr(dep, 0, 1, bad), std::invalid_argument);
 }
 
+TEST(SinrChannel, ColocationIsRejectedByEveryEntryPoint) {
+  // One documented behavior for zero-distance links: std::invalid_argument,
+  // from the signal helper, from resolve (listener in the transmitter set),
+  // and from interference_at (probe on a transmitter that is not excluded).
+  // interference_at used to SKIP colocated transmitters silently while
+  // signal_from_dist_sq crashed — this pins the unified policy.
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const SinrChannel ch(basic_params(3.0));
+  EXPECT_THROW((void)ch.signal_from_dist_sq(0.0), std::invalid_argument);
+
+  const std::vector<NodeId> tx = {0, 1};
+  const std::vector<NodeId> overlap = {1, 2};  // listener 1 also transmits
+  EXPECT_THROW((void)ch.resolve(dep, tx, overlap), std::invalid_argument);
+
+  // Probe exactly on transmitter 0: without exclusion the interference is
+  // unbounded -> throw; excluding it restores the finite sum.
+  EXPECT_THROW((void)ch.interference_at(dep, {0, 0}, tx),
+               std::invalid_argument);
+  EXPECT_NEAR(ch.interference_at(dep, {0, 0}, tx, 0), 1.0, 1e-12);
+}
+
+TEST(SinrChannel, ColocatedDeploymentRejectedAtConstruction) {
+  // Duplicate positions never reach the channel: Deployment construction
+  // (where min_link would be 0) refuses them up front.
+  const std::vector<Vec2> dup = {{0, 0}, {1, 0}, {0, 0}};
+  EXPECT_THROW(Deployment{dup}, std::invalid_argument);
+}
+
 TEST(SinrChannel, ReceptionIsMonotoneInBeta) {
   Rng rng(203);
   const Deployment dep = uniform_square(30, 6.0, rng).normalized();
