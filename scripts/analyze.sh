@@ -4,6 +4,7 @@
 #
 # Usage:
 #   scripts/analyze.sh [--build-dir DIR] [--tidy-changed-only [BASE_REF]]
+#                      [--require-tools] [--sarif FILE]
 #
 #   --build-dir DIR          reuse/configure this build tree (default:
 #                            build-analyze) for compile_commands.json and
@@ -12,15 +13,25 @@
 #                            to BASE_REF (default: origin/main); used by the
 #                            CI lint job to keep PR feedback fast. fcrlint
 #                            always scans the whole tree — it is cheap.
+#   --require-tools          fail (exit 3) instead of skipping when
+#                            clang-tidy or cppcheck is not installed. CI
+#                            passes this so a broken tool-install step can
+#                            never silently turn the analyzers off.
+#   --sarif FILE             also write fcrlint findings as SARIF 2.1.0 to
+#                            FILE (for CI code-scanning upload)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-analyze
 TIDY_CHANGED_ONLY=0
+REQUIRE_TOOLS=0
+SARIF_OUT=
 BASE_REF=origin/main
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --require-tools) REQUIRE_TOOLS=1; shift ;;
+    --sarif) SARIF_OUT=$2; shift 2 ;;
     --tidy-changed-only)
       TIDY_CHANGED_ONLY=1
       shift
@@ -28,6 +39,17 @@ while [ $# -gt 0 ]; do
     *) echo "analyze.sh: unknown option $1" >&2; exit 2 ;;
   esac
 done
+
+if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+  missing=0
+  for tool in clang-tidy cppcheck; do
+    if ! command -v "$tool" >/dev/null 2>&1; then
+      echo "analyze.sh: --require-tools set but $tool is not installed" >&2
+      missing=1
+    fi
+  done
+  if [ "$missing" -ne 0 ]; then exit 3; fi
+fi
 
 # Configure once, exporting compile_commands.json for the analyzers. Prefer
 # Ninja, fall back to the default generator; never pass -G to an already
@@ -42,7 +64,9 @@ status=0
 
 echo "=== fcrlint (project determinism/hygiene rules) ==="
 cmake --build "$BUILD_DIR" --target fcrlint
-if ! "$BUILD_DIR/tools/fcrlint" --root . src tools bench tests examples; then
+FCRLINT_ARGS=(--root . src tools bench tests examples)
+if [ -n "$SARIF_OUT" ]; then FCRLINT_ARGS+=(--sarif "$SARIF_OUT"); fi
+if ! "$BUILD_DIR/tools/fcrlint" "${FCRLINT_ARGS[@]}"; then
   status=1
 fi
 

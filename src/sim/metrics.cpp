@@ -18,6 +18,10 @@ ContentionDecay contention_decay(std::span<const RoundStats> history) {
   for (std::size_t i = 1; i < history.size(); ++i) {
     const std::size_t cur = history[i].contending;
     if (cur < prev && prev > 0) {
+      // Serial-only diagnostic off the decision path; the fixed
+      // left-to-right sum is already deterministic, and switching to
+      // pairwise would churn the golden metric outputs.
+      // FCRLINT_ALLOW(fp-accumulate): serial-only diagnostic, fixed order.
       log_sum += std::log(static_cast<double>(cur + 1) /
                           static_cast<double>(prev + 1));
       ++steps;
@@ -46,6 +50,7 @@ double mean_transmitter_load(std::span<const RoundStats> history,
   FCR_ENSURE_ARG(node_count > 0, "node count must be positive");
   double total = 0.0;
   for (const RoundStats& s : history) {
+    // FCRLINT_ALLOW(fp-accumulate): serial-only diagnostic, fixed order.
     total += static_cast<double>(s.transmitters);
   }
   return total / (static_cast<double>(history.size()) *

@@ -5,6 +5,14 @@
 // so a multi-threaded batch produces BIT-IDENTICAL results to the serial
 // runner — verified by tests. Use it for large sweeps; the serial
 // run_trials remains the reference implementation.
+//
+// Thread-safety audit (for Clang's -Wthread-safety, which sees no locks
+// here because there are none to see): the runner owns no mutexes. Workers
+// write only to their own pre-sized result slot (slots[t]), the factories
+// are required to be safe for concurrent CALLS, and all synchronization —
+// distribution, abort, join — lives inside the annotated ThreadPool
+// (sim/thread_pool.hpp). Rng streams are derived per trial via split(),
+// never copied across trials (enforced by fcrlint's rng-flow rule).
 #pragma once
 
 #include "sim/runner.hpp"

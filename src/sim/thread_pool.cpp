@@ -18,10 +18,10 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
 
-  std::mutex m;  // guards error and pending_pumps
-  std::condition_variable done_cv;
-  std::exception_ptr error;
-  std::size_t pending_pumps = 0;
+  Mutex m;
+  CondVar done_cv;
+  std::exception_ptr error FCR_GUARDED_BY(m);
+  std::size_t pending_pumps FCR_GUARDED_BY(m) = 0;
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,7 +40,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(signal_m_);
+    const MutexLock lock(signal_m_);
     stop_ = true;
   }
   signal_cv_.notify_all();
@@ -51,11 +51,11 @@ void ThreadPool::submit(std::function<void()> task) {
   const std::size_t w =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    const std::lock_guard<std::mutex> lock(queues_[w]->m);
+    const MutexLock lock(queues_[w]->m);
     queues_[w]->tasks.push_back(std::move(task));
   }
   {
-    const std::lock_guard<std::mutex> lock(signal_m_);
+    const MutexLock lock(signal_m_);
     ++version_;
   }
   signal_cv_.notify_one();
@@ -67,7 +67,7 @@ std::function<void()> ThreadPool::pop_any(std::size_t self) {
   const std::size_t n = queues_.size();
   for (std::size_t k = 0; k < n; ++k) {
     WorkQueue& q = *queues_[(self + k) % n];
-    const std::lock_guard<std::mutex> lock(q.m);
+    const MutexLock lock(q.m);
     if (!q.tasks.empty()) {
       std::function<void()> task = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -83,10 +83,14 @@ void ThreadPool::worker_loop(std::size_t self) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(signal_m_);
-    if (stop_) break;
-    const std::uint64_t seen = version_;
-    lock.unlock();
+    std::uint64_t seen = 0;
+    bool stopping = false;
+    {
+      const MutexLock lock(signal_m_);
+      stopping = stop_;
+      seen = version_;
+    }
+    if (stopping) break;
     // A submit may have raced our failed scan; its version bump happened
     // after the push, so either this re-scan finds the task or the wait
     // below sees version_ != seen and loops around.
@@ -94,9 +98,12 @@ void ThreadPool::worker_loop(std::size_t self) {
       task();
       continue;
     }
-    lock.lock();
-    signal_cv_.wait(lock, [&] { return stop_ || version_ != seen; });
-    if (stop_) break;
+    {
+      const MutexLock lock(signal_m_);
+      while (!stop_ && version_ == seen) signal_m_.wait(signal_cv_);
+      stopping = stop_;
+    }
+    if (stopping) break;
   }
   // Shutdown: drain whatever is still queued so no for_each() caller is
   // left waiting on a pump that never ran.
@@ -113,7 +120,7 @@ void ThreadPool::run_pump(Batch& batch) {
     try {
       (*batch.fn)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(batch.m);
+      const MutexLock lock(batch.m);
       if (!batch.error) batch.error = std::current_exception();
       batch.abort.store(true);
     }
@@ -140,13 +147,13 @@ void ThreadPool::for_each(std::size_t count,
   {
     // Registered before submission so a pump that finishes instantly
     // cannot see pending_pumps hit zero early.
-    const std::lock_guard<std::mutex> lock(batch->m);
+    const MutexLock lock(batch->m);
     batch->pending_pumps = helpers;
   }
   for (std::size_t i = 0; i < helpers; ++i) {
     submit([batch] {
       run_pump(*batch);
-      const std::lock_guard<std::mutex> lock(batch->m);
+      const MutexLock lock(batch->m);
       if (--batch->pending_pumps == 0) batch->done_cv.notify_all();
     });
   }
@@ -155,8 +162,8 @@ void ThreadPool::for_each(std::size_t count,
   // busy pumping other batches.
   run_pump(*batch);
 
-  std::unique_lock<std::mutex> lock(batch->m);
-  batch->done_cv.wait(lock, [&] { return batch->pending_pumps == 0; });
+  const MutexLock lock(batch->m);
+  while (batch->pending_pumps != 0) batch->m.wait(batch->done_cv);
   if (batch->error) std::rethrow_exception(batch->error);
 }
 

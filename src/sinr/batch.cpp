@@ -112,10 +112,15 @@ double pass_sum(const double* d2, std::size_t n, Term term) {
   double acc[kLanes] = {};
   std::size_t j = 0;
   for (; j + kLanes <= n; j += kLanes) {
+    // This bound only screens candidates; the screening margin absorbs the
+    // reduction-order error (the decisive sums use pairwise_sum).
+    // FCRLINT_ALLOW(fp-accumulate): lane-blocked screening-only sum.
     for (std::size_t k = 0; k < kLanes; ++k) acc[k] += term(d2[j + k]);
   }
   double total = 0.0;
+  // FCRLINT_ALLOW(fp-accumulate): tail of the same screening-only sum.
   for (; j < n; ++j) total += term(d2[j]);
+  // FCRLINT_ALLOW(fp-accumulate): lane fold of the same screening-only sum.
   for (std::size_t k = 0; k < kLanes; ++k) total += acc[k];
   return total;
 }
@@ -321,7 +326,11 @@ void BatchResolver::build_tiles() {
     if (begin == end) continue;
     double sx = 0.0, sy = 0.0;
     for (std::size_t k = begin; k < end; ++k) {
+      // Tile centroids feed only the documented-approximate far field;
+      // member order is fixed, so the sum is still deterministic.
+      // FCRLINT_ALLOW(fp-accumulate): centroid of the approximate far field.
       sx += tx_x_[g.members[k]];
+      // FCRLINT_ALLOW(fp-accumulate): same centroid sum as sx above.
       sy += tx_y_[g.members[k]];
     }
     const double count = static_cast<double>(end - begin);
@@ -394,6 +403,9 @@ Reception BatchResolver::resolve_tiled(Vec2 v) {
     const double d2c = dist_sq(Vec2{g.cx[id], g.cy[id]}, v);
     const double count =
         static_cast<double>(g.offsets[id + 1] - g.offsets[id]);
+    // Far-field term of the documented-approximate tile mode; summed in
+    // ascending tile id (deterministic), never part of the exact contract.
+    // FCRLINT_ALLOW(fp-accumulate): approximate far-field sum, fixed order.
     i_far += count * channel_.signal_from_dist_sq(d2c);
   }
 

@@ -1,12 +1,25 @@
 // fcrlint CLI — walks the tree and applies the rules in fcrlint_rules.hpp.
 //
 // Usage:
-//   fcrlint [--root DIR] [--quiet] [PATH...]
+//   fcrlint [--root DIR] [--quiet] [--sarif FILE]
+//           [--diff-base REF | --diff-file FILE] [PATH...]
 //
 // PATHs (default: src) are resolved relative to --root (default: the current
-// directory) and scanned recursively for .hpp/.h/.cpp/.cc files. Findings are
-// printed as file:line: [rule] message; exit status is nonzero iff any
-// finding was reported. Registered as a CTest test over the whole tree.
+// directory) and scanned recursively for .hpp/.h/.cpp/.cc files. The whole
+// batch is linted together (lint_tree), so cross-file analyses — the src/
+// include-cycle check — see the full graph. Findings are printed as
+// file:line: [rule] message; exit status is nonzero iff any finding was
+// reported (after diff filtering, when enabled). Registered as a CTest test
+// over the whole tree.
+//
+//   --sarif FILE      additionally write the findings as a SARIF 2.1.0 log
+//                     (consumed by CI's upload-sarif step for inline PR
+//                     annotations)
+//   --diff-base REF   report only findings on lines changed vs the git ref
+//                     (runs `git diff -U0 --no-color REF` under --root)
+//   --diff-file FILE  like --diff-base, but read a pre-computed unified diff
+//                     from FILE ('-' for stdin); used by tests
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -14,7 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "fcrlint_diff.hpp"
 #include "fcrlint_rules.hpp"
+#include "fcrlint_sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -34,10 +49,45 @@ std::string read_file(const fs::path& p) {
 
 void print_rules() {
   std::cout << "fcrlint rules:\n";
-  for (const std::string_view r : fcrlint::kRuleNames) {
-    std::cout << "  " << r << '\n';
+  for (const fcrlint::RuleMeta& r : fcrlint::kRules) {
+    std::cout << "  " << r.id << "\n      " << r.summary << '\n';
   }
   std::cout << "suppress with: FCRLINT_ALLOW(<rule>): <reason>\n";
+}
+
+/// Runs `git diff -U0 --no-color <ref>` under `root` and captures stdout.
+/// Returns false (with a message on stderr) if git fails.
+bool git_diff(const fs::path& root, const std::string& ref, std::string& out) {
+  // The ref came from the command line; refuse shell metacharacters instead
+  // of trying to quote them portably.
+  for (const char c : ref) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '/' || c == '-' ||
+                    c == '_' || c == '.' || c == '~' || c == '^' || c == '@';
+    if (!ok) {
+      std::cerr << "fcrlint: unsupported character in --diff-base ref\n";
+      return false;
+    }
+  }
+  const std::string cmd =
+      "git -C '" + root.string() + "' diff -U0 --no-color " + ref;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::cerr << "fcrlint: failed to run git diff\n";
+    return false;
+  }
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    out.append(buf, got);
+  }
+  const int status = ::pclose(pipe);
+  if (status != 0) {
+    std::cerr << "fcrlint: git diff " << ref << " failed (status " << status
+              << ")\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -46,22 +96,43 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> paths;
   bool quiet = false;
+  std::string sarif_path;
+  std::string diff_base;
+  std::string diff_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root") {
+    auto value = [&](const char* opt) -> const char* {
       if (++i >= argc) {
-        std::cerr << "fcrlint: --root needs an argument\n";
-        return 2;
+        std::cerr << "fcrlint: " << opt << " needs an argument\n";
+        return nullptr;
       }
-      root = argv[i];
+      return argv[i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--sarif") {
+      const char* v = value("--sarif");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+    } else if (arg == "--diff-base") {
+      const char* v = value("--diff-base");
+      if (v == nullptr) return 2;
+      diff_base = v;
+    } else if (arg == "--diff-file") {
+      const char* v = value("--diff-file");
+      if (v == nullptr) return 2;
+      diff_file = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--list-rules") {
       print_rules();
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: fcrlint [--root DIR] [--quiet] [--list-rules] "
-                   "[PATH...]\n";
+      std::cout << "usage: fcrlint [--root DIR] [--quiet] [--sarif FILE]\n"
+                   "               [--diff-base REF | --diff-file FILE]\n"
+                   "               [--list-rules] [PATH...]\n";
       print_rules();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -71,10 +142,13 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
+  if (!diff_base.empty() && !diff_file.empty()) {
+    std::cerr << "fcrlint: --diff-base and --diff-file are exclusive\n";
+    return 2;
+  }
   if (paths.empty()) paths.push_back("src");
 
-  std::vector<fcrlint::Finding> findings;
-  std::size_t files_scanned = 0;
+  std::vector<fcrlint::FileInput> inputs;
   for (const std::string& p : paths) {
     const fs::path base = root / p;
     if (!fs::exists(base)) {
@@ -93,14 +167,40 @@ int main(int argc, char** argv) {
     }
     std::sort(files.begin(), files.end());
     for (const fs::path& f : files) {
-      ++files_scanned;
-      const std::string rel =
-          fs::relative(f, root).lexically_normal().generic_string();
-      const std::vector<fcrlint::Finding> file_findings =
-          fcrlint::lint_file(rel, read_file(f));
-      findings.insert(findings.end(), file_findings.begin(),
-                      file_findings.end());
+      inputs.push_back({fs::relative(f, root).lexically_normal().generic_string(),
+                        read_file(f)});
     }
+  }
+
+  std::vector<fcrlint::Finding> findings = fcrlint::lint_tree(inputs);
+
+  if (!diff_base.empty() || !diff_file.empty()) {
+    std::string diff;
+    if (!diff_base.empty()) {
+      if (!git_diff(root, diff_base, diff)) return 2;
+    } else if (diff_file == "-") {
+      std::ostringstream os;
+      os << std::cin.rdbuf();
+      diff = os.str();
+    } else {
+      const fs::path df = diff_file;
+      if (!fs::exists(df)) {
+        std::cerr << "fcrlint: no such diff file: " << diff_file << '\n';
+        return 2;
+      }
+      diff = read_file(df);
+    }
+    findings =
+        fcrlint::filter_to_changed(findings, fcrlint::parse_unified_diff(diff));
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "fcrlint: cannot write " << sarif_path << '\n';
+      return 2;
+    }
+    out << fcrlint::to_sarif(findings);
   }
 
   for (const fcrlint::Finding& f : findings) {
@@ -109,7 +209,7 @@ int main(int argc, char** argv) {
   }
   if (!quiet || !findings.empty()) {
     std::cout << "fcrlint: " << findings.size() << " finding(s) in "
-              << files_scanned << " file(s)\n";
+              << inputs.size() << " file(s)\n";
   }
   return findings.empty() ? 0 : 1;
 }

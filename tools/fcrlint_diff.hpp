@@ -1,0 +1,91 @@
+// Unified-diff parsing for fcrlint's diff-aware mode.
+//
+// `fcrlint --diff-base <ref>` reports only findings whose line was added or
+// modified relative to <ref> — the PR-review view — while the tree-wide
+// `fcrlint_tree` CTest test stays the hard gate. The CLI obtains the diff by
+// running `git diff -U0 --no-color <ref>`; this header parses the hunk
+// headers into a per-file set of changed (post-image) line numbers and
+// filters findings against it.
+//
+// Header-only and pure (diff text in, line sets out) so tests can feed
+// literal diffs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fcrlint_rules.hpp"
+
+namespace fcrlint {
+
+/// file (repo-relative, '/' separators) -> set of changed post-image lines.
+using ChangedLines = std::map<std::string, std::set<int>>;
+
+/// Parses `git diff -U0` output. Only `+++ b/<path>` targets and
+/// `@@ -a,b +start[,count] @@` hunk headers matter; deleted files
+/// (`+++ /dev/null`) contribute nothing. A count of 0 (pure deletion hunk)
+/// adds no lines. Tolerant of prefixes other than b/ (e.g. --no-prefix).
+inline ChangedLines parse_unified_diff(std::string_view diff) {
+  ChangedLines out;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos <= diff.size()) {
+    std::size_t eol = diff.find('\n', pos);
+    if (eol == std::string_view::npos) eol = diff.size();
+    const std::string_view ln = diff.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (ln.substr(0, 4) == "+++ ") {
+      std::string_view path = ln.substr(4);
+      if (const std::size_t tab = path.find('\t');
+          tab != std::string_view::npos) {
+        path = path.substr(0, tab);
+      }
+      if (path == "/dev/null") {
+        current.clear();
+      } else {
+        if (path.substr(0, 2) == "b/") path = path.substr(2);
+        current.assign(path);
+      }
+      continue;
+    }
+    if (ln.substr(0, 3) == "@@ " && !current.empty()) {
+      const std::size_t plus = ln.find('+', 3);
+      if (plus == std::string_view::npos) continue;
+      int start = 0;
+      std::size_t i = plus + 1;
+      while (i < ln.size() && ln[i] >= '0' && ln[i] <= '9') {
+        start = start * 10 + (ln[i] - '0');
+        ++i;
+      }
+      int count = 1;
+      if (i < ln.size() && ln[i] == ',') {
+        count = 0;
+        ++i;
+        while (i < ln.size() && ln[i] >= '0' && ln[i] <= '9') {
+          count = count * 10 + (ln[i] - '0');
+          ++i;
+        }
+      }
+      std::set<int>& lines = out[current];
+      for (int k = 0; k < count; ++k) lines.insert(start + k);
+    }
+  }
+  return out;
+}
+
+/// Keeps only findings sitting on a changed line of a changed file.
+inline std::vector<Finding> filter_to_changed(const std::vector<Finding>& all,
+                                              const ChangedLines& changed) {
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    const auto it = changed.find(f.file);
+    if (it == changed.end()) continue;
+    if (it->second.count(f.line) != 0) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace fcrlint

@@ -1,8 +1,10 @@
-// fcrlint — fadingcr's project-specific linter (rule engine).
+// fcrlint v2 — fadingcr's project-specific linter (token-level rule engine).
 //
 // Generic static analyzers cannot enforce the invariants this repository's
-// headline claims rest on (bit-identical serial/parallel results, double-only
-// SINR arithmetic), so fcrlint checks them mechanically:
+// headline claims rest on (bit-identical serial/parallel results, exact SINR
+// decision bits), so fcrlint checks them mechanically. v2 rebuilds every rule
+// on the real C++ token stream from fcrlint_lexer.hpp — no substring matching
+// against masked text — and adds four cross-cutting analyses:
 //
 //   determinism      — wall-clock and platform entropy sources (std::rand,
 //                      std::random_device, time(), *_clock::now(), ...) are
@@ -19,26 +21,51 @@
 //                      no deprecated C headers (<math.h> → <cmath>).
 //   allow-syntax     — allow annotations must name a known rule and give a
 //                      non-empty reason (suppressions are documented).
+//   layering         — src/ subdirectories form strict layers (util → stats
+//                      → geom → radio → deploy → sinr → sim → core →
+//                      lowerbound → algorithms → ext); an include may only
+//                      point at the same or a lower layer, and the include
+//                      graph must stay acyclic (checked tree-wide).
+//   fp-accumulate    — floating-point reductions in src/sinr/ and src/sim/
+//                      (std::accumulate/reduce, raw `+=` loops over doubles)
+//                      are banned outside src/sinr/accumulate.hpp: every
+//                      interference sum must go through the shared pairwise
+//                      tree that keeps resolve/batch bit-identical.
+//   lock-discipline  — bare std::mutex / std::condition_variable are banned
+//                      in src/; concurrency code uses the Clang-thread-
+//                      safety-annotated fcr::Mutex / fcr::CondVar /
+//                      fcr::MutexLock from util/thread_annotations.hpp, and
+//                      every fcr::Mutex must be referenced by at least one
+//                      annotation (FCR_GUARDED_BY, FCR_REQUIRES, ...).
+//   rng-flow         — replay-breaking Rng plumbing: copying a stream out of
+//                      an Rng reference (instead of split()) or capturing an
+//                      Rng by value in a lambda duplicates the stream and
+//                      silently reuses randomness.
 //
-// Suppression: an allow annotation in a comment, written as the marker
-// FCRLINT_ALLOW(ensure-arg): the reason the rule does not apply here
-// (with the appropriate rule name). For the file-scoped ensure-arg and
-// pragma-once rules the annotation may appear anywhere in the file; for
-// line-scoped rules it must sit on the offending line or the line directly
-// above it. Annotations inside string literals are ignored, and every
-// occurrence of the marker in a comment must be well-formed.
+// Suppression: an allow annotation in a comment naming the rule and the
+// reason, e.g. FCRLINT_ALLOW(ensure-arg): header-only module, no entry point.
+// For the file-scoped ensure-arg and pragma-once rules the annotation may
+// appear anywhere in the file; for line-scoped rules it must sit on the
+// offending line or the line directly above it. Annotations inside string
+// literals are ignored (strings are opaque tokens), and every occurrence of
+// the marker in a comment must be well-formed.
 //
-// The engine is header-only and pure (path + content in, findings out) so
+// The engine is header-only and pure (paths + contents in, findings out) so
 // tests/test_fcrlint.cpp can unit-test every rule against fixture inputs;
-// tools/fcrlint.cpp adds the filesystem walk and CLI.
+// tools/fcrlint.cpp adds the filesystem walk, SARIF output, diff filtering,
+// and the CLI.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "fcrlint_lexer.hpp"
 
 namespace fcrlint {
 
@@ -51,156 +78,62 @@ struct Finding {
   friend bool operator==(const Finding&, const Finding&) = default;
 };
 
-inline constexpr std::array<std::string_view, 6> kRuleNames = {
-    "determinism",     "sinr-float",   "ensure-arg",
-    "pragma-once",     "include-hygiene", "allow-syntax"};
+/// One file handed to the engine: repo-relative path with '/' separators
+/// (e.g. "src/sinr/channel.cpp") plus its full contents.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+/// Rule catalogue: ids plus the one-line summaries used by --list-rules and
+/// the SARIF rules array.
+struct RuleMeta {
+  std::string_view id;
+  std::string_view summary;
+};
+
+inline constexpr std::array<RuleMeta, 10> kRules = {{
+    {"determinism",
+     "entropy and wall-clock sources are banned in src/ (outside "
+     "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
+    {"sinr-float",
+     "float is banned under src/sinr/: single-precision rounding flips "
+     "feasibility verdicts near the decodability threshold beta"},
+    {"ensure-arg",
+     "every public-API .cpp in src/ validates arguments with FCR_ENSURE_ARG "
+     "or carries a reasoned allow annotation"},
+    {"pragma-once", "every header carries #pragma once"},
+    {"include-hygiene",
+     "no parent-relative (\"../\") includes, no <bits/...>, no deprecated C "
+     "headers (<math.h> -> <cmath>)"},
+    {"allow-syntax",
+     "FCRLINT_ALLOW annotations must name a known rule and give a non-empty "
+     "reason"},
+    {"layering",
+     "src/ includes must respect the layer order util -> stats -> geom -> "
+     "radio -> deploy -> sinr -> sim -> core -> lowerbound -> algorithms -> "
+     "ext, with no upward edges and no include cycles"},
+    {"fp-accumulate",
+     "floating-point reductions in src/sinr/ and src/sim/ must use "
+     "fcr::pairwise_sum (src/sinr/accumulate.hpp), not std::accumulate or "
+     "raw += loops, to keep serial/batch results bit-identical"},
+    {"lock-discipline",
+     "concurrency primitives in src/ use the thread-safety-annotated "
+     "fcr::Mutex / fcr::CondVar / fcr::MutexLock "
+     "(util/thread_annotations.hpp), and every fcr::Mutex is referenced by "
+     "an annotation"},
+    {"rng-flow",
+     "fcr::Rng streams must not be copied out of references (use split()) "
+     "or captured by value in lambdas; both duplicate randomness and break "
+     "replay"},
+}};
 
 inline bool is_known_rule(std::string_view rule) {
-  return std::find(kRuleNames.begin(), kRuleNames.end(), rule) !=
-         kRuleNames.end();
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleMeta& r) { return r.id == rule; });
 }
 
 namespace detail {
-
-inline bool is_ident_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-}  // namespace detail
-
-/// Replaces the contents of comments (when `mask_comments`) and
-/// string/character literals with spaces, preserving line structure, so
-/// token scans cannot match inside them. Handles //, /*...*/, "...", '...',
-/// and raw strings R"delim(...)delim".
-inline std::string mask_literals(std::string_view src, bool mask_comments) {
-  std::string out(src);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // the )delim" terminator of an active raw string
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          if (mask_comments) out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          if (mask_comments) out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"' &&
-                   (i == 0 || !detail::is_ident_char(src[i - 1]) ||
-                    src[i - 1] == 'R')) {
-          if (i > 0 && src[i - 1] == 'R' &&
-              (i == 1 || !detail::is_ident_char(src[i - 2]))) {
-            // Raw string: R"delim( ... )delim"
-            std::size_t open = src.find('(', i + 1);
-            if (open == std::string_view::npos) break;  // ill-formed; give up
-            raw_delim = ")" + std::string(src.substr(i + 1, open - i - 1)) + "\"";
-            for (std::size_t j = i + 1; j <= open; ++j) out[j] = ' ';
-            i = open;
-            state = State::kRaw;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'' && (i == 0 || !detail::is_ident_char(src[i - 1]))) {
-          // Character literal (the ident-char guard skips digit separators
-          // like 1'000'000).
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else if (mask_comments) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          if (mask_comments) out[i] = out[i + 1] = ' ';
-          state = State::kCode;
-          ++i;
-        } else if (c != '\n' && mask_comments) {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-/// Token-scan view: comments AND strings blanked.
-inline std::string mask_comments_and_strings(std::string_view src) {
-  return mask_literals(src, /*mask_comments=*/true);
-}
-
-/// Annotation-scan view: strings blanked, comments kept (allow annotations
-/// live in comments; marker text inside string literals must not count).
-inline std::string mask_strings(std::string_view src) {
-  return mask_literals(src, /*mask_comments=*/false);
-}
-
-namespace detail {
-
-inline int line_of(std::string_view text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
-                                         static_cast<std::ptrdiff_t>(pos), '\n'));
-}
-
-/// Finds the next whole-identifier occurrence of `token` at or after `from`.
-inline std::size_t find_token(std::string_view text, std::string_view token,
-                              std::size_t from = 0) {
-  for (std::size_t pos = text.find(token, from); pos != std::string_view::npos;
-       pos = text.find(token, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_ident_char(text[pos - 1]);
-    const std::size_t after = pos + token.size();
-    const bool right_ok = after >= text.size() || !is_ident_char(text[after]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string_view::npos;
-}
-
-/// True when `token` at `pos` is followed (ignoring whitespace) by `punct`.
-inline bool followed_by(std::string_view text, std::size_t pos,
-                        std::string_view token, char punct) {
-  std::size_t i = pos + token.size();
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-  return i < text.size() && text[i] == punct;
-}
 
 inline bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
@@ -209,6 +142,68 @@ inline bool starts_with(std::string_view s, std::string_view prefix) {
 inline bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// The strict src/ layer order, lowest first. A file in layer k may include
+/// only layers <= k. Files directly under src/ (the fadingcr.hpp umbrella)
+/// sit above every layer.
+inline constexpr std::array<std::string_view, 11> kLayerOrder = {
+    "util", "stats",      "geom",       "radio", "deploy", "sinr",
+    "sim",  "core",       "lowerbound", "algorithms", "ext"};
+
+inline constexpr int kTopLayer = static_cast<int>(kLayerOrder.size());
+
+/// Layer index of a src/ subdirectory name, or -1 if unknown.
+inline int layer_of(std::string_view dir) {
+  for (std::size_t i = 0; i < kLayerOrder.size(); ++i) {
+    if (kLayerOrder[i] == dir) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Renders the layer order for messages: "util -> stats -> ... -> ext".
+inline std::string layer_order_string() {
+  std::string s;
+  for (const std::string_view d : kLayerOrder) {
+    if (!s.empty()) s += " -> ";
+    s += d;
+  }
+  return s;
+}
+
+/// For "src/<dir>/<rest>" returns <dir>; for files directly under src/
+/// returns "". Precondition: path starts with "src/".
+inline std::string_view src_subdir(std::string_view path) {
+  std::string_view rest = path.substr(4);
+  const std::size_t slash = rest.find('/');
+  return slash == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(0, slash);
+}
+
+/// Finds the matching closer for the opener at `open` (which must hold the
+/// `open_text` punct). Returns npos if unbalanced.
+inline std::size_t match_forward(const std::vector<Token>& toks,
+                                 std::size_t open, std::string_view open_text,
+                                 std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].punct(open_text)) ++depth;
+    else if (toks[i].punct(close_text) && --depth == 0) return i;
+  }
+  return npos;
+}
+
+/// Finds the matching opener for the closer at `close`. Returns npos if
+/// unbalanced.
+inline std::size_t match_backward(const std::vector<Token>& toks,
+                                  std::size_t close, std::string_view open_text,
+                                  std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].punct(close_text)) ++depth;
+    else if (toks[i].punct(open_text) && --depth == 0) return i;
+  }
+  return npos;
 }
 
 }  // namespace detail
@@ -220,54 +215,73 @@ struct Allow {
   std::string reason;
 };
 
-/// Extracts all allow annotations from the strings-masked content (see
-/// mask_strings — comments are live, string literals are not); malformed
-/// ones (unknown rule, missing reason) become allow-syntax findings.
-inline std::vector<Allow> parse_allows(std::string_view raw,
+/// Extracts all allow annotations from the comment tokens; malformed ones
+/// (unknown rule, missing reason) become allow-syntax findings. Markers in
+/// string literals never reach this function — strings are distinct tokens.
+inline std::vector<Allow> parse_allows(const std::vector<Token>& toks,
                                        const std::string& file,
                                        std::vector<Finding>& out) {
   static constexpr std::string_view kMarker = "FCRLINT_ALLOW";
   std::vector<Allow> allows;
-  for (std::size_t pos = raw.find(kMarker); pos != std::string_view::npos;
-       pos = raw.find(kMarker, pos + kMarker.size())) {
-    const int line = detail::line_of(raw, pos);
-    std::size_t i = pos + kMarker.size();
-    auto bad = [&](const char* why) {
-      out.push_back({file, line, "allow-syntax",
-                     std::string("malformed FCRLINT_ALLOW annotation: ") + why +
-                         " — expected FCRLINT_ALLOW(<rule>): <reason>"});
-    };
-    if (i >= raw.size() || raw[i] != '(') {
-      bad("missing '(<rule>)'");
-      continue;
+  for (const Token& tok : toks) {
+    if (!tok.comment()) continue;
+    const std::string_view text = tok.text;
+    for (std::size_t pos = text.find(kMarker); pos != std::string_view::npos;
+         pos = text.find(kMarker, pos + kMarker.size())) {
+      const int line =
+          tok.line + static_cast<int>(
+                         std::count(text.begin(),
+                                    text.begin() + static_cast<std::ptrdiff_t>(pos),
+                                    '\n'));
+      std::size_t i = pos + kMarker.size();
+      auto bad = [&](const std::string& why) {
+        out.push_back({file, line, "allow-syntax",
+                       "malformed FCRLINT_ALLOW annotation: " + why +
+                           " — expected FCRLINT_ALLOW(<rule>): <reason>"});
+      };
+      if (i >= text.size() || text[i] != '(') {
+        bad("missing '(<rule>)'");
+        continue;
+      }
+      const std::size_t close = text.find(')', i);
+      const std::size_t eol = text.find('\n', i);
+      if (close == std::string_view::npos ||
+          (eol != std::string_view::npos && close > eol)) {
+        bad("missing ')'");
+        continue;
+      }
+      const std::string rule(text.substr(i + 1, close - i - 1));
+      if (!is_known_rule(rule)) {
+        bad("unknown rule '" + rule + "'");
+        continue;
+      }
+      i = close + 1;
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+      if (i >= text.size() || text[i] != ':') {
+        bad("missing ': <reason>'");
+        continue;
+      }
+      ++i;
+      std::size_t end = text.find('\n', i);
+      if (end == std::string_view::npos) end = text.size();
+      std::string reason(text.substr(i, end - i));
+      // A one-line block comment runs the reason into the closing marker;
+      // strip the trailing */ so block-comment annotations parse cleanly.
+      if (tok.kind == TokKind::kBlockComment) {
+        const std::size_t trail = reason.rfind("*/");
+        if (trail != std::string::npos) reason.erase(trail);
+      }
+      const std::size_t first = reason.find_first_not_of(" \t");
+      const std::size_t last = reason.find_last_not_of(" \t\r");
+      reason = first == std::string::npos
+                   ? std::string{}
+                   : reason.substr(first, last - first + 1);
+      if (reason.empty()) {
+        bad("empty reason");
+        continue;
+      }
+      allows.push_back({line, rule, reason});
     }
-    const std::size_t close = raw.find(')', i);
-    const std::size_t eol = raw.find('\n', i);
-    if (close == std::string_view::npos || (eol != std::string_view::npos && close > eol)) {
-      bad("missing ')'");
-      continue;
-    }
-    const std::string rule(raw.substr(i + 1, close - i - 1));
-    if (!is_known_rule(rule)) {
-      bad(("unknown rule '" + rule + "'").c_str());
-      continue;
-    }
-    i = close + 1;
-    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
-    if (i >= raw.size() || raw[i] != ':') {
-      bad("missing ': <reason>'");
-      continue;
-    }
-    ++i;
-    const std::size_t end = raw.find('\n', i);
-    std::string reason(raw.substr(i, end == std::string_view::npos ? end : end - i));
-    const std::size_t first = reason.find_first_not_of(" \t");
-    reason = first == std::string::npos ? std::string{} : reason.substr(first);
-    if (reason.empty()) {
-      bad("empty reason");
-      continue;
-    }
-    allows.push_back({line, rule, reason});
   }
   return allows;
 }
@@ -287,14 +301,13 @@ inline bool allowed_anywhere(const std::vector<Allow>& allows,
 
 // ---------------------------------------------------------------------------
 // Rules. Each takes the repo-relative path (generic '/' separators), the
-// masked content (comments/strings blanked), the raw content, and the parsed
-// allows; each returns its findings.
+// token stream, and the parsed allows; each returns its findings.
 // ---------------------------------------------------------------------------
 
 /// determinism: entropy/wall-clock sources are banned in src/ outside
 /// src/util/rng.* — randomness must come from fcr::Rng (seeded, splittable).
 inline std::vector<Finding> check_determinism(const std::string& path,
-                                              std::string_view masked,
+                                              const std::vector<Token>& toks,
                                               const std::vector<Allow>& allows) {
   std::vector<Finding> out;
   if (!detail::starts_with(path, "src/") ||
@@ -303,28 +316,28 @@ inline std::vector<Finding> check_determinism(const std::string& path,
   }
   struct Banned {
     std::string_view token;
-    char must_follow;  // '\0' = token alone suffices
+    bool must_call;  // only flag when followed by '('
     std::string_view hint;
   };
   static constexpr Banned kBanned[] = {
-      {"rand", '(', "use fcr::Rng instead of the C PRNG"},
-      {"srand", '(', "seeding the C PRNG breaks replayability"},
-      {"random_device", '\0', "platform entropy is not reproducible"},
-      {"time", '(', "wall-clock input makes runs non-replayable"},
-      {"clock", '(', "wall-clock input makes runs non-replayable"},
-      {"gettimeofday", '(', "wall-clock input makes runs non-replayable"},
-      {"clock_gettime", '(', "wall-clock input makes runs non-replayable"},
-      {"now", '(', "std::chrono::*::now() makes runs non-replayable"},
+      {"rand", true, "use fcr::Rng instead of the C PRNG"},
+      {"srand", true, "seeding the C PRNG breaks replayability"},
+      {"random_device", false, "platform entropy is not reproducible"},
+      {"time", true, "wall-clock input makes runs non-replayable"},
+      {"clock", true, "wall-clock input makes runs non-replayable"},
+      {"gettimeofday", true, "wall-clock input makes runs non-replayable"},
+      {"clock_gettime", true, "wall-clock input makes runs non-replayable"},
+      {"now", true, "std::chrono::*::now() makes runs non-replayable"},
   };
-  for (const Banned& b : kBanned) {
-    for (std::size_t pos = detail::find_token(masked, b.token);
-         pos != std::string_view::npos;
-         pos = detail::find_token(masked, b.token, pos + 1)) {
-      if (b.must_follow != '\0' &&
-          !detail::followed_by(masked, pos, b.token, b.must_follow)) {
-        continue;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    for (const Banned& b : kBanned) {
+      if (toks[i].text != b.token) continue;
+      if (b.must_call) {
+        const std::size_t j = next_sig(toks, i);
+        if (j == npos || !toks[j].punct("(")) continue;
       }
-      const int line = detail::line_of(masked, pos);
+      const int line = toks[i].line;
       if (allowed_on_line(allows, "determinism", line)) continue;
       out.push_back({path, line, "determinism",
                      "non-deterministic source '" + std::string(b.token) +
@@ -338,16 +351,14 @@ inline std::vector<Finding> check_determinism(const std::string& path,
 /// sinr-float: single-precision arithmetic is banned in SINR feasibility
 /// math; margins near the beta threshold flip under float rounding.
 inline std::vector<Finding> check_sinr_float(const std::string& path,
-                                             std::string_view masked,
+                                             const std::vector<Token>& toks,
                                              const std::vector<Allow>& allows) {
   std::vector<Finding> out;
   if (!detail::starts_with(path, "src/sinr/")) return out;
-  for (std::size_t pos = detail::find_token(masked, "float");
-       pos != std::string_view::npos;
-       pos = detail::find_token(masked, "float", pos + 1)) {
-    const int line = detail::line_of(masked, pos);
-    if (allowed_on_line(allows, "sinr-float", line)) continue;
-    out.push_back({path, line, "sinr-float",
+  for (const Token& t : toks) {
+    if (!t.ident("float")) continue;
+    if (allowed_on_line(allows, "sinr-float", t.line)) continue;
+    out.push_back({path, t.line, "sinr-float",
                    "'float' in SINR math — use double; single-precision "
                    "rounding flips feasibility verdicts near beta"});
   }
@@ -356,14 +367,14 @@ inline std::vector<Finding> check_sinr_float(const std::string& path,
 
 /// ensure-arg: public-API implementation files must validate their inputs.
 inline std::vector<Finding> check_ensure_arg(const std::string& path,
-                                             std::string_view masked,
+                                             const std::vector<Token>& toks,
                                              const std::vector<Allow>& allows) {
   std::vector<Finding> out;
   if (!detail::starts_with(path, "src/") || !detail::ends_with(path, ".cpp")) {
     return out;
   }
-  if (detail::find_token(masked, "FCR_ENSURE_ARG") != std::string_view::npos) {
-    return out;
+  for (const Token& t : toks) {
+    if (t.ident("FCR_ENSURE_ARG")) return out;
   }
   if (allowed_anywhere(allows, "ensure-arg")) return out;
   out.push_back({path, 1, "ensure-arg",
@@ -375,36 +386,30 @@ inline std::vector<Finding> check_ensure_arg(const std::string& path,
 
 /// pragma-once: every header must carry #pragma once.
 inline std::vector<Finding> check_pragma_once(const std::string& path,
-                                              std::string_view masked,
+                                              const std::vector<Token>& toks,
                                               const std::vector<Allow>& allows) {
   std::vector<Finding> out;
   if (!detail::ends_with(path, ".hpp") && !detail::ends_with(path, ".h")) {
     return out;
   }
-  std::size_t pos = 0;
-  while (pos != std::string_view::npos) {
-    const std::size_t hash = masked.find('#', pos);
-    if (hash == std::string_view::npos) break;
-    std::size_t i = hash + 1;
-    while (i < masked.size() && (masked[i] == ' ' || masked[i] == '\t')) ++i;
-    if (masked.compare(i, 6, "pragma") == 0) {
-      std::size_t j = i + 6;
-      while (j < masked.size() && (masked[j] == ' ' || masked[j] == '\t')) ++j;
-      if (masked.compare(j, 4, "once") == 0) return out;  // found it
-    }
-    pos = hash + 1;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].punct("#") || !toks[i].directive) continue;
+    const std::size_t j = next_sig(toks, i);
+    if (j == npos || !toks[j].ident("pragma")) continue;
+    const std::size_t k = next_sig(toks, j);
+    if (k != npos && toks[k].ident("once")) return out;  // found it
   }
   if (!allowed_anywhere(allows, "pragma-once")) {
-    out.push_back({path, 1, "pragma-once",
-                   "header is missing #pragma once"});
+    out.push_back({path, 1, "pragma-once", "header is missing #pragma once"});
   }
   return out;
 }
 
 /// include-hygiene: no parent-relative includes, no <bits/...>, no
-/// deprecated C headers.
+/// deprecated C headers. Operates on header-name tokens, so prose about
+/// <math.h> in a trailing comment can no longer trip it (a v1 blind spot).
 inline std::vector<Finding> check_include_hygiene(
-    const std::string& path, std::string_view masked, std::string_view raw,
+    const std::string& path, const std::vector<Token>& toks,
     const std::vector<Allow>& allows) {
   std::vector<Finding> out;
   static constexpr std::string_view kDeprecatedC[] = {
@@ -412,37 +417,27 @@ inline std::vector<Finding> check_include_hygiene(
       "limits.h", "locale.h", "math.h",   "setjmp.h",   "signal.h",
       "stdarg.h", "stddef.h", "stdint.h", "stdio.h",    "stdlib.h",
       "string.h", "time.h",   "wchar.h"};
-  std::size_t start = 0;
-  int line = 0;
-  while (start < masked.size()) {
-    ++line;
-    std::size_t end = masked.find('\n', start);
-    if (end == std::string_view::npos) end = masked.size();
-    std::string_view m = masked.substr(start, end - start);
-    // The include path itself is a string/angle token; read it from raw.
-    std::string_view r = raw.substr(start, end - start);
-    start = end + 1;
-    std::size_t i = m.find_first_not_of(" \t");
-    if (i == std::string_view::npos || m[i] != '#') continue;
-    ++i;
-    while (i < m.size() && (m[i] == ' ' || m[i] == '\t')) ++i;
-    if (m.compare(i, 7, "include") != 0) continue;
-    if (allowed_on_line(allows, "include-hygiene", line)) continue;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kHeaderName) continue;
+    if (allowed_on_line(allows, "include-hygiene", t.line)) continue;
     auto flag = [&](const std::string& msg) {
-      out.push_back({path, line, "include-hygiene", msg});
+      out.push_back({path, t.line, "include-hygiene", msg});
     };
-    if (r.find("\"../") != std::string_view::npos ||
-        r.find("/../") != std::string_view::npos) {
-      flag("parent-relative include — include project headers by their "
-           "src/-relative path");
+    const std::string_view text = t.text;
+    if (text.size() >= 2 && text.front() == '"') {
+      const std::string_view inner = text.substr(1, text.size() - 2);
+      if (detail::starts_with(inner, "../") ||
+          inner.find("/../") != std::string_view::npos) {
+        flag("parent-relative include — include project headers by their "
+             "src/-relative path");
+      }
     }
-    if (r.find("<bits/") != std::string_view::npos) {
+    if (detail::starts_with(text, "<bits/")) {
       flag("<bits/...> is a libstdc++ internal — include the standard header");
     }
     for (const std::string_view dep : kDeprecatedC) {
-      const std::string angled = "<" + std::string(dep) + ">";
-      if (r.find(angled) != std::string_view::npos) {
-        flag("deprecated C header " + angled + " — use <c" +
+      if (text == "<" + std::string(dep) + ">") {
+        flag("deprecated C header " + std::string(text) + " — use <c" +
              std::string(dep.substr(0, dep.size() - 2)) + ">");
       }
     }
@@ -450,23 +445,565 @@ inline std::vector<Finding> check_include_hygiene(
   return out;
 }
 
-/// Runs every rule on one file. `path` must be repo-relative with '/'
-/// separators (e.g. "src/sinr/channel.cpp").
+/// layering (per-file half): an include from src/<a>/ may only name the same
+/// or a lower layer. The cross-file half (cycle detection over the whole
+/// include graph) lives in lint_tree.
+inline std::vector<Finding> check_layering(const std::string& path,
+                                           const std::vector<Token>& toks,
+                                           const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/")) return out;
+  const std::string_view src_dir = detail::src_subdir(path);
+  const int src_layer =
+      src_dir.empty() ? detail::kTopLayer : detail::layer_of(src_dir);
+  if (src_layer == detail::kTopLayer) return out;  // umbrella sees everything
+  if (src_layer < 0) {
+    out.push_back({path, 1, "layering",
+                   "directory src/" + std::string(src_dir) +
+                       "/ is not in the layer order (" +
+                       detail::layer_order_string() +
+                       ") — add it to kLayerOrder in fcrlint_rules.hpp"});
+    return out;
+  }
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kHeaderName) continue;
+    const std::string_view text = t.text;
+    if (text.size() < 2 || text.front() != '"') continue;  // system header
+    const std::string_view inner = text.substr(1, text.size() - 2);
+    if (inner.find("..") != std::string_view::npos) continue;  // hygiene's job
+    std::string_view target_dir;
+    int target_layer;
+    const std::size_t slash = inner.find('/');
+    if (slash == std::string_view::npos) {
+      // A bare name is a same-directory sibling include — always fine —
+      // unless it names the src-root umbrella header.
+      if (inner != "fadingcr.hpp") continue;
+      target_dir = "<src root>";
+      target_layer = detail::kTopLayer;
+    } else {
+      target_dir = inner.substr(0, slash);
+      target_layer = detail::layer_of(target_dir);
+      if (target_layer < 0) continue;  // not a src layer (e.g. local subdir)
+    }
+    if (target_layer <= src_layer) continue;
+    if (allowed_on_line(allows, "layering", t.line)) continue;
+    out.push_back(
+        {path, t.line, "layering",
+         "upward include: src/" + std::string(src_dir) + "/ (layer " +
+             std::to_string(src_layer) + ") must not include '" +
+             std::string(inner) + "' (layer " + std::to_string(target_layer) +
+             ") — the layer order is " + detail::layer_order_string()});
+  }
+  return out;
+}
+
+/// fp-accumulate: floating-point reductions outside the canonical pairwise
+/// path are banned in src/sinr/ and src/sim/. Flags std::accumulate-family
+/// calls and `fp_var += ...` inside loop bodies (the running-sum pattern
+/// whose result depends on evaluation order).
+inline std::vector<Finding> check_fp_accumulate(
+    const std::string& path, const std::vector<Token>& toks,
+    const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  const bool in_scope = (detail::starts_with(path, "src/sinr/") ||
+                         detail::starts_with(path, "src/sim/")) &&
+                        path != "src/sinr/accumulate.hpp";
+  if (!in_scope) return out;
+
+  // Pass 1: names declared with a floating-point type in this file
+  // (`double s`, `float acc[4]`, range-for `double v : xs`, parameters,
+  // and further same-type declarators: `double sx = 0.0, sy = 0.0;`).
+  std::set<std::string, std::less<>> fp_vars;
+  auto is_decl_end = [](const Token& t) {
+    static constexpr std::string_view kDeclEnd[] = {";", "=", ",", ")",
+                                                    "[", "{", ":"};
+    for (const std::string_view e : kDeclEnd) {
+      if (t.punct(e)) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("double") && !toks[i].ident("float")) continue;
+    const std::size_t j = next_sig(toks, i);
+    if (j == npos || toks[j].kind != TokKind::kIdent) continue;
+    const std::size_t k = next_sig(toks, j);
+    if (k == npos || !is_decl_end(toks[k])) continue;
+    fp_vars.insert(toks[j].text);
+    // Walk the rest of the declaration for `, next_name` declarators; a
+    // candidate followed by another identifier means a differently-typed
+    // parameter (`double a, int n`) and ends the walk.
+    int depth = 0;
+    for (std::size_t m = k; m < toks.size(); ++m) {
+      const Token& t = toks[m];
+      if (t.punct("(") || t.punct("[") || t.punct("{")) ++depth;
+      else if (t.punct(")") || t.punct("]") || t.punct("}")) {
+        if (--depth < 0) break;  // end of enclosing parameter list
+      } else if (t.punct(";") && depth == 0) {
+        break;
+      } else if (t.punct(",") && depth == 0) {
+        const std::size_t name = next_sig(toks, m);
+        if (name == npos || toks[name].kind != TokKind::kIdent) break;
+        const std::size_t after = next_sig(toks, name);
+        if (after == npos || !is_decl_end(toks[after])) break;
+        fp_vars.insert(toks[name].text);
+      }
+    }
+  }
+
+  // Pass 2: std accumulate-family calls (order- or precision-unsafe).
+  static constexpr std::string_view kReducers[] = {
+      "accumulate", "reduce", "transform_reduce", "inner_product"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    for (const std::string_view r : kReducers) {
+      if (toks[i].text != r) continue;
+      const std::size_t j = next_sig(toks, i);
+      if (j == npos || !toks[j].punct("(")) continue;
+      if (allowed_on_line(allows, "fp-accumulate", toks[i].line)) continue;
+      out.push_back({path, toks[i].line, "fp-accumulate",
+                     "'std::" + std::string(r) +
+                         "' in SINR/simulation code — sum through "
+                         "fcr::pairwise_sum (src/sinr/accumulate.hpp) so the "
+                         "reduction tree stays fixed and bit-identical"});
+    }
+  }
+
+  // Pass 3: loop-body regions, as [first, last] token-index intervals.
+  std::vector<std::pair<std::size_t, std::size_t>> loops;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("for") && !toks[i].ident("while") &&
+        !toks[i].ident("do")) {
+      continue;
+    }
+    std::size_t body_start;
+    if (toks[i].ident("do")) {
+      body_start = next_sig(toks, i);
+    } else {
+      const std::size_t open = next_sig(toks, i);
+      if (open == npos || !toks[open].punct("(")) continue;
+      const std::size_t close = detail::match_forward(toks, open, "(", ")");
+      if (close == npos) continue;
+      body_start = next_sig(toks, close);
+    }
+    if (body_start == npos) continue;
+    std::size_t body_end;
+    if (toks[body_start].punct("{")) {
+      body_end = detail::match_forward(toks, body_start, "{", "}");
+    } else {
+      // Single-statement body: up to the terminating ';' at paren depth 0.
+      int paren = 0;
+      body_end = npos;
+      for (std::size_t j = body_start; j < toks.size(); ++j) {
+        if (toks[j].punct("(")) ++paren;
+        else if (toks[j].punct(")")) --paren;
+        else if (toks[j].punct(";") && paren == 0) {
+          body_end = j;
+          break;
+        }
+      }
+    }
+    if (body_end == npos) continue;
+    loops.emplace_back(body_start, body_end);
+  }
+
+  // Pass 4: `fp_var += ...` (optionally through a [subscript]) in a loop.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].punct("+=")) continue;
+    const bool in_loop =
+        std::any_of(loops.begin(), loops.end(), [&](const auto& r) {
+          return r.first <= i && i <= r.second;
+        });
+    if (!in_loop) continue;
+    std::size_t lhs = prev_sig(toks, i);
+    if (lhs != npos && toks[lhs].punct("]")) {
+      const std::size_t open = detail::match_backward(toks, lhs, "[", "]");
+      if (open == npos) continue;
+      lhs = prev_sig(toks, open);
+    }
+    if (lhs == npos || toks[lhs].kind != TokKind::kIdent) continue;
+    if (fp_vars.find(toks[lhs].text) == fp_vars.end()) continue;
+    if (allowed_on_line(allows, "fp-accumulate", toks[i].line)) continue;
+    out.push_back({path, toks[i].line, "fp-accumulate",
+                   "raw floating-point reduction '" + toks[lhs].text +
+                       " += ...' in a loop — route the sum through "
+                       "fcr::pairwise_sum (src/sinr/accumulate.hpp) to keep "
+                       "serial/parallel results bit-identical"});
+  }
+  return out;
+}
+
+/// lock-discipline: concurrency primitives in src/ must be the annotated
+/// fcr:: wrappers, and every fcr::Mutex must take part in at least one
+/// thread-safety annotation so Clang's analysis has something to check.
+inline std::vector<Finding> check_lock_discipline(
+    const std::string& path, const std::vector<Token>& toks,
+    const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/")) return out;
+
+  static constexpr std::string_view kStdSync[] = {
+      "mutex",        "timed_mutex",        "recursive_mutex",
+      "shared_mutex", "condition_variable", "condition_variable_any"};
+  static constexpr std::string_view kAnnotationMacros[] = {
+      "FCR_GUARDED_BY",      "FCR_PT_GUARDED_BY", "FCR_REQUIRES",
+      "FCR_ACQUIRE",         "FCR_RELEASE",       "FCR_EXCLUDES",
+      "FCR_ACQUIRED_BEFORE", "FCR_ACQUIRED_AFTER"};
+
+  // Bare std:: primitives declared as variables/members.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    bool is_sync = false;
+    for (const std::string_view s : kStdSync) {
+      if (toks[i].text == s) {
+        is_sync = true;
+        break;
+      }
+    }
+    if (!is_sync) continue;
+    const std::size_t colons = prev_sig(toks, i);
+    if (colons == npos || !toks[colons].punct("::")) continue;
+    const std::size_t ns = prev_sig(toks, colons);
+    if (ns == npos || !toks[ns].ident("std")) continue;
+    const std::size_t name = next_sig(toks, i);
+    if (name == npos || toks[name].kind != TokKind::kIdent) continue;
+    const std::size_t after = next_sig(toks, name);
+    if (after == npos || (!toks[after].punct(";") && !toks[after].punct("{") &&
+                          !toks[after].punct("="))) {
+      continue;
+    }
+    if (allowed_on_line(allows, "lock-discipline", toks[i].line)) continue;
+    out.push_back({path, toks[i].line, "lock-discipline",
+                   "bare std::" + toks[i].text + " '" + toks[name].text +
+                       "' — use fcr::Mutex / fcr::CondVar / fcr::MutexLock "
+                       "from util/thread_annotations.hpp so Clang thread-"
+                       "safety analysis sees the capability"});
+  }
+
+  // fcr::Mutex declarations that no annotation references.
+  std::set<std::string, std::less<>> annotated;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    bool is_macro = false;
+    for (const std::string_view m : kAnnotationMacros) {
+      if (toks[i].text == m) {
+        is_macro = true;
+        break;
+      }
+    }
+    if (!is_macro) continue;
+    const std::size_t open = next_sig(toks, i);
+    if (open == npos || !toks[open].punct("(")) continue;
+    const std::size_t close = detail::match_forward(toks, open, "(", ")");
+    if (close == npos) continue;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (toks[j].kind == TokKind::kIdent) annotated.insert(toks[j].text);
+    }
+  }
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("Mutex")) continue;
+    const std::size_t name = next_sig(toks, i);
+    if (name == npos || toks[name].kind != TokKind::kIdent) continue;
+    const std::size_t after = next_sig(toks, name);
+    if (after == npos || (!toks[after].punct(";") && !toks[after].punct("{") &&
+                          !toks[after].punct("="))) {
+      continue;
+    }
+    if (annotated.count(toks[name].text) != 0) continue;
+    if (allowed_on_line(allows, "lock-discipline", toks[i].line)) continue;
+    out.push_back({path, toks[i].line, "lock-discipline",
+                   "fcr::Mutex '" + toks[name].text +
+                       "' is never referenced by a thread-safety annotation — "
+                       "guard its data with FCR_GUARDED_BY(" + toks[name].text +
+                       ") (or FCR_REQUIRES/FCR_ACQUIRE on the functions that "
+                       "lock it)"});
+  }
+  return out;
+}
+
+/// rng-flow: flags the two replay-breaking Rng plumbing patterns that type
+/// checking cannot catch — copying a stream out of a shared reference
+/// (instead of split()) and capturing an Rng by value in a lambda.
+inline std::vector<Finding> check_rng_flow(const std::string& path,
+                                           const std::vector<Token>& toks,
+                                           const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/") ||
+      detail::starts_with(path, "src/util/rng.")) {
+    return out;
+  }
+
+  // Collect Rng-typed names: values (`Rng x`, `const Rng x = ...`) and
+  // references (`Rng& rng`, `const Rng& rng`). Function names declared as
+  // returning Rng can be over-collected; they cannot appear in the flagged
+  // positions, so the noise is harmless.
+  std::set<std::string, std::less<>> value_vars;
+  std::set<std::string, std::less<>> ref_vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("Rng")) continue;
+    std::size_t j = next_sig(toks, i);
+    if (j == npos) continue;
+    bool is_ref = false;
+    if (toks[j].punct("&")) {
+      is_ref = true;
+      j = next_sig(toks, j);
+      if (j == npos) continue;
+    }
+    if (toks[j].kind != TokKind::kIdent) continue;
+    const std::size_t after = next_sig(toks, j);
+    if (after == npos) continue;
+    static constexpr std::string_view kDeclEnd[] = {";", "=", ",",
+                                                    ")", "{", "("};
+    for (const std::string_view e : kDeclEnd) {
+      if (!toks[after].punct(e)) continue;
+      (is_ref ? ref_vars : value_vars).insert(toks[j].text);
+      break;
+    }
+  }
+
+  // Pattern 1: `<target> = <ref-var>;` or `Rng x(<ref-var>);` — a stream
+  // copied out of a shared reference. The fix is .split(<tag>).
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        ref_vars.find(toks[i].text) == ref_vars.end()) {
+      continue;
+    }
+    const std::size_t after = next_sig(toks, i);
+    const std::size_t before = prev_sig(toks, i);
+    if (after == npos || before == npos) continue;
+    bool copies = false;
+    if (toks[before].punct("=") && toks[after].punct(";")) {
+      // `target = rng;` — but `auto& r = rng;` / `Rng& r = rng;` only bind
+      // a reference; skip when the target is declared as a reference.
+      const std::size_t target = prev_sig(toks, before);
+      if (target != npos && toks[target].kind == TokKind::kIdent) {
+        const std::size_t amp = prev_sig(toks, target);
+        copies = amp == npos || !toks[amp].punct("&");
+      }
+    } else if (toks[before].punct("(") && toks[after].punct(")")) {
+      // `Rng x(rng);` — copy-construction from the shared reference. Bare
+      // calls `f(rng)` pass by reference and stay legal, so require the
+      // Rng-typed declaration shape.
+      const std::size_t name = prev_sig(toks, before);
+      if (name != npos && toks[name].kind == TokKind::kIdent) {
+        const std::size_t type = prev_sig(toks, name);
+        copies = type != npos && toks[type].ident("Rng");
+      }
+    }
+    if (!copies) continue;
+    if (allowed_on_line(allows, "rng-flow", toks[i].line)) continue;
+    out.push_back({path, toks[i].line, "rng-flow",
+                   "copying the shared Rng reference '" + toks[i].text +
+                       "' duplicates its stream — derive an independent "
+                       "child with " + toks[i].text + ".split(<tag>)"});
+  }
+
+  // Pattern 2: an Rng-typed variable captured by value in a lambda.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].punct("[")) continue;
+    const std::size_t before = prev_sig(toks, i);
+    if (before != npos) {
+      const Token& p = toks[before];
+      const bool postfix = p.kind == TokKind::kIdent || p.punct("]") ||
+                           p.punct(")") || p.kind == TokKind::kNumber ||
+                           p.kind == TokKind::kString;
+      const bool keyword = p.ident("return") || p.ident("co_return") ||
+                           p.ident("co_yield") || p.ident("case");
+      if ((postfix && !keyword) || p.punct("[")) continue;  // subscript/attr
+    }
+    const std::size_t close = detail::match_forward(toks, i, "[", "]");
+    if (close == npos) continue;
+    const std::size_t first = next_sig(toks, i);
+    if (first != npos && toks[first].punct("[")) continue;  // [[attribute]]
+    // Split the capture list on top-level commas.
+    std::size_t item_start = i + 1;
+    int depth = 0;
+    for (std::size_t j = i + 1; j <= close; ++j) {
+      const Token& t = toks[j];
+      if (t.punct("(") || t.punct("[") || t.punct("{")) ++depth;
+      else if (t.punct(")") || t.punct("]") || t.punct("}")) {
+        if (j != close) --depth;
+      }
+      if (j != close && !(t.punct(",") && depth == 0)) continue;
+      // Item is toks[item_start, j). A leading '&' makes the whole item a
+      // by-reference capture; otherwise flag an Rng-typed name that IS the
+      // captured value — i.e. the item's last token, covering both the
+      // plain capture [rng] and the bare init-capture copy [r = rng].
+      // [r = rng.split(k)] captures a fresh child, so an Rng name followed
+      // by more expression stays legal.
+      const std::size_t lead = next_sig(toks, item_start - 1);
+      const bool by_ref = lead != npos && lead < j && toks[lead].punct("&");
+      for (std::size_t k = item_start; !by_ref && k < j; ++k) {
+        if (toks[k].kind != TokKind::kIdent ||
+            (value_vars.find(toks[k].text) == value_vars.end() &&
+             ref_vars.find(toks[k].text) == ref_vars.end())) {
+          continue;
+        }
+        if (next_sig(toks, k) != j) continue;  // not the captured value
+        if (!allowed_on_line(allows, "rng-flow", toks[k].line)) {
+          out.push_back(
+              {path, toks[k].line, "rng-flow",
+               "Rng '" + toks[k].text +
+                   "' captured by value in a lambda — the frozen copy "
+                   "replays identical randomness on every call; capture by "
+                   "reference or init-capture a child via " + toks[k].text +
+                   ".split(<tag>)"});
+        }
+        break;
+      }
+      item_start = j + 1;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Shared per-file state so lint_tree lexes each file exactly once.
+struct PreparedFile {
+  std::string path;
+  std::vector<Token> toks;
+  std::vector<Allow> allows;
+  std::vector<Finding> findings;  // allow-syntax findings from parsing
+};
+
+inline PreparedFile prepare(const std::string& path, std::string_view content) {
+  PreparedFile f;
+  f.path = path;
+  f.toks = lex(content);
+  f.allows = parse_allows(f.toks, path, f.findings);
+  return f;
+}
+
+inline std::vector<Finding> run_file_rules(const PreparedFile& f) {
+  std::vector<Finding> out = f.findings;
+  auto append = [&out](std::vector<Finding> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  append(check_determinism(f.path, f.toks, f.allows));
+  append(check_sinr_float(f.path, f.toks, f.allows));
+  append(check_ensure_arg(f.path, f.toks, f.allows));
+  append(check_pragma_once(f.path, f.toks, f.allows));
+  append(check_include_hygiene(f.path, f.toks, f.allows));
+  append(check_layering(f.path, f.toks, f.allows));
+  append(check_fp_accumulate(f.path, f.toks, f.allows));
+  append(check_lock_discipline(f.path, f.toks, f.allows));
+  append(check_rng_flow(f.path, f.toks, f.allows));
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+/// Cross-file half of the layering rule: the src/ include graph must be
+/// acyclic. Quoted includes are resolved src-relatively (bare names resolve
+/// to the including file's directory); each back edge found by the DFS is
+/// one finding at the offending #include.
+inline std::vector<Finding> check_include_cycles(
+    const std::vector<PreparedFile>& files) {
+  struct Edge {
+    std::string target;
+    int line = 1;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  std::map<std::string, const PreparedFile*> by_path;
+  for (const PreparedFile& f : files) {
+    if (!starts_with(f.path, "src/")) continue;
+    by_path[f.path] = &f;
+  }
+  for (const auto& [path, file] : by_path) {
+    std::vector<Edge>& edges = graph[path];
+    for (const Token& t : file->toks) {
+      if (t.kind != TokKind::kHeaderName || t.text.size() < 2 ||
+          t.text.front() != '"') {
+        continue;
+      }
+      const std::string inner = t.text.substr(1, t.text.size() - 2);
+      std::string target;
+      if (inner.find('/') != std::string::npos) {
+        target = "src/" + inner;
+      } else {
+        const std::size_t dir_end = path.rfind('/');
+        target = path.substr(0, dir_end + 1) + inner;
+      }
+      if (by_path.count(target) != 0) edges.push_back({target, t.line});
+    }
+  }
+
+  std::vector<Finding> out;
+  // 0 = white, 1 = on stack, 2 = done.
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  // Recursive DFS via explicit lambda (the graph is tiny: src/ file count).
+  auto dfs = [&](auto&& self, const std::string& node) -> void {
+    color[node] = 1;
+    stack.push_back(node);
+    for (const Edge& e : graph[node]) {
+      const int c = color[e.target];
+      if (c == 1) {
+        // Back edge: the cycle is the stack suffix from e.target onwards.
+        std::string cycle;
+        bool in_cycle = false;
+        for (const std::string& s : stack) {
+          if (s == e.target) in_cycle = true;
+          if (in_cycle) cycle += s + " -> ";
+        }
+        cycle += e.target;
+        const PreparedFile& f = *by_path[node];
+        if (!allowed_on_line(f.allows, "layering", e.line)) {
+          out.push_back({node, e.line, "layering",
+                         "include cycle: " + cycle +
+                             " — break the cycle or move the shared piece "
+                             "into a lower layer"});
+        }
+      } else if (c == 0) {
+        self(self, e.target);
+      }
+    }
+    stack.pop_back();
+    color[node] = 2;
+  };
+  for (const auto& [path, edges] : graph) {
+    (void)edges;
+    if (color[path] == 0) dfs(dfs, path);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Runs every per-file rule on one file. `path` must be repo-relative with
+/// '/' separators (e.g. "src/sinr/channel.cpp").
 inline std::vector<Finding> lint_file(const std::string& path,
                                       std::string_view content) {
+  return detail::run_file_rules(detail::prepare(path, content));
+}
+
+/// Runs the per-file rules on every input plus the cross-file analyses
+/// (include-graph cycles). Findings are sorted by (file, line, rule).
+inline std::vector<Finding> lint_tree(const std::vector<FileInput>& files) {
+  std::vector<detail::PreparedFile> prepared;
+  prepared.reserve(files.size());
+  for (const FileInput& f : files) {
+    prepared.push_back(detail::prepare(f.path, f.content));
+  }
   std::vector<Finding> out;
-  const std::string masked = mask_comments_and_strings(content);
-  const std::vector<Allow> allows = parse_allows(mask_strings(content), path, out);
-  auto append = [&out](std::vector<Finding> f) {
-    out.insert(out.end(), f.begin(), f.end());
-  };
-  append(check_determinism(path, masked, allows));
-  append(check_sinr_float(path, masked, allows));
-  append(check_ensure_arg(path, masked, allows));
-  append(check_pragma_once(path, masked, allows));
-  append(check_include_hygiene(path, masked, content, allows));
+  for (const detail::PreparedFile& f : prepared) {
+    const std::vector<Finding> file_findings = detail::run_file_rules(f);
+    out.insert(out.end(), file_findings.begin(), file_findings.end());
+  }
+  const std::vector<Finding> cycles = detail::check_include_cycles(prepared);
+  out.insert(out.end(), cycles.begin(), cycles.end());
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   });
   return out;
 }

