@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <optional>
 
 #include "core/class_bounds.hpp"
 #include "core/fading_cr.hpp"
@@ -31,17 +32,53 @@ std::vector<std::vector<std::size_t>> record_class_sizes(
   config.max_rounds = max_rounds;
 
   std::vector<std::vector<std::size_t>> history;
+  // One partition persists across the execution and is shrunk by each
+  // round's knockout set — O(total knockouts) grid work over the whole run
+  // instead of an O(n log n) rebuild per round. apply_knockouts is
+  // bit-identical to reconstruction (the constructor is its oracle), so
+  // the recorded history is unchanged. A full rebuild only happens if a
+  // node rejoins (never for this algorithm, but kept as a correct
+  // fallback).
+  std::optional<LinkClassPartition> part;
+  std::vector<char> was_active;
+  std::vector<NodeId> knocked;
   bool done = false;
+
+  const auto rebuild = [&](const RoundView& view) {
+    std::vector<NodeId> active;
+    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+      if (view.nodes[id]->is_contending()) active.push_back(id);
+    }
+    was_active.assign(dep.size(), 0);
+    for (const NodeId id : active) was_active[id] = 1;
+    part.emplace(dep, active);
+  };
+
   run_execution(dep, algo, *channel, config, run_rng,
                 [&](const RoundView& view) {
                   if (done) return;
-                  std::vector<NodeId> active;
-                  for (NodeId id = 0; id < view.nodes.size(); ++id) {
-                    if (view.nodes[id]->is_contending()) active.push_back(id);
+                  if (!part) {
+                    rebuild(view);
+                  } else {
+                    knocked.clear();
+                    bool rejoined = false;
+                    for (NodeId id = 0; id < view.nodes.size(); ++id) {
+                      const bool now = view.nodes[id]->is_contending();
+                      if (was_active[id] && !now) {
+                        knocked.push_back(id);
+                        was_active[id] = 0;
+                      } else if (!was_active[id] && now) {
+                        rejoined = true;
+                      }
+                    }
+                    if (rejoined) {
+                      rebuild(view);
+                    } else {
+                      part->apply_knockouts(knocked);
+                    }
                   }
-                  const LinkClassPartition part(dep, active);
-                  history.push_back(part.sizes());
-                  if (active.size() <= 1) done = true;
+                  history.push_back(part->sizes());
+                  if (part->active_count() <= 1) done = true;
                 });
   return history;
 }

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: warning-clean build, unit tests, static analysis, and
 # every experiment's SHAPE verdict. Exit code 0 iff everything passes.
-# --perf-smoke additionally runs scripts/perf_smoke.sh (resolver benchmarks
-# into BENCH_resolve.json; crash-gated only, timings are informational).
+# --perf-smoke additionally configures a dedicated Release tree (build-perf;
+# perf_smoke.sh refuses non-Release numbers), measures the resolver + trial
+# benchmarks into BENCH_resolve.fresh.json, and regression-gates the
+# machine-independent ratios against the committed BENCH_resolve.json via
+# scripts/perf_compare.py. To publish a new baseline, run perf_smoke.sh
+# against build-perf with the default --out afterwards.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,7 +47,16 @@ done
 
 if [ "$PERF_SMOKE" -eq 1 ]; then
   echo "### perf smoke"
-  if ! scripts/perf_smoke.sh --build-dir build; then
+  PERF_GEN_ARGS=()
+  if [ ! -f build-perf/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+    PERF_GEN_ARGS=(-G Ninja)
+  fi
+  if cmake -B build-perf -S . "${PERF_GEN_ARGS[@]}" -DCMAKE_BUILD_TYPE=Release \
+      && cmake --build build-perf --target bench_micro \
+      && scripts/perf_smoke.sh --build-dir build-perf --out BENCH_resolve.fresh.json \
+      && scripts/perf_compare.py BENCH_resolve.fresh.json BENCH_resolve.json; then
+    :
+  else
     status=1
   fi
 fi

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regression gate for the perf-smoke benchmarks.
+
+Compares a freshly measured google-benchmark JSON against the committed
+BENCH_resolve.json baseline. Absolute timings are machine-dependent (CI
+runners differ run to run), so the gate works on machine-independent
+RATIOS between benchmarks measured in the same process on the same
+machine:
+
+  batch ratio  = BM_BatchResolve/4096   / BM_SinrResolve/4096
+                 (batched resolver vs the reference per-round scan)
+  trial ratio  = BM_TrialWorkspace/256  / BM_FullExecution/256
+                 (incrementally instrumented sweep vs the bare execution)
+
+A ratio growing by more than THRESHOLD (25%) over the baseline means the
+optimised path got slower relative to its in-process reference — a real
+regression, not runner noise. Baselines recorded before a benchmark
+existed simply skip that check with a note, so adding benches never
+breaks the gate retroactively.
+
+Usage: scripts/perf_compare.py FRESH.json BASELINE.json
+Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.25  # fail when fresh_ratio > baseline_ratio * THRESHOLD
+
+RATIOS = [
+    ("batch-resolve", "BM_BatchResolve/4096", "BM_SinrResolve/4096"),
+    ("instrumented-trial", "BM_TrialWorkspace/256", "BM_FullExecution/256"),
+]
+
+
+def load_times(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"perf_compare: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return doc.get("context", {}), times
+
+
+def ratio(times, num, den):
+    """Ratio num/den, or None if either benchmark is absent."""
+    if num not in times or den not in times:
+        return None
+    return times[num] / times[den]
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fresh_ctx, fresh = load_times(argv[1])
+    _, base = load_times(argv[2])
+
+    build_type = fresh_ctx.get("fcr_build_type", "unknown")
+    if build_type != "Release":
+        print(f"perf_compare: fresh run was built as '{build_type}', not "
+              "Release — timings are not comparable", file=sys.stderr)
+        return 2
+
+    failed = False
+    for label, num, den in RATIOS:
+        fresh_r = ratio(fresh, num, den)
+        if fresh_r is None:
+            print(f"perf_compare: FAIL [{label}]: fresh run is missing "
+                  f"{num} or {den}", file=sys.stderr)
+            failed = True
+            continue
+        base_r = ratio(base, num, den)
+        if base_r is None:
+            print(f"perf_compare: skip [{label}]: baseline predates "
+                  f"{num}/{den}; fresh ratio = {fresh_r:.4f}")
+            continue
+        verdict = "FAIL" if fresh_r > base_r * THRESHOLD else "ok"
+        print(f"perf_compare: {verdict} [{label}]: {num} / {den} = "
+              f"{fresh_r:.4f} (baseline {base_r:.4f}, "
+              f"limit {base_r * THRESHOLD:.4f})")
+        if verdict == "FAIL":
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Perf smoke: run the SINR resolver micro-benchmarks and record the raw
-# google-benchmark output in BENCH_resolve.json.
+# Perf smoke: run the resolver + trial-engine micro-benchmarks and record
+# the raw google-benchmark output in BENCH_resolve.json.
 #
-# GATING: this script fails only when the benchmark binary is missing or
-# CRASHES. Timings are machine-dependent, so the batch-vs-scan speedup is
-# reported for humans (and archived as a CI artifact) but never turned
-# into a pass/fail threshold here — the >= 2x acceptance claim is checked
-# on the reference container, not on whatever machine runs CI today.
+# RELEASE GATE: bench_micro stamps the CMake build type into the benchmark
+# context (context.fcr_build_type, see bench/CMakeLists.txt). The committed
+# BENCH_resolve.json is the reference other changes are compared against,
+# so this script REFUSES to write it from anything but a Release build —
+# a debug/RelWithDebInfo run once slipped into the baseline and made every
+# later comparison meaningless. (The benchmark library's own
+# library_build_type records how *libbenchmark* was compiled, not us.)
+#
+# TIMING GATE: absolute timings are machine-dependent and stay
+# informational here; CI regression-gates on machine-independent RATIOS
+# via scripts/perf_compare.py instead.
 #
 # Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE]
 set -euo pipefail
@@ -28,12 +34,33 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
+TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "$TMP"' EXIT
+
 "$BIN" \
-  --benchmark_filter='BM_SinrResolve/|BM_BatchResolve' \
-  --benchmark_out="$OUT" \
+  --benchmark_filter='BM_SinrResolve/|BM_BatchResolve/|BM_FullExecution/|BM_Trial' \
+  --benchmark_out="$TMP" \
   --benchmark_out_format=json
 
-# Non-gating speedup report: batch vs reference scan at each common n.
+# Refuse to publish non-Release numbers.
+BUILD_TYPE="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["context"].get("fcr_build_type", "unknown"))
+' "$TMP")"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "perf_smoke: REFUSING to write $OUT: bench_micro was built as" \
+       "'$BUILD_TYPE', not Release. Configure a Release tree, e.g.:" >&2
+  echo "  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release &&" \
+       "cmake --build build-perf --target bench_micro &&" \
+       "scripts/perf_smoke.sh --build-dir build-perf" >&2
+  exit 1
+fi
+
+mv "$TMP" "$OUT"
+trap - EXIT
+
+# Non-gating speedup report: batch vs reference scan per n, plus the
+# incremental-instrumentation gain on the trial benches.
 python3 - "$OUT" <<'EOF' || true
 import json, sys
 runs = {b["name"]: b["real_time"] for b in json.load(open(sys.argv[1]))["benchmarks"]}
@@ -45,6 +72,12 @@ for name, t in sorted(runs.items()):
     if batch:
         print(f"perf_smoke: n={n}: scan {t/1e6:.3f} ms, batch {batch/1e6:.3f} ms, "
               f"speedup {t/batch:.2f}x")
+rebuild = runs.get("BM_TrialInstrumentedRebuild/256")
+incr = runs.get("BM_TrialWorkspace/256")
+if rebuild and incr:
+    print(f"perf_smoke: instrumented trial n=256: per-round rebuild "
+          f"{rebuild/1e6:.3f} ms, incremental {incr/1e6:.3f} ms, "
+          f"speedup {rebuild/incr:.2f}x")
 EOF
 
-echo "perf_smoke: wrote $OUT"
+echo "perf_smoke: wrote $OUT (fcr_build_type=$BUILD_TYPE)"

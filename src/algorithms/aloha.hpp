@@ -24,6 +24,9 @@ class SlottedAloha final : public Algorithm {
 
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }

@@ -22,6 +22,9 @@ class NoKnockoutControl final : public Algorithm {
 
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
 
   double broadcast_probability() const { return p_; }
 

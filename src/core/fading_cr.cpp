@@ -1,5 +1,6 @@
 #include "core/fading_cr.hpp"
 
+#include <new>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -32,6 +33,16 @@ std::string FadingContentionResolution::name() const {
 std::unique_ptr<NodeProtocol> FadingContentionResolution::make_node(
     NodeId /*id*/, Rng rng) const {
   return std::make_unique<FadingNode>(p_, rng);
+}
+
+NodeLayout FadingContentionResolution::node_layout() const {
+  return {sizeof(FadingNode), alignof(FadingNode)};
+}
+
+NodeProtocol* FadingContentionResolution::construct_node_at(void* storage,
+                                                            NodeId /*id*/,
+                                                            Rng rng) const {
+  return ::new (storage) FadingNode(p_, rng);
 }
 
 }  // namespace fcr

@@ -49,6 +49,12 @@ class FadingContentionResolution final : public Algorithm {
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
 
+  /// FadingNode supports slab placement: the workspace engine constructs
+  /// nodes in-place so steady-state trials never touch the heap.
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
+
   double broadcast_probability() const { return p_; }
 
  private:

@@ -19,10 +19,15 @@ GoodNodeAnalyzer::GoodNodeAnalyzer(const Deployment& dep,
       params_(params),
       active_(std::move(active)),
       partition_(dep, active_),
-      grid_(dep.positions(), active_),
       unit_(dep.size() >= 2 ? dep.min_link() : 1.0) {
   FCR_ENSURE_ARG(params_.alpha > 2.0,
                  "good-node analysis requires alpha > 2, got " << params_.alpha);
+}
+
+void GoodNodeAnalyzer::apply_knockouts(std::span<const NodeId> knocked) {
+  partition_.apply_knockouts(knocked);
+  // Keep the analyzer's own active list in sync (same stable order).
+  active_ = partition_.active();
 }
 
 AnnulusProfile GoodNodeAnalyzer::profile(NodeId u) const {
@@ -42,7 +47,8 @@ AnnulusProfile GoodNodeAnalyzer::profile(NodeId u) const {
     const double inner = std::ldexp(base, static_cast<int>(t));
     if (inner > reach) break;
     const double outer = 2.0 * inner;
-    const std::size_t count = grid_.count_in_annulus(pos, inner, outer, u);
+    const std::size_t count =
+        partition_.grid().count_in_annulus(pos, inner, outer, u);
     const double limit = params_.annulus_limit(t);
     out.counts.push_back(count);
     out.limits.push_back(limit);
@@ -149,7 +155,9 @@ std::vector<NodeId> GoodNodeAnalyzer::well_spaced_subset(std::size_t i,
 }
 
 NodeId GoodNodeAnalyzer::partner(NodeId u) const {
-  const auto nn = grid_.nearest(dep_->position(u), u);
+  FCR_ENSURE_ARG(active_.size() >= 2,
+                 "partner undefined: fewer than two active nodes");
+  const auto nn = partition_.grid().nearest(dep_->position(u), u);
   FCR_ENSURE_ARG(nn.has_value(), "partner undefined: fewer than two active nodes");
   return nn->id;
 }

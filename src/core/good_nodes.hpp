@@ -49,11 +49,20 @@ struct AnnulusProfile {
 };
 
 /// Analyzer over one round's active set. Construct once per snapshot; all
-/// queries are const.
+/// queries are const. Alternatively keep one analyzer alive across rounds
+/// and shrink it with apply_knockouts — every query then answers exactly
+/// as a freshly constructed analyzer over the surviving set would (the
+/// annulus counts and partner choices are pure functions of the active
+/// SET, and the shared partition/grid state is bit-identical to a fresh
+/// build; see LinkClassPartition).
 class GoodNodeAnalyzer {
  public:
   GoodNodeAnalyzer(const Deployment& dep, std::vector<NodeId> active,
                    GoodNodeParams params = {});
+
+  /// Removes `knocked` (currently active, no duplicates) from the active
+  /// set — the incremental counterpart of reconstructing the analyzer.
+  void apply_knockouts(std::span<const NodeId> knocked);
 
   const LinkClassPartition& classes() const { return partition_; }
   const GoodNodeParams& params() const { return params_; }
@@ -88,17 +97,18 @@ class GoodNodeAnalyzer {
   /// > (s+1) * 2^i (distances in units of the shortest link).
   std::vector<NodeId> well_spaced_subset(std::size_t i, double s) const;
 
-  /// Partner of u: its closest active node (ties broken by id order of the
-  /// grid scan). Requires at least two active nodes.
+  /// Partner of u: its closest active node (exact-distance ties broken
+  /// toward the smallest id). Requires at least two active nodes.
   NodeId partner(NodeId u) const;
 
  private:
   const Deployment* dep_;
   GoodNodeParams params_;
   std::vector<NodeId> active_;
+  // Owns the spatial grid over the active set too (partition_.grid()) —
+  // one incrementally maintained index serves both layers.
   LinkClassPartition partition_;
-  SpatialGrid grid_;  ///< over active nodes
-  double unit_;       ///< shortest global link (normalization unit)
+  double unit_;  ///< shortest global link (normalization unit)
 };
 
 }  // namespace fcr

@@ -15,11 +15,13 @@ constexpr std::int32_t kInactiveMark = -2;
 
 LinkClassPartition::LinkClassPartition(const Deployment& dep,
                                        std::span<const NodeId> active)
-    : active_(active.begin(), active.end()),
+    : dep_(&dep),
+      unit_(dep.size() >= 2 ? dep.min_link() : 1.0),
+      active_(active.begin(), active.end()),
       class_of_(dep.size(), kInactiveMark),
-      nearest_(dep.size(), 0.0) {
-  const double unit = dep.size() >= 2 ? dep.min_link() : 1.0;
-  FCR_CHECK(unit > 0.0);
+      nearest_(dep.size(), 0.0),
+      witness_(dep.size(), kInvalidNode) {
+  FCR_CHECK(unit_ > 0.0);
 
   // Bucket count: distances lie in [unit, unit * R], so indices lie in
   // [0, floor(log2 R)]; allocate them all so empty classes are addressable.
@@ -35,20 +37,92 @@ LinkClassPartition::LinkClassPartition(const Deployment& dep,
 
   if (active_.size() < 2) return;
 
-  const SpatialGrid grid(dep.positions(), active_);
+  grid_.emplace(dep.positions(), active_);
+  grid_build_size_ = active_.size();
   for (const NodeId id : active_) {
-    const auto nn = grid.nearest(dep.position(id), id);
-    FCR_CHECK(nn.has_value());
-    const double d = nn->distance / unit;
-    nearest_[id] = d;
-    // d >= 1 up to floating-point rounding of the normalization; clamp the
-    // log at 0 so boundary nodes land in class 0 rather than class -1.
-    const double log_d = std::max(0.0, std::log2(d));
-    auto idx = static_cast<std::size_t>(log_d);
-    idx = std::min(idx, classes_.size() - 1);
-    class_of_[id] = static_cast<std::int32_t>(idx);
-    classes_[idx].push_back(id);
+    classify(id);
+    classes_[static_cast<std::size_t>(class_of_[id])].push_back(id);
   }
+}
+
+void LinkClassPartition::classify(NodeId id) {
+  const auto nn = grid_->nearest(dep_->position(id), id);
+  FCR_CHECK(nn.has_value());
+  const double d = nn->distance / unit_;
+  nearest_[id] = d;
+  witness_[id] = nn->id;
+  // d >= 1 up to floating-point rounding of the normalization; clamp the
+  // log at 0 so boundary nodes land in class 0 rather than class -1.
+  const double log_d = std::max(0.0, std::log2(d));
+  auto idx = static_cast<std::size_t>(log_d);
+  idx = std::min(idx, classes_.size() - 1);
+  class_of_[id] = static_cast<std::int32_t>(idx);
+}
+
+void LinkClassPartition::apply_knockouts(std::span<const NodeId> knocked) {
+  if (knocked.empty()) return;
+
+  // Mark + unindex the knocked nodes first so the nearest-neighbor queries
+  // below already see the shrunken set.
+  for (const NodeId id : knocked) {
+    FCR_ENSURE_ARG(id < class_of_.size(), "knocked id out of range: " << id);
+    FCR_ENSURE_ARG(class_of_[id] != kInactiveMark,
+                   "knocked node " << id << " is not active (or duplicated)");
+    class_of_[id] = kInactiveMark;
+    nearest_[id] = 0.0;
+    witness_[id] = kInvalidNode;
+    if (grid_) grid_->remove(id, dep_->position(id));
+  }
+  // Stable erase keeps survivors in construction order, which the bucket
+  // rebuild below depends on for oracle bit-identity.
+  std::erase_if(active_,
+                [&](NodeId id) { return class_of_[id] == kInactiveMark; });
+
+  if (active_.size() < 2) {
+    // Matches the oracle's < 2 early-out: no classes, zero distances.
+    for (const NodeId id : active_) {
+      class_of_[id] = kNoLinkClass;
+      nearest_[id] = 0.0;
+      witness_[id] = kInvalidNode;
+    }
+    for (auto& bucket : classes_) bucket.clear();
+    return;
+  }
+
+  // Re-bucket the grid once occupancy halves: its cell size was chosen for
+  // the population it was built over, and on a much sparser set every
+  // nearest() query ring-scans a quadratic number of now-empty cells. A
+  // rebuild re-picks the cell size for the survivors; geometric triggering
+  // keeps total rebuild work O(initial active) per knockout sequence. The
+  // smallest-id tie-break makes every query a pure function of the indexed
+  // set, so re-bucketing cannot change any result.
+  if (active_.size() * 2 <= grid_build_size_) {
+    grid_.emplace(dep_->positions(), active_);
+    grid_build_size_ = active_.size();
+  }
+
+  // A survivor's nearest active neighbor changes only if its recorded
+  // witness was knocked out: the active set only shrank, so any surviving
+  // witness is still at minimum distance — and still the smallest id at
+  // that distance, because every remaining candidate was already a
+  // candidate before. Recomputing exactly the affected survivors therefore
+  // reproduces the from-scratch answer bit for bit.
+  for (const NodeId id : active_) {
+    if (class_of_[witness_[id]] == kInactiveMark) classify(id);
+  }
+
+  // Rebuild buckets in active order — identical contents and order to a
+  // fresh partition over the survivors.
+  for (auto& bucket : classes_) bucket.clear();
+  for (const NodeId id : active_) {
+    classes_[static_cast<std::size_t>(class_of_[id])].push_back(id);
+  }
+}
+
+const SpatialGrid& LinkClassPartition::grid() const {
+  FCR_ENSURE_ARG(grid_.has_value(),
+                 "spatial grid unavailable: fewer than two active nodes");
+  return *grid_;
 }
 
 const std::vector<NodeId>& LinkClassPartition::nodes_in(std::size_t i) const {

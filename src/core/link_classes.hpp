@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -26,11 +27,34 @@ namespace fcr {
 inline constexpr std::int32_t kNoLinkClass = -1;
 
 /// Snapshot of the active set's link-class structure in one round.
+///
+/// Knockouts only ever SHRINK the active set, so the partition supports an
+/// incremental update: apply_knockouts(knocked) produces the state that
+/// LinkClassPartition(dep, active-minus-knocked) would compute — the
+/// from-scratch constructor is the ORACLE and the incremental path is
+/// bit-identical to it (same class indices, same normalized nearest
+/// distances, same bucket contents in the same order). The equality rests
+/// on the grid's smallest-id tie-break: a survivor's nearest active
+/// neighbor can change only when its recorded nearest witness was knocked
+/// out, so one round costs O(knocked + affected survivors) grid work
+/// instead of an O(n log n) rebuild.
 class LinkClassPartition {
  public:
   /// Computes the partition of `active` (ids into `dep`). Each id must be
   /// distinct and valid.
   LinkClassPartition(const Deployment& dep, std::span<const NodeId> active);
+
+  /// Removes `knocked` (each id currently active, no duplicates) from the
+  /// active set and updates every view this class exposes to exactly what
+  /// a fresh partition over the remaining actives would report. Survivor
+  /// order is preserved (stable erase), so bucket contents match the
+  /// oracle's active-order construction.
+  void apply_knockouts(std::span<const NodeId> knocked);
+
+  /// The spatial index over the CURRENT active set (available whenever at
+  /// least two nodes are active). Shared with GoodNodeAnalyzer so the
+  /// annulus machinery reuses this partition's incremental maintenance.
+  const SpatialGrid& grid() const;
 
   /// Number of class buckets (log R buckets exist even if empty).
   std::size_t class_count() const { return classes_.size(); }
@@ -63,11 +87,25 @@ class LinkClassPartition {
   std::vector<std::size_t> sizes() const;
 
  private:
+  void classify(NodeId id);
+
+  const Deployment* dep_;
+  double unit_;
   std::vector<NodeId> active_;
   std::vector<std::vector<NodeId>> classes_;
   // Indexed by NodeId (deployment-sized); kNoLinkClass + -2 for inactive.
   std::vector<std::int32_t> class_of_;
   std::vector<double> nearest_;
+  // Nearest active neighbor of each active node (deployment-sized). A
+  // survivor's nearest can only change when this witness is knocked out,
+  // which is what makes apply_knockouts cheap.
+  std::vector<NodeId> witness_;
+  // Engaged whenever >= 2 nodes are active; maintained by apply_knockouts,
+  // which re-buckets it (fresh cell size) once occupancy halves relative to
+  // the size it was last built for — sparse grids keep their original cell
+  // size otherwise, and nearest() ring scans degrade quadratically.
+  std::optional<SpatialGrid> grid_;
+  std::size_t grid_build_size_ = 0;
 };
 
 }  // namespace fcr

@@ -1,7 +1,5 @@
 #include "core/round_analysis.hpp"
 
-#include <unordered_set>
-
 #include "util/check.hpp"
 
 namespace fcr {
@@ -13,7 +11,8 @@ RoundAnalysisPipeline::RoundAnalysisPipeline(const Deployment& dep,
       good_params_(good_params),
       delta_(delta),
       s_(s),
-      was_contending_(dep.size(), true) {
+      was_contending_(dep.size(), true),
+      knocked_flag_(dep.size(), 0) {
   FCR_ENSURE_ARG(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
   FCR_ENSURE_ARG(s > 0.0, "spacing constant must be positive");
 }
@@ -24,20 +23,42 @@ RoundObserver RoundAnalysisPipeline::observer() {
                   "pipeline sized for " << was_contending_.size()
                                         << " nodes, round has "
                                         << view.nodes.size());
-    // Pre-round active set and this round's knockouts.
-    std::vector<NodeId> pre_active;
-    std::unordered_set<NodeId> knocked;
+    // Pre-round active set, this round's knockouts, and any rejoiners
+    // (a node reporting is_contending after having stopped).
+    pre_active_.clear();
+    knocked_.clear();
+    bool rejoined = false;
     for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      if (!was_contending_[id]) continue;
-      pre_active.push_back(id);
-      if (!view.nodes[id]->is_contending()) knocked.insert(id);
+      const bool now = view.nodes[id]->is_contending();
+      if (was_contending_[id]) {
+        pre_active_.push_back(id);
+        if (!now) {
+          knocked_.push_back(id);
+          knocked_flag_[id] = 1;
+        }
+      } else if (now) {
+        rejoined = true;
+      }
+      was_contending_[id] = now;
     }
-    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      was_contending_[id] = view.nodes[id]->is_contending();
+    if (pre_active_.size() < 2) {
+      // Too small to analyze; the persistent analyzer (if any) no longer
+      // tracks the live set once we skip a round.
+      analyzer_stale_ = true;
+      for (const NodeId id : knocked_) knocked_flag_[id] = 0;
+      return;
     }
-    if (pre_active.size() < 2) return;
 
-    const GoodNodeAnalyzer analyzer(*dep_, pre_active, good_params_);
+    // Incremental path: the analyzer left by the previous round already
+    // describes exactly this round's pre-active set. Rebuild from scratch
+    // only when it cannot (first analyzed round, or non-monotone active
+    // set). Both paths yield bit-identical partitions — the from-scratch
+    // constructor is the oracle apply_knockouts is verified against.
+    if (analyzer_stale_ || !analyzer_) {
+      analyzer_.emplace(*dep_, pre_active_, good_params_);
+      analyzer_stale_ = false;
+    }
+    const GoodNodeAnalyzer& analyzer = *analyzer_;
     const LinkClassPartition& classes = analyzer.classes();
     for (std::size_t i = 0; i < classes.class_count(); ++i) {
       if (classes.size_of(i) == 0) continue;
@@ -53,13 +74,18 @@ RoundObserver RoundAnalysisPipeline::observer() {
       rec.premise = static_cast<double>(rec.n_below) <=
                     delta_ * static_cast<double>(rec.v_i);
       for (const NodeId u : classes.nodes_in(i)) {
-        if (knocked.count(u)) ++rec.knocked_v_i;
+        if (knocked_flag_[u]) ++rec.knocked_v_i;
       }
       for (const NodeId u : subset) {
-        if (knocked.count(u)) ++rec.knocked_s_i;
+        if (knocked_flag_[u]) ++rec.knocked_s_i;
       }
       records_.push_back(rec);
     }
+
+    // Shrink the analyzer to the post-round survivors for the next round.
+    analyzer_->apply_knockouts(knocked_);
+    if (rejoined) analyzer_stale_ = true;
+    for (const NodeId id : knocked_) knocked_flag_[id] = 0;
   };
 }
 

@@ -11,8 +11,16 @@
 // Aggregations quantify the Corollary 7 claim on real executions: rounds
 // where the premise held should knock out a constant fraction of S_i.
 //
-// This is heavyweight instrumentation (O(n log n + knockouts * n) per
-// round); use it on analysis-scale runs, not in benchmark hot loops.
+// The class structure is maintained INCREMENTALLY: one GoodNodeAnalyzer
+// persists across rounds and is shrunk by the round's knockout set
+// (LinkClassPartition::apply_knockouts), so the partition work per round
+// is O(knockouts + affected survivors) instead of an O(n log n) rebuild.
+// If a knocked-out node ever rejoins (an algorithm may oscillate
+// is_contending), the pipeline falls back to a full rebuild — the
+// incremental path only covers monotone shrinkage. The good/well-spaced
+// census per class is still recomputed per round (it is a function of the
+// current set, not an accumulator), so analysis runs remain heavier than
+// bare benchmark loops.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +82,14 @@ class RoundAnalysisPipeline {
   double s_;
   std::vector<bool> was_contending_;
   std::vector<ClassRoundRecord> records_;
+  // Persistent analyzer, shrunk in place each round. `analyzer_stale_`
+  // forces a from-scratch rebuild (first round, rejoin, or a skipped
+  // small round left it out of sync with the live active set).
+  std::optional<GoodNodeAnalyzer> analyzer_;
+  bool analyzer_stale_ = true;
+  std::vector<NodeId> pre_active_;
+  std::vector<NodeId> knocked_;
+  std::vector<char> knocked_flag_;  ///< deployment-sized membership scratch
 };
 
 }  // namespace fcr

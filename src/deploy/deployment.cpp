@@ -1,12 +1,25 @@
 #include "deploy/deployment.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "geom/hull.hpp"
 #include "util/check.hpp"
 
 namespace fcr {
+namespace {
+
+/// Process-wide generation counter; each freshly built position buffer gets
+/// the next value, copies share it. Only the TOKEN is global state — it
+/// never influences any computed result, only cache hits.
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 double min_pairwise_distance(std::span<const Vec2> points) {
   if (points.size() < 2) return 0.0;
@@ -21,28 +34,30 @@ double min_pairwise_distance(std::span<const Vec2> points) {
 }
 
 Deployment::Deployment(std::vector<Vec2> positions)
-    : positions_(std::move(positions)) {
-  FCR_ENSURE_ARG(!positions_.empty(), "deployment must contain at least one node");
-  if (positions_.size() >= 2) {
-    min_link_ = min_pairwise_distance(positions_);
+    : positions_(std::make_shared<const std::vector<Vec2>>(std::move(positions))),
+      generation_(next_generation()) {
+  FCR_ENSURE_ARG(!positions_->empty(),
+                 "deployment must contain at least one node");
+  if (positions_->size() >= 2) {
+    min_link_ = min_pairwise_distance(*positions_);
     FCR_ENSURE_ARG(min_link_ > 0.0,
                    "deployment contains duplicate positions (shortest link 0)");
-    max_link_ = diameter(positions_);
+    max_link_ = diameter(*positions_);
   }
 }
 
 Vec2 Deployment::position(NodeId id) const {
-  FCR_ENSURE_ARG(id < positions_.size(), "node id out of range: " << id);
-  return positions_[id];
+  FCR_ENSURE_ARG(id < positions_->size(), "node id out of range: " << id);
+  return (*positions_)[id];
 }
 
 double Deployment::link_ratio() const {
-  if (positions_.size() < 2) return 1.0;
+  if (positions_->size() < 2) return 1.0;
   return max_link_ / min_link_;
 }
 
 std::size_t Deployment::link_class_count() const {
-  if (positions_.size() < 2) return 1;
+  if (positions_->size() < 2) return 1;
   const double r = link_ratio();
   // Bucket [2^i, 2^{i+1}) for i = 0 .. ceil(log2 R) - 1; R itself lands in
   // bucket floor(log2 R), so we need floor(log2 R) + 1 buckets.
@@ -50,20 +65,20 @@ std::size_t Deployment::link_class_count() const {
 }
 
 bool Deployment::is_normalized(double tol) const {
-  if (positions_.size() < 2) return true;
+  if (positions_->size() < 2) return true;
   return std::abs(min_link_ - 1.0) <= tol;
 }
 
 Deployment Deployment::normalized() const {
-  if (positions_.size() < 2 || min_link_ == 1.0) return *this;
+  if (positions_->size() < 2 || min_link_ == 1.0) return *this;
   return scaled(1.0 / min_link_);
 }
 
 Deployment Deployment::scaled(double factor) const {
   FCR_ENSURE_ARG(factor > 0.0, "scale factor must be positive");
   std::vector<Vec2> scaled_positions;
-  scaled_positions.reserve(positions_.size());
-  for (const Vec2 p : positions_) scaled_positions.push_back(factor * p);
+  scaled_positions.reserve(positions_->size());
+  for (const Vec2 p : *positions_) scaled_positions.push_back(factor * p);
   return Deployment(std::move(scaled_positions));
 }
 

@@ -7,6 +7,8 @@
 // normalization; `link_ratio()` is R.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,15 +18,26 @@
 namespace fcr {
 
 /// Immutable node placement with cached link statistics.
+///
+/// The position buffer is shared (copy-on-never: deployments are immutable),
+/// so copying a Deployment is allocation-free and every copy reports the
+/// same `generation()` token. Workers use that token to cache per-deployment
+/// derived state (channel gain tables, resolver geometry) across trials:
+/// two Deployment objects with equal generation are guaranteed to hold the
+/// SAME position buffer. Rescaling creates a new buffer and a new token.
 class Deployment {
  public:
   /// Requires at least one node and no duplicate positions (a duplicate
   /// would make the shortest link 0 and R undefined).
   explicit Deployment(std::vector<Vec2> positions);
 
-  std::size_t size() const { return positions_.size(); }
-  const std::vector<Vec2>& positions() const { return positions_; }
+  std::size_t size() const { return positions_->size(); }
+  const std::vector<Vec2>& positions() const { return *positions_; }
   Vec2 position(NodeId id) const;
+
+  /// Identity token of the shared position buffer (never 0). Equal tokens
+  /// imply identical positions; distinct buffers always differ.
+  std::uint64_t generation() const { return generation_; }
 
   /// Shortest pairwise distance (0 if fewer than 2 nodes).
   double min_link() const { return min_link_; }
@@ -49,9 +62,10 @@ class Deployment {
   Deployment scaled(double factor) const;
 
  private:
-  std::vector<Vec2> positions_;
+  std::shared_ptr<const std::vector<Vec2>> positions_;
   double min_link_ = 0.0;
   double max_link_ = 0.0;
+  std::uint64_t generation_ = 0;
 };
 
 /// Computes the shortest pairwise distance via a spatial grid (O(n) expected

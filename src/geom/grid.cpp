@@ -44,7 +44,6 @@ void SpatialGrid::build(std::span<const Vec2> points,
   min_cy_ = std::numeric_limits<std::int64_t>::max();
   max_cy_ = std::numeric_limits<std::int64_t>::min();
 
-  cells_.reserve(count_);
   for (const NodeId id : subset) {
     const Vec2 p = points[id];
     const std::int64_t cx = cell_x(p.x);
@@ -53,7 +52,37 @@ void SpatialGrid::build(std::span<const Vec2> points,
     max_cx_ = std::max(max_cx_, cx);
     min_cy_ = std::min(min_cy_, cy);
     max_cy_ = std::max(max_cy_, cy);
-    cells_[pack(cx, cy)].push_back(Entry{id, p});
+  }
+
+  // Dense whenever the rectangle stays proportionate to the population —
+  // always true for the automatic cell sizing above (<= ceil(sqrt(m))+1
+  // cells per axis). A caller-chosen tiny cell over a huge extent falls
+  // back to the hash map rather than allocating the rectangle.
+  dense_ = false;
+  width_ = 0;
+  if (count_ > 0) {
+    const std::int64_t w = max_cx_ - min_cx_ + 1;
+    const std::int64_t h = max_cy_ - min_cy_ + 1;
+    const auto area = static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+    if (area <= 4 * static_cast<std::uint64_t>(count_) + 64) {
+      dense_ = true;
+      width_ = w;
+      dense_cells_.assign(area, {});
+    }
+  }
+
+  if (!dense_) cells_.reserve(count_);
+  for (const NodeId id : subset) {
+    const Vec2 p = points[id];
+    const std::int64_t cx = cell_x(p.x);
+    const std::int64_t cy = cell_y(p.y);
+    if (dense_) {
+      dense_cells_[static_cast<std::size_t>((cy - min_cy_) * width_ +
+                                            (cx - min_cx_))]
+          .push_back(Entry{id, p});
+    } else {
+      cells_[pack(cx, cy)].push_back(Entry{id, p});
+    }
   }
 }
 
@@ -76,14 +105,47 @@ SpatialGrid::CellKey SpatialGrid::key_of(Vec2 p) const {
   return pack(cell_x(p.x), cell_y(p.y));
 }
 
+const std::vector<SpatialGrid::Entry>* SpatialGrid::cell_at(
+    std::int64_t x, std::int64_t y) const {
+  if (x < min_cx_ || x > max_cx_ || y < min_cy_ || y > max_cy_) return nullptr;
+  if (dense_) {
+    const auto& bucket = dense_cells_[static_cast<std::size_t>(
+        (y - min_cy_) * width_ + (x - min_cx_))];
+    return bucket.empty() ? nullptr : &bucket;
+  }
+  const auto it = cells_.find(pack(x, y));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::vector<SpatialGrid::Entry>* SpatialGrid::mutable_cell_at(std::int64_t x,
+                                                              std::int64_t y) {
+  return const_cast<std::vector<Entry>*>(
+      static_cast<const SpatialGrid*>(this)->cell_at(x, y));
+}
+
+bool SpatialGrid::remove(NodeId id, Vec2 pos) {
+  std::vector<Entry>* bucket = mutable_cell_at(cell_x(pos.x), cell_y(pos.y));
+  if (bucket == nullptr) return false;
+  for (std::size_t i = 0; i < bucket->size(); ++i) {
+    if ((*bucket)[i].id != id) continue;
+    (*bucket)[i] = bucket->back();
+    bucket->pop_back();
+    // Dense mode keeps the (now possibly empty) cell slot; the map drops
+    // the bucket so iteration and memory stay proportional to occupancy.
+    if (!dense_ && bucket->empty()) cells_.erase(key_of(pos));
+    --count_;
+    return true;
+  }
+  return false;
+}
+
 template <typename Fn>
 void SpatialGrid::visit_ring(std::int64_t cx, std::int64_t cy, std::int64_t ring,
                              Fn&& fn) const {
   auto visit_cell = [&](std::int64_t x, std::int64_t y) {
-    if (x < min_cx_ || x > max_cx_ || y < min_cy_ || y > max_cy_) return;
-    const auto it = cells_.find(pack(x, y));
-    if (it == cells_.end()) return;
-    for (const Entry& e : it->second) fn(e);
+    const std::vector<Entry>* bucket = cell_at(x, y);
+    if (bucket == nullptr) return;
+    for (const Entry& e : *bucket) fn(e);
   };
 
   if (ring == 0) {
@@ -129,7 +191,11 @@ std::optional<SpatialGrid::Nearest> SpatialGrid::nearest(Vec2 query,
     visit_ring(qx, qy, ring, [&](const Entry& e) {
       if (e.id == exclude) return;
       const double d2 = dist_sq(query, e.pos);
-      if (d2 < best_sq) {
+      // Smallest id wins exact-distance ties: the answer is a function of
+      // the indexed SET, not of bucket order (which remove() perturbs) or
+      // of the cell size (which differs between a fresh grid and one that
+      // shrank incrementally).
+      if (d2 < best_sq || (d2 == best_sq && e.id < best)) {
         best_sq = d2;
         best = e.id;
       }
@@ -155,11 +221,13 @@ void SpatialGrid::visit_disk(Vec2 center, double radius, Fn&& fn) const {
   const std::int64_t y0 = std::max(cell_y(center.y - radius), min_cy_);
   const std::int64_t y1 = std::min(cell_y(center.y + radius), max_cy_);
   const double r_sq = radius * radius;
-  for (std::int64_t x = x0; x <= x1; ++x) {
-    for (std::int64_t y = y0; y <= y1; ++y) {
-      const auto it = cells_.find(pack(x, y));
-      if (it == cells_.end()) continue;
-      for (const Entry& e : it->second) {
+  // y inner: consecutive (x, y) cells are adjacent rows; dense rows make
+  // the x-major sweep a strided walk rather than hash lookups.
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      const std::vector<Entry>* bucket = cell_at(x, y);
+      if (bucket == nullptr) continue;
+      for (const Entry& e : *bucket) {
         if (dist_sq(center, e.pos) <= r_sq) fn(e);
       }
     }

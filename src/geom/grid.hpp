@@ -44,13 +44,24 @@ class SpatialGrid {
   std::size_t size() const { return count_; }
   double cell_size() const { return cell_; }
 
+  /// Removes the entry (id, pos) — `pos` MUST be the position the id was
+  /// indexed under (it selects the cell). O(cell occupancy), i.e. O(1)
+  /// expected: the entry is swap-erased within its cell bucket. Returns
+  /// false when no such entry is indexed. Cached cell bounds are NOT
+  /// shrunk, so queries after removals may scan a slightly larger ring
+  /// range; results are unaffected.
+  bool remove(NodeId id, Vec2 pos);
+
   /// Result of a nearest-neighbor query.
   struct Nearest {
     NodeId id;
     double distance;
   };
 
-  /// Nearest indexed point to `query`, excluding id `exclude`.
+  /// Nearest indexed point to `query`, excluding id `exclude`. Ties on
+  /// distance are broken toward the SMALLEST id, so the winner is a pure
+  /// function of the indexed (id, pos) set — independent of insertion
+  /// order, cell size, and any interleaved remove()s.
   /// Returns nullopt when no other indexed point exists.
   std::optional<Nearest> nearest(Vec2 query, NodeId exclude = kInvalidNode) const;
 
@@ -88,6 +99,9 @@ class SpatialGrid {
   std::int64_t cell_y(double y) const;
   static CellKey pack(std::int64_t cx, std::int64_t cy);
 
+  const std::vector<Entry>* cell_at(std::int64_t x, std::int64_t y) const;
+  std::vector<Entry>* mutable_cell_at(std::int64_t x, std::int64_t y);
+
   /// Visits entries in every cell within Chebyshev cell-ring `ring` of the
   /// query cell; returns number of occupied cells visited.
   template <typename Fn>
@@ -96,6 +110,14 @@ class SpatialGrid {
   template <typename Fn>
   void visit_disk(Vec2 center, double radius, Fn&& fn) const;
 
+  // Storage is dense (row-major over the occupied cell rectangle — pure
+  // index arithmetic per cell visit, rows contiguous) whenever the
+  // rectangle's area is proportionate to the population, which the
+  // automatic cell sizing guarantees. The hash map is the fallback for
+  // caller-chosen cell sizes that oversubdivide the extent.
+  bool dense_ = false;
+  std::int64_t width_ = 0;
+  std::vector<std::vector<Entry>> dense_cells_;
   std::unordered_map<CellKey, std::vector<Entry>> cells_;
   BBox bounds_;
   double cell_ = 1.0;

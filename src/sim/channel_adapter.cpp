@@ -11,7 +11,15 @@ void SinrChannelAdapter::resolve(const Deployment& dep,
   FCR_ENSURE_ARG(out.size() == listeners.size(),
                  "feedback span size mismatch: " << out.size() << " vs "
                                                  << listeners.size());
-  resolver_.resolve(dep, transmitters, listeners, receptions_);
+  // Both branches are bit-identical (tests/test_batch_resolve.cpp and
+  // test_channel_equivalence assert it); the cutover only picks the faster
+  // code path for the round size.
+  if (transmitters.size() < kSmallRoundCutover) {
+    resolver_.channel().resolve(dep, transmitters, listeners, receptions_,
+                                scan_scratch_);
+  } else {
+    resolver_.resolve(dep, transmitters, listeners, receptions_);
+  }
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     Feedback& f = out[i];
     f.transmitted = false;

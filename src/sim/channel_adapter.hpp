@@ -36,12 +36,23 @@ class ChannelAdapter {
 
 /// SINR fading channel adapter (the paper's model). Rounds are resolved by
 /// the exact-mode BatchResolver — bit-identical to SinrChannel::resolve
-/// but reusing scratch across the trial's rounds. The resolver holds
-/// mutable per-round state, so one adapter instance must not resolve
-/// concurrently from several threads; the trial runners create one adapter
-/// per trial, which confines each instance to its worker.
+/// but reusing scratch across the trial's rounds — except for SMALL rounds:
+/// below kSmallRoundCutover transmitters the batch path's multi-pass
+/// structure costs more than it saves (measured ~1.4x slower at n = 64),
+/// so those rounds go through the plain single-pass scan, which makes the
+/// same decisions bit-for-bit. The resolver and scratch are mutable
+/// per-round state, so one adapter instance must not resolve concurrently
+/// from several threads; the trial runners confine each instance to one
+/// worker.
 class SinrChannelAdapter final : public ChannelAdapter {
  public:
+  /// Rounds with fewer transmitters than this use SinrChannel::resolve
+  /// directly instead of the BatchResolver. Chosen from BM_SinrResolve vs
+  /// BM_BatchResolve: the filter starts winning between n = 256 (~85
+  /// transmitters) and n = 1024; both paths produce identical bits, so
+  /// the constant only affects speed.
+  static constexpr std::size_t kSmallRoundCutover = 128;
+
   explicit SinrChannelAdapter(SinrParams params) : resolver_(params) {}
   explicit SinrChannelAdapter(SinrChannel channel)
       : resolver_(std::move(channel)) {}
@@ -57,6 +68,7 @@ class SinrChannelAdapter final : public ChannelAdapter {
  private:
   mutable BatchResolver resolver_;
   mutable std::vector<Reception> receptions_;
+  mutable SinrChannel::ResolveScratch scan_scratch_;
 };
 
 /// Classical radio network adapter; optional collision detection.

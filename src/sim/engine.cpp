@@ -1,91 +1,25 @@
 #include "sim/engine.hpp"
 
-#include "util/check.hpp"
-#include "util/log.hpp"
+#include "sim/workspace.hpp"
+
+// FCRLINT_ALLOW(ensure-arg): argument validation happens in
+// ExecutionWorkspace::run, which every path below forwards to.
 
 namespace fcr {
 
 RunResult run_execution(const Deployment& dep, const Algorithm& algorithm,
                         const ChannelAdapter& channel, const EngineConfig& config,
                         Rng rng, const RoundObserver& observer) {
-  FCR_ENSURE_ARG(config.max_rounds > 0, "max_rounds must be positive");
-  FCR_ENSURE_ARG(!algorithm.requires_collision_detection() ||
-                     channel.provides_collision_detection(),
-                 "algorithm '" << algorithm.name()
-                               << "' needs a collision-detection channel");
-
-  const std::size_t n = dep.size();
-  std::vector<std::unique_ptr<NodeProtocol>> nodes;
-  nodes.reserve(n);
-  for (NodeId id = 0; id < n; ++id) {
-    nodes.push_back(algorithm.make_node(id, rng.split(id)));
-    FCR_CHECK_MSG(nodes.back() != nullptr,
-                  "algorithm '" << algorithm.name() << "' returned null node");
+  // The round loop lives in ExecutionWorkspace::run (sim/workspace.cpp).
+  // Reuse the calling thread's workspace so back-to-back executions stop
+  // paying the allocator; a reentrant call (observer running a nested
+  // execution) gets a stack-local workspace instead.
+  ExecutionWorkspace& ws = ExecutionWorkspace::for_current_thread();
+  if (!ws.busy()) {
+    return ws.run(dep, algorithm, channel, config, rng, observer);
   }
-
-  RunResult result;
-  std::vector<NodeId> transmitters, listeners;
-  std::vector<Feedback> listener_feedback;
-
-  for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
-    transmitters.clear();
-    listeners.clear();
-    for (NodeId id = 0; id < n; ++id) {
-      const Action a = nodes[id]->on_round_begin(round);
-      (a == Action::kTransmit ? transmitters : listeners).push_back(id);
-    }
-
-    listener_feedback.assign(listeners.size(), Feedback{});
-    channel.resolve(dep, transmitters, listeners, listener_feedback);
-
-    std::size_t receptions = 0;
-    for (std::size_t i = 0; i < listeners.size(); ++i) {
-      if (listener_feedback[i].received) ++receptions;
-      nodes[listeners[i]]->on_round_end(listener_feedback[i]);
-    }
-    // Transmitters learn nothing beyond the fact that they transmitted.
-    Feedback tx_feedback;
-    tx_feedback.transmitted = true;
-    for (const NodeId id : transmitters) nodes[id]->on_round_end(tx_feedback);
-
-    const bool solo = transmitters.size() == 1;
-    if (solo && !result.solved) {
-      result.solved = true;
-      result.rounds = round;
-      result.winner = transmitters.front();
-    }
-
-    if (config.record_rounds) {
-      RoundStats stats;
-      stats.round = round;
-      stats.transmitters = transmitters.size();
-      stats.receptions = receptions;
-      for (const auto& node : nodes) {
-        if (node->is_contending()) ++stats.contending;
-      }
-      result.history.push_back(stats);
-    }
-
-    if (observer || config.stop_when) {
-      const RoundView view{round, transmitters, listeners, listener_feedback,
-                           nodes};
-      if (observer) observer(view);
-      if (config.stop_when && config.stop_when(view)) {
-        if (!result.solved) result.rounds = round;
-        return result;
-      }
-    }
-
-    if (result.solved && config.stop_on_solve) return result;
-  }
-
-  if (!result.solved) {
-    result.rounds = config.max_rounds;
-    FCR_DEBUG("execution of '" << algorithm.name() << "' on n=" << n
-                               << " unsolved after " << config.max_rounds
-                               << " rounds");
-  }
-  return result;
+  ExecutionWorkspace local;
+  return local.run(dep, algorithm, channel, config, rng, observer);
 }
 
 }  // namespace fcr

@@ -62,13 +62,17 @@ struct RoundView {
   std::span<const NodeId> listeners;
   std::span<const Feedback> listener_feedback;
   /// Protocol objects indexed by NodeId, for state probes (is_contending).
-  std::span<const std::unique_ptr<NodeProtocol>> nodes;
+  /// Non-owning: the engine's workspace owns the nodes (slab or heap).
+  std::span<NodeProtocol* const> nodes;
 };
 
 /// Observer invoked after every completed round (post feedback delivery).
 using RoundObserver = std::function<void(const RoundView&)>;
 
 /// Runs one execution. `rng` seeds each node's private stream via split().
+/// Runs on the calling thread's ExecutionWorkspace (sim/workspace.hpp), so
+/// repeated executions on one thread reuse node storage and round buffers;
+/// results are bit-identical to a fresh engine.
 RunResult run_execution(const Deployment& dep, const Algorithm& algorithm,
                         const ChannelAdapter& channel, const EngineConfig& config,
                         Rng rng, const RoundObserver& observer = {});

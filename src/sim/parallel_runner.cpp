@@ -1,13 +1,27 @@
 #include "sim/parallel_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "sim/thread_pool.hpp"
+#include "sim/workspace.hpp"
 #include "util/check.hpp"
 
 namespace fcr {
+namespace {
+
+/// Distinct id per run_trials_parallel call. Factories are cached per
+/// worker keyed by (batch, deployment generation); the batch half exists
+/// because two calls can sweep the SAME deployment with DIFFERENT
+/// factories, which generation alone cannot tell apart.
+std::uint64_t next_batch_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
                                    const ChannelFactory& make_channel,
@@ -23,6 +37,7 @@ TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
   threads = std::min<std::size_t>(threads, config.trials);
 
   const Rng master(config.seed);
+  const std::uint64_t batch_id = next_batch_id();
 
   // Per-trial slots, filled independently; order restored afterwards so the
   // aggregate is identical to the serial runner's. Determinism comes from
@@ -38,11 +53,39 @@ TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
     Rng deploy_rng = master.split(2 * t);
     const Rng run_rng = master.split(2 * t + 1);
     const Deployment dep = make_deployment(deploy_rng);
-    const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
-    const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
-    FCR_CHECK(channel != nullptr && algorithm != nullptr);
-    const RunResult r =
-        run_execution(dep, *algorithm, *channel, config.engine, run_rng);
+
+    // Per-worker workspace: node slab, round buffers, and the factory
+    // cache all live for the worker's lifetime. Factories are pure
+    // functions of the deployment (the documented thread-safety contract
+    // of this runner), so two trials of this batch that see the same
+    // position buffer may share the factories' products — on a fixed
+    // deployment the channel and algorithm are built once per worker.
+    ExecutionWorkspace& thread_ws = ExecutionWorkspace::for_current_thread();
+    if (thread_ws.busy()) {
+      // Nested batch (a trial observer launched run_trials_parallel and the
+      // calling thread is pumping): isolate with a stack workspace.
+      const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
+      const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
+      FCR_CHECK(channel != nullptr && algorithm != nullptr);
+      ExecutionWorkspace local;
+      const RunResult r =
+          local.run(dep, *algorithm, *channel, config.engine, run_rng);
+      slots[t].solved = r.solved;
+      slots[t].rounds = r.rounds;
+      return;
+    }
+    ExecutionWorkspace& ws = thread_ws;
+    ExecutionWorkspace::FactoryCache& cache = ws.factory_cache();
+    if (cache.batch != batch_id || cache.generation != dep.generation() ||
+        !cache.channel || !cache.algorithm) {
+      cache.channel = make_channel(dep);
+      cache.algorithm = make_algorithm(dep);
+      cache.batch = batch_id;
+      cache.generation = dep.generation();
+    }
+    FCR_CHECK(cache.channel != nullptr && cache.algorithm != nullptr);
+    const RunResult r = ws.run(dep, *cache.algorithm, *cache.channel,
+                               config.engine, run_rng);
     slots[t].solved = r.solved;
     slots[t].rounds = r.rounds;
   };

@@ -49,6 +49,14 @@ class NodeProtocol {
   virtual bool is_contending() const { return true; }
 };
 
+/// Storage requirements of an algorithm's node type, for slab placement.
+/// size == 0 means "no in-place support" (the engine heap-allocates via
+/// make_node instead).
+struct NodeLayout {
+  std::size_t size = 0;
+  std::size_t align = 0;
+};
+
 /// Factory for a protocol: one Algorithm instance configures a family of
 /// per-node state machines for one execution.
 class Algorithm {
@@ -59,6 +67,25 @@ class Algorithm {
 
   /// Creates the state machine for node `id` with its private random stream.
   virtual std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const = 0;
+
+  /// Storage layout of one node, when the algorithm supports in-place
+  /// construction into an engine-owned slab (see construct_node_at).
+  /// Default: no in-place support ({0, 0}).
+  virtual NodeLayout node_layout() const { return {}; }
+
+  /// Constructs the node for `id` into `storage` (node_layout().size bytes,
+  /// node_layout().align aligned) and returns it. The node MUST behave
+  /// exactly like make_node(id, rng)'s — same decisions from the same rng
+  /// stream; the engine's slab path is bit-identical to the heap path.
+  /// The caller destroys it by virtual ~NodeProtocol. Only called when
+  /// node_layout().size > 0; default aborts.
+  virtual NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                          Rng rng) const {
+    (void)storage;
+    (void)id;
+    (void)rng;
+    return nullptr;
+  }
 
   /// True when the algorithm was constructed with a bound on the network
   /// size (the paper's algorithm needs none; ALOHA/Decay/JS16-style do).

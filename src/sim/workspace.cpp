@@ -1,0 +1,174 @@
+#include "sim/workspace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace fcr {
+
+/// Scope guard: tears down the run's nodes however run() exits, so a
+/// workspace never holds live protocol state between runs.
+struct NodeTeardownGuard {
+  ExecutionWorkspace& ws;
+  ~NodeTeardownGuard() {
+    ws.destroy_nodes();
+    ws.busy_ = false;
+  }
+};
+
+ExecutionWorkspace::~ExecutionWorkspace() { destroy_nodes(); }
+
+ExecutionWorkspace& ExecutionWorkspace::for_current_thread() {
+  thread_local ExecutionWorkspace workspace;
+  return workspace;
+}
+
+void ExecutionWorkspace::prepare_nodes(const Algorithm& algorithm, Rng& rng,
+                                       std::size_t n) {
+  nodes_.clear();
+  heap_nodes_.clear();
+  const NodeLayout layout = algorithm.node_layout();
+  if (layout.size == 0) {
+    // No in-place support: heap fallback, identical to the old engine.
+    heap_nodes_.reserve(n);
+    nodes_.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+      heap_nodes_.push_back(algorithm.make_node(id, rng.split(id)));
+      FCR_CHECK_MSG(heap_nodes_.back() != nullptr,
+                    "algorithm '" << algorithm.name() << "' returned null node");
+      nodes_.push_back(heap_nodes_.back().get());
+    }
+    return;
+  }
+
+  FCR_ENSURE_ARG(layout.align > 0 && (layout.align & (layout.align - 1)) == 0,
+                 "node_layout().align must be a power of two, got "
+                     << layout.align);
+  FCR_ENSURE_ARG(layout.align <= alignof(std::max_align_t),
+                 "over-aligned node types are not supported by the slab: "
+                     << layout.align);
+  const std::size_t stride =
+      (layout.size + layout.align - 1) / layout.align * layout.align;
+  const std::size_t need = stride * n;
+  if (slab_bytes_ < need) {
+    // Geometric growth: a sweep ramping n up reallocates O(log n) times,
+    // then never again. new[] returns max_align_t-aligned storage, which
+    // the align check above guarantees is enough for every stride slot.
+    const std::size_t bytes = std::max(need, slab_bytes_ * 2);
+    slab_ = std::make_unique<std::byte[]>(bytes);
+    slab_bytes_ = bytes;
+  }
+
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    NodeProtocol* node =
+        algorithm.construct_node_at(slab_.get() + stride * id, id, rng.split(id));
+    FCR_CHECK_MSG(node != nullptr,
+                  "algorithm '" << algorithm.name()
+                                << "' publishes a node_layout but "
+                                   "construct_node_at returned null");
+    nodes_.push_back(node);
+    ++constructed_;
+  }
+}
+
+void ExecutionWorkspace::destroy_nodes() {
+  // Reverse construction order, mirroring how a vector of by-value nodes
+  // would unwind. heap_nodes_ owns the fallback path's nodes; exactly one
+  // of the two paths is populated per run.
+  for (std::size_t i = constructed_; i > 0; --i) {
+    nodes_[i - 1]->~NodeProtocol();
+  }
+  constructed_ = 0;
+  heap_nodes_.clear();
+  nodes_.clear();
+}
+
+RunResult ExecutionWorkspace::run(const Deployment& dep,
+                                  const Algorithm& algorithm,
+                                  const ChannelAdapter& channel,
+                                  const EngineConfig& config, Rng rng,
+                                  const RoundObserver& observer) {
+  FCR_ENSURE_ARG(config.max_rounds > 0, "max_rounds must be positive");
+  FCR_ENSURE_ARG(!algorithm.requires_collision_detection() ||
+                     channel.provides_collision_detection(),
+                 "algorithm '" << algorithm.name()
+                               << "' needs a collision-detection channel");
+  FCR_CHECK_MSG(!busy_, "workspace is already running an execution");
+  busy_ = true;
+
+  const std::size_t n = dep.size();
+  const NodeTeardownGuard guard{*this};
+  prepare_nodes(algorithm, rng, n);
+
+  // Worst-case round occupancy up front: every later push_back/assign in
+  // the loop stays within capacity, so a warm workspace runs the whole
+  // execution without touching the allocator.
+  transmitters_.reserve(n);
+  listeners_.reserve(n);
+  listener_feedback_.reserve(n);
+
+  RunResult result;
+  for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
+    transmitters_.clear();
+    listeners_.clear();
+    for (NodeId id = 0; id < n; ++id) {
+      const Action a = nodes_[id]->on_round_begin(round);
+      (a == Action::kTransmit ? transmitters_ : listeners_).push_back(id);
+    }
+
+    listener_feedback_.assign(listeners_.size(), Feedback{});
+    channel.resolve(dep, transmitters_, listeners_, listener_feedback_);
+
+    std::size_t receptions = 0;
+    for (std::size_t i = 0; i < listeners_.size(); ++i) {
+      if (listener_feedback_[i].received) ++receptions;
+      nodes_[listeners_[i]]->on_round_end(listener_feedback_[i]);
+    }
+    // Transmitters learn nothing beyond the fact that they transmitted.
+    Feedback tx_feedback;
+    tx_feedback.transmitted = true;
+    for (const NodeId id : transmitters_) nodes_[id]->on_round_end(tx_feedback);
+
+    const bool solo = transmitters_.size() == 1;
+    if (solo && !result.solved) {
+      result.solved = true;
+      result.rounds = round;
+      result.winner = transmitters_.front();
+    }
+
+    if (config.record_rounds) {
+      RoundStats stats;
+      stats.round = round;
+      stats.transmitters = transmitters_.size();
+      stats.receptions = receptions;
+      for (const NodeProtocol* node : nodes_) {
+        if (node->is_contending()) ++stats.contending;
+      }
+      result.history.push_back(stats);
+    }
+
+    if (observer || config.stop_when) {
+      const RoundView view{round, transmitters_, listeners_,
+                           listener_feedback_, nodes_};
+      if (observer) observer(view);
+      if (config.stop_when && config.stop_when(view)) {
+        if (!result.solved) result.rounds = round;
+        return result;
+      }
+    }
+
+    if (result.solved && config.stop_on_solve) return result;
+  }
+
+  if (!result.solved) {
+    result.rounds = config.max_rounds;
+    FCR_DEBUG("execution of '" << algorithm.name() << "' on n=" << n
+                               << " unsolved after " << config.max_rounds
+                               << " rounds");
+  }
+  return result;
+}
+
+}  // namespace fcr

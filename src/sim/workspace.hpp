@@ -1,0 +1,110 @@
+// ExecutionWorkspace: all per-execution state of the round engine, owned in
+// one reusable object so steady-state trials perform ZERO heap allocations.
+//
+// The engine used to pay the allocator per execution: one unique_ptr per
+// node plus fresh transmitter/listener/feedback vectors. A workspace keeps
+//   * a node SLAB — algorithms that implement Algorithm::node_layout() /
+//     construct_node_at() get their per-node state machines placement-built
+//     into one reused byte buffer (others fall back to make_node and still
+//     work, they just keep allocating);
+//   * the round buffers (transmitters, listeners, listener feedback), which
+//     only ever shrink-to-reuse via clear()/assign();
+//   * a per-worker FACTORY CACHE keyed by (trial batch, deployment
+//     generation): run_trials_parallel's factories are pure functions of
+//     the deployment, so when consecutive trials on a worker see the same
+//     position buffer (Deployment::generation()), the channel adapter — and
+//     with it the BatchResolver's cached gain/geometry scratch — and the
+//     algorithm are rebuilt once per worker instead of once per trial.
+//
+// Reset discipline (checked by fcrlint's workspace-reset rule): every
+// container reused across runs is clear()ed/assign()ed at the start of the
+// scope that refills it; slab nodes are destroyed (reverse order) by a
+// guard as soon as the run ends, so a workspace between runs holds only
+// raw capacity, never live protocol state.
+//
+// One workspace serves one thread at a time (it is mutable scratch, like
+// BatchResolver). for_current_thread() hands out a thread_local instance;
+// a nested run_execution on the same thread transparently falls back to a
+// stack-local workspace (see engine.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "deploy/deployment.hpp"
+#include "sim/channel_adapter.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace fcr {
+
+class ExecutionWorkspace {
+ public:
+  ExecutionWorkspace() = default;
+  ~ExecutionWorkspace();
+
+  ExecutionWorkspace(const ExecutionWorkspace&) = delete;
+  ExecutionWorkspace& operator=(const ExecutionWorkspace&) = delete;
+
+  /// Runs one execution, bit-identical to the historical run_execution()
+  /// for the same arguments: same node construction order and rng.split
+  /// tags, same feedback delivery, same observer views.
+  RunResult run(const Deployment& dep, const Algorithm& algorithm,
+                const ChannelAdapter& channel, const EngineConfig& config,
+                Rng rng, const RoundObserver& observer = {});
+
+  /// True while a run() on this workspace is in progress (used to detect
+  /// reentrant executions, e.g. an observer starting a nested run).
+  bool busy() const { return busy_; }
+
+  /// Factory products cached across the trials one worker executes within
+  /// one run_trials_parallel call. `batch` identifies the call (factories
+  /// may differ between calls even on identical deployments); `generation`
+  /// identifies the deployment's position buffer. Valid only when both
+  /// match and the pointers are non-null.
+  struct FactoryCache {
+    std::uint64_t batch = 0;
+    std::uint64_t generation = 0;
+    std::unique_ptr<ChannelAdapter> channel;
+    std::unique_ptr<Algorithm> algorithm;
+  };
+  FactoryCache& factory_cache() { return cache_; }
+
+  /// The calling thread's workspace (created on first use, reused for the
+  /// thread's lifetime). Pool workers are persistent, so per-worker state
+  /// pinned here amortizes across every batch the worker ever runs.
+  static ExecutionWorkspace& for_current_thread();
+
+ private:
+  friend struct NodeTeardownGuard;
+
+  /// Builds the per-node state machines for this run: placement-new into
+  /// the slab when the algorithm publishes a layout, heap fallback
+  /// otherwise. Either way nodes_[id] is the node for id.
+  void prepare_nodes(const Algorithm& algorithm, Rng& rng, std::size_t n);
+
+  /// Destroys slab nodes in reverse construction order and releases heap
+  /// fallback nodes. Safe on partially constructed state.
+  void destroy_nodes();
+
+  // Node storage. slab_ holds constructed_ live nodes at stride_ spacing;
+  // heap_nodes_ owns the fallback path's nodes. nodes_ is the id-indexed
+  // view over whichever path built this run.
+  std::unique_ptr<std::byte[]> slab_;
+  std::size_t slab_bytes_ = 0;
+  std::size_t constructed_ = 0;
+  std::vector<NodeProtocol*> nodes_;
+  std::vector<std::unique_ptr<NodeProtocol>> heap_nodes_;
+
+  // Round buffers, reused across rounds and runs.
+  std::vector<NodeId> transmitters_;
+  std::vector<NodeId> listeners_;
+  std::vector<Feedback> listener_feedback_;
+
+  FactoryCache cache_;
+  bool busy_ = false;
+};
+
+}  // namespace fcr

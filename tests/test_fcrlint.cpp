@@ -638,6 +638,63 @@ TEST(FcrlintRngFlow, ScopeAndAllow) {
 
 // -------------------------------------------------------------------- SARIF
 
+// ----------------------------------------------------------- workspace-reset
+
+TEST(FcrlintWorkspaceReset, FlagsAppendOnlyMemberOncePerMember) {
+  const std::string src =
+      "void ExecutionWorkspace::f() {\n"
+      "  stale_.push_back(1);\n"
+      "  stale_.push_back(2);\n"
+      "  other_.emplace_back();\n"
+      "}\n";
+  const auto findings = lint_file("src/sim/workspace.cpp", src);
+  EXPECT_EQ(count_rule(findings, "workspace-reset"), 2);  // stale_, other_
+  EXPECT_EQ(lines_of(findings, "workspace-reset"), (std::vector<int>{2, 4}));
+}
+
+TEST(FcrlintWorkspaceReset, ResetAnywhereInFileSuppresses) {
+  const std::string src =
+      "void ExecutionWorkspace::f() {\n"
+      "  a_.push_back(1);\n"
+      "  a_.clear();\n"
+      "  b_.emplace_back();\n"
+      "  b_.assign(3, 0);\n"
+      "  c_.push_back(1);\n"
+      "  c_.resize(0);\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/workspace.cpp", src),
+                       "workspace-reset"),
+            0);
+}
+
+TEST(FcrlintWorkspaceReset, LocalsAndOtherFilesAreOutOfScope) {
+  const std::string src =
+      "void f() {\n"
+      "  std::vector<int> local;\n"
+      "  local.push_back(1);\n"       // no trailing underscore: local
+      "  member_.push_back(1);\n"
+      "}\n";
+  // Locals never flag; the member flags only under src/sim/workspace.*.
+  EXPECT_EQ(count_rule(lint_file("src/sim/engine.cpp", src),
+                       "workspace-reset"),
+            0);
+  const auto findings = lint_file("src/sim/workspace.cpp", src);
+  EXPECT_EQ(count_rule(findings, "workspace-reset"), 1);
+  EXPECT_EQ(lines_of(findings, "workspace-reset"), (std::vector<int>{4}));
+}
+
+TEST(FcrlintWorkspaceReset, AllowAnnotationSuppresses) {
+  const std::string src =
+      "void ExecutionWorkspace::f() {\n"
+      "  // FCRLINT_ALLOW(workspace-reset): accumulates across runs by "
+      "design\n"
+      "  log_.push_back(1);\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/workspace.hpp", src),
+                       "workspace-reset"),
+            0);
+}
+
 TEST(FcrlintSarif, EmitsSchemaVersionRulesAndLocations) {
   const std::vector<Finding> findings = {
       {"src/sinr/x.cpp", 7, "sinr-float", "no \"float\" here"},
@@ -647,7 +704,7 @@ TEST(FcrlintSarif, EmitsSchemaVersionRulesAndLocations) {
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
   EXPECT_NE(sarif.find("\"name\": \"fcrlint\""), std::string::npos);
-  // All ten rules are in the driver catalogue.
+  // Every catalogued rule is in the SARIF rules array.
   for (const fcrlint::RuleMeta& r : fcrlint::kRules) {
     EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.id) + "\""),
               std::string::npos);
@@ -745,6 +802,15 @@ TEST(FcrlintFixtures, BadAllowFixture) {
   EXPECT_EQ(count_rule(findings, "allow-syntax"), 4);
   // The one well-formed annotation suppresses ensure-arg for the file.
   EXPECT_EQ(count_rule(findings, "ensure-arg"), 0);
+}
+
+TEST(FcrlintFixtures, BadWorkspaceResetFixture) {
+  const auto findings = lint_file("src/sim/workspace.cpp",
+                                  read_fixture("bad_workspace_reset.cpp.txt"));
+  // Exactly one: stale_ (appended twice, reported once). transmitters_ and
+  // feedback_ are reset, local has no member suffix, log_ carries an allow.
+  EXPECT_EQ(count_rule(findings, "workspace-reset"), 1);
+  EXPECT_EQ(lines_of(findings, "workspace-reset"), (std::vector<int>{16}));
 }
 
 TEST(FcrlintFixtures, CleanFixtureHasNoFindings) {

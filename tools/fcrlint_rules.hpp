@@ -92,7 +92,7 @@ struct RuleMeta {
   std::string_view summary;
 };
 
-inline constexpr std::array<RuleMeta, 10> kRules = {{
+inline constexpr std::array<RuleMeta, 11> kRules = {{
     {"determinism",
      "entropy and wall-clock sources are banned in src/ (outside "
      "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
@@ -126,6 +126,11 @@ inline constexpr std::array<RuleMeta, 10> kRules = {{
      "fcr::Rng streams must not be copied out of references (use split()) "
      "or captured by value in lambdas; both duplicate randomness and break "
      "replay"},
+    {"workspace-reset",
+     "member containers of src/sim/workspace.* that are appended to must "
+     "also be reset (clear/assign/resize) somewhere in the same file — the "
+     "workspace is reused across executions, so an append-only member "
+     "leaks one run's state into the next"},
 }};
 
 inline bool is_known_rule(std::string_view rule) {
@@ -856,6 +861,61 @@ inline std::vector<Finding> check_rng_flow(const std::string& path,
   return out;
 }
 
+/// workspace-reset: the ExecutionWorkspace survives across executions, so
+/// every MEMBER container (trailing-underscore names, per the style guide)
+/// that gets appended to must be reset — clear()/assign()/resize() — some-
+/// where in the same file. An append-only member would carry one run's
+/// contents into the next and surface as a nondeterministic extra-node bug.
+/// Locals and parameters (no trailing underscore) are out of scope: they
+/// are born empty. Suppress a deliberate accumulator with
+/// FCRLINT_ALLOW(workspace-reset): <reason>.
+inline std::vector<Finding> check_workspace_reset(
+    const std::string& path, const std::vector<Token>& toks,
+    const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (path.find("src/sim/workspace.") == std::string::npos) return out;
+
+  struct Append {
+    std::string name;
+    int line;
+  };
+  std::vector<Append> appends;
+  std::set<std::string, std::less<>> resets;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].punct(".")) continue;
+    const std::size_t obj = prev_sig(toks, i);
+    const std::size_t method = next_sig(toks, i);
+    if (obj == npos || method == npos) continue;
+    if (toks[obj].kind != TokKind::kIdent ||
+        toks[method].kind != TokKind::kIdent) {
+      continue;
+    }
+    if (toks[obj].text.empty() || toks[obj].text.back() != '_') continue;
+    const std::size_t call = next_sig(toks, method);
+    if (call == npos || !toks[call].punct("(")) continue;
+    if (toks[method].ident("push_back") || toks[method].ident("emplace_back")) {
+      appends.push_back({std::string(toks[obj].text), toks[method].line});
+    } else if (toks[method].ident("clear") || toks[method].ident("assign") ||
+               toks[method].ident("resize")) {
+      resets.insert(std::string(toks[obj].text));
+    }
+  }
+
+  std::set<std::string, std::less<>> reported;
+  for (const Append& a : appends) {
+    if (resets.find(a.name) != resets.end()) continue;
+    if (!reported.insert(a.name).second) continue;  // one finding per member
+    if (allowed_on_line(allows, "workspace-reset", a.line)) continue;
+    out.push_back({path, a.line, "workspace-reset",
+                   "member container '" + a.name +
+                       "' is appended to but never clear()ed/assign()ed/"
+                       "resize()d in this file — the workspace is reused "
+                       "across executions, so stale elements survive into "
+                       "the next run"});
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Drivers.
 // ---------------------------------------------------------------------------
@@ -892,6 +952,7 @@ inline std::vector<Finding> run_file_rules(const PreparedFile& f) {
   append(check_fp_accumulate(f.path, f.toks, f.allows));
   append(check_lock_discipline(f.path, f.toks, f.allows));
   append(check_rng_flow(f.path, f.toks, f.allows));
+  append(check_workspace_reset(f.path, f.toks, f.allows));
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     if (a.rule != b.rule) return a.rule < b.rule;
