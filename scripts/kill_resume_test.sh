@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Kill-and-resume integration test at the CLI level: start an fcrsim
+# campaign with per-trial checkpointing, SIGKILL it mid-flight (no shutdown
+# path runs), resume from the orphaned checkpoint, and require the resumed
+# per-trial CSV to be BIT-IDENTICAL to an uninterrupted run of the same
+# campaign. Complements the in-process fork test in tests/test_campaign.cpp
+# by exercising the real binary, the real files, and the real flags.
+#
+# Usage: scripts/kill_resume_test.sh [--build-dir <dir>]
+set -u -o pipefail
+
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+FCRSIM="$BUILD_DIR/tools/fcrsim"
+if [[ ! -x "$FCRSIM" ]]; then
+  echo "kill_resume_test: $FCRSIM not built (cmake --build $BUILD_DIR --target fcrsim)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/fcr_killresume.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Big enough that the run takes a visible amount of wall time on any
+# machine; checkpoint after every trial so the kill always lands between
+# two snapshots with work behind it.
+ARGS=(--n 384 --trials 48 --seed 7 --max-rounds 200000)
+CKPT="$WORK/campaign.ckpt"
+
+echo "[1/3] reference run (uninterrupted)"
+"$FCRSIM" "${ARGS[@]}" --csv "$WORK/reference.csv" > "$WORK/reference.log" \
+  || { echo "reference run failed"; cat "$WORK/reference.log"; exit 1; }
+
+echo "[2/3] campaign run, SIGKILL mid-flight"
+"$FCRSIM" "${ARGS[@]}" --checkpoint "$CKPT" --checkpoint-every 1 \
+  > "$WORK/victim.log" 2>&1 &
+VICTIM=$!
+# Wait for the first snapshot, then kill hard. If the run beats us to the
+# finish the test still validates resume-from-complete below.
+KILLED=0
+for _ in $(seq 1 500); do
+  if ! kill -0 "$VICTIM" 2> /dev/null; then
+    break  # already finished
+  fi
+  if [[ -s "$CKPT" ]]; then
+    kill -KILL "$VICTIM" 2> /dev/null && KILLED=1
+    break
+  fi
+  sleep 0.01
+done
+wait "$VICTIM" 2> /dev/null
+if [[ "$KILLED" == 1 ]]; then
+  echo "  killed pid $VICTIM with a checkpoint on disk"
+else
+  echo "  campaign finished before the kill (fast machine) — resume still checked"
+fi
+if [[ ! -s "$CKPT" ]]; then
+  echo "no checkpoint was written before the campaign ended"; exit 1
+fi
+
+echo "[3/3] resume and compare"
+"$FCRSIM" "${ARGS[@]}" --checkpoint "$CKPT" --checkpoint-every 1 --resume \
+  --csv "$WORK/resumed.csv" > "$WORK/resumed.log" \
+  || { echo "resume run failed"; cat "$WORK/resumed.log"; exit 1; }
+
+grep -q "resumed:" "$WORK/resumed.log" \
+  || { echo "resume did not restore any trials:"; cat "$WORK/resumed.log"; exit 1; }
+
+if ! cmp -s "$WORK/reference.csv" "$WORK/resumed.csv"; then
+  echo "FAIL: resumed per-trial CSV differs from the uninterrupted run"
+  diff "$WORK/reference.csv" "$WORK/resumed.csv" | head -20
+  exit 1
+fi
+
+echo "PASS: resumed output is bit-identical to the uninterrupted run"
+echo "      ($(grep -c . "$WORK/reference.csv") CSV lines compared, $(grep 'resumed:' "$WORK/resumed.log"))"

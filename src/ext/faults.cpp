@@ -70,6 +70,80 @@ std::string LossyChannelAdapter::name() const {
   return os.str();
 }
 
+JammingChannelAdapter::JammingChannelAdapter(
+    std::unique_ptr<ChannelAdapter> inner, const JammingSchedule& schedule,
+    Rng rng)
+    : inner_(std::move(inner)),
+      sched_(schedule),
+      rng_(rng),
+      budget_left_(schedule.budget) {
+  FCR_ENSURE_ARG(inner_ != nullptr, "inner channel must be set");
+  FCR_ENSURE_ARG(sched_.burst >= 1, "burst length must be at least 1");
+  FCR_ENSURE_ARG(sched_.min_gap >= 1,
+                 "min_gap must be at least 1 (bursts are separated)");
+  FCR_ENSURE_ARG(sched_.min_gap <= sched_.max_gap,
+                 "min_gap " << sched_.min_gap << " exceeds max_gap "
+                            << sched_.max_gap);
+  // The adversary waits out one gap before its first burst, so round 1 is
+  // never jammed for free and a zero-budget jammer is a clean control.
+  gap_left_ = next_gap();
+}
+
+std::uint64_t JammingChannelAdapter::next_gap() const {
+  if (sched_.min_gap == sched_.max_gap) return sched_.min_gap;
+  return static_cast<std::uint64_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(sched_.min_gap),
+                       static_cast<std::int64_t>(sched_.max_gap)));
+}
+
+bool JammingChannelAdapter::jam_this_round() const {
+  if (burst_left_ > 0) {
+    --burst_left_;
+    return true;
+  }
+  if (budget_left_ == 0) return false;
+  if (gap_left_ > 0) {
+    --gap_left_;
+    return false;
+  }
+  // Gap expired: open a new burst (truncated to the remaining budget) and
+  // pre-draw the following gap so the rng stream position depends only on
+  // the number of bursts started, not on listener counts.
+  burst_left_ = std::min(sched_.burst, budget_left_);
+  gap_left_ = next_gap();
+  --burst_left_;
+  return true;
+}
+
+std::string JammingChannelAdapter::name() const {
+  std::ostringstream os;
+  os << "jam(budget=" << sched_.budget << ", burst=" << sched_.burst
+     << ", gap=[" << sched_.min_gap << "," << sched_.max_gap << "], "
+     << inner_->name() << ")";
+  return os.str();
+}
+
+void JammingChannelAdapter::resolve(const Deployment& dep,
+                                    std::span<const NodeId> transmitters,
+                                    std::span<const NodeId> listeners,
+                                    std::span<Feedback> out) const {
+  if (!jam_this_round()) {
+    inner_->resolve(dep, transmitters, listeners, out);
+    return;
+  }
+  --budget_left_;
+  ++jammed_rounds_;
+  // The jammer drowns the band: nothing decodes anywhere. CD hardware
+  // still senses the energy (collision); without CD the round is silence.
+  const RadioObservation obs = inner_->provides_collision_detection()
+                                   ? RadioObservation::kCollision
+                                   : RadioObservation::kSilence;
+  for (Feedback& f : out) {
+    f = Feedback{};
+    f.observation = obs;
+  }
+}
+
 void LossyChannelAdapter::resolve(const Deployment& dep,
                                   std::span<const NodeId> transmitters,
                                   std::span<const NodeId> listeners,

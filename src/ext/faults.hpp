@@ -1,6 +1,7 @@
-// Fault injection: crash-stop nodes and lossy reception.
+// Fault injection: crash-stop nodes, lossy reception, and a jamming
+// adversary.
 //
-// The paper's model is failure-free; any real link layer is not. Two
+// The paper's model is failure-free; any real link layer is not. Three
 // orthogonal fault models exercise the algorithm's resilience:
 //
 //   * CrashFaults — a wrapper algorithm: each node independently crashes
@@ -13,8 +14,17 @@
 //     additionally dropped with probability q (decoder losses beyond SINR,
 //     e.g. checksum failures). Knockouts thin out; completion slows by at
 //     most ~1/(1-q).
+//   * JammingChannel — a channel decorator modeling an energy-budgeted
+//     adversary (burst jamming in the spirit of Jiang–Zheng, "Robust and
+//     Optimal Contention Resolution without Collision Detection"): it can
+//     afford to drown a total of `budget` rounds, spent in bursts with
+//     randomized gaps. A jammed round delivers nothing to any listener.
+//     Note the engine's solved predicate (a solo transmitter) is a
+//     property of the TRANSMIT pattern, not of reception, so jamming
+//     cannot fake or prevent the solo round itself — it slows progress by
+//     starving algorithms of knockout/feedback information.
 //
-// Both are exercised by bench_e13_robustness and test_faults.
+// All three are exercised by bench_e13_robustness and test_faults.
 #pragma once
 
 #include <memory>
@@ -70,6 +80,53 @@ class LossyChannelAdapter final : public ChannelAdapter {
   std::unique_ptr<ChannelAdapter> inner_;
   double q_;
   mutable Rng rng_;  ///< engine calls resolve once per round
+};
+
+/// The jamming adversary's energy budget and burst shape. Gap lengths are
+/// drawn uniformly from [min_gap, max_gap] (a fixed gap when equal).
+struct JammingSchedule {
+  std::uint64_t budget = 0;   ///< total rounds the adversary can afford to jam
+  std::uint64_t burst = 1;    ///< consecutive jammed rounds per burst
+  std::uint64_t min_gap = 1;  ///< clear rounds between bursts (at least 1)
+  std::uint64_t max_gap = 1;
+};
+
+/// Channel decorator: an adversary that raises the noise floor in chosen
+/// rounds until its energy budget is spent. During a jammed round no
+/// listener decodes anything — CD-capable channels observe the energy as a
+/// collision, others hear silence.
+class JammingChannelAdapter final : public ChannelAdapter {
+ public:
+  JammingChannelAdapter(std::unique_ptr<ChannelAdapter> inner,
+                        const JammingSchedule& schedule, Rng rng);
+
+  std::string name() const override;
+  bool provides_collision_detection() const override {
+    return inner_->provides_collision_detection();
+  }
+
+  void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
+               std::span<const NodeId> listeners,
+               std::span<Feedback> out) const override;
+
+  const JammingSchedule& schedule() const { return sched_; }
+  /// Rounds actually jammed so far (<= schedule().budget).
+  std::uint64_t jammed_rounds() const { return jammed_rounds_; }
+
+ private:
+  bool jam_this_round() const;
+  std::uint64_t next_gap() const;
+
+  std::unique_ptr<ChannelAdapter> inner_;
+  JammingSchedule sched_;
+  // Adversary state, advanced exactly once per resolve call (the engine
+  // calls resolve once per round) — mutable for the same reason as the
+  // lossy adapter's stream.
+  mutable Rng rng_;
+  mutable std::uint64_t budget_left_;
+  mutable std::uint64_t burst_left_ = 0;
+  mutable std::uint64_t gap_left_;
+  mutable std::uint64_t jammed_rounds_ = 0;
 };
 
 }  // namespace fcr

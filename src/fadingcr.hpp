@@ -10,6 +10,8 @@
 #include "util/check.hpp"         // contract macros
 #include "util/cli.hpp"           // flag parsing for tools/benches
 #include "util/csv.hpp"           // CSV output
+#include "util/error.hpp"         // structured error taxonomy
+#include "util/failpoint.hpp"     // deterministic fault injection
 #include "util/log.hpp"           // leveled logging
 #include "util/rng.hpp"           // deterministic RNG + splitting
 #include "util/table.hpp"         // console tables
@@ -38,6 +40,7 @@
 // Simulation engine.
 #include "sim/audit.hpp"          // trace auditor
 #include "sim/beep.hpp"           // beeping-channel adapter
+#include "sim/campaign.hpp"       // fault-tolerant checkpointed sweeps
 #include "sim/channel_adapter.hpp"
 #include "sim/engine.hpp"         // synchronous round engine
 #include "sim/metrics.hpp"        // contention-decay summaries

@@ -8,20 +8,71 @@
 #include "sim/thread_pool.hpp"
 #include "sim/workspace.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fcr {
 namespace {
 
-/// Distinct id per run_trials_parallel call. Factories are cached per
-/// worker keyed by (batch, deployment generation); the batch half exists
-/// because two calls can sweep the SAME deployment with DIFFERENT
-/// factories, which generation alone cannot tell apart.
+/// Distinct id per TrialExecutor (i.e. per run_trials_parallel call or per
+/// campaign). Factories are cached per worker keyed by (batch, deployment
+/// generation); the batch half exists because two calls can sweep the SAME
+/// deployment with DIFFERENT factories, which generation alone cannot tell
+/// apart.
 std::uint64_t next_batch_id() {
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace
+
+TrialExecutor::TrialExecutor(const DeploymentFactory& make_deployment,
+                             const ChannelFactory& make_channel,
+                             const AlgorithmFactory& make_algorithm)
+    : make_deployment_(make_deployment),
+      make_channel_(make_channel),
+      make_algorithm_(make_algorithm),
+      batch_id_(next_batch_id()) {
+  FCR_ENSURE_ARG(make_deployment_ && make_channel_ && make_algorithm_,
+                 "all three factories must be set");
+}
+
+RunResult TrialExecutor::run(const EngineConfig& engine, Rng deploy_rng,
+                             Rng run_rng) const {
+  const Deployment dep = make_deployment_(deploy_rng);
+
+  // Per-worker workspace: node slab, round buffers, and the factory
+  // cache all live for the worker's lifetime. Factories are pure
+  // functions of the deployment (the documented thread-safety contract
+  // of this runner), so two trials of this batch that see the same
+  // position buffer may share the factories' products — on a fixed
+  // deployment the channel and algorithm are built once per worker.
+  ExecutionWorkspace& thread_ws = ExecutionWorkspace::for_current_thread();
+  if (thread_ws.busy()) {
+    // Nested batch (a trial observer launched run_trials_parallel and the
+    // calling thread is pumping): isolate with a stack workspace.
+    FCR_FAILPOINT("channel/build");
+    const std::unique_ptr<ChannelAdapter> channel = make_channel_(dep);
+    const std::unique_ptr<Algorithm> algorithm = make_algorithm_(dep);
+    FCR_CHECK(channel != nullptr && algorithm != nullptr);
+    ExecutionWorkspace local;
+    return local.run(dep, *algorithm, *channel, engine, run_rng);
+  }
+  ExecutionWorkspace& ws = thread_ws;
+  ExecutionWorkspace::FactoryCache& cache = ws.factory_cache();
+  if (cache.batch != batch_id_ || cache.generation != dep.generation() ||
+      !cache.channel || !cache.algorithm) {
+    // A fault injected here leaves the cache stale-keyed but null-checked:
+    // the retry re-enters this branch and rebuilds from scratch.
+    FCR_FAILPOINT("channel/build");
+    cache.channel = make_channel_(dep);
+    cache.algorithm = make_algorithm_(dep);
+    cache.batch = batch_id_;
+    cache.generation = dep.generation();
+  }
+  FCR_CHECK(cache.channel != nullptr && cache.algorithm != nullptr);
+  return ws.run(dep, *cache.algorithm, *cache.channel, engine, run_rng);
+}
 
 TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
                                    const ChannelFactory& make_channel,
@@ -37,7 +88,7 @@ TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
   threads = std::min<std::size_t>(threads, config.trials);
 
   const Rng master(config.seed);
-  const std::uint64_t batch_id = next_batch_id();
+  const TrialExecutor executor(make_deployment, make_channel, make_algorithm);
 
   // Per-trial slots, filled independently; order restored afterwards so the
   // aggregate is identical to the serial runner's. Determinism comes from
@@ -50,52 +101,21 @@ TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
   std::vector<Slot> slots(config.trials);
 
   const auto run_one = [&](std::size_t t) {
-    Rng deploy_rng = master.split(2 * t);
-    const Rng run_rng = master.split(2 * t + 1);
-    const Deployment dep = make_deployment(deploy_rng);
-
-    // Per-worker workspace: node slab, round buffers, and the factory
-    // cache all live for the worker's lifetime. Factories are pure
-    // functions of the deployment (the documented thread-safety contract
-    // of this runner), so two trials of this batch that see the same
-    // position buffer may share the factories' products — on a fixed
-    // deployment the channel and algorithm are built once per worker.
-    ExecutionWorkspace& thread_ws = ExecutionWorkspace::for_current_thread();
-    if (thread_ws.busy()) {
-      // Nested batch (a trial observer launched run_trials_parallel and the
-      // calling thread is pumping): isolate with a stack workspace.
-      const std::unique_ptr<ChannelAdapter> channel = make_channel(dep);
-      const std::unique_ptr<Algorithm> algorithm = make_algorithm(dep);
-      FCR_CHECK(channel != nullptr && algorithm != nullptr);
-      ExecutionWorkspace local;
-      const RunResult r =
-          local.run(dep, *algorithm, *channel, config.engine, run_rng);
-      slots[t].solved = r.solved;
-      slots[t].rounds = r.rounds;
-      return;
-    }
-    ExecutionWorkspace& ws = thread_ws;
-    ExecutionWorkspace::FactoryCache& cache = ws.factory_cache();
-    if (cache.batch != batch_id || cache.generation != dep.generation() ||
-        !cache.channel || !cache.algorithm) {
-      cache.channel = make_channel(dep);
-      cache.algorithm = make_algorithm(dep);
-      cache.batch = batch_id;
-      cache.generation = dep.generation();
-    }
-    FCR_CHECK(cache.channel != nullptr && cache.algorithm != nullptr);
-    const RunResult r = ws.run(dep, *cache.algorithm, *cache.channel,
-                               config.engine, run_rng);
+    const RunResult r = executor.run(config.engine, master.split(2 * t),
+                                     master.split(2 * t + 1));
     slots[t].solved = r.solved;
     slots[t].rounds = r.rounds;
   };
 
   // The persistent pool distributes trials; after a failure no new trial
-  // is claimed, and the first exception resurfaces here.
+  // is claimed, and the first exception resurfaces here with the failed
+  // TASK index attached by the pool — which for this batch IS the trial
+  // index, so callers get full provenance (seed + trial) without a
+  // message parse.
   try {
     ThreadPool::global().for_each(config.trials, run_one, threads);
-  } catch (const std::exception& e) {
-    FCR_CHECK_MSG(false, "parallel trial failed: " << e.what());
+  } catch (const Error& e) {
+    throw e.with_trial(config.seed, e.provenance().task);
   }
 
   TrialSetResult out;

@@ -15,15 +15,49 @@
 // never copied across trials (enforced by fcrlint's rng-flow rule).
 #pragma once
 
+#include <cstdint>
+
 #include "sim/runner.hpp"
 
 namespace fcr {
+
+/// Executes single trials from factory triple + pre-split Rng streams,
+/// using the calling thread's ExecutionWorkspace and its per-batch factory
+/// cache. One executor = one logical batch: trials run through the same
+/// executor may share cached factory products when they see the same
+/// deployment generation, exactly like one run_trials_parallel call.
+///
+/// Shared by run_trials_parallel and CampaignRunner so a retried trial in
+/// a campaign goes through byte-for-byte the same execution path as the
+/// original attempt. Holds references to the factories: the caller keeps
+/// them alive for the executor's lifetime.
+class TrialExecutor {
+ public:
+  TrialExecutor(const DeploymentFactory& make_deployment,
+                const ChannelFactory& make_channel,
+                const AlgorithmFactory& make_algorithm);
+
+  /// Runs one trial: generate the deployment from deploy_rng, build (or
+  /// reuse) channel + algorithm, execute with run_rng. Thread-safe for
+  /// concurrent calls (per-thread workspaces). Throws on factory or
+  /// engine failure; the caller attaches trial provenance.
+  RunResult run(const EngineConfig& engine, Rng deploy_rng, Rng run_rng) const;
+
+ private:
+  const DeploymentFactory& make_deployment_;
+  const ChannelFactory& make_channel_;
+  const AlgorithmFactory& make_algorithm_;
+  std::uint64_t batch_id_;
+};
 
 /// Like run_trials, but distributes trials over `threads` worker threads
 /// (0 = hardware concurrency). Factories must be thread-safe to CALL
 /// concurrently (the library's factories are: they only read shared state
 /// and construct fresh objects). Results are identical to run_trials with
-/// the same config.
+/// the same config. A failing trial aborts the batch (abort-before-claim)
+/// and resurfaces here as fcr::Error with trial provenance attached; for
+/// per-trial isolation instead of batch abort, use CampaignRunner
+/// (sim/campaign.hpp).
 TrialSetResult run_trials_parallel(const DeploymentFactory& make_deployment,
                                    const ChannelFactory& make_channel,
                                    const AlgorithmFactory& make_algorithm,

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace fcr {
 
@@ -21,6 +24,7 @@ struct ThreadPool::Batch {
   Mutex m;
   CondVar done_cv;
   std::exception_ptr error FCR_GUARDED_BY(m);
+  std::size_t failed_index FCR_GUARDED_BY(m) = kNoIndex;
   std::size_t pending_pumps FCR_GUARDED_BY(m) = 0;
 };
 
@@ -118,10 +122,14 @@ void ThreadPool::run_pump(Batch& batch) {
     const std::size_t i = batch.next.fetch_add(1);
     if (i >= batch.count) return;
     try {
+      FCR_FAILPOINT("pool/claim");
       (*batch.fn)(i);
     } catch (...) {
       const MutexLock lock(batch.m);
-      if (!batch.error) batch.error = std::current_exception();
+      if (!batch.error) {
+        batch.error = std::current_exception();
+        batch.failed_index = i;
+      }
       batch.abort.store(true);
     }
   }
@@ -164,7 +172,26 @@ void ThreadPool::for_each(std::size_t count,
 
   const MutexLock lock(batch->m);
   while (batch->pending_pumps != 0) batch->m.wait(batch->done_cv);
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (batch->error) {
+    // Rethrow as a structured fcr::Error carrying WHICH task failed —
+    // callers (the trial runner, the campaign) map the task index back to
+    // a trial without parsing the message.
+    try {
+      std::rethrow_exception(batch->error);
+    } catch (const Error& e) {
+      throw e.with_task(batch->failed_index);
+    } catch (const std::exception& e) {
+      TrialProvenance prov;
+      prov.task = batch->failed_index;
+      throw Error(ErrorCategory::kEngine, std::string("task failed: ") + e.what(),
+                  std::move(prov));
+    } catch (...) {
+      TrialProvenance prov;
+      prov.task = batch->failed_index;
+      throw Error(ErrorCategory::kEngine, "task failed: non-standard exception",
+                  std::move(prov));
+    }
+  }
 }
 
 ThreadPool& ThreadPool::global() {

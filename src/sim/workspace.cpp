@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 
 namespace fcr {
@@ -95,13 +96,33 @@ RunResult ExecutionWorkspace::run(const Deployment& dep,
                      channel.provides_collision_detection(),
                  "algorithm '" << algorithm.name()
                                << "' needs a collision-detection channel");
+  // An injected fault here fails the run before any node state exists —
+  // the "could not even acquire the execution state" seam.
+  FCR_FAILPOINT("workspace/acquire");
   FCR_CHECK_MSG(!busy_, "workspace is already running an execution");
   busy_ = true;
 
   const std::size_t n = dep.size();
-  const NodeTeardownGuard guard{*this};
-  prepare_nodes(algorithm, rng, n);
+  RunResult result;
+  {
+    const NodeTeardownGuard guard{*this};
+    prepare_nodes(algorithm, rng, n);
+    result = run_rounds(dep, algorithm, channel, config, observer, n);
+  }
+  // Teardown completed and busy_ is already false: an injected fault here
+  // models a failure AFTER the run released its state, proving the
+  // workspace stays reusable for the retry. Never fired mid-unwind (a
+  // throwing teardown would terminate()).
+  FCR_FAILPOINT("workspace/teardown");
+  return result;
+}
 
+RunResult ExecutionWorkspace::run_rounds(const Deployment& dep,
+                                         const Algorithm& algorithm,
+                                         const ChannelAdapter& channel,
+                                         const EngineConfig& config,
+                                         const RoundObserver& observer,
+                                         std::size_t n) {
   // Worst-case round occupancy up front: every later push_back/assign in
   // the loop stays within capacity, so a warm workspace runs the whole
   // execution without touching the allocator.

@@ -85,6 +85,13 @@ class ExecutionWorkspace {
   /// otherwise. Either way nodes_[id] is the node for id.
   void prepare_nodes(const Algorithm& algorithm, Rng& rng, std::size_t n);
 
+  /// The round loop proper: nodes are already prepared, teardown is the
+  /// caller's guard. Split out of run() so the workspace acquire/teardown
+  /// failpoints bracket the guarded region exactly.
+  RunResult run_rounds(const Deployment& dep, const Algorithm& algorithm,
+                       const ChannelAdapter& channel, const EngineConfig& config,
+                       const RoundObserver& observer, std::size_t n);
+
   /// Destroys slab nodes in reverse construction order and releases heap
   /// fallback nodes. Safe on partially constructed state.
   void destroy_nodes();

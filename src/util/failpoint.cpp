@@ -1,0 +1,125 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <new>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace fcr::failpoint {
+
+namespace {
+
+struct ArmedSite {
+  Spec spec;
+  std::uint64_t hits = 0;
+};
+
+// Registry state. armed_count mirrors armed.size() so the hot path can
+// bail with a single relaxed load before touching the mutex.
+struct Registry {
+  Mutex m;
+  std::map<std::string, ArmedSite> armed FCR_GUARDED_BY(m);
+  std::atomic<std::uint64_t> armed_count{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool should_fire(ArmedSite& site) {
+  ++site.hits;
+  const Spec& s = site.spec;
+  if (s.every > 0) return site.hits % s.every == 0;
+  if (s.hash_period > 0) {
+    // Seed-keyed pseudorandom firing: deterministic in (seed, hit index),
+    // independent of every engine RNG stream.
+    std::uint64_t state = s.seed ^ (site.hits * 0x9E3779B97F4A7C15ULL);
+    return splitmix64(state) % s.hash_period == 0;
+  }
+  return site.hits == s.fire_on_hit;
+}
+
+[[noreturn]] void fire_throw(const char* name) {
+  TrialProvenance prov;
+  prov.failpoint = name;
+  throw Error(ErrorCategory::kInjected, "injected failure", std::move(prov));
+}
+
+}  // namespace
+
+const std::vector<std::string>& sites() {
+  static const std::vector<std::string> kSites = {
+      "workspace/acquire", "workspace/teardown", "pool/claim",
+      "channel/build",     "checkpoint/write",   "campaign/trial",
+  };
+  return kSites;
+}
+
+void arm(const std::string& site, const Spec& spec) {
+  bool known = false;
+  for (const auto& s : sites()) known = known || s == site;
+  FCR_ENSURE_ARG(known, "failpoint: unknown site '" << site << "'");
+  FCR_ENSURE_ARG(spec.every > 0 || spec.hash_period > 0 || spec.fire_on_hit > 0,
+                 "failpoint: spec for '" << site << "' can never fire");
+  Registry& r = registry();
+  MutexLock lock(r.m);
+  r.armed[site] = ArmedSite{spec, 0};
+  r.armed_count.store(r.armed.size(), std::memory_order_release);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  MutexLock lock(r.m);
+  r.armed.erase(site);
+  r.armed_count.store(r.armed.size(), std::memory_order_release);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  MutexLock lock(r.m);
+  r.armed.clear();
+  r.armed_count.store(0, std::memory_order_release);
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  Registry& r = registry();
+  MutexLock lock(r.m);
+  const auto it = r.armed.find(site);
+  return it == r.armed.end() ? 0 : it->second.hits;
+}
+
+namespace detail {
+
+void hit(const char* site) {
+  Registry& r = registry();
+  if (r.armed_count.load(std::memory_order_acquire) == 0) return;
+  Action action{};
+  std::uint64_t delay_ms = 0;
+  {
+    MutexLock lock(r.m);
+    const auto it = r.armed.find(site);
+    if (it == r.armed.end() || !should_fire(it->second)) return;
+    action = it->second.spec.action;
+    delay_ms = it->second.spec.delay_ms;
+  }
+  switch (action) {
+    case Action::kThrow:
+      fire_throw(site);
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace fcr::failpoint

@@ -1,0 +1,90 @@
+// Deterministic failpoint injection for robustness testing.
+//
+// A failpoint is a named site in the engine ("workspace/acquire",
+// "pool/claim", ...) where a test can arm a fault: throw an fcr::Error,
+// simulate allocation failure (std::bad_alloc), or inject a delay. Firing
+// is DETERMINISTIC — keyed off the site's hit counter (one-shot at hit N,
+// every-Nth, or seed-keyed pseudorandom via SplitMix64), never off time or
+// a global RNG — so a failing fault-injection run replays exactly.
+//
+// Cost model: sites are planted with FCR_FAILPOINT("name"). When the build
+// does not define FCR_FAILPOINTS_ENABLED (Release / perf builds) the macro
+// expands to nothing — zero code, zero branches, the perf gate sees no
+// hooks at all. When enabled (default for RelWithDebInfo / sanitizer
+// builds), an unarmed registry costs one relaxed atomic load per hit.
+//
+// Usage (tests):
+//   fcr::failpoint::arm("workspace/acquire", {.action = Action::kThrow});
+//   ... run the campaign: trial hitting the site records a TrialFailure ...
+//   fcr::failpoint::disarm_all();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcr::failpoint {
+
+/// What an armed site does when it fires.
+enum class Action {
+  kThrow,     ///< throw fcr::Error(kInjected) naming the site
+  kBadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
+  kDelay,     ///< sleep delay_ms then continue (watchdog / race widening)
+};
+
+/// When and how an armed site fires. Exactly one trigger applies:
+/// `every` > 0 wins, then `hash_period` > 0, else the one-shot
+/// `fire_on_hit`. All triggers are functions of the site's hit counter.
+struct Spec {
+  Action action = Action::kThrow;
+  std::uint64_t fire_on_hit = 1;   ///< one-shot: fire on exactly this hit (1-based)
+  std::uint64_t every = 0;         ///< periodic: fire when hits % every == 0
+  std::uint64_t hash_period = 0;   ///< pseudorandom: fire ~1/hash_period of hits
+  std::uint64_t seed = 0;          ///< keys the hash_period trigger
+  std::uint64_t delay_ms = 10;     ///< kDelay only
+};
+
+/// True when FCR_FAILPOINTS_ENABLED was defined at build time, i.e. the
+/// FCR_FAILPOINT macros in the engine actually call into the registry.
+/// Tests that arm sites must skip themselves when this is false.
+constexpr bool enabled() {
+#if defined(FCR_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// The canonical registered sites — the seams ISSUE/docs/CI iterate over.
+/// arm() rejects names outside this list so a typo cannot silently arm
+/// nothing.
+const std::vector<std::string>& sites();
+
+/// Arms `site` with `spec`; re-arming replaces the spec and resets the
+/// site's hit counter. Throws std::invalid_argument for unknown sites or
+/// a spec with no valid trigger.
+void arm(const std::string& site, const Spec& spec);
+
+/// Disarms one site (no-op when not armed) / every site.
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Hits observed at `site` since it was last armed (0 when unarmed or
+/// never hit). For tests asserting a site actually executed.
+std::uint64_t hit_count(const std::string& site);
+
+namespace detail {
+/// The instrumented-site entry point behind FCR_FAILPOINT. Cheap when
+/// nothing is armed (one relaxed atomic load).
+void hit(const char* site);
+}  // namespace detail
+
+}  // namespace fcr::failpoint
+
+// Plant a site. `site` must be a string literal naming an entry of
+// fcr::failpoint::sites().
+#if defined(FCR_FAILPOINTS_ENABLED)
+#define FCR_FAILPOINT(site) ::fcr::failpoint::detail::hit(site)
+#else
+#define FCR_FAILPOINT(site) static_cast<void>(0)
+#endif

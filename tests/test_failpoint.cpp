@@ -1,0 +1,198 @@
+// Failpoint registry unit tests: deterministic triggers, fcr::Error
+// payloads, and the engine seams reacting to armed sites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fading_cr.hpp"
+#include "deploy/generators.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace fcr {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(FailpointTest, SiteListIsStable) {
+  const auto& s = failpoint::sites();
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_NE(std::find(s.begin(), s.end(), "workspace/acquire"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "workspace/teardown"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "pool/claim"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "channel/build"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "checkpoint/write"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "campaign/trial"), s.end());
+}
+
+TEST_F(FailpointTest, UnknownSiteIsRejected) {
+  EXPECT_THROW(failpoint::arm("workspace/typo", {}), std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ErrorFormatNamesCategoryAndProvenance) {
+  TrialProvenance prov;
+  prov.failpoint = "pool/claim";
+  const Error plain(ErrorCategory::kInjected, "injected failure", prov);
+  EXPECT_STREQ(plain.what(), "error[injected] failpoint 'pool/claim': "
+                             "injected failure");
+  const Error traced = plain.with_task(4).with_trial(99, 4, 2);
+  EXPECT_EQ(traced.category(), ErrorCategory::kInjected);
+  EXPECT_EQ(traced.provenance().trial, 4u);
+  EXPECT_EQ(traced.provenance().master_seed, 99u);
+  EXPECT_STREQ(traced.what(),
+               "error[injected] trial 4 (seed 99, attempt 2) failpoint "
+               "'pool/claim': injected failure");
+}
+
+// Everything below needs the hooks compiled in (FCR_FAILPOINTS=ON, the
+// default outside Release builds).
+
+TEST_F(FailpointTest, OneShotFiresOnExactHit) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.fire_on_hit = 3;
+  failpoint::arm("campaign/trial", spec);
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+  EXPECT_THROW(failpoint::detail::hit("campaign/trial"), Error);
+  // One-shot: hit 4 and later pass again.
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+  EXPECT_EQ(failpoint::hit_count("campaign/trial"), 4u);
+}
+
+TEST_F(FailpointTest, PeriodicFiresEveryNth) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.every = 3;
+  failpoint::arm("campaign/trial", spec);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    try {
+      failpoint::detail::hit("campaign/trial");
+    } catch (const Error&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, HashTriggerIsDeterministicInSeed) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  const auto fire_pattern = [](std::uint64_t seed) {
+    failpoint::Spec spec;
+    spec.hash_period = 4;
+    spec.seed = seed;
+    failpoint::arm("campaign/trial", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        failpoint::detail::hit("campaign/trial");
+        fired.push_back(false);
+      } catch (const Error&) {
+        fired.push_back(true);
+      }
+    }
+    failpoint::disarm("campaign/trial");
+    return fired;
+  };
+  const auto a1 = fire_pattern(7);
+  const auto a2 = fire_pattern(7);
+  const auto b = fire_pattern(8);
+  EXPECT_EQ(a1, a2) << "same seed must fire identically";
+  EXPECT_NE(a1, b) << "different seeds must differ (w.h.p. over 64 hits)";
+  const auto hits = static_cast<std::size_t>(
+      std::count(a1.begin(), a1.end(), true));
+  EXPECT_GT(hits, 4u);   // ~16 expected at period 4
+  EXPECT_LT(hits, 40u);
+}
+
+TEST_F(FailpointTest, BadAllocActionThrowsBadAlloc) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kBadAlloc;
+  failpoint::arm("campaign/trial", spec);
+  EXPECT_THROW(failpoint::detail::hit("campaign/trial"), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, DisarmedSiteIsSilent) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::arm("campaign/trial", {});
+  failpoint::disarm("campaign/trial");
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+  EXPECT_EQ(failpoint::hit_count("campaign/trial"), 0u);
+}
+
+TEST_F(FailpointTest, InjectedErrorCarriesSiteName) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::arm("campaign/trial", {});
+  try {
+    failpoint::detail::hit("campaign/trial");
+    FAIL() << "expected an injected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kInjected);
+    EXPECT_EQ(e.provenance().failpoint, "campaign/trial");
+  }
+}
+
+// ----------------------------------------------------- engine seam wiring
+
+DeploymentFactory tiny_uniform() {
+  return [](Rng& rng) { return uniform_square(16, 8.0, rng).normalized(); };
+}
+
+AlgorithmFactory fading_factory() {
+  return [](const Deployment&) {
+    return std::make_unique<FadingContentionResolution>();
+  };
+}
+
+TEST_F(FailpointTest, PoolClaimFaultSurfacesThroughForEach) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.fire_on_hit = 2;
+  failpoint::arm("pool/claim", spec);
+  try {
+    ThreadPool::global().for_each(8, [](std::size_t) {}, 2);
+    FAIL() << "expected the injected claim fault to surface";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kInjected);
+    EXPECT_EQ(e.provenance().failpoint, "pool/claim");
+    EXPECT_NE(e.provenance().task, kNoIndex) << "failed task index attached";
+  }
+}
+
+TEST_F(FailpointTest, WorkspaceAcquireFaultAbortsParallelBatchWithProvenance) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::arm("workspace/acquire", {});
+  TrialConfig config;
+  config.trials = 4;
+  config.engine.max_rounds = 2000;
+  try {
+    run_trials_parallel(tiny_uniform(), sinr_channel_factory(3.0, 1.5, 1e-9),
+                        fading_factory(), config, 2);
+    FAIL() << "expected the injected workspace fault to surface";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kInjected);
+    EXPECT_EQ(e.provenance().failpoint, "workspace/acquire");
+    EXPECT_TRUE(e.provenance().has_seed);
+    EXPECT_EQ(e.provenance().master_seed, config.seed);
+    EXPECT_NE(e.provenance().trial, kNoIndex);
+  }
+  failpoint::disarm_all();
+  // The workspace released its state despite the fault: a clean batch on
+  // the same thread pool succeeds afterwards.
+  const auto result =
+      run_trials_parallel(tiny_uniform(), sinr_channel_factory(3.0, 1.5, 1e-9),
+                          fading_factory(), config, 2);
+  EXPECT_EQ(result.trials, 4u);
+  EXPECT_EQ(result.solved, 4u);
+}
+
+}  // namespace
+}  // namespace fcr

@@ -1,4 +1,5 @@
-// Fault-injection tests: crash-stop wrapper and lossy channel decorator.
+// Fault-injection tests: crash-stop wrapper, lossy channel decorator, and
+// the energy-budgeted jamming adversary.
 #include <gtest/gtest.h>
 
 #include "core/fading_cr.hpp"
@@ -172,6 +173,154 @@ TEST(LossyChannel, Validation) {
                std::invalid_argument);
   EXPECT_THROW(LossyChannelAdapter(make_radio_adapter(false), 1.0, Rng(1)),
                std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- jamming
+
+TEST(JammingChannel, ZeroBudgetIsTransparent) {
+  const Deployment dep = single_pair(2.0);
+  SinrParams params;
+  params.alpha = 3.0;
+  params.beta = 1.5;
+  params.noise = 0.0;
+  params.power = 1.0;
+  const JammingChannelAdapter jam(make_sinr_adapter(params), {}, Rng(7));
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  for (int r = 0; r < 200; ++r) {
+    jam.resolve(dep, tx, listeners, fb);
+    EXPECT_TRUE(fb[0].received);
+    EXPECT_EQ(fb[0].sender, 0u);
+  }
+  EXPECT_EQ(jam.jammed_rounds(), 0u);
+}
+
+TEST(JammingChannel, SpendsExactlyItsBudgetInBursts) {
+  const Deployment dep = single_pair(2.0);
+  JammingSchedule sched;
+  sched.budget = 10;
+  sched.burst = 3;
+  sched.min_gap = 2;
+  sched.max_gap = 5;
+  const JammingChannelAdapter jam(make_radio_adapter(false),
+                                  sched, Rng(8));
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1};
+  std::vector<Feedback> fb(1);
+  std::vector<bool> jammed;
+  for (int r = 0; r < 300; ++r) {
+    jam.resolve(dep, tx, listeners, fb);
+    jammed.push_back(!fb[0].received);
+  }
+  EXPECT_EQ(jam.jammed_rounds(), sched.budget);
+  // Bursts are contiguous runs of length <= burst, separated by gaps of
+  // at least min_gap clear rounds; round 1 is never jammed (initial gap).
+  EXPECT_FALSE(jammed.front());
+  std::size_t run = 0, gap = 0;
+  bool prev = false;
+  for (const bool j : jammed) {
+    if (j) {
+      if (prev) {
+        ++run;
+      } else {
+        EXPECT_GE(gap, sched.min_gap) << "burst opened before the gap ended";
+        run = 1;
+      }
+      EXPECT_LE(run, sched.burst);
+    } else {
+      gap = prev ? 1 : gap + 1;
+    }
+    prev = j;
+  }
+}
+
+TEST(JammingChannel, JammedRoundObservationDependsOnCd) {
+  const Deployment dep({{0, 0}, {1, 0}, {2, 0}});
+  const std::vector<NodeId> tx = {0};
+  const std::vector<NodeId> listeners = {1, 2};
+  std::vector<Feedback> fb(2);
+  JammingSchedule sched;
+  sched.budget = 1000;
+  sched.burst = 1000;  // jam continuously once the first gap passes
+  auto drain_to_jam = [&](const JammingChannelAdapter& jam) {
+    // The first round burns the initial gap; the second is jammed.
+    jam.resolve(dep, tx, listeners, fb);
+    jam.resolve(dep, tx, listeners, fb);
+  };
+
+  const JammingChannelAdapter cd(make_radio_adapter(true), sched, Rng(9));
+  drain_to_jam(cd);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kCollision);
+  }
+
+  const JammingChannelAdapter plain(make_radio_adapter(false), sched, Rng(9));
+  drain_to_jam(plain);
+  for (const Feedback& f : fb) {
+    EXPECT_FALSE(f.received);
+    EXPECT_EQ(f.observation, RadioObservation::kSilence);
+  }
+}
+
+TEST(JammingChannel, BudgetedJammerDelaysButCannotPreventSolving) {
+  auto run_with_budget = [](std::uint64_t budget) {
+    return run_trials(
+        [](Rng& rng) { return uniform_square(96, 20.0, rng).normalized(); },
+        [budget](const Deployment& dep) -> std::unique_ptr<ChannelAdapter> {
+          const SinrParams params =
+              SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+          JammingSchedule sched;
+          sched.budget = budget;
+          sched.burst = 4;
+          sched.min_gap = 2;
+          sched.max_gap = 6;
+          return std::make_unique<JammingChannelAdapter>(
+              make_sinr_adapter(params), sched, Rng(99));
+        },
+        [](const Deployment&) {
+          return std::make_unique<FadingContentionResolution>();
+        },
+        [] {
+          TrialConfig c;
+          c.trials = 20;
+          c.engine.max_rounds = 20000;
+          return c;
+        }());
+  };
+  const auto clean = run_with_budget(0);
+  const auto jammed = run_with_budget(64);
+  // Solving is a property of the transmit pattern, so a finite-budget
+  // jammer can starve feedback but never block the solo round forever.
+  EXPECT_EQ(clean.solved, clean.trials);
+  EXPECT_EQ(jammed.solved, jammed.trials);
+  EXPECT_GE(jammed.summary().median, clean.summary().median);
+}
+
+TEST(JammingChannel, Validation) {
+  JammingSchedule bad;
+  EXPECT_THROW(JammingChannelAdapter(nullptr, bad, Rng(1)),
+               std::invalid_argument);
+  bad.burst = 0;
+  EXPECT_THROW(JammingChannelAdapter(make_radio_adapter(false), bad, Rng(1)),
+               std::invalid_argument);
+  bad.burst = 1;
+  bad.min_gap = 0;
+  EXPECT_THROW(JammingChannelAdapter(make_radio_adapter(false), bad, Rng(1)),
+               std::invalid_argument);
+  bad.min_gap = 5;
+  bad.max_gap = 2;
+  EXPECT_THROW(JammingChannelAdapter(make_radio_adapter(false), bad, Rng(1)),
+               std::invalid_argument);
+  JammingSchedule ok;
+  ok.budget = 7;
+  ok.burst = 2;
+  ok.min_gap = 1;
+  ok.max_gap = 3;
+  const JammingChannelAdapter jam(make_radio_adapter(false), ok, Rng(1));
+  EXPECT_NE(jam.name().find("budget=7"), std::string::npos);
+  EXPECT_NE(jam.name().find("gap=[1,3]"), std::string::npos);
 }
 
 }  // namespace

@@ -636,6 +636,56 @@ TEST(FcrlintRngFlow, ScopeAndAllow) {
   EXPECT_EQ(count_rule(lint_file("src/sim/ok.cpp", allowed), "rng-flow"), 0);
 }
 
+// --------------------------------------------------------- error-discipline
+
+TEST(FcrlintErrorDiscipline, FlagsSwallowingCatchHandlers) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (const std::exception&) {\n"
+      "  }\n"
+      "  try { g(); } catch (...) { cleanup(); }\n"
+      "}\n";
+  const auto findings = lint_file("src/sim/swallow.cpp", src);
+  EXPECT_EQ(lines_of(findings, "error-discipline"), (std::vector<int>{2, 4}));
+}
+
+TEST(FcrlintErrorDiscipline, HandledBodiesPass) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (const std::exception& e) { throw; }\n"
+      "  try { g(); } catch (const std::exception& e) {\n"
+      "    throw Error(ErrorCategory::kEngine, e.what());\n"
+      "  }\n"
+      "  try { g(); } catch (...) {\n"
+      "    log.record(TrialFailure{t, 1, ErrorCategory::kEngine, \"x\"});\n"
+      "  }\n"
+      "  try { g(); } catch (...) { err = std::current_exception(); }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/handled.cpp", src),
+                       "error-discipline"),
+            0);
+}
+
+TEST(FcrlintErrorDiscipline, ScopeAndAllow) {
+  const std::string src =
+      "void f() {\n"
+      "  try { g(); } catch (...) {\n"
+      "  }\n"
+      "}\n";
+  // Out of scope: tests and tools may swallow freely.
+  EXPECT_EQ(count_rule(lint_file("tests/t.cpp", src), "error-discipline"), 0);
+  EXPECT_EQ(count_rule(lint_file("tools/t.cpp", src), "error-discipline"), 0);
+  const std::string allowed =
+      "void f() {\n"
+      "  // FCRLINT_ALLOW(error-discipline): best-effort cleanup\n"
+      "  try { g(); } catch (...) {\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_file("src/sim/ok.cpp", allowed),
+                       "error-discipline"),
+            0);
+}
+
 // -------------------------------------------------------------------- SARIF
 
 // ----------------------------------------------------------- workspace-reset
@@ -859,6 +909,14 @@ TEST(FcrlintFixtures, BadRngFlowFixture) {
                                   read_fixture("bad_rng_flow.cpp.txt"));
   EXPECT_EQ(lines_of(findings, "rng-flow"), (std::vector<int>{14, 15, 18}));
   EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(FcrlintFixtures, BadErrorSwallowFixture) {
+  const auto findings = lint_file("src/sim/bad_error_swallow.cpp",
+                                  read_fixture("bad_error_swallow.cpp.txt"));
+  EXPECT_EQ(lines_of(findings, "error-discipline"),
+            (std::vector<int>{16, 20}));
+  EXPECT_EQ(findings.size(), 2u);
 }
 
 }  // namespace

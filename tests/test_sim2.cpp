@@ -52,16 +52,26 @@ TEST(ParallelRunner, MoreThreadsThanTrials) {
   EXPECT_EQ(result.solved, 3u);
 }
 
-TEST(ParallelRunner, PropagatesFactoryErrors) {
+TEST(ParallelRunner, PropagatesFactoryErrorsWithTrialProvenance) {
   const AlgorithmFactory broken = [](const Deployment&) {
     throw std::runtime_error("factory exploded");
     return std::unique_ptr<Algorithm>{};
   };
-  EXPECT_THROW(
-      run_trials_parallel(uniform_factory(8),
-                          sinr_channel_factory(3.0, 1.5, 1e-9), broken,
-                          quick_config(4), 2),
-      ContractViolation);
+  const TrialConfig config = quick_config(4);
+  try {
+    run_trials_parallel(uniform_factory(8),
+                        sinr_channel_factory(3.0, 1.5, 1e-9), broken, config,
+                        2);
+    FAIL() << "the broken factory must abort the batch";
+  } catch (const Error& e) {
+    // Foreign exceptions surface as structured fcr::Error carrying which
+    // trial (and master seed) hit them.
+    EXPECT_NE(std::string(e.what()).find("factory exploded"),
+              std::string::npos);
+    EXPECT_TRUE(e.provenance().has_seed);
+    EXPECT_EQ(e.provenance().master_seed, config.seed);
+    EXPECT_LT(e.provenance().trial, 4u);
+  }
 }
 
 TEST(ParallelRunner, Validation) {

@@ -16,6 +16,7 @@
 #include "sim/thread_pool.hpp"
 #include "sinr/channel.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 
 namespace fcr {
 namespace {
@@ -75,13 +76,54 @@ TEST(ThreadPool, FirstExceptionPropagatesAndAbortsNewClaims) {
       throw std::runtime_error("task failed");
     });
     FAIL() << "for_each must rethrow the task's exception";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "task failed");
+  } catch (const Error& e) {
+    // The pool wraps foreign exceptions into fcr::Error with the failed
+    // task's index attached.
+    EXPECT_EQ(e.category(), ErrorCategory::kEngine);
+    EXPECT_NE(std::string(e.what()).find("task failed"), std::string::npos);
+    EXPECT_LT(e.provenance().task, kCount);
   }
   // Abort is checked BEFORE an index is claimed, so once the first task
   // throws only the pumps already past the check may still start one task
   // each: far fewer invocations than indices.
   EXPECT_LE(started.load(), pool.worker_count() + 1);
+}
+
+TEST(ThreadPool, FailureContextIdentifiesExactTask) {
+  ThreadPool pool(4);
+  try {
+    pool.for_each(64, [](std::size_t i) {
+      if (i == 17) throw std::runtime_error("boom at seventeen");
+    });
+    FAIL() << "for_each must rethrow";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.provenance().task, 17u);
+    EXPECT_NE(std::string(e.what()).find("task 17"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("boom at seventeen"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPool, StructuredErrorsPassThroughWithTaskAttached) {
+  ThreadPool pool(2);
+  try {
+    pool.for_each(8, [](std::size_t i) {
+      if (i == 3) {
+        TrialProvenance prov;
+        prov.round = 42;
+        throw Error(ErrorCategory::kChannel, "bad gain matrix",
+                    std::move(prov));
+      }
+    });
+    FAIL() << "for_each must rethrow";
+  } catch (const Error& e) {
+    // An already-structured Error keeps its category and payload; the
+    // pool only adds the task index.
+    EXPECT_EQ(e.category(), ErrorCategory::kChannel);
+    EXPECT_EQ(e.provenance().round, 42u);
+    EXPECT_EQ(e.provenance().task, 3u);
+  }
 }
 
 TEST(ThreadPool, MaxParallelismOneIsCallerOnly) {

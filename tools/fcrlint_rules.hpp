@@ -41,6 +41,11 @@
 //                      an Rng reference (instead of split()) or capturing an
 //                      Rng by value in a lambda duplicates the stream and
 //                      silently reuses randomness.
+//   error-discipline — catch blocks in src/ must not swallow exceptions
+//                      silently: the handler body must rethrow, wrap into
+//                      the structured fcr::Error taxonomy, or record a
+//                      TrialFailure — otherwise a faulted trial vanishes
+//                      without provenance.
 //
 // Suppression: an allow annotation in a comment naming the rule and the
 // reason, e.g. FCRLINT_ALLOW(ensure-arg): header-only module, no entry point.
@@ -92,7 +97,7 @@ struct RuleMeta {
   std::string_view summary;
 };
 
-inline constexpr std::array<RuleMeta, 11> kRules = {{
+inline constexpr std::array<RuleMeta, 12> kRules = {{
     {"determinism",
      "entropy and wall-clock sources are banned in src/ (outside "
      "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
@@ -131,6 +136,10 @@ inline constexpr std::array<RuleMeta, 11> kRules = {{
      "also be reset (clear/assign/resize) somewhere in the same file — the "
      "workspace is reused across executions, so an append-only member "
      "leaks one run's state into the next"},
+    {"error-discipline",
+     "catch handlers in src/ must rethrow, wrap into fcr::Error, or record "
+     "a TrialFailure — a silently swallowed exception erases a faulted "
+     "trial's provenance"},
 }};
 
 inline bool is_known_rule(std::string_view rule) {
@@ -861,6 +870,56 @@ inline std::vector<Finding> check_rng_flow(const std::string& path,
   return out;
 }
 
+/// error-discipline: a catch handler in src/ must do SOMETHING visible with
+/// the exception — rethrow it (bare or wrapped), convert it into the
+/// structured fcr::Error taxonomy, record a TrialFailure, or stash it via
+/// std::current_exception for later rethrow. A handler whose body mentions
+/// none of these swallows the fault: the trial vanishes and the campaign's
+/// failure report lies by omission. Deliberate best-effort handlers (e.g.
+/// cleanup paths where failure is acceptable) take a line-scoped
+/// FCRLINT_ALLOW(error-discipline): <reason>.
+inline std::vector<Finding> check_error_discipline(
+    const std::string& path, const std::vector<Token>& toks,
+    const std::vector<Allow>& allows) {
+  std::vector<Finding> out;
+  if (!detail::starts_with(path, "src/")) return out;
+  static constexpr std::string_view kHandled[] = {
+      "throw",           "Error",
+      "TrialFailure",    "current_exception",
+      "rethrow_exception", "FCR_CHECK",
+      "FCR_CHECK_MSG",   "FCR_ENSURE_ARG"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident("catch")) continue;
+    const std::size_t open = next_sig(toks, i);
+    if (open == npos || !toks[open].punct("(")) continue;
+    const std::size_t close = detail::match_forward(toks, open, "(", ")");
+    if (close == npos) continue;
+    const std::size_t body = next_sig(toks, close);
+    if (body == npos || !toks[body].punct("{")) continue;
+    const std::size_t end = detail::match_forward(toks, body, "{", "}");
+    if (end == npos) continue;
+    bool handled = false;
+    for (std::size_t j = body + 1; j < end && !handled; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      for (const std::string_view h : kHandled) {
+        if (toks[j].text == h) {
+          handled = true;
+          break;
+        }
+      }
+    }
+    if (handled) continue;
+    const int line = toks[i].line;
+    if (allowed_on_line(allows, "error-discipline", line)) continue;
+    out.push_back({path, line, "error-discipline",
+                   "catch handler swallows the exception — rethrow, wrap it "
+                   "into fcr::Error, or record a TrialFailure so the fault "
+                   "keeps its provenance (suppress a deliberate best-effort "
+                   "handler with FCRLINT_ALLOW(error-discipline): <reason>)"});
+  }
+  return out;
+}
+
 /// workspace-reset: the ExecutionWorkspace survives across executions, so
 /// every MEMBER container (trailing-underscore names, per the style guide)
 /// that gets appended to must be reset — clear()/assign()/resize() — some-
@@ -952,6 +1011,7 @@ inline std::vector<Finding> run_file_rules(const PreparedFile& f) {
   append(check_fp_accumulate(f.path, f.toks, f.allows));
   append(check_lock_discipline(f.path, f.toks, f.allows));
   append(check_rng_flow(f.path, f.toks, f.allows));
+  append(check_error_discipline(f.path, f.toks, f.allows));
   append(check_workspace_reset(f.path, f.toks, f.allows));
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

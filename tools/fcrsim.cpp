@@ -19,12 +19,14 @@
 #include "deploy/generators.hpp"
 #include "deploy/io.hpp"
 #include "ext/rayleigh.hpp"
+#include "sim/campaign.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
 #include "sinr/validate.hpp"
 #include "stats/bootstrap.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace fcr {
@@ -34,7 +36,10 @@ DeploymentFactory make_deployment_factory(const CliParser& cli) {
   const std::string file = cli.get_string("deployment-file");
   if (!file.empty()) {
     std::ifstream in(file);
-    FCR_ENSURE_ARG(in.good(), "cannot open deployment file: " << file);
+    if (!in.good()) {
+      throw Error(ErrorCategory::kIo,
+                  "cannot open deployment file '" + file + "'");
+    }
     return fixed_deployment(read_deployment_csv(in));
   }
   const std::string kind = cli.get_string("deployment");
@@ -127,6 +132,21 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("seed", "20160725", "master seed");
   cli.add_flag("max-rounds", "1000000", "per-trial round budget");
   cli.add_flag("csv", "", "write per-trial results to this CSV file");
+  cli.add_flag("threads", "1",
+               "campaign worker threads (0 = hardware concurrency; any "
+               "value but 1 selects campaign mode)");
+  cli.add_flag("retries", "3",
+               "campaign mode: attempts per trial before quarantine");
+  cli.add_flag("checkpoint", "",
+               "campaign mode: snapshot completed trials to this file "
+               "(write-temp+rename, CRC-protected)");
+  cli.add_flag("checkpoint-every", "16",
+               "snapshot after this many new completions");
+  cli.add_flag("resume", "false",
+               "load --checkpoint before running; invalid or mismatched "
+               "checkpoints fall back to a fresh campaign");
+  cli.add_flag("round-budget", "0",
+               "campaign watchdog: per-trial round budget (0 = off)");
   cli.add_flag("trace", "", "write the first trial's event trace to this CSV");
   cli.add_flag("deployment-out", "",
                "write the traced trial's deployment to this CSV "
@@ -143,6 +163,18 @@ int run(int argc, const char* const* argv) {
   if (cli.help_requested()) {
     cli.print_help(std::cout);
     return 0;
+  }
+
+  // Flag-combination sanity before any heavy lifting, so misuse dies with
+  // a one-line config diagnosis instead of a stack of engine errors.
+  if (cli.get_bool("resume") && cli.get_string("checkpoint").empty()) {
+    throw Error(ErrorCategory::kConfig, "--resume requires --checkpoint <file>");
+  }
+  if (cli.get_int("retries") < 1) {
+    throw Error(ErrorCategory::kConfig, "--retries must be at least 1");
+  }
+  if (cli.get_int("threads") < 0) {
+    throw Error(ErrorCategory::kConfig, "--threads must be non-negative");
   }
 
   const DeploymentFactory deploy = make_deployment_factory(cli);
@@ -180,7 +212,49 @@ int run(int argc, const char* const* argv) {
     }
   }
 
-  const TrialSetResult result = run_trials(deploy, channel, algorithm, config);
+  // Campaign mode (per-trial isolation, retry, checkpoint/resume) kicks in
+  // whenever one of its knobs is used; the plain batch runner otherwise.
+  const bool campaign_mode = !cli.get_string("checkpoint").empty() ||
+                             cli.get_bool("resume") ||
+                             cli.get_int("threads") != 1 ||
+                             cli.get_int("round-budget") > 0;
+  TrialSetResult result;
+  if (campaign_mode) {
+    CampaignConfig cc;
+    cc.trial = config;
+    cc.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cc.retry.max_attempts = static_cast<std::size_t>(cli.get_int("retries"));
+    cc.watchdog.round_budget =
+        static_cast<std::uint64_t>(cli.get_int("round-budget"));
+    cc.checkpoint.path = cli.get_string("checkpoint");
+    cc.checkpoint.every =
+        static_cast<std::size_t>(cli.get_int("checkpoint-every"));
+    cc.checkpoint.resume = cli.get_bool("resume");
+    std::ostringstream identity;
+    identity << cli.get_string("deployment") << '/' << cli.get_string("channel")
+             << '/' << algo_key << "/n=" << cli.get_int("n");
+    cc.identity = identity.str();
+    CampaignRunner runner(deploy, channel, algorithm, cc);
+    const CampaignResult campaign = runner.run();
+    result = campaign.result;
+    if (campaign.restored > 0) {
+      std::cout << "resumed: " << campaign.restored
+                << " trial(s) restored from " << cc.checkpoint.path << '\n';
+    }
+    if (!campaign.checkpoint_rejected.empty()) {
+      std::cout << "checkpoint rejected (" << campaign.checkpoint_rejected
+                << "); starting fresh\n";
+    }
+    if (campaign.checkpoints_written > 0) {
+      std::cout << "checkpoints written: " << campaign.checkpoints_written
+                << '\n';
+    }
+    if (!campaign.failures.empty() || campaign.quarantined > 0) {
+      std::cout << campaign.failure_report() << '\n';
+    }
+  } else {
+    result = run_trials(deploy, channel, algorithm, config);
+  }
   const BatchSummary s = result.summary();
 
   TablePrinter table({"metric", "value"});
@@ -244,11 +318,38 @@ int run(int argc, const char* const* argv) {
 }  // namespace
 }  // namespace fcr
 
+namespace {
+
+const char* hint_for(fcr::ErrorCategory category) {
+  switch (category) {
+    case fcr::ErrorCategory::kConfig:
+      return "use --help for the flag list";
+    case fcr::ErrorCategory::kIo:
+      return "check the path and permissions";
+    case fcr::ErrorCategory::kCorrupt:
+      return "delete the checkpoint file to start fresh";
+    default:
+      return "re-run with the same --seed to reproduce";
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  // Every failure exits with a one-line diagnosed error: the taxonomy
+  // category (fcr::Error), plus an actionable hint.
   try {
     return fcr::run(argc, argv);
+  } catch (const fcr::Error& e) {
+    std::cerr << "fcrsim: " << e.what() << " (hint: " << hint_for(e.category())
+              << ")\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "fcrsim: error[config]: " << e.what()
+              << " (hint: " << hint_for(fcr::ErrorCategory::kConfig) << ")\n";
+    return 1;
   } catch (const std::exception& e) {
-    std::cerr << "fcrsim: " << e.what() << '\n';
+    std::cerr << "fcrsim: error[engine]: " << e.what() << '\n';
     return 1;
   }
 }
