@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/analyze.sh [--build-dir DIR] [--tidy-changed-only [BASE_REF]]
 #                      [--require-tools] [--sarif FILE]
+#                      [--update-cppcheck-baseline]
 #
 #   --build-dir DIR          reuse/configure this build tree (default:
 #                            build-analyze) for compile_commands.json and
@@ -19,6 +20,15 @@
 #                            never silently turn the analyzers off.
 #   --sarif FILE             also write fcrlint findings as SARIF 2.1.0 to
 #                            FILE (for CI code-scanning upload)
+#   --update-cppcheck-baseline
+#                            rewrite scripts/cppcheck_baseline.txt from the
+#                            current cppcheck findings instead of gating on
+#                            it. Use after triaging: the diff is the review.
+#
+# cppcheck gating: findings are normalized to 'id|file|line|message' lines
+# and compared (comm -23) against the checked-in baseline; only NEW findings
+# fail the run, so pre-existing accepted findings never block a PR while any
+# regression does.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,11 +37,14 @@ TIDY_CHANGED_ONLY=0
 REQUIRE_TOOLS=0
 SARIF_OUT=
 BASE_REF=origin/main
+UPDATE_CPPCHECK_BASELINE=0
+CPPCHECK_BASELINE=scripts/cppcheck_baseline.txt
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR=$2; shift 2 ;;
     --require-tools) REQUIRE_TOOLS=1; shift ;;
     --sarif) SARIF_OUT=$2; shift 2 ;;
+    --update-cppcheck-baseline) UPDATE_CPPCHECK_BASELINE=1; shift ;;
     --tidy-changed-only)
       TIDY_CHANGED_ONLY=1
       shift
@@ -93,16 +106,42 @@ else
 fi
 
 if command -v cppcheck >/dev/null 2>&1; then
-  echo "=== cppcheck ==="
+  echo "=== cppcheck (baseline: $CPPCHECK_BASELINE) ==="
+  CPPCHECK_TMP=$(mktemp -d)
+  trap 'rm -rf "$CPPCHECK_TMP"' EXIT
   # check-level=exhaustive is too slow for the full tree; the default level
   # already covers the bug classes we care about (UB, bounds, lifetimes).
+  # Findings go to stderr in a stable pipe-delimited form; paths are made
+  # repo-relative so the baseline is portable across checkouts.
   cppcheck --project="$BUILD_DIR/compile_commands.json" \
     --enable=warning,performance,portability \
     --suppress='*:*/_deps/*' \
     --suppress=missingIncludeSystem \
     --inline-suppr \
-    --error-exitcode=1 \
-    --quiet || status=1
+    --template='{id}|{file}|{line}|{message}' \
+    --quiet 2>"$CPPCHECK_TMP/raw" || true
+  sed "s#|$PWD/#|#" "$CPPCHECK_TMP/raw" | grep -v '^$' | sort -u \
+    >"$CPPCHECK_TMP/current" || true
+  if [ "$UPDATE_CPPCHECK_BASELINE" -eq 1 ]; then
+    {
+      echo "# cppcheck baseline: accepted findings, one 'id|file|line|message'"
+      echo "# per line. Regenerate with scripts/analyze.sh --update-cppcheck-baseline"
+      echo "# and review the diff; analyze.sh fails only on findings NOT listed here."
+      cat "$CPPCHECK_TMP/current"
+    } >"$CPPCHECK_BASELINE"
+    echo "cppcheck: baseline rewritten with $(wc -l <"$CPPCHECK_TMP/current") finding(s)"
+  else
+    grep -v '^#' "$CPPCHECK_BASELINE" 2>/dev/null | grep -v '^$' | sort -u \
+      >"$CPPCHECK_TMP/baseline" || true
+    comm -23 "$CPPCHECK_TMP/current" "$CPPCHECK_TMP/baseline" >"$CPPCHECK_TMP/new"
+    if [ -s "$CPPCHECK_TMP/new" ]; then
+      echo "cppcheck: $(wc -l <"$CPPCHECK_TMP/new") new finding(s) not in $CPPCHECK_BASELINE:" >&2
+      cat "$CPPCHECK_TMP/new" >&2
+      status=1
+    else
+      echo "cppcheck: no findings beyond the baseline ($(wc -l <"$CPPCHECK_TMP/current") total)"
+    fi
+  fi
 else
   echo "=== cppcheck not installed; skipping (see docs/ANALYSIS.md) ==="
 fi

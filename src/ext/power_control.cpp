@@ -19,19 +19,29 @@ PowerControlSinrChannel::PowerControlSinrChannel(SinrParams params)
 std::vector<Reception> PowerControlSinrChannel::resolve(
     const Deployment& dep, std::span<const NodeId> transmitters,
     std::span<const double> powers, std::span<const NodeId> listeners) const {
+  std::vector<Reception> out;
+  resolve_into(dep, transmitters, powers, listeners, out);
+  return out;
+}
+
+void PowerControlSinrChannel::resolve_into(
+    const Deployment& dep, std::span<const NodeId> transmitters,
+    std::span<const double> powers, std::span<const NodeId> listeners,
+    std::vector<Reception>& out) const {
   FCR_ENSURE_ARG(powers.size() == transmitters.size(),
                  "power vector size mismatch: " << powers.size() << " vs "
                                                 << transmitters.size());
-  std::vector<Reception> out(listeners.size());
-  if (transmitters.empty()) return out;
+  out.assign(listeners.size(), Reception{});
+  if (transmitters.empty()) return;
 
   const std::size_t t = transmitters.size();
-  std::vector<double> tx(t), ty(t);
+  tx_.resize(t);
+  ty_.resize(t);
   for (std::size_t j = 0; j < t; ++j) {
     FCR_ENSURE_ARG(powers[j] > 0.0, "transmission power must be positive");
     const Vec2 p = dep.position(transmitters[j]);
-    tx[j] = p.x;
-    ty[j] = p.y;
+    tx_[j] = p.x;
+    ty_[j] = p.y;
   }
 
   for (std::size_t i = 0; i < listeners.size(); ++i) {
@@ -40,8 +50,8 @@ std::vector<Reception> PowerControlSinrChannel::resolve(
     double best_signal = -1.0;
     std::size_t best_j = 0;
     for (std::size_t j = 0; j < t; ++j) {
-      const double dx = tx[j] - v.x;
-      const double dy = ty[j] - v.y;
+      const double dx = tx_[j] - v.x;
+      const double dy = ty_[j] - v.y;
       const double s = powers[j] * unit_channel_.signal_from_dist_sq(dx * dx + dy * dy);
       total += s;
       if (s > best_signal) {
@@ -54,7 +64,6 @@ std::vector<Reception> PowerControlSinrChannel::resolve(
       out[i].sender = transmitters[best_j];
     }
   }
-  return out;
 }
 
 RandomPowerSinrAdapter::RandomPowerSinrAdapter(SinrParams params,
@@ -70,18 +79,17 @@ void RandomPowerSinrAdapter::resolve(const Deployment& dep,
                                      std::span<const NodeId> listeners,
                                      std::span<Feedback> out) const {
   FCR_ENSURE_ARG(out.size() == listeners.size(), "feedback span size mismatch");
-  std::vector<double> powers(transmitters.size());
-  for (double& p : powers) {
+  powers_.resize(transmitters.size());
+  for (double& p : powers_) {
     const auto level = rng_.uniform_int(levels_);
     p = channel_.params().power * std::pow(spread_, static_cast<double>(level));
   }
-  const std::vector<Reception> receptions =
-      channel_.resolve(dep, transmitters, powers, listeners);
+  channel_.resolve_into(dep, transmitters, powers_, listeners, receptions_);
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     Feedback& f = out[i];
     f.transmitted = false;
-    f.received = receptions[i].received();
-    f.sender = receptions[i].sender;
+    f.received = receptions_[i].received();
+    f.sender = receptions_[i].sender;
     f.observation = f.received ? RadioObservation::kMessage
                                : RadioObservation::kSilence;
   }

@@ -37,9 +37,20 @@ class PowerControlSinrChannel {
                                  std::span<const double> powers,
                                  std::span<const NodeId> listeners) const;
 
+  /// Allocation-free variant for the steady-state loop: writes one
+  /// Reception per listener into `out` (resized/assigned in place, so a
+  /// warmed vector is reused) and borrows the channel's position scratch.
+  void resolve_into(const Deployment& dep, std::span<const NodeId> transmitters,
+                    std::span<const double> powers,
+                    std::span<const NodeId> listeners,
+                    std::vector<Reception>& out) const;
+
  private:
   SinrParams params_;
   SinrChannel unit_channel_;  ///< power-1 channel used as the kernel
+  // Flat transmitter-position scratch, reused across rounds (one channel
+  // instance serves one thread at a time, like BatchResolver's scratch).
+  mutable std::vector<double> tx_, ty_;
 };
 
 /// ChannelAdapter that assigns every transmission an independent random
@@ -65,6 +76,10 @@ class RandomPowerSinrAdapter final : public ChannelAdapter {
   std::size_t levels_;
   double spread_;
   mutable Rng rng_;  ///< per-round power draws; engine calls resolve once/round
+  // Per-round scratch (power draws, reception slots), reused across rounds
+  // so the steady state stays allocation-free after warm-up.
+  mutable std::vector<double> powers_;
+  mutable std::vector<Reception> receptions_;
 };
 
 }  // namespace fcr

@@ -35,11 +35,12 @@ void RayleighSinrAdapter::resolve(const Deployment& dep,
   if (transmitters.empty()) return;
 
   const std::size_t t = transmitters.size();
-  std::vector<double> tx(t), ty(t);
+  tx_.resize(t);
+  ty_.resize(t);
   for (std::size_t j = 0; j < t; ++j) {
     const Vec2 p = dep.position(transmitters[j]);
-    tx[j] = p.x;
-    ty[j] = p.y;
+    tx_[j] = p.x;
+    ty_[j] = p.y;
   }
 
   for (std::size_t i = 0; i < listeners.size(); ++i) {
@@ -48,8 +49,8 @@ void RayleighSinrAdapter::resolve(const Deployment& dep,
     double best_signal = -1.0;
     std::size_t best_j = 0;
     for (std::size_t j = 0; j < t; ++j) {
-      const double dx = tx[j] - v.x;
-      const double dy = ty[j] - v.y;
+      const double dx = tx_[j] - v.x;
+      const double dy = ty_[j] - v.y;
       const double s = params_.power * gain() *
                        unit_channel_.signal_from_dist_sq(dx * dx + dy * dy);
       total += s;

@@ -15,6 +15,8 @@
 // signals.
 #pragma once
 
+#include <vector>
+
 #include "sim/channel_adapter.hpp"
 #include "sinr/channel.hpp"
 #include "util/rng.hpp"
@@ -46,6 +48,9 @@ class RayleighSinrAdapter final : public ChannelAdapter {
   SinrChannel unit_channel_;
   double severity_;
   mutable Rng rng_;  ///< engine calls resolve once per round
+  // Flat transmitter-position scratch, reused across rounds (one adapter
+  // instance serves one thread at a time, like BatchResolver's scratch).
+  mutable std::vector<double> tx_, ty_;
 };
 
 }  // namespace fcr

@@ -167,6 +167,9 @@ RunResult ExecutionWorkspace::run_rounds(const Deployment& dep,
       for (const NodeProtocol* node : nodes_) {
         if (node->is_contending()) ++stats.contending;
       }
+      // history grows only when config.record_rounds is set, which the
+      // benchmarked zero-alloc steady state never enables.
+      // FCRLINT_ALLOW(hot-path-alloc): diagnostics-only recording path
       result.history.push_back(stats);
     }
 

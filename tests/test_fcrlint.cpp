@@ -436,6 +436,59 @@ TEST(FcrlintLayering, TreeWideCycleDetection) {
   EXPECT_EQ(count_rule(lint_tree(acyclic), "layering"), 0);
 }
 
+TEST(FcrlintLayering, CycleThroughExtLayerIsFound) {
+  // Both halves are per-file clean (ext -> ext is a legal same-layer edge);
+  // the tree-wide DFS reports the back edge exactly once.
+  const std::vector<fcrlint::FileInput> files = {
+      {"src/ext/cycle_a.hpp", read_fixture("cycle_ext_a.hpp.txt")},
+      {"src/ext/cycle_b.hpp", read_fixture("cycle_ext_b.hpp.txt")},
+  };
+  const auto findings = lint_tree(files);
+  ASSERT_EQ(count_rule(findings, "layering"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "layering") {
+      EXPECT_NE(f.message.find("include cycle"), std::string::npos);
+      EXPECT_NE(f.message.find("cycle_a.hpp"), std::string::npos);
+      EXPECT_NE(f.message.find("cycle_b.hpp"), std::string::npos);
+    }
+  }
+}
+
+TEST(FcrlintLayering, SelfIncludeIsTheSmallestCycle) {
+  const std::vector<fcrlint::FileInput> files = {
+      {"src/sim/self_include.hpp", read_fixture("self_include.hpp.txt")},
+  };
+  const auto findings = lint_tree(files);
+  const auto lines = lines_of(findings, "layering");
+  ASSERT_EQ(lines, (std::vector<int>{6}));
+  for (const Finding& f : findings) {
+    if (f.rule == "layering") {
+      EXPECT_NE(f.message.find("include cycle"), std::string::npos);
+    }
+  }
+}
+
+TEST(FcrlintLayering, ParentRelativeIncludesStayOutOfTheGraph) {
+  // "../"-includes are an include-hygiene finding; they never resolve to a
+  // graph node, so the apparent a <-> b cycle through the parent-relative
+  // spelling must NOT be reported as one.
+  const std::vector<fcrlint::FileInput> files = {
+      {"src/sim/a.hpp",
+       "#pragma once\n"
+       "// FCRLINT_ALLOW(include-hygiene): fixture exercises the edge case\n"
+       "#include \"../core/b.hpp\"\n"},
+      {"src/core/b.hpp", "#pragma once\n#include \"sim/a.hpp\"\n"},
+  };
+  const auto findings = lint_tree(files);
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+  const std::vector<fcrlint::FileInput> unallowed = {
+      {"src/sim/a.hpp", "#pragma once\n#include \"../core/b.hpp\"\n"},
+      {"src/core/b.hpp", "#pragma once\n#include \"sim/a.hpp\"\n"},
+  };
+  EXPECT_EQ(count_rule(lint_tree(unallowed), "include-hygiene"), 1);
+  EXPECT_EQ(count_rule(lint_tree(unallowed), "layering"), 0);
+}
+
 // ------------------------------------------------------------ fp-accumulate
 
 TEST(FcrlintFpAccumulate, FlagsStdReducersAndRawLoops) {

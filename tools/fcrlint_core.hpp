@@ -1,0 +1,247 @@
+// fcrlint core vocabulary — findings, the rule catalogue, and allow-
+// annotation suppression parsing.
+//
+// Split out of fcrlint_rules.hpp in v3 so the interprocedural program model
+// (fcrlint_model.hpp) and the per-file rule engine (fcrlint_rules.hpp) can
+// share these types without a dependency cycle:
+//
+//   fcrlint_lexer.hpp   tokens
+//   fcrlint_core.hpp    Finding / FileInput / kRules / Allow   (this file)
+//   fcrlint_model.hpp   cross-TU program model + interprocedural rules
+//   fcrlint_rules.hpp   per-file rules + lint_file/lint_tree drivers
+//   fcrlint_cache.hpp   content-hash keyed artifact cache
+//   fcrlint_fix.hpp     mechanical --fix rewrites
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fcrlint_lexer.hpp"
+
+namespace fcrlint {
+
+struct Finding {
+  std::string file;
+  int line = 1;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// One file handed to the engine: repo-relative path with '/' separators
+/// (e.g. "src/sinr/channel.cpp") plus its full contents.
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+/// Rule catalogue: ids plus the one-line summaries used by --list-rules and
+/// the SARIF rules array.
+struct RuleMeta {
+  std::string_view id;
+  std::string_view summary;
+};
+
+inline constexpr std::array<RuleMeta, 16> kRules = {{
+    {"determinism",
+     "entropy and wall-clock sources are banned in src/ (outside "
+     "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
+    {"sinr-float",
+     "float is banned under src/sinr/: single-precision rounding flips "
+     "feasibility verdicts near the decodability threshold beta"},
+    {"ensure-arg",
+     "every public-API .cpp in src/ validates arguments with FCR_ENSURE_ARG "
+     "or carries a reasoned allow annotation"},
+    {"pragma-once", "every header carries #pragma once"},
+    {"include-hygiene",
+     "no parent-relative (\"../\") includes, no <bits/...>, no deprecated C "
+     "headers (<math.h> -> <cmath>)"},
+    {"allow-syntax",
+     "FCRLINT_ALLOW annotations must name a known rule and give a non-empty "
+     "reason"},
+    {"layering",
+     "src/ includes must respect the layer order util -> stats -> geom -> "
+     "radio -> deploy -> sinr -> sim -> core -> lowerbound -> algorithms -> "
+     "ext, with no upward edges and no include cycles"},
+    {"fp-accumulate",
+     "floating-point reductions in src/sinr/ and src/sim/ must use "
+     "fcr::pairwise_sum (src/sinr/accumulate.hpp), not std::accumulate or "
+     "raw += loops, to keep serial/batch results bit-identical"},
+    {"lock-discipline",
+     "concurrency primitives in src/ use the thread-safety-annotated "
+     "fcr::Mutex / fcr::CondVar / fcr::MutexLock "
+     "(util/thread_annotations.hpp), and every fcr::Mutex is referenced by "
+     "an annotation"},
+    {"rng-flow",
+     "fcr::Rng streams must not be copied out of references (use split()) "
+     "or captured by value in lambdas; both duplicate randomness and break "
+     "replay"},
+    {"workspace-reset",
+     "member containers of src/sim/workspace.* that are appended to must "
+     "also be reset (clear/assign/resize) somewhere in the same file — the "
+     "workspace is reused across executions, so an append-only member "
+     "leaks one run's state into the next"},
+    {"error-discipline",
+     "catch handlers in src/ must rethrow, wrap into fcr::Error, or record "
+     "a TrialFailure — a silently swallowed exception erases a faulted "
+     "trial's provenance"},
+    {"lockset",
+     "interprocedural: reads/writes of an FCR_GUARDED_BY(m) member are "
+     "flagged unless the function or some caller on every visible path "
+     "holds m (MutexLock) or requires it (FCR_REQUIRES)"},
+    {"rng-lineage",
+     "interprocedural: every Rng constructed inside the execution closure "
+     "must derive from a split() chain; ambient or default-seeded streams "
+     "and seed roots inside the hot closure break trial replay"},
+    {"hot-path-alloc",
+     "interprocedural: functions reachable from ExecutionWorkspace::"
+     "run_rounds (the steady-state round loop) must not allocate — no new, "
+     "make_unique/make_shared, sized local containers, or growth of "
+     "never-reserved containers"},
+    {"error-provenance",
+     "interprocedural: throw sites reachable from ThreadPool task bodies "
+     "(for_each callers) must construct fcr::Error, not bare std:: "
+     "exceptions, so faults keep their trial provenance"},
+}};
+
+inline bool is_known_rule(std::string_view rule) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleMeta& r) { return r.id == rule; });
+}
+
+namespace detail {
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Finds the matching closer for the opener at `open` (which must hold the
+/// `open_text` punct). Returns npos if unbalanced.
+inline std::size_t match_forward(const std::vector<Token>& toks,
+                                 std::size_t open, std::string_view open_text,
+                                 std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].punct(open_text)) ++depth;
+    else if (toks[i].punct(close_text) && --depth == 0) return i;
+  }
+  return npos;
+}
+
+/// Finds the matching opener for the closer at `close`. Returns npos if
+/// unbalanced.
+inline std::size_t match_backward(const std::vector<Token>& toks,
+                                  std::size_t close, std::string_view open_text,
+                                  std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].punct(close_text)) ++depth;
+    else if (toks[i].punct(open_text) && --depth == 0) return i;
+  }
+  return npos;
+}
+
+}  // namespace detail
+
+/// A parsed allow annotation (rule suppression with a documented reason).
+struct Allow {
+  int line = 1;
+  std::string rule;
+  std::string reason;
+};
+
+/// Extracts all allow annotations from the comment tokens; malformed ones
+/// (unknown rule, missing reason) become allow-syntax findings. Markers in
+/// string literals never reach this function — strings are distinct tokens.
+inline std::vector<Allow> parse_allows(const std::vector<Token>& toks,
+                                       const std::string& file,
+                                       std::vector<Finding>& out) {
+  static constexpr std::string_view kMarker = "FCRLINT_ALLOW";
+  std::vector<Allow> allows;
+  for (const Token& tok : toks) {
+    if (!tok.comment()) continue;
+    const std::string_view text = tok.text;
+    for (std::size_t pos = text.find(kMarker); pos != std::string_view::npos;
+         pos = text.find(kMarker, pos + kMarker.size())) {
+      const int line =
+          tok.line + static_cast<int>(
+                         std::count(text.begin(),
+                                    text.begin() + static_cast<std::ptrdiff_t>(pos),
+                                    '\n'));
+      std::size_t i = pos + kMarker.size();
+      auto bad = [&](const std::string& why) {
+        out.push_back({file, line, "allow-syntax",
+                       "malformed FCRLINT_ALLOW annotation: " + why +
+                           " — expected FCRLINT_ALLOW(<rule>): <reason>"});
+      };
+      if (i >= text.size() || text[i] != '(') {
+        bad("missing '(<rule>)'");
+        continue;
+      }
+      const std::size_t close = text.find(')', i);
+      const std::size_t eol = text.find('\n', i);
+      if (close == std::string_view::npos ||
+          (eol != std::string_view::npos && close > eol)) {
+        bad("missing ')'");
+        continue;
+      }
+      const std::string rule(text.substr(i + 1, close - i - 1));
+      if (!is_known_rule(rule)) {
+        bad("unknown rule '" + rule + "'");
+        continue;
+      }
+      i = close + 1;
+      while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+      if (i >= text.size() || text[i] != ':') {
+        bad("missing ': <reason>'");
+        continue;
+      }
+      ++i;
+      std::size_t end = text.find('\n', i);
+      if (end == std::string_view::npos) end = text.size();
+      std::string reason(text.substr(i, end - i));
+      // A one-line block comment runs the reason into the closing marker;
+      // strip the trailing */ so block-comment annotations parse cleanly.
+      if (tok.kind == TokKind::kBlockComment) {
+        const std::size_t trail = reason.rfind("*/");
+        if (trail != std::string::npos) reason.erase(trail);
+      }
+      const std::size_t first = reason.find_first_not_of(" \t");
+      const std::size_t last = reason.find_last_not_of(" \t\r");
+      reason = first == std::string::npos
+                   ? std::string{}
+                   : reason.substr(first, last - first + 1);
+      if (reason.empty()) {
+        bad("empty reason");
+        continue;
+      }
+      allows.push_back({line, rule, reason});
+    }
+  }
+  return allows;
+}
+
+inline bool allowed_on_line(const std::vector<Allow>& allows,
+                            std::string_view rule, int line) {
+  return std::any_of(allows.begin(), allows.end(), [&](const Allow& a) {
+    return a.rule == rule && (a.line == line || a.line == line - 1);
+  });
+}
+
+inline bool allowed_anywhere(const std::vector<Allow>& allows,
+                             std::string_view rule) {
+  return std::any_of(allows.begin(), allows.end(),
+                     [&](const Allow& a) { return a.rule == rule; });
+}
+
+}  // namespace fcrlint

@@ -1,0 +1,106 @@
+// fcrlint --fix — mechanical rewrites for the two rules whose fix is
+// unambiguous from the finding alone:
+//
+//   pragma-once      insert `#pragma once` at the top of the header, after
+//                    the leading comment block (license/doc header) so the
+//                    file's prose stays first.
+//   include-hygiene  rewrite deprecated C headers <x.h> -> <cx> (the shared
+//                    detail::kDeprecatedC list). Parent-relative and
+//                    <bits/...> includes are NOT auto-fixed: their correct
+//                    replacement needs path knowledge the linter lacks.
+//
+// The engine re-derives the edit sites from the token stream of the current
+// content (not from stale findings), honours allow-annotation suppressions
+// the same way the rules do, and applies byte-offset edits back-to-front. Both
+// rewrites converge: a fixed file produces zero further edits, which the
+// round-trip test (tools/fix_check.cmake) asserts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fcrlint_core.hpp"
+#include "fcrlint_lexer.hpp"
+#include "fcrlint_rules.hpp"
+
+namespace fcrlint::fix {
+
+struct FixOutcome {
+  std::string content;     ///< rewritten file contents
+  std::size_t edits = 0;   ///< number of edits applied (0 = unchanged)
+};
+
+/// Applies every mechanical fix to one file. `path` is repo-relative with
+/// '/' separators; returns the rewritten contents plus the edit count.
+inline FixOutcome apply_fixes(const std::string& path,
+                              std::string_view content) {
+  const std::vector<Token> toks = lex(content);
+  std::vector<Finding> sink;
+  const std::vector<Allow> allows = parse_allows(toks, path, sink);
+
+  struct Edit {
+    std::size_t begin = 0;
+    std::size_t length = 0;  ///< bytes replaced (0 = pure insertion)
+    std::string text;
+  };
+  std::vector<Edit> edits;
+
+  // pragma-once: headers without the pragma get it inserted after the
+  // leading comment block.
+  const bool is_header =
+      detail::ends_with(path, ".hpp") || detail::ends_with(path, ".h");
+  if (is_header && !allowed_anywhere(allows, "pragma-once")) {
+    bool has_pragma = false;
+    for (std::size_t i = 0; i < toks.size() && !has_pragma; ++i) {
+      if (!toks[i].punct("#") || !toks[i].directive) continue;
+      const std::size_t j = next_sig(toks, i);
+      if (j == npos || !toks[j].ident("pragma")) continue;
+      const std::size_t k = next_sig(toks, j);
+      has_pragma = k != npos && toks[k].ident("once");
+    }
+    if (!has_pragma) {
+      // Insertion point: the line start of the first significant token, so
+      // the pragma lands between the doc-comment block and the code.
+      std::size_t at = content.size();
+      for (const Token& t : toks) {
+        if (t.comment()) continue;
+        at = t.begin;
+        while (at > 0 && content[at - 1] != '\n') --at;
+        break;
+      }
+      std::string text = "#pragma once\n";
+      if (at == content.size() && (content.empty() || content.back() != '\n')) {
+        text = "\n#pragma once\n";
+      }
+      edits.push_back({at, 0, std::move(text)});
+    }
+  }
+
+  // include-hygiene: deprecated C headers get their <cx> spelling.
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kHeaderName) continue;
+    if (allowed_on_line(allows, "include-hygiene", t.line)) continue;
+    for (const std::string_view dep : detail::kDeprecatedC) {
+      if (t.text != "<" + std::string(dep) + ">") continue;
+      const std::string fixed =
+          "<c" + std::string(dep.substr(0, dep.size() - 2)) + ">";
+      edits.push_back({t.begin, t.text.size(), fixed});
+      break;
+    }
+  }
+
+  FixOutcome out;
+  out.content = std::string(content);
+  out.edits = edits.size();
+  std::sort(edits.begin(), edits.end(),
+            [](const Edit& a, const Edit& b) { return a.begin > b.begin; });
+  for (const Edit& e : edits) {
+    out.content.replace(e.begin, e.length, e.text);
+  }
+  return out;
+}
+
+}  // namespace fcrlint::fix

@@ -57,6 +57,7 @@ struct Token {
   int line = 1;             ///< 1-based line of the token's first character
   std::size_t begin = 0;    ///< byte offset into the source
   bool directive = false;   ///< true for a '#' that starts a directive
+  bool pp = false;          ///< true for any token on a preprocessor line
   std::string text;         ///< exact source slice
 
   bool is(TokKind k, std::string_view t) const { return kind == k && text == t; }
@@ -107,6 +108,10 @@ inline std::vector<Token> lex(std::string_view src) {
   int last_sig_line = 0;
   // After `# include` we owe the stream one header-name token.
   bool expect_header = false;
+  // Inside a preprocessor directive (from its '#' to the unspliced end of
+  // line). Tokens carry this so structural passes (the v3 program model)
+  // can skip macro definitions, which are not part of the parsed program.
+  bool in_pp = false;
 
   auto emit = [&](TokKind kind, std::size_t begin, std::size_t end) {
     Token t;
@@ -117,9 +122,11 @@ inline std::vector<Token> lex(std::string_view src) {
     if (kind != TokKind::kLineComment && kind != TokKind::kBlockComment) {
       if (kind == TokKind::kPunct && t.text == "#" && last_sig_line != line) {
         t.directive = true;
+        in_pp = true;
       }
       last_sig_line = line;
     }
+    t.pp = in_pp;
     // Multi-line tokens (block comments, spliced comments/strings) advance
     // the line counter by the newlines they swallowed.
     for (const char c : t.text) {
@@ -156,6 +163,7 @@ inline std::vector<Token> lex(std::string_view src) {
       ++line;
       ++i;
       expect_header = false;  // a directive ends with its (unspliced) line
+      in_pp = false;
       continue;
     }
     if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {

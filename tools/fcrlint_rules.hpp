@@ -1,10 +1,10 @@
-// fcrlint v2 — fadingcr's project-specific linter (token-level rule engine).
+// fcrlint — fadingcr's project-specific linter: the per-file token rules.
 //
 // Generic static analyzers cannot enforce the invariants this repository's
 // headline claims rest on (bit-identical serial/parallel results, exact SINR
-// decision bits), so fcrlint checks them mechanically. v2 rebuilds every rule
-// on the real C++ token stream from fcrlint_lexer.hpp — no substring matching
-// against masked text — and adds four cross-cutting analyses:
+// decision bits), so fcrlint checks them mechanically. Every rule runs on
+// the real C++ token stream from fcrlint_lexer.hpp — no substring matching
+// against masked text. The per-file analyses are:
 //
 //   determinism      — wall-clock and platform entropy sources (std::rand,
 //                      std::random_device, time(), *_clock::now(), ...) are
@@ -58,7 +58,9 @@
 // The engine is header-only and pure (paths + contents in, findings out) so
 // tests/test_fcrlint.cpp can unit-test every rule against fixture inputs;
 // tools/fcrlint.cpp adds the filesystem walk, SARIF output, diff filtering,
-// and the CLI.
+// caching, and the CLI. The shared vocabulary (Finding, kRules, allows)
+// lives in fcrlint_core.hpp; the v3 interprocedural rules in
+// fcrlint_model.hpp — lint_tree below stitches both halves together.
 #pragma once
 
 #include <algorithm>
@@ -70,93 +72,13 @@
 #include <string_view>
 #include <vector>
 
+#include "fcrlint_core.hpp"
 #include "fcrlint_lexer.hpp"
+#include "fcrlint_model.hpp"
 
 namespace fcrlint {
 
-struct Finding {
-  std::string file;
-  int line = 1;
-  std::string rule;
-  std::string message;
-
-  friend bool operator==(const Finding&, const Finding&) = default;
-};
-
-/// One file handed to the engine: repo-relative path with '/' separators
-/// (e.g. "src/sinr/channel.cpp") plus its full contents.
-struct FileInput {
-  std::string path;
-  std::string content;
-};
-
-/// Rule catalogue: ids plus the one-line summaries used by --list-rules and
-/// the SARIF rules array.
-struct RuleMeta {
-  std::string_view id;
-  std::string_view summary;
-};
-
-inline constexpr std::array<RuleMeta, 12> kRules = {{
-    {"determinism",
-     "entropy and wall-clock sources are banned in src/ (outside "
-     "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
-    {"sinr-float",
-     "float is banned under src/sinr/: single-precision rounding flips "
-     "feasibility verdicts near the decodability threshold beta"},
-    {"ensure-arg",
-     "every public-API .cpp in src/ validates arguments with FCR_ENSURE_ARG "
-     "or carries a reasoned allow annotation"},
-    {"pragma-once", "every header carries #pragma once"},
-    {"include-hygiene",
-     "no parent-relative (\"../\") includes, no <bits/...>, no deprecated C "
-     "headers (<math.h> -> <cmath>)"},
-    {"allow-syntax",
-     "FCRLINT_ALLOW annotations must name a known rule and give a non-empty "
-     "reason"},
-    {"layering",
-     "src/ includes must respect the layer order util -> stats -> geom -> "
-     "radio -> deploy -> sinr -> sim -> core -> lowerbound -> algorithms -> "
-     "ext, with no upward edges and no include cycles"},
-    {"fp-accumulate",
-     "floating-point reductions in src/sinr/ and src/sim/ must use "
-     "fcr::pairwise_sum (src/sinr/accumulate.hpp), not std::accumulate or "
-     "raw += loops, to keep serial/batch results bit-identical"},
-    {"lock-discipline",
-     "concurrency primitives in src/ use the thread-safety-annotated "
-     "fcr::Mutex / fcr::CondVar / fcr::MutexLock "
-     "(util/thread_annotations.hpp), and every fcr::Mutex is referenced by "
-     "an annotation"},
-    {"rng-flow",
-     "fcr::Rng streams must not be copied out of references (use split()) "
-     "or captured by value in lambdas; both duplicate randomness and break "
-     "replay"},
-    {"workspace-reset",
-     "member containers of src/sim/workspace.* that are appended to must "
-     "also be reset (clear/assign/resize) somewhere in the same file — the "
-     "workspace is reused across executions, so an append-only member "
-     "leaks one run's state into the next"},
-    {"error-discipline",
-     "catch handlers in src/ must rethrow, wrap into fcr::Error, or record "
-     "a TrialFailure — a silently swallowed exception erases a faulted "
-     "trial's provenance"},
-}};
-
-inline bool is_known_rule(std::string_view rule) {
-  return std::any_of(kRules.begin(), kRules.end(),
-                     [&](const RuleMeta& r) { return r.id == rule; });
-}
-
 namespace detail {
-
-inline bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-inline bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
 
 /// The strict src/ layer order, lowest first. A file in layer k may include
 /// only layers <= k. Files directly under src/ (the fadingcr.hpp umbrella)
@@ -194,124 +116,15 @@ inline std::string_view src_subdir(std::string_view path) {
                                          : rest.substr(0, slash);
 }
 
-/// Finds the matching closer for the opener at `open` (which must hold the
-/// `open_text` punct). Returns npos if unbalanced.
-inline std::size_t match_forward(const std::vector<Token>& toks,
-                                 std::size_t open, std::string_view open_text,
-                                 std::string_view close_text) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].punct(open_text)) ++depth;
-    else if (toks[i].punct(close_text) && --depth == 0) return i;
-  }
-  return npos;
-}
-
-/// Finds the matching opener for the closer at `close`. Returns npos if
-/// unbalanced.
-inline std::size_t match_backward(const std::vector<Token>& toks,
-                                  std::size_t close, std::string_view open_text,
-                                  std::string_view close_text) {
-  int depth = 0;
-  for (std::size_t i = close + 1; i-- > 0;) {
-    if (toks[i].punct(close_text)) ++depth;
-    else if (toks[i].punct(open_text) && --depth == 0) return i;
-  }
-  return npos;
-}
+/// Deprecated C headers (for include-hygiene and the --fix engine, which
+/// must agree on the list): <x.h> is flagged and rewritten to <cx>.
+inline constexpr std::string_view kDeprecatedC[] = {
+    "assert.h", "ctype.h",  "errno.h",  "float.h",    "inttypes.h",
+    "limits.h", "locale.h", "math.h",   "setjmp.h",   "signal.h",
+    "stdarg.h", "stddef.h", "stdint.h", "stdio.h",    "stdlib.h",
+    "string.h", "time.h",   "wchar.h"};
 
 }  // namespace detail
-
-/// A parsed allow annotation (rule suppression with a documented reason).
-struct Allow {
-  int line = 1;
-  std::string rule;
-  std::string reason;
-};
-
-/// Extracts all allow annotations from the comment tokens; malformed ones
-/// (unknown rule, missing reason) become allow-syntax findings. Markers in
-/// string literals never reach this function — strings are distinct tokens.
-inline std::vector<Allow> parse_allows(const std::vector<Token>& toks,
-                                       const std::string& file,
-                                       std::vector<Finding>& out) {
-  static constexpr std::string_view kMarker = "FCRLINT_ALLOW";
-  std::vector<Allow> allows;
-  for (const Token& tok : toks) {
-    if (!tok.comment()) continue;
-    const std::string_view text = tok.text;
-    for (std::size_t pos = text.find(kMarker); pos != std::string_view::npos;
-         pos = text.find(kMarker, pos + kMarker.size())) {
-      const int line =
-          tok.line + static_cast<int>(
-                         std::count(text.begin(),
-                                    text.begin() + static_cast<std::ptrdiff_t>(pos),
-                                    '\n'));
-      std::size_t i = pos + kMarker.size();
-      auto bad = [&](const std::string& why) {
-        out.push_back({file, line, "allow-syntax",
-                       "malformed FCRLINT_ALLOW annotation: " + why +
-                           " — expected FCRLINT_ALLOW(<rule>): <reason>"});
-      };
-      if (i >= text.size() || text[i] != '(') {
-        bad("missing '(<rule>)'");
-        continue;
-      }
-      const std::size_t close = text.find(')', i);
-      const std::size_t eol = text.find('\n', i);
-      if (close == std::string_view::npos ||
-          (eol != std::string_view::npos && close > eol)) {
-        bad("missing ')'");
-        continue;
-      }
-      const std::string rule(text.substr(i + 1, close - i - 1));
-      if (!is_known_rule(rule)) {
-        bad("unknown rule '" + rule + "'");
-        continue;
-      }
-      i = close + 1;
-      while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
-      if (i >= text.size() || text[i] != ':') {
-        bad("missing ': <reason>'");
-        continue;
-      }
-      ++i;
-      std::size_t end = text.find('\n', i);
-      if (end == std::string_view::npos) end = text.size();
-      std::string reason(text.substr(i, end - i));
-      // A one-line block comment runs the reason into the closing marker;
-      // strip the trailing */ so block-comment annotations parse cleanly.
-      if (tok.kind == TokKind::kBlockComment) {
-        const std::size_t trail = reason.rfind("*/");
-        if (trail != std::string::npos) reason.erase(trail);
-      }
-      const std::size_t first = reason.find_first_not_of(" \t");
-      const std::size_t last = reason.find_last_not_of(" \t\r");
-      reason = first == std::string::npos
-                   ? std::string{}
-                   : reason.substr(first, last - first + 1);
-      if (reason.empty()) {
-        bad("empty reason");
-        continue;
-      }
-      allows.push_back({line, rule, reason});
-    }
-  }
-  return allows;
-}
-
-inline bool allowed_on_line(const std::vector<Allow>& allows,
-                            std::string_view rule, int line) {
-  return std::any_of(allows.begin(), allows.end(), [&](const Allow& a) {
-    return a.rule == rule && (a.line == line || a.line == line - 1);
-  });
-}
-
-inline bool allowed_anywhere(const std::vector<Allow>& allows,
-                             std::string_view rule) {
-  return std::any_of(allows.begin(), allows.end(),
-                     [&](const Allow& a) { return a.rule == rule; });
-}
 
 // ---------------------------------------------------------------------------
 // Rules. Each takes the repo-relative path (generic '/' separators), the
@@ -426,11 +239,6 @@ inline std::vector<Finding> check_include_hygiene(
     const std::string& path, const std::vector<Token>& toks,
     const std::vector<Allow>& allows) {
   std::vector<Finding> out;
-  static constexpr std::string_view kDeprecatedC[] = {
-      "assert.h", "ctype.h",  "errno.h",  "float.h",    "inttypes.h",
-      "limits.h", "locale.h", "math.h",   "setjmp.h",   "signal.h",
-      "stdarg.h", "stddef.h", "stdint.h", "stdio.h",    "stdlib.h",
-      "string.h", "time.h",   "wchar.h"};
   for (const Token& t : toks) {
     if (t.kind != TokKind::kHeaderName) continue;
     if (allowed_on_line(allows, "include-hygiene", t.line)) continue;
@@ -449,7 +257,7 @@ inline std::vector<Finding> check_include_hygiene(
     if (detail::starts_with(text, "<bits/")) {
       flag("<bits/...> is a libstdc++ internal — include the standard header");
     }
-    for (const std::string_view dep : kDeprecatedC) {
+    for (const std::string_view dep : detail::kDeprecatedC) {
       if (text == "<" + std::string(dep) + ">") {
         flag("deprecated C header " + std::string(text) + " — use <c" +
              std::string(dep.substr(0, dep.size() - 2)) + ">");
@@ -1021,38 +829,83 @@ inline std::vector<Finding> run_file_rules(const PreparedFile& f) {
   return out;
 }
 
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Artifacts: everything the tree analyses need per file, derived purely from
+// (path, content). Because artifacts are a pure function of the file bytes,
+// the cache layer (fcrlint_cache.hpp) can persist them keyed by a content
+// hash and a warm run never re-lexes an unchanged file. Cross-file findings
+// (include cycles, the interprocedural model rules) are recomputed from the
+// artifacts on every run — they depend on the whole tree, not one file.
+// ---------------------------------------------------------------------------
+
+/// One quoted include of a src/ file, as written (the text between quotes).
+struct IncludeEdge {
+  int line = 1;
+  std::string inner;
+};
+
+struct FileArtifacts {
+  std::string path;
+  std::vector<Finding> findings;      ///< per-file rule findings, sorted
+  std::vector<Allow> allows;
+  std::vector<IncludeEdge> includes;  ///< quoted includes (src/ files only)
+  bool has_model = false;
+  model::FileModel model;             ///< populated for src/ files
+};
+
+/// Lexes one file and runs every per-file analysis: rule findings, allow
+/// annotations, include edges, and the program-model extraction.
+inline FileArtifacts prepare_artifacts(const std::string& path,
+                                       std::string_view content) {
+  detail::PreparedFile f = detail::prepare(path, content);
+  FileArtifacts a;
+  a.path = path;
+  a.findings = detail::run_file_rules(f);
+  if (detail::starts_with(path, "src/")) {
+    for (const Token& t : f.toks) {
+      if (t.kind == TokKind::kHeaderName && t.text.size() >= 2 &&
+          t.text.front() == '"') {
+        a.includes.push_back({t.line, t.text.substr(1, t.text.size() - 2)});
+      }
+    }
+    a.model = model::extract(path, f.toks);
+    a.has_model = true;
+  }
+  a.allows = std::move(f.allows);
+  return a;
+}
+
+namespace detail {
+
 /// Cross-file half of the layering rule: the src/ include graph must be
 /// acyclic. Quoted includes are resolved src-relatively (bare names resolve
 /// to the including file's directory); each back edge found by the DFS is
 /// one finding at the offending #include.
 inline std::vector<Finding> check_include_cycles(
-    const std::vector<PreparedFile>& files) {
+    const std::vector<FileArtifacts>& files) {
   struct Edge {
     std::string target;
     int line = 1;
   };
   std::map<std::string, std::vector<Edge>> graph;
-  std::map<std::string, const PreparedFile*> by_path;
-  for (const PreparedFile& f : files) {
+  std::map<std::string, const FileArtifacts*> by_path;
+  for (const FileArtifacts& f : files) {
     if (!starts_with(f.path, "src/")) continue;
     by_path[f.path] = &f;
   }
   for (const auto& [path, file] : by_path) {
     std::vector<Edge>& edges = graph[path];
-    for (const Token& t : file->toks) {
-      if (t.kind != TokKind::kHeaderName || t.text.size() < 2 ||
-          t.text.front() != '"') {
-        continue;
-      }
-      const std::string inner = t.text.substr(1, t.text.size() - 2);
+    for (const IncludeEdge& inc : file->includes) {
       std::string target;
-      if (inner.find('/') != std::string::npos) {
-        target = "src/" + inner;
+      if (inc.inner.find('/') != std::string::npos) {
+        target = "src/" + inc.inner;
       } else {
         const std::size_t dir_end = path.rfind('/');
-        target = path.substr(0, dir_end + 1) + inner;
+        target = path.substr(0, dir_end + 1) + inc.inner;
       }
-      if (by_path.count(target) != 0) edges.push_back({target, t.line});
+      if (by_path.count(target) != 0) edges.push_back({target, inc.line});
     }
   }
 
@@ -1075,7 +928,7 @@ inline std::vector<Finding> check_include_cycles(
           if (in_cycle) cycle += s + " -> ";
         }
         cycle += e.target;
-        const PreparedFile& f = *by_path[node];
+        const FileArtifacts& f = *by_path[node];
         if (!allowed_on_line(f.allows, "layering", e.line)) {
           out.push_back({node, e.line, "layering",
                          "include cycle: " + cycle +
@@ -1099,27 +952,32 @@ inline std::vector<Finding> check_include_cycles(
 }  // namespace detail
 
 /// Runs every per-file rule on one file. `path` must be repo-relative with
-/// '/' separators (e.g. "src/sinr/channel.cpp").
+/// '/' separators (e.g. "src/sinr/channel.cpp"). The interprocedural rules
+/// need the whole tree and therefore run only in lint_tree/finalize_tree.
 inline std::vector<Finding> lint_file(const std::string& path,
                                       std::string_view content) {
   return detail::run_file_rules(detail::prepare(path, content));
 }
 
-/// Runs the per-file rules on every input plus the cross-file analyses
-/// (include-graph cycles). Findings are sorted by (file, line, rule).
-inline std::vector<Finding> lint_tree(const std::vector<FileInput>& files) {
-  std::vector<detail::PreparedFile> prepared;
-  prepared.reserve(files.size());
-  for (const FileInput& f : files) {
-    prepared.push_back(detail::prepare(f.path, f.content));
-  }
+/// Combines per-file artifacts into the tree verdict: cached per-file
+/// findings plus the cross-file analyses (include cycles, the four
+/// interprocedural model rules). Findings are sorted by (file, line, rule).
+inline std::vector<Finding> finalize_tree(
+    const std::vector<FileArtifacts>& files) {
   std::vector<Finding> out;
-  for (const detail::PreparedFile& f : prepared) {
-    const std::vector<Finding> file_findings = detail::run_file_rules(f);
-    out.insert(out.end(), file_findings.begin(), file_findings.end());
+  for (const FileArtifacts& f : files) {
+    out.insert(out.end(), f.findings.begin(), f.findings.end());
   }
-  const std::vector<Finding> cycles = detail::check_include_cycles(prepared);
+  const std::vector<Finding> cycles = detail::check_include_cycles(files);
   out.insert(out.end(), cycles.begin(), cycles.end());
+  std::vector<model::TreeFile> tree;
+  tree.reserve(files.size());
+  for (const FileArtifacts& f : files) {
+    if (!f.has_model) continue;
+    tree.push_back({f.path, &f.model, &f.allows});
+  }
+  const std::vector<Finding> interproc = model::check_model_rules(tree);
+  out.insert(out.end(), interproc.begin(), interproc.end());
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -1127,6 +985,16 @@ inline std::vector<Finding> lint_tree(const std::vector<FileInput>& files) {
     return a.message < b.message;
   });
   return out;
+}
+
+/// Runs the per-file rules on every input plus the cross-file analyses.
+inline std::vector<Finding> lint_tree(const std::vector<FileInput>& files) {
+  std::vector<FileArtifacts> artifacts;
+  artifacts.reserve(files.size());
+  for (const FileInput& f : files) {
+    artifacts.push_back(prepare_artifacts(f.path, f.content));
+  }
+  return finalize_tree(artifacts);
 }
 
 }  // namespace fcrlint

@@ -1,0 +1,102 @@
+# CTest script: --fix round-trip. Stage a tree with the two mechanically
+# fixable defects (header missing #pragma once, deprecated C header
+# includes), run `fcrlint --fix` twice, and require:
+#   1. the first pass rewrites the files (pragma inserted after the doc
+#      comment, <math.h> -> <cmath>, <stdlib.h> -> <cstdlib>);
+#   2. the second pass is a no-op — byte-identical files (idempotency);
+#   3. a plain lint of the fixed tree reports zero findings.
+#
+# Expected -D definitions: FCRLINT (binary), WORKDIR.
+if(NOT FCRLINT OR NOT WORKDIR)
+  message(FATAL_ERROR "fix_check.cmake needs -DFCRLINT, -DWORKDIR")
+endif()
+
+set(stage "${WORKDIR}/fix_stage")
+file(REMOVE_RECURSE "${stage}")
+file(MAKE_DIRECTORY "${stage}/src/util")
+
+# Header: leading doc comment, no pragma, deprecated C include. The fix must
+# insert the pragma AFTER the comment block and before the include.
+file(WRITE "${stage}/src/util/fixme.hpp"
+"// doc comment block that must stay first
+// (the pragma goes after it)
+#include <math.h>
+
+inline double fixme_twice(double x) { return 2.0 * std::sqrt(x); }
+")
+
+# Implementation file: deprecated C headers only (no pragma rule for .cpp).
+file(WRITE "${stage}/src/util/fixme.cpp"
+"// FCRLINT_ALLOW(ensure-arg): fixture exercises only the include rewrite
+#include \"util/fixme.hpp\"
+#include <stdlib.h>
+#include <string.h>
+
+int fixme_len(const char* s) { return static_cast<int>(std::strlen(s)); }
+")
+
+# An FCRLINT_ALLOW'd deprecated include must survive --fix untouched: the
+# fix engine honours suppressions exactly like the reporting rule does.
+file(WRITE "${stage}/src/util/keep.cpp"
+"// FCRLINT_ALLOW(ensure-arg): fixture
+// FCRLINT_ALLOW(include-hygiene): exercising that --fix honours allows
+#include <time.h>
+
+int keep_zero() { return 0; }
+")
+
+execute_process(
+  COMMAND "${FCRLINT}" --root "${stage}" --quiet --fix src
+  RESULT_VARIABLE fix1_rc
+  OUTPUT_VARIABLE fix1_out)
+# Exit 0 expected: after fixing, the staged tree lints clean.
+if(NOT fix1_rc EQUAL 0)
+  message(FATAL_ERROR "first --fix pass exited ${fix1_rc}:\n${fix1_out}")
+endif()
+if(NOT fix1_out MATCHES "fixed src/util/fixme.hpp")
+  message(FATAL_ERROR "first pass did not report fixing fixme.hpp:\n${fix1_out}")
+endif()
+
+file(READ "${stage}/src/util/fixme.hpp" hpp_after)
+file(READ "${stage}/src/util/fixme.cpp" cpp_after)
+file(READ "${stage}/src/util/keep.cpp" keep_after)
+if(NOT hpp_after MATCHES "the pragma goes after it.\n#pragma once\n#include <cmath>")
+  message(FATAL_ERROR "fixme.hpp not fixed as expected:\n${hpp_after}")
+endif()
+if(hpp_after MATCHES "math\\.h")
+  message(FATAL_ERROR "fixme.hpp still includes <math.h>:\n${hpp_after}")
+endif()
+if(NOT cpp_after MATCHES "<cstdlib>" OR NOT cpp_after MATCHES "<cstring>")
+  message(FATAL_ERROR "fixme.cpp includes not rewritten:\n${cpp_after}")
+endif()
+if(NOT keep_after MATCHES "<time\\.h>")
+  message(FATAL_ERROR "--fix rewrote an FCRLINT_ALLOW'd include:\n${keep_after}")
+endif()
+
+# Second pass: must not touch anything.
+execute_process(
+  COMMAND "${FCRLINT}" --root "${stage}" --quiet --fix src
+  RESULT_VARIABLE fix2_rc
+  OUTPUT_VARIABLE fix2_out)
+if(NOT fix2_rc EQUAL 0)
+  message(FATAL_ERROR "second --fix pass exited ${fix2_rc}:\n${fix2_out}")
+endif()
+if(fix2_out MATCHES "fixed ")
+  message(FATAL_ERROR "--fix is not idempotent:\n${fix2_out}")
+endif()
+file(READ "${stage}/src/util/fixme.hpp" hpp_again)
+file(READ "${stage}/src/util/fixme.cpp" cpp_again)
+if(NOT hpp_after STREQUAL hpp_again OR NOT cpp_after STREQUAL cpp_again)
+  message(FATAL_ERROR "second --fix pass changed file contents")
+endif()
+
+# Fixed tree lints clean without --fix.
+execute_process(
+  COMMAND "${FCRLINT}" --root "${stage}" --quiet src
+  RESULT_VARIABLE lint_rc
+  OUTPUT_VARIABLE lint_out)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "fixed tree still has findings:\n${lint_out}")
+endif()
+
+message(STATUS "fix round-trip OK: idempotent, allows honoured, tree clean")
