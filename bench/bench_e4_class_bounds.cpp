@@ -46,8 +46,8 @@ std::vector<std::vector<std::size_t>> record_class_sizes(
 
   const auto rebuild = [&](const RoundView& view) {
     std::vector<NodeId> active;
-    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      if (view.nodes[id]->is_contending()) active.push_back(id);
+    for (NodeId id = 0; id < view.size(); ++id) {
+      if (view.is_contending(id)) active.push_back(id);
     }
     was_active.assign(dep.size(), 0);
     for (const NodeId id : active) was_active[id] = 1;
@@ -62,8 +62,8 @@ std::vector<std::vector<std::size_t>> record_class_sizes(
                   } else {
                     knocked.clear();
                     bool rejoined = false;
-                    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-                      const bool now = view.nodes[id]->is_contending();
+                    for (NodeId id = 0; id < view.size(); ++id) {
+                      const bool now = view.is_contending(id);
                       if (was_active[id] && !now) {
                         knocked.push_back(id);
                         was_active[id] = 0;

@@ -188,6 +188,27 @@ void BM_FullExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_FullExecution)->Arg(64)->Arg(256)->Arg(1024);
 
+void BM_FullExecutionVirtual(benchmark::State& state) {
+  // The per-node virtual engine, pinned explicitly. BM_FullExecution above
+  // runs the default path (columnar at these sizes); the pair yields the
+  // machine-independent columnar-vs-virtual ratio that
+  // scripts/perf_compare.py regression-gates.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const FadingContentionResolution algo;
+  EngineConfig config;
+  config.max_rounds = 100000;
+  config.path = ExecutionPath::kVirtual;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const RunResult r =
+        run_execution(dep, algo, *channel, config, Rng(seed++));
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_FullExecutionVirtual)->Arg(64)->Arg(256)->Arg(1024);
+
 /// Shared body for the instrumented-sweep benches: one full execution per
 /// iteration with a per-round link-class census observer. `incremental`
 /// selects the persistent partition shrunk by apply_knockouts (the
@@ -225,8 +246,8 @@ void run_instrumented_trial(benchmark::State& state, bool incremental) {
       if (!incremental) {
         // The pre-workspace pattern: scan everyone, build from scratch.
         active.clear();
-        for (NodeId id = 0; id < view.nodes.size(); ++id) {
-          if (view.nodes[id]->is_contending()) active.push_back(id);
+        for (NodeId id = 0; id < view.size(); ++id) {
+          if (view.is_contending(id)) active.push_back(id);
         }
         part.emplace(dep, active);
       } else {
@@ -238,7 +259,7 @@ void run_instrumented_trial(benchmark::State& state, bool incremental) {
         // the steady-state sweep.)
         knocked.clear();
         for (const NodeId id : part->active()) {
-          if (!view.nodes[id]->is_contending()) knocked.push_back(id);
+          if (!view.is_contending(id)) knocked.push_back(id);
         }
         part->apply_knockouts(knocked);
       }

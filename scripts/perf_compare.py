@@ -30,6 +30,10 @@ THRESHOLD = 1.25  # fail when fresh_ratio > baseline_ratio * THRESHOLD
 RATIOS = [
     ("batch-resolve", "BM_BatchResolve/4096", "BM_SinrResolve/4096"),
     ("instrumented-trial", "BM_TrialWorkspace/256", "BM_FullExecution/256"),
+    # Columnar round loop vs the per-node virtual engine at the headline
+    # size. Ratio < 1 means columnar is faster; growth past the baseline
+    # means the SoA path regressed relative to its in-process reference.
+    ("columnar-execution", "BM_FullExecution/1024", "BM_FullExecutionVirtual/1024"),
 ]
 
 

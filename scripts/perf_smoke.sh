@@ -14,16 +14,18 @@
 # informational here; CI regression-gates on machine-independent RATIOS
 # via scripts/perf_compare.py instead.
 #
-# Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE]
+# Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE] [--exec-out FILE]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 OUT=BENCH_resolve.json
+EXEC_OUT=BENCH_execution.json
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --exec-out) EXEC_OUT="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 1 ;;
   esac
 done
@@ -38,7 +40,7 @@ TMP="$(mktemp --suffix=.json)"
 trap 'rm -f "$TMP"' EXIT
 
 "$BIN" \
-  --benchmark_filter='BM_SinrResolve/|BM_BatchResolve/|BM_FullExecution/|BM_Trial' \
+  --benchmark_filter='BM_SinrResolve/|BM_BatchResolve/|BM_FullExecution|BM_Trial' \
   --benchmark_out="$TMP" \
   --benchmark_out_format=json
 
@@ -59,8 +61,20 @@ fi
 mv "$TMP" "$OUT"
 trap - EXIT
 
-# Non-gating speedup report: batch vs reference scan per n, plus the
-# incremental-instrumentation gain on the trial benches.
+# Execution-engine artifact: the BM_FullExecution* subset in its own JSON
+# so CI can upload the columnar-vs-virtual numbers separately and the
+# perf_compare columnar gate has a small, stable reference file.
+python3 - "$OUT" "$EXEC_OUT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["benchmarks"] = [b for b in doc["benchmarks"]
+                     if b["name"].startswith("BM_FullExecution")]
+json.dump(doc, open(sys.argv[2], "w"), indent=1)
+EOF
+
+# Non-gating speedup report: batch vs reference scan per n, the
+# incremental-instrumentation gain on the trial benches, and the columnar
+# round loop vs the per-node virtual engine.
 python3 - "$OUT" <<'EOF' || true
 import json, sys
 runs = {b["name"]: b["real_time"] for b in json.load(open(sys.argv[1]))["benchmarks"]}
@@ -78,6 +92,12 @@ if rebuild and incr:
     print(f"perf_smoke: instrumented trial n=256: per-round rebuild "
           f"{rebuild/1e6:.3f} ms, incremental {incr/1e6:.3f} ms, "
           f"speedup {rebuild/incr:.2f}x")
+for n in (64, 256, 1024):
+    virt = runs.get(f"BM_FullExecutionVirtual/{n}")
+    col = runs.get(f"BM_FullExecution/{n}")
+    if virt and col:
+        print(f"perf_smoke: execution n={n}: virtual {virt/1e6:.3f} ms, "
+              f"columnar {col/1e6:.3f} ms, speedup {virt/col:.2f}x")
 EOF
 
-echo "perf_smoke: wrote $OUT (fcr_build_type=$BUILD_TYPE)"
+echo "perf_smoke: wrote $OUT and $EXEC_OUT (fcr_build_type=$BUILD_TYPE)"

@@ -50,4 +50,17 @@ NodeProtocol* SlottedAloha::construct_node_at(void* storage, NodeId /*id*/,
       AlohaNode(1.0 / static_cast<double>(size_bound_), rng);
 }
 
+void SlottedAloha::columnar_init(ColumnarState& state) const {
+  // Published for instrumentation; the decide pass uses the shared value.
+  const double p = 1.0 / static_cast<double>(size_bound_);
+  for (double& slot : state.probability) slot = p;
+}
+
+void SlottedAloha::columnar_decide(std::uint64_t /*round*/,
+                                   ColumnarState& state,
+                                   std::span<std::uint64_t> decisions) const {
+  columnar_bernoulli_all(state, 1.0 / static_cast<double>(size_bound_),
+                         decisions);
+}
+
 }  // namespace fcr

@@ -18,7 +18,7 @@
 namespace fcr {
 
 /// Fixed probability 1/N every round; N should be (an estimate of) n.
-class SlottedAloha final : public Algorithm {
+class SlottedAloha final : public Algorithm, public ColumnarAlgorithm {
  public:
   explicit SlottedAloha(std::size_t size_bound);
 
@@ -27,6 +27,10 @@ class SlottedAloha final : public Algorithm {
   NodeLayout node_layout() const override;
   NodeProtocol* construct_node_at(void* storage, NodeId id,
                                   Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_init(ColumnarState& state) const override;
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }

@@ -1,5 +1,7 @@
 #include "algorithms/backoff.hpp"
 
+#include <new>
+
 // FCRLINT_ALLOW(ensure-arg): make_node accepts any id and any Rng stream;
 // the protocol has no parameters with invalid values.
 
@@ -36,6 +38,37 @@ class BackoffNode final : public NodeProtocol {
 std::unique_ptr<NodeProtocol> BinaryExponentialBackoff::make_node(
     NodeId /*id*/, Rng rng) const {
   return std::make_unique<BackoffNode>(rng);
+}
+
+NodeLayout BinaryExponentialBackoff::node_layout() const {
+  return {sizeof(BackoffNode), alignof(BackoffNode)};
+}
+
+NodeProtocol* BinaryExponentialBackoff::construct_node_at(void* storage,
+                                                          NodeId /*id*/,
+                                                          Rng rng) const {
+  return ::new (storage) BackoffNode(rng);
+}
+
+void BinaryExponentialBackoff::columnar_decide(
+    std::uint64_t round, ColumnarState& state,
+    std::span<std::uint64_t> decisions) const {
+  // The engine visits rounds 1, 2, 3, ... consecutively, so BackoffNode's
+  // lazy "round > epoch_end_" re-draw fires exactly at the epoch-start
+  // rounds 2^e - 1 (1, 3, 7, 15, ...), where the window is round + 1.
+  // Matching draw order: every node draws once, in id order, at those
+  // rounds and only those.
+  if (((round + 1) & round) == 0) {
+    const std::uint64_t window = round + 1;
+    for (NodeId id = 0; id < state.node_count; ++id) {
+      state.aux[id] = round + state.rng[id].uniform_int(window);
+    }
+  }
+  for (NodeId id = 0; id < state.node_count; ++id) {
+    if (state.aux[id] == round) {
+      decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
 }
 
 }  // namespace fcr

@@ -17,13 +17,24 @@
 
 namespace fcr {
 
-/// Windowed binary exponential backoff (no feedback required).
-class BinaryExponentialBackoff final : public Algorithm {
+/// Windowed binary exponential backoff (no feedback required). Epoch
+/// boundaries are a global function of the round (epoch e spans rounds
+/// [2^e - 1, 2^{e+1} - 2] with window 2^e), so the columnar form stores
+/// each node's chosen slot in the aux column: one uniform draw per node at
+/// epoch-start rounds, a flat compare everywhere else.
+class BinaryExponentialBackoff final : public Algorithm,
+                                       public ColumnarAlgorithm {
  public:
   BinaryExponentialBackoff() = default;
 
   std::string name() const override { return "binary-backoff"; }
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
 };
 
 }  // namespace fcr

@@ -1,6 +1,7 @@
 #include "algorithms/decay.hpp"
 
 #include <cmath>
+#include <new>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -75,9 +76,45 @@ std::unique_ptr<NodeProtocol> DecayKnownN::make_node(NodeId /*id*/, Rng rng) con
   return std::make_unique<DecayKnownNNode>(sweep_length_, rng);
 }
 
+NodeLayout DecayKnownN::node_layout() const {
+  return {sizeof(DecayKnownNNode), alignof(DecayKnownNNode)};
+}
+
+NodeProtocol* DecayKnownN::construct_node_at(void* storage, NodeId /*id*/,
+                                             Rng rng) const {
+  return ::new (storage) DecayKnownNNode(sweep_length_, rng);
+}
+
+void DecayKnownN::columnar_decide(std::uint64_t round, ColumnarState& state,
+                                  std::span<std::uint64_t> decisions) const {
+  const std::uint64_t slot = (round - 1) % sweep_length_;
+  columnar_bernoulli_all(state, ladder_probability(slot), decisions);
+}
+
 std::unique_ptr<NodeProtocol> DecayDoubling::make_node(NodeId /*id*/,
                                                        Rng rng) const {
   return std::make_unique<DecayDoublingNode>(rng);
+}
+
+NodeLayout DecayDoubling::node_layout() const {
+  return {sizeof(DecayDoublingNode), alignof(DecayDoublingNode)};
+}
+
+NodeProtocol* DecayDoubling::construct_node_at(void* storage, NodeId /*id*/,
+                                               Rng rng) const {
+  return ::new (storage) DecayDoublingNode(rng);
+}
+
+void DecayDoubling::columnar_decide(std::uint64_t round, ColumnarState& state,
+                                    std::span<std::uint64_t> decisions) const {
+  // Same epoch walk as DecayDoublingNode, hoisted out of the per-node loop.
+  std::uint64_t r = round - 1;
+  std::uint64_t epoch = 1;
+  while (r >= epoch) {
+    r -= epoch;
+    ++epoch;
+  }
+  columnar_bernoulli_all(state, ladder_probability(r), decisions);
 }
 
 }  // namespace fcr

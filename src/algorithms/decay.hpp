@@ -24,13 +24,21 @@
 
 namespace fcr {
 
-/// Decay with a known size bound N >= n.
-class DecayKnownN final : public Algorithm {
+/// Decay with a known size bound N >= n. The sweep slot — and with it the
+/// broadcast probability — is a global function of the round, so the
+/// columnar decide pass computes it once and draws one bernoulli per node.
+class DecayKnownN final : public Algorithm, public ColumnarAlgorithm {
  public:
   explicit DecayKnownN(std::size_t size_bound);
 
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }
@@ -41,13 +49,21 @@ class DecayKnownN final : public Algorithm {
   std::size_t sweep_length_;  ///< L = ceil(log2 N) + 1
 };
 
-/// Decay with doubling size estimate; needs no knowledge of n.
-class DecayDoubling final : public Algorithm {
+/// Decay with doubling size estimate; needs no knowledge of n. Like
+/// DecayKnownN, the epoch/slot pair is round-global: the columnar pass
+/// walks the epoch triangle once per round instead of once per node.
+class DecayDoubling final : public Algorithm, public ColumnarAlgorithm {
  public:
   DecayDoubling() = default;
 
   std::string name() const override { return "decay-doubling"; }
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
 };
 
 }  // namespace fcr

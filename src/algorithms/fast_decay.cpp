@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -49,6 +50,24 @@ std::string FastDecay::name() const {
 
 std::unique_ptr<NodeProtocol> FastDecay::make_node(NodeId /*id*/, Rng rng) const {
   return std::make_unique<FastDecayNode>(sigma_, sweep_length_, rng);
+}
+
+NodeLayout FastDecay::node_layout() const {
+  return {sizeof(FastDecayNode), alignof(FastDecayNode)};
+}
+
+NodeProtocol* FastDecay::construct_node_at(void* storage, NodeId /*id*/,
+                                           Rng rng) const {
+  return ::new (storage) FastDecayNode(sigma_, sweep_length_, rng);
+}
+
+void FastDecay::columnar_decide(std::uint64_t round, ColumnarState& state,
+                                std::span<std::uint64_t> decisions) const {
+  // Identical expression to FastDecayNode::on_round_begin so the bernoulli
+  // thresholds match bit for bit; computed once per round, not per node.
+  const std::uint64_t slot = (round - 1) % sweep_length_;
+  const double p = 0.5 * std::pow(sigma_, -static_cast<double>(slot));
+  columnar_bernoulli_all(state, p, decisions);
 }
 
 }  // namespace fcr

@@ -29,13 +29,22 @@
 
 namespace fcr {
 
-/// Fast-decay contention resolution with known size bound N.
-class FastDecay final : public Algorithm {
+/// Fast-decay contention resolution with known size bound N. The slot
+/// probability 0.5 * sigma^{-slot} depends only on the round, so the
+/// columnar pass hoists the std::pow out of the per-node loop — the
+/// virtual path recomputes it n times per round.
+class FastDecay final : public Algorithm, public ColumnarAlgorithm {
  public:
   explicit FastDecay(std::size_t size_bound);
 
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }

@@ -52,4 +52,14 @@ NodeProtocol* NoKnockoutControl::construct_node_at(void* storage,
   return ::new (storage) NoKnockoutNode(p_, rng);
 }
 
+void NoKnockoutControl::columnar_init(ColumnarState& state) const {
+  for (double& slot : state.probability) slot = p_;
+}
+
+void NoKnockoutControl::columnar_decide(
+    std::uint64_t /*round*/, ColumnarState& state,
+    std::span<std::uint64_t> decisions) const {
+  columnar_bernoulli_all(state, p_, decisions);
+}
+
 }  // namespace fcr

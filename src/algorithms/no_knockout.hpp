@@ -16,7 +16,7 @@
 namespace fcr {
 
 /// Constant-probability transmission with no deactivation.
-class NoKnockoutControl final : public Algorithm {
+class NoKnockoutControl final : public Algorithm, public ColumnarAlgorithm {
  public:
   explicit NoKnockoutControl(double broadcast_probability = 0.2);
 
@@ -25,6 +25,10 @@ class NoKnockoutControl final : public Algorithm {
   NodeLayout node_layout() const override;
   NodeProtocol* construct_node_at(void* storage, NodeId id,
                                   Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_init(ColumnarState& state) const override;
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
 
   double broadcast_probability() const { return p_; }
 

@@ -27,6 +27,9 @@ class SiftWindow final : public Algorithm {
 
   std::string name() const override;
   std::unique_ptr<NodeProtocol> make_node(NodeId id, Rng rng) const override;
+  NodeLayout node_layout() const override;
+  NodeProtocol* construct_node_at(void* storage, NodeId id,
+                                  Rng rng) const override;
 
   std::size_t window() const { return window_; }
   double skew() const { return skew_; }

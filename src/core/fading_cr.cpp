@@ -1,5 +1,6 @@
 #include "core/fading_cr.hpp"
 
+#include <bit>
 #include <new>
 #include <sstream>
 
@@ -43,6 +44,43 @@ NodeProtocol* FadingContentionResolution::construct_node_at(void* storage,
                                                             NodeId /*id*/,
                                                             Rng rng) const {
   return ::new (storage) FadingNode(p_, rng);
+}
+
+void FadingContentionResolution::columnar_init(ColumnarState& state) const {
+  for (double& p : state.probability) p = p_;
+}
+
+void FadingContentionResolution::columnar_decide(
+    std::uint64_t /*round*/, ColumnarState& state,
+    std::span<std::uint64_t> decisions) const {
+  // Word-skipping sweep: inactive nodes draw nothing, exactly like an
+  // inactive FadingNode's on_round_begin early return. countr_zero visits
+  // set bits in ascending id order, so the draw order matches the virtual
+  // path's id loop.
+  for (std::size_t w = 0; w < state.active.size(); ++w) {
+    std::uint64_t bits = state.active[w];
+    std::uint64_t dec = 0;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      if (state.rng[id].bernoulli(state.probability[id])) {
+        dec |= std::uint64_t{1} << b;
+      }
+    }
+    decisions[w] |= dec;
+  }
+}
+
+void FadingContentionResolution::columnar_feedback(
+    ColumnarState& state, std::span<const NodeId> listeners,
+    std::span<const Feedback> feedback) const {
+  // The knockout rule as a bitmask clear; deactivate() is idempotent, so
+  // already-inactive listeners (present in observed rounds) are no-ops
+  // just as FadingNode::on_round_end is for them.
+  for (std::size_t i = 0; i < listeners.size(); ++i) {
+    if (feedback[i].received) state.deactivate(listeners[i]);
+  }
 }
 
 }  // namespace fcr

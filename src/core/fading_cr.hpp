@@ -40,8 +40,13 @@ class FadingNode final : public NodeProtocol {
   bool active_ = true;
 };
 
-/// Algorithm factory for FadingNode.
-class FadingContentionResolution final : public Algorithm {
+/// Algorithm factory for FadingNode. Also implements the columnar (SoA)
+/// capability: the per-node state is exactly (probability, active bit,
+/// rng), so the algorithm maps onto the engine's columns with no residue —
+/// decide is a bernoulli sweep over the active bitmask, the knockout rule
+/// is a bitmask clear.
+class FadingContentionResolution final : public Algorithm,
+                                         public ColumnarAlgorithm {
  public:
   explicit FadingContentionResolution(
       double broadcast_probability = kDefaultBroadcastProbability);
@@ -54,6 +59,14 @@ class FadingContentionResolution final : public Algorithm {
   NodeLayout node_layout() const override;
   NodeProtocol* construct_node_at(void* storage, NodeId id,
                                   Rng rng) const override;
+
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_init(ColumnarState& state) const override;
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
+  void columnar_feedback(ColumnarState& state,
+                         std::span<const NodeId> listeners,
+                         std::span<const Feedback> feedback) const override;
 
   double broadcast_probability() const { return p_; }
 

@@ -15,9 +15,9 @@ KnockoutForest::KnockoutForest(std::size_t node_count)
 
 RoundObserver KnockoutForest::observer() {
   return [this](const RoundView& view) {
-    FCR_CHECK_MSG(view.nodes.size() == killer_.size(),
+    FCR_CHECK_MSG(view.size() == killer_.size(),
                   "forest sized for " << killer_.size() << " nodes, round has "
-                                      << view.nodes.size());
+                                      << view.size());
     for (std::size_t i = 0; i < view.listeners.size(); ++i) {
       const NodeId listener = view.listeners[i];
       const Feedback& f = view.listener_feedback[i];
@@ -25,13 +25,13 @@ RoundObserver KnockoutForest::observer() {
       // reports not contending. Nodes that decode while already inactive
       // are not re-recorded.
       if (f.received && was_contending_[listener] &&
-          !view.nodes[listener]->is_contending()) {
+          !view.is_contending(listener)) {
         killer_[listener] = f.sender;
         round_[listener] = view.round;
       }
     }
-    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      was_contending_[id] = view.nodes[id]->is_contending();
+    for (NodeId id = 0; id < view.size(); ++id) {
+      was_contending_[id] = view.is_contending(id);
     }
   };
 }

@@ -19,17 +19,17 @@ RoundAnalysisPipeline::RoundAnalysisPipeline(const Deployment& dep,
 
 RoundObserver RoundAnalysisPipeline::observer() {
   return [this](const RoundView& view) {
-    FCR_CHECK_MSG(view.nodes.size() == was_contending_.size(),
+    FCR_CHECK_MSG(view.size() == was_contending_.size(),
                   "pipeline sized for " << was_contending_.size()
                                         << " nodes, round has "
-                                        << view.nodes.size());
+                                        << view.size());
     // Pre-round active set, this round's knockouts, and any rejoiners
     // (a node reporting is_contending after having stopped).
     pre_active_.clear();
     knocked_.clear();
     bool rejoined = false;
-    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      const bool now = view.nodes[id]->is_contending();
+    for (NodeId id = 0; id < view.size(); ++id) {
+      const bool now = view.is_contending(id);
       if (was_contending_[id]) {
         pre_active_.push_back(id);
         if (!now) {

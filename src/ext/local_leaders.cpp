@@ -38,8 +38,8 @@ LocalLeaderResult elect_local_leaders(const Deployment& dep,
   config.stop_when = [&](const RoundView& view) {
     rounds_seen = view.round;
     final_active.clear();
-    for (NodeId id = 0; id < view.nodes.size(); ++id) {
-      if (view.nodes[id]->is_contending()) final_active.push_back(id);
+    for (NodeId id = 0; id < view.size(); ++id) {
+      if (view.is_contending(id)) final_active.push_back(id);
     }
     quiet_rounds = final_active.size() == last_active ? quiet_rounds + 1 : 0;
     last_active = final_active.size();

@@ -25,6 +25,17 @@ class ChannelAdapter {
   /// Whether listeners can distinguish collision from silence.
   virtual bool provides_collision_detection() const { return false; }
 
+  /// True when each listener's feedback is a pure function of (deployment,
+  /// transmitter set, listener id): resolve() draws no per-call randomness
+  /// and no cross-listener state, so resolving any subset of the listeners
+  /// yields the same bits for those listeners as resolving all of them.
+  /// The columnar engine uses this to skip feedback resolution for
+  /// knocked-out listeners in unobserved runs. Adapters with per-call
+  /// randomness (Rayleigh redraws, lossy/jamming faults) must keep the
+  /// default false — their rng stream position depends on the listener
+  /// count, so subsetting would change the decision stream.
+  virtual bool resolves_listeners_independently() const { return false; }
+
   /// Fills `out[i]` (same length/order as `listeners`) with what listener i
   /// observes given `transmitters` transmitting concurrently.
   /// `transmitters` and `listeners` must be disjoint.
@@ -61,6 +72,11 @@ class SinrChannelAdapter final : public ChannelAdapter {
 
   const SinrChannel& channel() const { return resolver_.channel(); }
 
+  /// SINR decoding is deterministic per listener (both the scan and the
+  /// batch path), and the small-round cutover keys on the transmitter
+  /// count only — listener subsets resolve to identical bits.
+  bool resolves_listeners_independently() const override { return true; }
+
   void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
                std::span<const NodeId> listeners,
                std::span<Feedback> out) const override;
@@ -84,6 +100,10 @@ class RadioChannelAdapter final : public ChannelAdapter {
   bool provides_collision_detection() const override {
     return channel_.collision_detection();
   }
+
+  /// Every listener observes the same channel state, computed from the
+  /// transmitter count alone.
+  bool resolves_listeners_independently() const override { return true; }
 
   void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
                std::span<const NodeId> listeners,

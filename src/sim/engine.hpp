@@ -27,11 +27,22 @@ namespace fcr {
 
 struct RoundView;
 
+/// Which round loop drives an execution. Both produce bit-identical
+/// results for every supported algorithm (same rng.split(id) lineage, same
+/// RunResult including the recorded history); the choice only affects
+/// speed, mirroring the small-round SINR cutover.
+enum class ExecutionPath : std::uint8_t {
+  kAuto = 0,      ///< columnar when the algorithm supports it and n is large
+  kVirtual = 1,   ///< per-node virtual state machines (the historical engine)
+  kColumnar = 2,  ///< force the columnar loop (testing; algorithm must support it)
+};
+
 /// Engine knobs.
 struct EngineConfig {
   std::uint64_t max_rounds = 200000;  ///< give up after this many rounds
   bool record_rounds = false;         ///< keep per-round statistics
   bool stop_on_solve = true;          ///< false: keep running (for traces)
+  ExecutionPath path = ExecutionPath::kAuto;  ///< round-loop selection
   /// Optional custom termination: evaluated after each round (after the
   /// observer); returning true ends the run with the solved state as-is.
   /// Used by analyses that run past the solo round, e.g. local leader
@@ -55,15 +66,45 @@ struct RunResult {
   std::vector<RoundStats> history;   ///< filled when record_rounds
 };
 
-/// Read-only view of one round handed to observers.
+/// Read-only view of one round handed to observers. Exactly one of the two
+/// state representations is populated, depending on the execution path:
+/// `nodes` on the virtual path, `active_bits` on the columnar path. Probe
+/// contention through size()/is_contending()/contending_count(), which
+/// work identically on both.
 struct RoundView {
-  std::uint64_t round;
+  std::uint64_t round = 0;
   std::span<const NodeId> transmitters;
   std::span<const NodeId> listeners;
   std::span<const Feedback> listener_feedback;
-  /// Protocol objects indexed by NodeId, for state probes (is_contending).
+  /// Virtual path: protocol objects indexed by NodeId, for state probes.
   /// Non-owning: the engine's workspace owns the nodes (slab or heap).
+  /// Empty on the columnar path.
   std::span<NodeProtocol* const> nodes;
+  /// Columnar path: active bitmask words (bit id = node id contending) and
+  /// its maintained popcount. Empty / 0 on the virtual path.
+  std::span<const std::uint64_t> active_bits;
+  std::size_t active_count = 0;
+  /// Deployment size (both paths).
+  std::size_t node_count = 0;
+
+  std::size_t size() const { return node_count; }
+
+  bool is_contending(NodeId id) const {
+    if (!nodes.empty()) return nodes[id]->is_contending();
+    return ((active_bits[id >> 6] >> (id & 63)) & 1ULL) != 0;
+  }
+
+  /// Number of nodes still contending. O(1) on the columnar path (the
+  /// engine maintains the count as knockouts clear bits); n virtual probes
+  /// on the virtual path.
+  std::size_t contending_count() const {
+    if (nodes.empty()) return active_count;
+    std::size_t count = 0;
+    for (const NodeProtocol* node : nodes) {
+      if (node->is_contending()) ++count;
+    }
+    return count;
+  }
 };
 
 /// Observer invoked after every completed round (post feedback delivery).

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "geom/grid.hpp"
@@ -57,6 +58,100 @@ struct NodeLayout {
   std::size_t align = 0;
 };
 
+/// Mutable view over the engine-owned columnar (structure-of-arrays) node
+/// state for one execution. Instead of one virtual state machine per node,
+/// a ColumnarAlgorithm reads and writes these flat arrays, all indexed by
+/// NodeId (bitmask word w covers ids [64w, 64w + 64)).
+///
+/// Column roles (an algorithm uses the columns it needs, the engine zeroes
+/// the rest at run start):
+///   * active      — contention bitmask; bit id set = node id still contends.
+///                   Knockouts are bitmask clears via deactivate().
+///   * probability — per-node transmit probability.
+///   * phase       — per-node class / phase id.
+///   * aux         — per-node auxiliary word (chosen slots, epoch state, ...).
+///   * rng         — per-node private streams, seeded rng.split(id) in id
+///                   order exactly like the virtual path's node construction.
+///
+/// Contract: deactivation is TERMINAL. The engine never re-sets an active
+/// bit, and an algorithm must not let a deactivated node's future decisions
+/// depend on feedback delivered after its knockout — the engine exploits
+/// this by skipping feedback resolution for inactive listeners in
+/// unobserved rounds (see ExecutionWorkspace::run_rounds_columnar).
+struct ColumnarState {
+  std::span<std::uint64_t> active;
+  std::span<double> probability;
+  std::span<std::uint32_t> phase;
+  std::span<std::uint64_t> aux;
+  std::span<Rng> rng;
+  std::size_t node_count = 0;
+  std::size_t active_count = 0;  ///< popcount of `active`, kept by deactivate()
+
+  bool is_active(NodeId id) const {
+    return ((active[id >> 6] >> (id & 63)) & 1ULL) != 0;
+  }
+
+  /// The knockout primitive: clears id's active bit (idempotent) and keeps
+  /// active_count in sync.
+  void deactivate(NodeId id) {
+    std::uint64_t& word = active[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    if ((word & bit) != 0) {
+      word &= ~bit;
+      --active_count;
+    }
+  }
+};
+
+/// Columnar (SoA) capability of an Algorithm: expresses one round as
+/// vectorizable whole-population passes instead of n virtual dispatches —
+/// decide-all, then the channel resolves the round, then apply-feedback-all.
+///
+/// Bit-identity contract: for every node id, the decision bits produced by
+/// columnar_decide and the state evolution under columnar_feedback MUST
+/// match what make_node(id, rng.split(id)) would have decided from the same
+/// stream — same rng draws in the same per-node order, nodes processed in
+/// ascending id within each pass. The engine proves this against the
+/// virtual path as oracle (tests/test_columnar_identity.cpp).
+class ColumnarAlgorithm {
+ public:
+  virtual ~ColumnarAlgorithm() = default;
+
+  /// Fills the columns the algorithm uses before round 1. The engine has
+  /// already seeded state.rng and set every node active. Default: no-op.
+  virtual void columnar_init(ColumnarState& state) const { (void)state; }
+
+  /// Decide pass for `round` (1-based): sets bit id in `decisions` (same
+  /// word layout as state.active, pre-zeroed by the engine) for every node
+  /// that transmits this round.
+  virtual void columnar_decide(std::uint64_t round, ColumnarState& state,
+                               std::span<std::uint64_t> decisions) const = 0;
+
+  /// Feedback pass: `feedback[i]` is what `listeners[i]` observed this
+  /// round. Transmitters learn nothing in the model (no acknowledgments),
+  /// so they are deliberately absent. Default: no-op (feedback-oblivious
+  /// algorithms like the decay family).
+  virtual void columnar_feedback(ColumnarState& state,
+                                 std::span<const NodeId> listeners,
+                                 std::span<const Feedback> feedback) const {
+    (void)state;
+    (void)listeners;
+    (void)feedback;
+  }
+};
+
+/// Shared decide pass for "every node transmits with probability p" rounds:
+/// one bernoulli per node in ascending id order, matching the virtual
+/// path's per-node on_round_begin order draw for draw.
+inline void columnar_bernoulli_all(ColumnarState& state, double p,
+                                   std::span<std::uint64_t> decisions) {
+  for (NodeId id = 0; id < state.node_count; ++id) {
+    if (state.rng[id].bernoulli(p)) {
+      decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
+}
+
 /// Factory for a protocol: one Algorithm instance configures a family of
 /// per-node state machines for one execution.
 class Algorithm {
@@ -74,11 +169,12 @@ class Algorithm {
   virtual NodeLayout node_layout() const { return {}; }
 
   /// Constructs the node for `id` into `storage` (node_layout().size bytes,
-  /// node_layout().align aligned) and returns it. The node MUST behave
-  /// exactly like make_node(id, rng)'s — same decisions from the same rng
-  /// stream; the engine's slab path is bit-identical to the heap path.
-  /// The caller destroys it by virtual ~NodeProtocol. Only called when
-  /// node_layout().size > 0; default aborts.
+  /// node_layout().align aligned — any power of two, including over-aligned
+  /// types: the slab pads and rounds its base up past max_align_t) and
+  /// returns it. The node MUST behave exactly like make_node(id, rng)'s —
+  /// same decisions from the same rng stream; the engine's slab path is
+  /// bit-identical to the heap path. The caller destroys it by virtual
+  /// ~NodeProtocol. Only called when node_layout().size > 0; default aborts.
   virtual NodeProtocol* construct_node_at(void* storage, NodeId id,
                                           Rng rng) const {
     (void)storage;
@@ -86,6 +182,13 @@ class Algorithm {
     (void)rng;
     return nullptr;
   }
+
+  /// The algorithm's columnar (SoA) capability, or nullptr when it only
+  /// provides per-node virtual state machines. Implementations return
+  /// `this` after also deriving from ColumnarAlgorithm; the engine picks
+  /// the columnar round loop for large deployments (see
+  /// ExecutionWorkspace::kColumnarCutover) and both paths are bit-identical.
+  virtual const ColumnarAlgorithm* columnar() const { return nullptr; }
 
   /// True when the algorithm was constructed with a bound on the network
   /// size (the paper's algorithm needs none; ALOHA/Decay/JS16-style do).

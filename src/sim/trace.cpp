@@ -21,9 +21,7 @@ RoundObserver ExecutionTrace::observer() {
             TraceReception{view.listeners[i], view.listener_feedback[i].sender});
       }
     }
-    for (const auto& node : view.nodes) {
-      if (node->is_contending()) ++r.contending;
-    }
+    r.contending = view.contending_count();
     rounds_.push_back(std::move(r));
   };
 }

@@ -1,6 +1,8 @@
 #include "sim/workspace.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
@@ -46,25 +48,34 @@ void ExecutionWorkspace::prepare_nodes(const Algorithm& algorithm, Rng& rng,
   FCR_ENSURE_ARG(layout.align > 0 && (layout.align & (layout.align - 1)) == 0,
                  "node_layout().align must be a power of two, got "
                      << layout.align);
-  FCR_ENSURE_ARG(layout.align <= alignof(std::max_align_t),
-                 "over-aligned node types are not supported by the slab: "
-                     << layout.align);
   const std::size_t stride =
       (layout.size + layout.align - 1) / layout.align * layout.align;
-  const std::size_t need = stride * n;
+  // new[] only guarantees max_align_t alignment; over-aligned node types
+  // (e.g. cache-line-padded state) get their slab base rounded up by hand,
+  // paid for with align-1 bytes of padding. Every stride slot then inherits
+  // the base's alignment because stride is a multiple of align.
+  const std::size_t pad =
+      layout.align > alignof(std::max_align_t) ? layout.align - 1 : 0;
+  const std::size_t need = stride * n + pad;
   if (slab_bytes_ < need) {
     // Geometric growth: a sweep ramping n up reallocates O(log n) times,
-    // then never again. new[] returns max_align_t-aligned storage, which
-    // the align check above guarantees is enough for every stride slot.
+    // then never again.
     const std::size_t bytes = std::max(need, slab_bytes_ * 2);
     slab_ = std::make_unique<std::byte[]>(bytes);
     slab_bytes_ = bytes;
+  }
+  std::byte* base = slab_.get();
+  if (pad != 0) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(base);
+    const auto aligned =
+        (addr + layout.align - 1) & ~(static_cast<std::uintptr_t>(layout.align) - 1);
+    base += aligned - addr;
   }
 
   nodes_.reserve(n);
   for (NodeId id = 0; id < n; ++id) {
     NodeProtocol* node =
-        algorithm.construct_node_at(slab_.get() + stride * id, id, rng.split(id));
+        algorithm.construct_node_at(base + stride * id, id, rng.split(id));
     FCR_CHECK_MSG(node != nullptr,
                   "algorithm '" << algorithm.name()
                                 << "' publishes a node_layout but "
@@ -72,6 +83,29 @@ void ExecutionWorkspace::prepare_nodes(const Algorithm& algorithm, Rng& rng,
     nodes_.push_back(node);
     ++constructed_;
   }
+}
+
+void ExecutionWorkspace::prepare_columns(const ColumnarAlgorithm& columnar,
+                                         Rng& rng, std::size_t n) {
+  const std::size_t words = (n + 63) / 64;
+  col_active_.assign(words, ~std::uint64_t{0});
+  if ((n & 63) != 0) {
+    // Tail word: only bits for real node ids, so popcounts and word sweeps
+    // never see phantom nodes.
+    col_active_.back() = (std::uint64_t{1} << (n & 63)) - 1;
+  }
+  col_decisions_.assign(words, 0);
+  col_probability_.assign(n, 0.0);
+  col_phase_.assign(n, 0);
+  col_aux_.assign(n, 0);
+  col_rng_.clear();
+  col_rng_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) col_rng_.push_back(rng.split(id));
+
+  columns_ = ColumnarState{col_active_,      col_probability_, col_phase_,
+                           col_aux_,         col_rng_,         n,
+                           n};
+  columnar.columnar_init(columns_);
 }
 
 void ExecutionWorkspace::destroy_nodes() {
@@ -103,11 +137,33 @@ RunResult ExecutionWorkspace::run(const Deployment& dep,
   busy_ = true;
 
   const std::size_t n = dep.size();
+  const ColumnarAlgorithm* columnar = algorithm.columnar();
+  bool use_columnar = false;
+  switch (config.path) {
+    case ExecutionPath::kVirtual:
+      break;
+    case ExecutionPath::kColumnar:
+      FCR_ENSURE_ARG(columnar != nullptr,
+                     "algorithm '" << algorithm.name()
+                                   << "' has no columnar implementation");
+      use_columnar = true;
+      break;
+    case ExecutionPath::kAuto:
+      use_columnar = columnar != nullptr && n >= kColumnarCutover;
+      break;
+  }
+
   RunResult result;
   {
     const NodeTeardownGuard guard{*this};
-    prepare_nodes(algorithm, rng, n);
-    result = run_rounds(dep, algorithm, channel, config, observer, n);
+    if (use_columnar) {
+      prepare_columns(*columnar, rng, n);
+      result = run_rounds_columnar(dep, algorithm, *columnar, channel, config,
+                                   observer, n);
+    } else {
+      prepare_nodes(algorithm, rng, n);
+      result = run_rounds(dep, algorithm, channel, config, observer, n);
+    }
   }
   // Teardown completed and busy_ is already false: an injected fault here
   // models a failure AFTER the run released its state, proving the
@@ -152,38 +208,14 @@ RunResult ExecutionWorkspace::run_rounds(const Deployment& dep,
     tx_feedback.transmitted = true;
     for (const NodeId id : transmitters_) nodes_[id]->on_round_end(tx_feedback);
 
-    const bool solo = transmitters_.size() == 1;
-    if (solo && !result.solved) {
-      result.solved = true;
-      result.rounds = round;
-      result.winner = transmitters_.front();
-    }
-
-    if (config.record_rounds) {
-      RoundStats stats;
-      stats.round = round;
-      stats.transmitters = transmitters_.size();
-      stats.receptions = receptions;
-      for (const NodeProtocol* node : nodes_) {
-        if (node->is_contending()) ++stats.contending;
-      }
-      // history grows only when config.record_rounds is set, which the
-      // benchmarked zero-alloc steady state never enables.
-      // FCRLINT_ALLOW(hot-path-alloc): diagnostics-only recording path
-      result.history.push_back(stats);
-    }
-
-    if (observer || config.stop_when) {
-      const RoundView view{round, transmitters_, listeners_,
-                           listener_feedback_, nodes_};
-      if (observer) observer(view);
-      if (config.stop_when && config.stop_when(view)) {
-        if (!result.solved) result.rounds = round;
-        return result;
-      }
-    }
-
-    if (result.solved && config.stop_on_solve) return result;
+    RoundView view;
+    view.round = round;
+    view.transmitters = transmitters_;
+    view.listeners = listeners_;
+    view.listener_feedback = listener_feedback_;
+    view.nodes = nodes_;
+    view.node_count = n;
+    if (finish_round(view, receptions, config, observer, result)) return result;
   }
 
   if (!result.solved) {
@@ -193,6 +225,116 @@ RunResult ExecutionWorkspace::run_rounds(const Deployment& dep,
                                << " rounds");
   }
   return result;
+}
+
+RunResult ExecutionWorkspace::run_rounds_columnar(
+    const Deployment& dep, const Algorithm& algorithm,
+    const ColumnarAlgorithm& columnar, const ChannelAdapter& channel,
+    const EngineConfig& config, const RoundObserver& observer, std::size_t n) {
+  transmitters_.reserve(n);
+  listeners_.reserve(n);
+  listener_feedback_.reserve(n);
+
+  // Observed runs must hand observers / stop_when / the history the exact
+  // listener set the virtual path produces. Unobserved runs on a channel
+  // whose per-listener feedback is a pure function of the transmitter set
+  // resolve only the listeners still contending: an inactive listener's
+  // feedback is unobservable and cannot change its state (deactivation is
+  // terminal — see ColumnarState), so solved/rounds/winner stay
+  // bit-identical while the resolve pass shrinks with the active set.
+  const bool observed = static_cast<bool>(observer) ||
+                        static_cast<bool>(config.stop_when) ||
+                        config.record_rounds;
+  const bool active_only =
+      !observed && channel.resolves_listeners_independently();
+
+  RunResult result;
+  const std::size_t words = col_active_.size();
+  for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
+    std::fill(col_decisions_.begin(), col_decisions_.end(), std::uint64_t{0});
+    columnar.columnar_decide(round, columns_, col_decisions_);
+
+    transmitters_.clear();
+    listeners_.clear();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t tx = col_decisions_[w];
+      std::uint64_t all = ~std::uint64_t{0};
+      if (w == words - 1 && (n & 63) != 0) {
+        all = (std::uint64_t{1} << (n & 63)) - 1;
+      }
+      std::uint64_t listen = (active_only ? col_active_[w] : all) & ~tx;
+      const NodeId base = static_cast<NodeId>(w * 64);
+      while (tx != 0) {
+        transmitters_.push_back(base +
+                                static_cast<NodeId>(std::countr_zero(tx)));
+        tx &= tx - 1;
+      }
+      while (listen != 0) {
+        listeners_.push_back(base +
+                             static_cast<NodeId>(std::countr_zero(listen)));
+        listen &= listen - 1;
+      }
+    }
+
+    listener_feedback_.assign(listeners_.size(), Feedback{});
+    channel.resolve(dep, transmitters_, listeners_, listener_feedback_);
+
+    std::size_t receptions = 0;
+    for (const Feedback& f : listener_feedback_) {
+      if (f.received) ++receptions;
+    }
+    columnar.columnar_feedback(columns_, listeners_, listener_feedback_);
+
+    RoundView view;
+    view.round = round;
+    view.transmitters = transmitters_;
+    view.listeners = listeners_;
+    view.listener_feedback = listener_feedback_;
+    view.active_bits = col_active_;
+    view.active_count = columns_.active_count;
+    view.node_count = n;
+    if (finish_round(view, receptions, config, observer, result)) return result;
+  }
+
+  if (!result.solved) {
+    result.rounds = config.max_rounds;
+    FCR_DEBUG("columnar execution of '" << algorithm.name() << "' on n=" << n
+                                        << " unsolved after "
+                                        << config.max_rounds << " rounds");
+  }
+  return result;
+}
+
+bool ExecutionWorkspace::finish_round(const RoundView& view,
+                                      std::size_t receptions,
+                                      const EngineConfig& config,
+                                      const RoundObserver& observer,
+                                      RunResult& result) {
+  if (view.transmitters.size() == 1 && !result.solved) {
+    result.solved = true;
+    result.rounds = view.round;
+    result.winner = view.transmitters.front();
+  }
+
+  if (config.record_rounds) {
+    RoundStats stats;
+    stats.round = view.round;
+    stats.transmitters = view.transmitters.size();
+    stats.receptions = receptions;
+    stats.contending = view.contending_count();
+    // history grows only when config.record_rounds is set, which the
+    // benchmarked zero-alloc steady state never enables.
+    // FCRLINT_ALLOW(hot-path-alloc): diagnostics-only recording path
+    result.history.push_back(stats);
+  }
+
+  if (observer) observer(view);
+  if (config.stop_when && config.stop_when(view)) {
+    if (!result.solved) result.rounds = view.round;
+    return true;
+  }
+
+  return result.solved && config.stop_on_solve;
 }
 
 }  // namespace fcr

@@ -7,6 +7,11 @@
 //     construct_node_at() get their per-node state machines placement-built
 //     into one reused byte buffer (others fall back to make_node and still
 //     work, they just keep allocating);
+//   * the COLUMNAR arrays — algorithms exposing Algorithm::columnar() run
+//     as structure-of-arrays passes over flat per-node columns (active
+//     bitmask, probability, phase, aux, rng) instead of virtual dispatch;
+//     the columns follow the same reserve-then-refill idiom as the round
+//     buffers, so warm columnar runs also allocate zero bytes;
 //   * the round buffers (transmitters, listeners, listener feedback), which
 //     only ever shrink-to-reuse via clear()/assign();
 //   * a per-worker FACTORY CACHE keyed by (trial batch, deployment
@@ -42,6 +47,13 @@ namespace fcr {
 
 class ExecutionWorkspace {
  public:
+  /// Deployments below this size run the virtual path even when the
+  /// algorithm supports columnar execution: the SoA loop pays a fixed
+  /// per-round sweep over the bitmask words, which only wins once enough
+  /// nodes amortize it. Mirrors SinrChannelAdapter::kSmallRoundCutover —
+  /// both paths are bit-identical, so the constant only affects speed.
+  static constexpr std::size_t kColumnarCutover = 32;
+
   ExecutionWorkspace() = default;
   ~ExecutionWorkspace();
 
@@ -85,12 +97,38 @@ class ExecutionWorkspace {
   /// otherwise. Either way nodes_[id] is the node for id.
   void prepare_nodes(const Algorithm& algorithm, Rng& rng, std::size_t n);
 
+  /// Builds the columnar state for this run: seeds the per-node rng column
+  /// with rng.split(id) in id order (the exact lineage prepare_nodes hands
+  /// to make_node), sets every node active, zeroes the other columns, and
+  /// lets the algorithm fill what it uses via columnar_init.
+  void prepare_columns(const ColumnarAlgorithm& columnar, Rng& rng,
+                       std::size_t n);
+
   /// The round loop proper: nodes are already prepared, teardown is the
   /// caller's guard. Split out of run() so the workspace acquire/teardown
   /// failpoints bracket the guarded region exactly.
   RunResult run_rounds(const Deployment& dep, const Algorithm& algorithm,
                        const ChannelAdapter& channel, const EngineConfig& config,
                        const RoundObserver& observer, std::size_t n);
+
+  /// Columnar round loop: decide-all -> resolve -> apply-feedback-all over
+  /// the flat columns, bit-identical to run_rounds for the same arguments.
+  /// Unobserved runs on channels that resolve listeners independently skip
+  /// feedback for knocked-out listeners (their feedback is unobservable
+  /// and cannot change state — deactivation is terminal).
+  RunResult run_rounds_columnar(const Deployment& dep,
+                                const Algorithm& algorithm,
+                                const ColumnarAlgorithm& columnar,
+                                const ChannelAdapter& channel,
+                                const EngineConfig& config,
+                                const RoundObserver& observer, std::size_t n);
+
+  /// Round epilogue shared by both loops: solo detection, history
+  /// recording, observer / stop_when delivery. Returns true when the run
+  /// should end after this round.
+  bool finish_round(const RoundView& view, std::size_t receptions,
+                    const EngineConfig& config, const RoundObserver& observer,
+                    RunResult& result);
 
   /// Destroys slab nodes in reverse construction order and releases heap
   /// fallback nodes. Safe on partially constructed state.
@@ -109,6 +147,18 @@ class ExecutionWorkspace {
   std::vector<NodeId> transmitters_;
   std::vector<NodeId> listeners_;
   std::vector<Feedback> listener_feedback_;
+
+  // Columnar (SoA) engine state: flat per-node columns plus the active and
+  // per-round decision bitmasks (word w covers ids [64w, 64w + 64)). Sized
+  // by assign() per run, so warm runs reuse capacity allocation-free;
+  // columns_ is the span view handed to the algorithm.
+  std::vector<std::uint64_t> col_active_;
+  std::vector<std::uint64_t> col_decisions_;
+  std::vector<double> col_probability_;
+  std::vector<std::uint32_t> col_phase_;
+  std::vector<std::uint64_t> col_aux_;
+  std::vector<Rng> col_rng_;
+  ColumnarState columns_;
 
   FactoryCache cache_;
   bool busy_ = false;

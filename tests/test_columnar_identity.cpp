@@ -1,0 +1,189 @@
+// Columnar/virtual bit-identity harness.
+//
+// The columnar round loop is only allowed to exist because it is
+// OBSERVATIONALLY IDENTICAL to the per-node virtual engine: same
+// rng.split(id) lineage, same decision stream, same RunResult including the
+// recorded per-round history. This suite drives every registry algorithm
+// across channel models, deployment shapes, and 32 seeds on both paths and
+// compares everything the engine can emit. Algorithms without columnar
+// support (sift, cd-leader) exercise the fallback: kAuto must route them to
+// the virtual loop and still agree with an explicit kVirtual run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "deploy/generators.hpp"
+#include "sim/channel_adapter.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel_runner.hpp"
+#include "sim/runner.hpp"
+#include "sim/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace fcr {
+namespace {
+
+struct ChannelCase {
+  const char* name;
+  bool collision_detection;  // meaningful for radio channels only
+  ChannelFactory factory;
+};
+
+std::vector<ChannelCase> channel_cases() {
+  std::vector<ChannelCase> cases;
+  cases.push_back({"sinr", false, sinr_channel_factory(3.0, 1.5, 1e-9)});
+  cases.push_back({"radio", false, radio_channel_factory(false)});
+  cases.push_back({"radio-cd", true, radio_channel_factory(true)});
+  return cases;
+}
+
+Deployment make_shape(const std::string& shape, Rng& rng) {
+  if (shape == "square") return uniform_square(48, 14.0, rng).normalized();
+  if (shape == "chain")
+    return exponential_chain(48, 48.0 * 16.0, rng).normalized();
+  if (shape == "multi_scale") return multi_scale(4, 12, rng).normalized();
+  ADD_FAILURE() << "unknown shape " << shape;
+  return single_pair(1.0);
+}
+
+void expect_identical(const RunResult& virt, const RunResult& col,
+                      const std::string& label) {
+  EXPECT_EQ(virt.solved, col.solved) << label;
+  EXPECT_EQ(virt.rounds, col.rounds) << label;
+  EXPECT_EQ(virt.winner, col.winner) << label;
+  ASSERT_EQ(virt.history.size(), col.history.size()) << label;
+  for (std::size_t r = 0; r < virt.history.size(); ++r) {
+    const RoundStats& a = virt.history[r];
+    const RoundStats& b = col.history[r];
+    EXPECT_EQ(a.round, b.round) << label << " round " << r;
+    EXPECT_EQ(a.transmitters, b.transmitters) << label << " round " << r;
+    EXPECT_EQ(a.receptions, b.receptions) << label << " round " << r;
+    EXPECT_EQ(a.contending, b.contending) << label << " round " << r;
+  }
+}
+
+TEST(ColumnarIdentity, EveryRegistryAlgorithmMatchesTheVirtualOracle) {
+  const auto channels = channel_cases();
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    for (const ChannelCase& chan : channels) {
+      if (spec.needs_collision_detection && !chan.collision_detection) {
+        continue;  // cd-leader is undefined without collision detection
+      }
+      for (const char* shape : {"square", "chain", "multi_scale"}) {
+        Rng shape_rng(777 + static_cast<std::uint64_t>(shape[0]));
+        const Deployment dep = make_shape(shape, shape_rng);
+        const auto channel = chan.factory(dep);
+        const auto algorithm = make_algorithm(spec.key, dep.size());
+        // Route supported algorithms through the forced columnar loop so a
+        // silently broken cutover cannot hide the comparison; unsupported
+        // ones exercise the kAuto fallback to the virtual loop.
+        const ExecutionPath other = algorithm->columnar() != nullptr
+                                        ? ExecutionPath::kColumnar
+                                        : ExecutionPath::kAuto;
+        ExecutionWorkspace virt_ws;
+        ExecutionWorkspace col_ws;
+        for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+          const std::string label = std::string(spec.key) + "/" + chan.name +
+                                    "/" + shape + "/seed" +
+                                    std::to_string(seed);
+          // Observed mode: full per-round history must agree.
+          EngineConfig observed;
+          observed.max_rounds = 256;
+          observed.record_rounds = true;
+          observed.path = ExecutionPath::kVirtual;
+          const RunResult virt =
+              virt_ws.run(dep, *algorithm, *channel, observed, Rng(seed));
+          observed.path = other;
+          const RunResult col =
+              col_ws.run(dep, *algorithm, *channel, observed, Rng(seed));
+          expect_identical(virt, col, label);
+
+          // Unobserved mode: no observer, no history — the columnar loop may
+          // take the active-only listener fast path, which must not change
+          // the outcome.
+          EngineConfig bare;
+          bare.max_rounds = 256;
+          bare.path = ExecutionPath::kVirtual;
+          const RunResult virt_bare =
+              virt_ws.run(dep, *algorithm, *channel, bare, Rng(seed));
+          bare.path = other;
+          const RunResult col_bare =
+              col_ws.run(dep, *algorithm, *channel, bare, Rng(seed));
+          EXPECT_EQ(virt_bare.solved, col_bare.solved) << label;
+          EXPECT_EQ(virt_bare.rounds, col_bare.rounds) << label;
+          EXPECT_EQ(virt_bare.winner, col_bare.winner) << label;
+          // Both modes of both paths agree on the outcome triple.
+          EXPECT_EQ(virt.solved, virt_bare.solved) << label;
+          EXPECT_EQ(virt.rounds, virt_bare.rounds) << label;
+          EXPECT_EQ(virt.winner, virt_bare.winner) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnarIdentity, ObserverForcesTheExactListenerSet) {
+  // With an observer attached the engine must resolve feedback for EVERY
+  // non-transmitting node (the observer may inspect listener_feedback), so
+  // listeners.size() + transmitters.size() == n each round on both paths.
+  Rng rng(4242);
+  const Deployment dep = uniform_square(64, 16.0, rng).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const auto algorithm = make_algorithm("fading", dep.size());
+  for (const ExecutionPath path :
+       {ExecutionPath::kVirtual, ExecutionPath::kColumnar}) {
+    EngineConfig config;
+    config.max_rounds = 256;
+    config.path = path;
+    ExecutionWorkspace ws;
+    std::size_t rounds_seen = 0;
+    ws.run(dep, *algorithm, *channel, config, Rng(5),
+           [&](const RoundView& view) {
+             ++rounds_seen;
+             EXPECT_EQ(view.transmitters.size() + view.listeners.size(),
+                       view.size());
+           });
+    EXPECT_GT(rounds_seen, 0u);
+  }
+}
+
+TEST(ColumnarIdentity, ParallelRunnerAgreesAcrossPathsAndThreadCounts) {
+  // The trial runner must be path-invariant end to end: serial virtual,
+  // serial columnar, and parallel columnar all produce the same rounds
+  // vector (run_trials_parallel already guarantees thread-count
+  // invariance; this pins path invariance on top).
+  const auto make_deployment = [](Rng& rng) {
+    return uniform_square(48, 14.0, rng).normalized();
+  };
+  const auto make_channel = sinr_channel_factory(3.0, 1.5, 1e-9);
+  const AlgorithmFactory algo_factory = [](const Deployment& dep) {
+    return make_algorithm("fading", dep.size());
+  };
+  auto config_for = [](ExecutionPath path) {
+    TrialConfig c;
+    c.trials = 48;
+    c.engine.max_rounds = 20000;
+    c.engine.path = path;
+    return c;
+  };
+  const TrialSetResult serial_virtual =
+      run_trials(make_deployment, make_channel, algo_factory,
+                 config_for(ExecutionPath::kVirtual));
+  const TrialSetResult serial_columnar =
+      run_trials(make_deployment, make_channel, algo_factory,
+                 config_for(ExecutionPath::kColumnar));
+  const TrialSetResult parallel_columnar =
+      run_trials_parallel(make_deployment, make_channel, algo_factory,
+                          config_for(ExecutionPath::kColumnar), 4);
+  EXPECT_EQ(serial_virtual.solved, serial_virtual.trials);
+  EXPECT_EQ(serial_virtual.rounds, serial_columnar.rounds);
+  EXPECT_EQ(serial_virtual.rounds, parallel_columnar.rounds);
+  EXPECT_EQ(serial_columnar.solved, parallel_columnar.solved);
+}
+
+}  // namespace
+}  // namespace fcr

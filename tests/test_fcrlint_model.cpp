@@ -418,7 +418,9 @@ TEST(ModelRealTree, SrcIsCleanAndRoundLoopReachesChannelResolution) {
   EXPECT_TRUE(findings.empty()) << render;
 
   // Static zero-alloc proof, part 1: the hot reachable set exists and
-  // contains the channel resolution layer the round loop drives.
+  // contains the channel resolution layer the round loops drive — BOTH the
+  // per-node virtual loop and the columnar SoA loop, which must pull in the
+  // columnar_decide implementations through virtual-call edge resolution.
   std::vector<fcrlint::model::TreeFile> tree;
   for (const fcrlint::FileArtifacts& a : artifacts) {
     if (a.has_model) tree.push_back({a.path, &a.model, &a.allows});
@@ -426,13 +428,15 @@ TEST(ModelRealTree, SrcIsCleanAndRoundLoopReachesChannelResolution) {
   const fcrlint::model::ProgramModel pm =
       fcrlint::model::build_program_model(tree);
   const std::vector<std::size_t> roots = fcrlint::model::pmdetail::roots_matching(
-      pm, {"ExecutionWorkspace::run_rounds"});
-  ASSERT_FALSE(roots.empty());
+      pm, {"ExecutionWorkspace::run_rounds",
+           "ExecutionWorkspace::run_rounds_columnar"});
+  ASSERT_GE(roots.size(), 2u);
   const std::vector<std::size_t> parent =
       fcrlint::model::reach_parents(pm, roots);
 
   std::size_t reached = 0;
   bool resolve_reached = false;
+  bool columnar_decide_reached = false;
   for (std::size_t i = 0; i < pm.fns.size(); ++i) {
     if (parent[i] == fcrlint::npos) continue;
     ++reached;
@@ -440,12 +444,18 @@ TEST(ModelRealTree, SrcIsCleanAndRoundLoopReachesChannelResolution) {
         fcrlint::detail::starts_with(pm.fns[i].file, "src/")) {
       resolve_reached = true;
     }
+    if (pm.fns[i].facts.name == "columnar_decide" &&
+        fcrlint::detail::starts_with(pm.fns[i].file, "src/")) {
+      columnar_decide_reached = true;
+    }
   }
   // The loop body (on_round_begin/resolve/on_round_end plumbing) is part of
   // the reachable set; a degenerate one-node set would mean the call-edge
-  // resolution silently broke.
+  // resolution silently broke. The columnar per-algorithm decision kernels
+  // must be inside the no-allocation region too.
   EXPECT_GE(reached, 5u);
   EXPECT_TRUE(resolve_reached);
+  EXPECT_TRUE(columnar_decide_reached);
 }
 
 }  // namespace

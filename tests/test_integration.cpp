@@ -109,8 +109,8 @@ TEST(Integration, KnockoutsEmptyLinkClassesSmallestFirstTendency) {
   run_execution(dep, algo, *channel, config, rng.split(1),
                 [&](const RoundView& view) {
                   std::vector<NodeId> active;
-                  for (NodeId id = 0; id < view.nodes.size(); ++id) {
-                    if (view.nodes[id]->is_contending()) active.push_back(id);
+                  for (NodeId id = 0; id < view.size(); ++id) {
+                    if (view.is_contending(id)) active.push_back(id);
                   }
                   if (active.size() < 2) return;
                   const LinkClassPartition part(dep, active);

@@ -153,8 +153,8 @@ TEST_P(FadingProperties, LinkClassIndicesNeverDecreasePerNode) {
   run_execution(
       dep, algo, *channel, config, rng.split(9), [&](const RoundView& view) {
         std::vector<NodeId> active;
-        for (NodeId id = 0; id < view.nodes.size(); ++id) {
-          if (view.nodes[id]->is_contending()) active.push_back(id);
+        for (NodeId id = 0; id < view.size(); ++id) {
+          if (view.is_contending(id)) active.push_back(id);
         }
         if (active.size() < 2) return;
         const LinkClassPartition part(dep, active);

@@ -11,11 +11,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <numeric>
 #include <vector>
 
+#include "algorithms/registry.hpp"
 #include "core/fading_cr.hpp"
 #include "core/good_nodes.hpp"
 #include "core/link_classes.hpp"
@@ -357,6 +359,134 @@ TEST(Workspace, SlabPathUsedByFadingAlgorithm) {
   EXPECT_GT(layout.size, 0u);
   EXPECT_GT(layout.align, 0u);
   EXPECT_LE(layout.align, alignof(std::max_align_t));
+}
+
+TEST(Workspace, EveryRegistryAlgorithmPublishesSlabLayout) {
+  // The slab contract used to cover only aloha/no-knockout/fading; the
+  // paper's baselines fell back to make_node heap allocation every warm
+  // run. Every catalog entry must publish an in-place layout now.
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    const auto algorithm = make_algorithm(spec.key, 64);
+    const NodeLayout layout = algorithm->node_layout();
+    EXPECT_GT(layout.size, 0u) << spec.key;
+    EXPECT_GT(layout.align, 0u) << spec.key;
+  }
+}
+
+TEST(Workspace, WarmRunsAllocateNothingForEveryRegistryAlgorithm) {
+  // The PR-4 proof sampled one algorithm; this iterates the whole catalog
+  // on both round loops. Each (algorithm, path) pair warms a private
+  // workspace, then repeats the same runs under the counter: the repeats
+  // must be bit-identical and allocation-free.
+  Rng gen(110);
+  const Deployment dep = uniform_square(96, 19.0, gen).normalized();
+  const auto sinr = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const auto radio_cd = make_radio_adapter(true);
+  for (const AlgorithmSpec& spec : algorithm_catalog()) {
+    const auto algorithm = make_algorithm(spec.key, dep.size());
+    const ChannelAdapter& channel =
+        spec.needs_collision_detection ? *radio_cd : *sinr;
+    for (const ExecutionPath path :
+         {ExecutionPath::kVirtual, ExecutionPath::kAuto}) {
+      EngineConfig config;
+      config.path = path;
+      // Bounds the feedback-oblivious baselines that rarely solve n=96
+      // (no-knockout); result equality still proves determinism.
+      config.max_rounds = 512;
+
+      ExecutionWorkspace ws;
+      std::vector<RunResult> expected;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        expected.push_back(ws.run(dep, *algorithm, channel, config, Rng(seed)));
+      }
+      const std::size_t before = g_allocations.load();
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const RunResult r = ws.run(dep, *algorithm, channel, config, Rng(seed));
+        EXPECT_EQ(r.solved, expected[seed - 1].solved) << spec.key;
+        EXPECT_EQ(r.rounds, expected[seed - 1].rounds) << spec.key;
+        EXPECT_EQ(r.winner, expected[seed - 1].winner) << spec.key;
+      }
+      EXPECT_EQ(g_allocations.load() - before, 0u)
+          << "warm runs of '" << spec.key << "' on the "
+          << (path == ExecutionPath::kVirtual ? "virtual" : "auto")
+          << " path must not allocate";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Over-aligned slab support: node state padded to a cache line must land on
+// 64-byte slots even though new[] only guarantees max_align_t.
+
+std::atomic<std::size_t> g_misaligned_nodes{0};
+
+struct alignas(64) OveralignedNode final : public NodeProtocol {
+  explicit OveralignedNode(Rng rng) : rng_(rng) {
+    if (reinterpret_cast<std::uintptr_t>(this) % 64 != 0) {
+      ++g_misaligned_nodes;
+    }
+  }
+  Action on_round_begin(std::uint64_t /*round*/) override {
+    return rng_.bernoulli(0.25) ? Action::kTransmit : Action::kListen;
+  }
+  void on_round_end(const Feedback&) override {}
+
+  Rng rng_;
+};
+
+class OveralignedAlgorithm final : public Algorithm {
+ public:
+  /// slab = false withholds the layout, forcing the make_node heap
+  /// fallback — the oracle the slab path must match bit for bit.
+  explicit OveralignedAlgorithm(bool slab) : slab_(slab) {}
+
+  std::string name() const override { return "overaligned-test"; }
+  std::unique_ptr<NodeProtocol> make_node(NodeId /*id*/, Rng rng) const override {
+    return std::make_unique<OveralignedNode>(rng);
+  }
+  NodeLayout node_layout() const override {
+    if (!slab_) return {};
+    return {sizeof(OveralignedNode), alignof(OveralignedNode)};
+  }
+  NodeProtocol* construct_node_at(void* storage, NodeId /*id*/,
+                                  Rng rng) const override {
+    return ::new (storage) OveralignedNode(rng);
+  }
+
+ private:
+  bool slab_;
+};
+
+TEST(Workspace, OverAlignedNodeTypesGetAlignedSlabSlots) {
+  Rng gen(111);
+  const Deployment dep = uniform_square(48, 14.0, gen).normalized();
+  const auto channel = sinr_channel_factory(3.0, 1.5, 1e-9)(dep);
+  const OveralignedAlgorithm slab_algo(/*slab=*/true);
+  const OveralignedAlgorithm heap_algo(/*slab=*/false);
+  EngineConfig config;
+  config.max_rounds = 256;
+
+  g_misaligned_nodes.store(0);
+  ExecutionWorkspace ws;
+  const RunResult slab_run = ws.run(dep, slab_algo, *channel, config, Rng(3));
+  EXPECT_EQ(g_misaligned_nodes.load(), 0u)
+      << "slab slots must satisfy alignas(64)";
+
+  // Same decisions as the heap-constructed oracle.
+  ExecutionWorkspace heap_ws;
+  const RunResult heap_run =
+      heap_ws.run(dep, heap_algo, *channel, config, Rng(3));
+  EXPECT_EQ(slab_run.solved, heap_run.solved);
+  EXPECT_EQ(slab_run.rounds, heap_run.rounds);
+  EXPECT_EQ(slab_run.winner, heap_run.winner);
+
+  // And the over-aligned slab keeps the warm zero-allocation contract.
+  const RunResult warm_expected = ws.run(dep, slab_algo, *channel, config, Rng(4));
+  const std::size_t before = g_allocations.load();
+  const RunResult warm = ws.run(dep, slab_algo, *channel, config, Rng(4));
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+  EXPECT_EQ(warm.rounds, warm_expected.rounds);
+  EXPECT_EQ(warm.winner, warm_expected.winner);
 }
 
 }  // namespace

@@ -100,9 +100,9 @@ inline constexpr std::array<RuleMeta, 16> kRules = {{
      "and seed roots inside the hot closure break trial replay"},
     {"hot-path-alloc",
      "interprocedural: functions reachable from ExecutionWorkspace::"
-     "run_rounds (the steady-state round loop) must not allocate — no new, "
-     "make_unique/make_shared, sized local containers, or growth of "
-     "never-reserved containers"},
+     "run_rounds or run_rounds_columnar (the steady-state round loops) "
+     "must not allocate — no new, make_unique/make_shared, sized local "
+     "containers, or growth of never-reserved containers"},
     {"error-provenance",
      "interprocedural: throw sites reachable from ThreadPool task bodies "
      "(for_each callers) must construct fcr::Error, not bare std:: "

@@ -1271,7 +1271,8 @@ inline std::vector<Finding> check_rng_lineage(
   std::vector<Finding> out;
   const std::vector<std::size_t> roots = pmdetail::roots_matching(
       pm, {"run_execution", "ExecutionWorkspace::run",
-           "ExecutionWorkspace::run_rounds"});
+           "ExecutionWorkspace::run_rounds",
+           "ExecutionWorkspace::run_rounds_columnar"});
   const std::vector<std::size_t> parent = reach_parents(pm, roots);
   for (std::size_t i = 0; i < pm.fns.size(); ++i) {
     const ProgramFunction& fn = pm.fns[i];
@@ -1305,15 +1306,19 @@ inline std::vector<Finding> check_rng_lineage(
   return out;
 }
 
-/// hot-path-alloc: no allocation on any path reachable from the
-/// steady-state round loop (ExecutionWorkspace::run_rounds). Growth of a
-/// receiver that is reserve()d / clear()ed somewhere in the tree is the
-/// blessed warm-capacity idiom and stays legal.
+/// hot-path-alloc: no allocation on any path reachable from either
+/// steady-state round loop — the per-node virtual engine
+/// (ExecutionWorkspace::run_rounds) or the columnar SoA engine
+/// (ExecutionWorkspace::run_rounds_columnar), which pulls in every
+/// columnar_decide/columnar_feedback implementation through the call
+/// graph. Growth of a receiver that is reserve()d / clear()ed somewhere
+/// in the tree is the blessed warm-capacity idiom and stays legal.
 inline std::vector<Finding> check_hot_path_alloc(
     const ProgramModel& pm, const std::vector<TreeFile>& files) {
   std::vector<Finding> out;
-  const std::vector<std::size_t> roots =
-      pmdetail::roots_matching(pm, {"ExecutionWorkspace::run_rounds"});
+  const std::vector<std::size_t> roots = pmdetail::roots_matching(
+      pm, {"ExecutionWorkspace::run_rounds",
+           "ExecutionWorkspace::run_rounds_columnar"});
   const std::vector<std::size_t> parent = reach_parents(pm, roots);
   for (std::size_t i = 0; i < pm.fns.size(); ++i) {
     const ProgramFunction& fn = pm.fns[i];
