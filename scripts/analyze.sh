@@ -53,6 +53,29 @@ while [ $# -gt 0 ]; do
   esac
 done
 
+# Baseline sanity gate (runs even when cppcheck is absent — the file is
+# repo state, not tool output): entries must be sorted so comm(1) produces
+# correct set differences, and every entry must point at a file that still
+# exists so deletions cannot leave silently-dead suppressions behind. Each
+# failure is a one-line diagnosis with the fix.
+if [ -f "$CPPCHECK_BASELINE" ] && [ "$UPDATE_CPPCHECK_BASELINE" -eq 0 ]; then
+  # grep exits 1 on zero matches; an entry-free baseline is valid, so keep
+  # pipefail from turning emptiness into a failure.
+  baseline_entries=$(grep -v '^#' "$CPPCHECK_BASELINE" | grep -v '^$' || true)
+  if [ -n "$baseline_entries" ]; then
+    if ! LC_ALL=C sort -c -u <<<"$baseline_entries" 2>/dev/null; then
+      echo "analyze.sh: $CPPCHECK_BASELINE is not sorted/deduplicated — comm(1) needs sorted input; rerun scripts/analyze.sh --update-cppcheck-baseline" >&2
+      exit 4
+    fi
+    while IFS='|' read -r _id file _rest; do
+      if [ -n "$file" ] && [ ! -f "$file" ]; then
+        echo "analyze.sh: $CPPCHECK_BASELINE lists deleted file '$file' — the entry is dead; rerun scripts/analyze.sh --update-cppcheck-baseline" >&2
+        exit 4
+      fi
+    done <<<"$baseline_entries"
+  fi
+fi
+
 if [ "$REQUIRE_TOOLS" -eq 1 ]; then
   missing=0
   for tool in clang-tidy cppcheck; do
@@ -120,18 +143,21 @@ if command -v cppcheck >/dev/null 2>&1; then
     --inline-suppr \
     --template='{id}|{file}|{line}|{message}' \
     --quiet 2>"$CPPCHECK_TMP/raw" || true
-  sed "s#|$PWD/#|#" "$CPPCHECK_TMP/raw" | grep -v '^$' | sort -u \
+  sed "s#|$PWD/#|#" "$CPPCHECK_TMP/raw" | grep -v '^$' | LC_ALL=C sort -u \
     >"$CPPCHECK_TMP/current" || true
   if [ "$UPDATE_CPPCHECK_BASELINE" -eq 1 ]; then
     {
       echo "# cppcheck baseline: accepted findings, one 'id|file|line|message'"
-      echo "# per line. Regenerate with scripts/analyze.sh --update-cppcheck-baseline"
-      echo "# and review the diff; analyze.sh fails only on findings NOT listed here."
+      echo "# per line, LC_ALL=C sorted and deduplicated. Regenerate with"
+      echo "# scripts/analyze.sh --update-cppcheck-baseline and review the diff;"
+      echo "# analyze.sh fails only on findings NOT listed here, and refuses to run"
+      echo "# at all (exit 4, one-line diagnosis) when this file is unsorted or an"
+      echo "# entry points at a file that no longer exists."
       cat "$CPPCHECK_TMP/current"
     } >"$CPPCHECK_BASELINE"
     echo "cppcheck: baseline rewritten with $(wc -l <"$CPPCHECK_TMP/current") finding(s)"
   else
-    grep -v '^#' "$CPPCHECK_BASELINE" 2>/dev/null | grep -v '^$' | sort -u \
+    grep -v '^#' "$CPPCHECK_BASELINE" 2>/dev/null | grep -v '^$' | LC_ALL=C sort -u \
       >"$CPPCHECK_TMP/baseline" || true
     comm -23 "$CPPCHECK_TMP/current" "$CPPCHECK_TMP/baseline" >"$CPPCHECK_TMP/new"
     if [ -s "$CPPCHECK_TMP/new" ]; then

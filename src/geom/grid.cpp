@@ -22,6 +22,10 @@ SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size) {
 
 void SpatialGrid::build(std::span<const Vec2> points,
                         std::span<const NodeId> subset, double cell_size) {
+  // build() may be re-entered on a reused grid: drop the previous
+  // population before repopulating, or sparse entries would accumulate.
+  cells_.clear();
+  dense_cells_.clear();
   count_ = subset.size();
   for (const NodeId id : subset) {
     FCR_ENSURE_ARG(id < points.size(), "subset id out of range: " << id);
@@ -77,10 +81,13 @@ void SpatialGrid::build(std::span<const Vec2> points,
     const std::int64_t cx = cell_x(p.x);
     const std::int64_t cy = cell_y(p.y);
     if (dense_) {
+      // dense_ is set only on the path that assign()s the rectangle, so
+      // FCRLINT_ALLOW(definite-init): subscript in bounds whenever dense_
       dense_cells_[static_cast<std::size_t>((cy - min_cy_) * width_ +
                                             (cx - min_cx_))]
           .push_back(Entry{id, p});
     } else {
+      // FCRLINT_ALLOW(definite-init): map subscript inserts; reserve is a hint
       cells_[pack(cx, cy)].push_back(Entry{id, p});
     }
   }

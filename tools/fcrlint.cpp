@@ -78,6 +78,63 @@ void print_rules() {
   std::cout << "suppress with: FCRLINT_ALLOW(<rule>): <reason>\n";
 }
 
+/// --explain <rule>: the rule's one-line summary, its rationale, the
+/// smallest violating program, and the sanctioned suppression form.
+int explain(const std::string& rule) {
+  const fcrlint::RuleExplanation* ex = fcrlint::explain_rule(rule);
+  if (ex == nullptr || !fcrlint::is_known_rule(rule)) {
+    std::cerr << "fcrlint: unknown rule '" << rule
+              << "' (see --list-rules)\n";
+    return 2;
+  }
+  for (const fcrlint::RuleMeta& r : fcrlint::kRules) {
+    if (r.id == rule) {
+      std::cout << rule << " — " << r.summary << "\n\n";
+      break;
+    }
+  }
+  std::cout << "why:\n  " << ex->rationale << "\n\n"
+            << "minimal violation:\n"
+            << ex->example << "\n\n"
+            << "suppression (use sparingly, always with a reason):\n  "
+            << ex->allow << '\n';
+  return 0;
+}
+
+/// Serializes the lane-purity kernel certificates as kernel_manifest.json —
+/// the worklist the SIMD-lanes PR consumes. Draw counts are per-lane
+/// generator invocations per round; min < max marks a round-uniform gate.
+std::string kernel_manifest_json(
+    const std::vector<fcrlint::model::KernelRecord>& kernels) {
+  using fcrlint::sarifdetail::json_escape;
+  std::string s = "{\n  \"schema\": \"fcrlint-kernel-manifest/1\",\n";
+  s += "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const fcrlint::model::KernelRecord& k = kernels[i];
+    auto list = [](const std::vector<std::string>& v) {
+      std::string out = "[";
+      for (std::size_t j = 0; j < v.size(); ++j) {
+        out += (j == 0 ? "" : ", ") + ("\"" + json_escape(v[j]) + "\"");
+      }
+      return out + "]";
+    };
+    s += "    {\n";
+    s += "      \"kernel\": \"" + json_escape(k.qualified) + "\",\n";
+    s += "      \"file\": \"" + json_escape(k.file) + "\",\n";
+    s += "      \"line\": " + std::to_string(k.line) + ",\n";
+    s += "      \"columns_read\": " + list(k.columns_read) + ",\n";
+    s += "      \"columns_written\": " + list(k.columns_written) + ",\n";
+    s += "      \"rng_draws_per_node\": { \"min\": " +
+         std::to_string(k.draw_min) +
+         ", \"max\": " + std::to_string(k.draw_max) + " },\n";
+    s += "      \"pure\": " + std::string(k.pure ? "true" : "false") + ",\n";
+    s += "      \"reasons\": " + list(k.reasons) + "\n";
+    s += i + 1 < kernels.size() ? "    },\n" : "    }\n";
+  }
+  s += "  ]\n}\n";
+  return s;
+}
+
 /// Runs `git diff -U0 --no-color <ref>` under `root` and captures stdout.
 /// Returns false (with a message on stderr) if git fails.
 bool git_diff(const fs::path& root, const std::string& ref, std::string& out) {
@@ -157,6 +214,7 @@ int main(int argc, char** argv) {
   std::string stats_path;
   std::string diff_base;
   std::string diff_file;
+  std::string manifest_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* opt) -> const char* {
@@ -190,6 +248,14 @@ int main(int argc, char** argv) {
       const char* v = value("--diff-file");
       if (v == nullptr) return 2;
       diff_file = v;
+    } else if (arg == "--kernel-manifest") {
+      const char* v = value("--kernel-manifest");
+      if (v == nullptr) return 2;
+      manifest_path = v;
+    } else if (arg == "--explain") {
+      const char* v = value("--explain");
+      if (v == nullptr) return 2;
+      return explain(v);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--timings") {
@@ -203,6 +269,8 @@ int main(int argc, char** argv) {
       std::cout << "usage: fcrlint [--root DIR] [--quiet] [--sarif FILE]\n"
                    "               [--cache FILE] [--timings] [--stats-out "
                    "FILE] [--fix]\n"
+                   "               [--kernel-manifest FILE] [--explain "
+                   "RULE]\n"
                    "               [--diff-base REF | --diff-file FILE]\n"
                    "               [--list-rules] [PATH...]\n";
       print_rules();
@@ -313,7 +381,16 @@ int main(int argc, char** argv) {
   }
 
   clock.mark("graph");
-  std::vector<fcrlint::Finding> findings = fcrlint::finalize_tree(artifacts);
+  fcrlint::TreeResult tree = fcrlint::finalize_tree_full(artifacts);
+  std::vector<fcrlint::Finding>& findings = tree.findings;
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "fcrlint: cannot write " << manifest_path << '\n';
+      return 2;
+    }
+    out << kernel_manifest_json(tree.kernels);
+  }
 
   clock.mark("cache-save");
   if (!cache_path.empty()) {

@@ -15,7 +15,7 @@
 // a crashed run leaves the previous cache intact (same discipline as the
 // campaign checkpoint writer).
 //
-//   fcrlintcache <kFormatRev> <kRules.size()>
+//   fcrlintcache <kFormatRev> <kRules.size()> <hex-fingerprint>
 //   = <hex-hash> <path>
 //   F <line> <rule> <message>            per-file finding
 //   A <line> <rule> <reason>             allow annotation
@@ -25,16 +25,27 @@
 //   U <type>                             type name mentioned in the file
 //   K <class> <base>...                  class decl with base last-names
 //   G <class> <field> <mutex> <line>     FCR_GUARDED_BY field
-//   D <line> <def> <qualified> <name> <class>   function (starts a group)
+//   D <line> <def> <virt> <qualified> <name> <class>   function (starts group)
 //   L <lock>                             held/required lock of the last D
-//   C <line> <receiver> <callee>         call site of the last D
+//   C <line> <receiver> <callee> <gate> <held-csv>   call site of the last D
 //   M <kind> <line> <what>               allocation site of the last D
 //   T <line> <head>                      throw site of the last D
 //   S <kind> <line> <name>               Rng site of the last D
-//   X <line> <qualified> <name> <receiver> <recv-type>   member access
+//   X <line> <qualified> <name> <receiver> <recv-type> <held-csv>  access
+//   O <line> <write> <class> <column>    columnar column access of the last D
+//   W <line> <gate>                      RNG draw site of the last D
+//   H <line> <name>                      definite-init hazard of the last D
+//   Y <line> <what>                      purity issue of the last D
+//   Q <draw-min> <draw-max>              per-lane draw interval of the last D
+//
+// The header fingerprint hashes the enabled rule ids together with the
+// format revisions of every analysis layer (core, CFG, dataflow, model,
+// rules engine): toggling a rule or revising any layer changes the header,
+// so a stale cache can never serve findings computed under different rules.
 //
 // Every string field is escaped (\\ \n \r \t and space -> \s) so records
-// split on single spaces; empty fields survive the round trip.
+// split on single spaces; empty fields survive the round trip. <held-csv>
+// is the must-held lockset as ','-joined mutex names ('' when empty).
 #pragma once
 
 #include <cstdint>
@@ -54,7 +65,7 @@ namespace fcrlint::cache {
 
 /// Bump when the artifact schema or any per-file rule's behavior changes;
 /// the rule count in the header catches catalogue growth automatically.
-inline constexpr int kFormatRev = 1;
+inline constexpr int kFormatRev = 2;
 
 inline std::uint64_t fnv1a64(std::string_view s) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -63,6 +74,24 @@ inline std::uint64_t fnv1a64(std::string_view s) {
     h *= 1099511628211ULL;
   }
   return h;
+}
+
+/// Fingerprint of the enabled-rule set and every analysis layer's format
+/// revision. Part of the cache header: adding, removing, or renaming a
+/// rule — or bumping kCoreRev / kCfgRev / kDataflowRev / kModelRev /
+/// kRulesRev — invalidates every cached artifact at once.
+inline std::uint64_t rules_fingerprint() {
+  std::string key;
+  key += "core=" + std::to_string(kCoreRev);
+  key += ";cfg=" + std::to_string(cfg::kCfgRev);
+  key += ";dataflow=" + std::to_string(dataflow::kDataflowRev);
+  key += ";model=" + std::to_string(model::kModelRev);
+  key += ";rules=" + std::to_string(kRulesRev);
+  for (const RuleMeta& r : kRules) {
+    key += ';';
+    key += r.id;
+  }
+  return fnv1a64(key);
 }
 
 namespace cdetail {
@@ -171,7 +200,8 @@ class ArtifactCache {
     std::string line;
     if (!std::getline(in, line) ||
         line != "fcrlintcache " + std::to_string(kFormatRev) + " " +
-                    std::to_string(kRules.size())) {
+                    std::to_string(kRules.size()) + " " +
+                    cdetail::hex64(rules_fingerprint())) {
       return false;
     }
     Entry* cur = nullptr;
@@ -258,27 +288,75 @@ class ArtifactCache {
       } else if (tag == "D") {
         model::FunctionFacts ff;
         int def = 0;
-        if (f.size() != 6 || !num(1, ff.line) || !num(2, def) ||
-            !str(3, ff.qualified) || !str(4, ff.name) || !str(5, ff.cls)) {
+        int virt = 0;
+        if (f.size() != 7 || !num(1, ff.line) || !num(2, def) ||
+            !num(3, virt) || !str(4, ff.qualified) || !str(5, ff.name) ||
+            !str(6, ff.cls)) {
           return fail();
         }
         ff.is_definition = def != 0;
+        ff.is_virtual = virt != 0;
         a.model.functions.push_back(std::move(ff));
         fn = &a.model.functions.back();
       } else if (tag == "L" || tag == "C" || tag == "M" || tag == "T" ||
-                 tag == "S" || tag == "X") {
+                 tag == "S" || tag == "X" || tag == "O" || tag == "W" ||
+                 tag == "H" || tag == "Y" || tag == "Q") {
         if (fn == nullptr) return fail();
+        auto held_list = [&](std::size_t i,
+                             std::vector<std::string>& out) {
+          std::string csv;
+          if (!str(i, csv)) return false;
+          std::size_t start = 0;
+          for (std::size_t p = 0; p <= csv.size(); ++p) {
+            if (p == csv.size() || csv[p] == ',') {
+              if (p > start) out.push_back(csv.substr(start, p - start));
+              start = p + 1;
+            }
+          }
+          return true;
+        };
         if (tag == "L") {
           std::string s;
           if (f.size() != 2 || !str(1, s)) return fail();
           fn->locks.push_back(std::move(s));
         } else if (tag == "C") {
           model::CallSite c;
-          if (f.size() != 4 || !num(1, c.line) || !str(2, c.receiver) ||
-              !str(3, c.callee)) {
+          if (f.size() != 6 || !num(1, c.line) || !str(2, c.receiver) ||
+              !str(3, c.callee) || !num(4, c.gate) ||
+              !held_list(5, c.held)) {
             return fail();
           }
           fn->calls.push_back(std::move(c));
+        } else if (tag == "O") {
+          model::ColAccess c;
+          if (f.size() != 5 || !num(1, c.line) || !num(2, c.write) ||
+              !num(3, c.index_class) || !str(4, c.column)) {
+            return fail();
+          }
+          fn->cols.push_back(std::move(c));
+        } else if (tag == "W") {
+          model::DrawSite d;
+          if (f.size() != 3 || !num(1, d.line) || !num(2, d.gate)) {
+            return fail();
+          }
+          fn->draws.push_back(d);
+        } else if (tag == "H") {
+          model::InitHazard h;
+          if (f.size() != 3 || !num(1, h.line) || !str(2, h.name)) {
+            return fail();
+          }
+          fn->init_hazards.push_back(std::move(h));
+        } else if (tag == "Y") {
+          model::PurityIssue p;
+          if (f.size() != 3 || !num(1, p.line) || !str(2, p.what)) {
+            return fail();
+          }
+          fn->purity.push_back(std::move(p));
+        } else if (tag == "Q") {
+          if (f.size() != 3 || !num(1, fn->draw_min) ||
+              !num(2, fn->draw_max)) {
+            return fail();
+          }
         } else if (tag == "M") {
           model::AllocSite m;
           if (f.size() != 4 || !num(1, m.kind) || !num(2, m.line) ||
@@ -302,8 +380,9 @@ class ArtifactCache {
         } else {  // X
           model::Access x;
           int q = 0;
-          if (f.size() != 6 || !num(1, x.line) || !num(2, q) ||
-              !str(3, x.name) || !str(4, x.receiver) || !str(5, x.recv_type)) {
+          if (f.size() != 7 || !num(1, x.line) || !num(2, q) ||
+              !str(3, x.name) || !str(4, x.receiver) ||
+              !str(5, x.recv_type) || !held_list(6, x.held)) {
             return fail();
           }
           x.qualified = q != 0;
@@ -351,7 +430,8 @@ class ArtifactCache {
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       if (!out) return false;
-      out << "fcrlintcache " << kFormatRev << ' ' << kRules.size() << '\n';
+      out << "fcrlintcache " << kFormatRev << ' ' << kRules.size() << ' '
+          << cdetail::hex64(rules_fingerprint()) << '\n';
       for (const auto& [path, e] : entries_) {
         const FileArtifacts& a = e.artifacts;
         out << "= " << cdetail::hex64(e.hash) << ' ' << cdetail::escape(path)
@@ -386,7 +466,15 @@ class ArtifactCache {
               << ' ' << g.line << '\n';
         }
         for (const model::FunctionFacts& fn : a.model.functions) {
+          auto held_csv = [](const std::vector<std::string>& held) {
+            std::string csv;
+            for (std::size_t i = 0; i < held.size(); ++i) {
+              csv += (i == 0 ? "" : ",") + held[i];
+            }
+            return cdetail::escape(csv);
+          };
           out << "D " << fn.line << ' ' << (fn.is_definition ? 1 : 0) << ' '
+              << (fn.is_virtual ? 1 : 0) << ' '
               << cdetail::escape(fn.qualified) << ' '
               << cdetail::escape(fn.name) << ' ' << cdetail::escape(fn.cls)
               << '\n';
@@ -395,7 +483,8 @@ class ArtifactCache {
           }
           for (const model::CallSite& c : fn.calls) {
             out << "C " << c.line << ' ' << cdetail::escape(c.receiver) << ' '
-                << cdetail::escape(c.callee) << '\n';
+                << cdetail::escape(c.callee) << ' ' << c.gate << ' '
+                << held_csv(c.held) << '\n';
           }
           for (const model::AllocSite& m : fn.allocs) {
             out << "M " << m.kind << ' ' << m.line << ' '
@@ -411,7 +500,24 @@ class ArtifactCache {
           for (const model::Access& x : fn.accesses) {
             out << "X " << x.line << ' ' << (x.qualified ? 1 : 0) << ' '
                 << cdetail::escape(x.name) << ' ' << cdetail::escape(x.receiver)
-                << ' ' << cdetail::escape(x.recv_type) << '\n';
+                << ' ' << cdetail::escape(x.recv_type) << ' '
+                << held_csv(x.held) << '\n';
+          }
+          for (const model::ColAccess& c : fn.cols) {
+            out << "O " << c.line << ' ' << c.write << ' ' << c.index_class
+                << ' ' << cdetail::escape(c.column) << '\n';
+          }
+          for (const model::DrawSite& d : fn.draws) {
+            out << "W " << d.line << ' ' << d.gate << '\n';
+          }
+          for (const model::InitHazard& h : fn.init_hazards) {
+            out << "H " << h.line << ' ' << cdetail::escape(h.name) << '\n';
+          }
+          for (const model::PurityIssue& p : fn.purity) {
+            out << "Y " << p.line << ' ' << cdetail::escape(p.what) << '\n';
+          }
+          if (fn.draw_min != 0 || fn.draw_max != 0) {
+            out << "Q " << fn.draw_min << ' ' << fn.draw_max << '\n';
           }
         }
       }

@@ -47,7 +47,11 @@ struct RuleMeta {
   std::string_view summary;
 };
 
-inline constexpr std::array<RuleMeta, 16> kRules = {{
+/// Bump when the finding/allow vocabulary or rule catalogue semantics
+/// change; feeds the cache fingerprint.
+inline constexpr int kCoreRev = 2;
+
+inline constexpr std::array<RuleMeta, 19> kRules = {{
     {"determinism",
      "entropy and wall-clock sources are banned in src/ (outside "
      "src/util/rng.*); all randomness flows through the seeded fcr::Rng"},
@@ -107,6 +111,22 @@ inline constexpr std::array<RuleMeta, 16> kRules = {{
      "interprocedural: throw sites reachable from ThreadPool task bodies "
      "(for_each callers) must construct fcr::Error, not bare std:: "
      "exceptions, so faults keep their trial provenance"},
+    {"lane-purity",
+     "dataflow: every ColumnarAlgorithm::columnar_decide override (and its "
+     "transitive callees) must touch element columns only at the current "
+     "lane, word columns only at the current word, take no locks, reach no "
+     "virtual calls, and draw a path-invariant number of per-lane RNG "
+     "values — the certificate SIMD lane batching depends on (emitted to "
+     "kernel_manifest.json)"},
+    {"definite-init",
+     "dataflow: a container subscripted or back()/front()/at()-read in a "
+     "function that sizes it (resize/assign/reserve) on only SOME CFG "
+     "paths to the read — cold paths reading never-initialized columns"},
+    {"lockset-path",
+     "dataflow: branch-aware lockset — an FCR_GUARDED_BY(m) member access "
+     "is clean only when m is in the must-held set at the access itself "
+     "(scoped MutexLock extents and early unlocks accounted for) or the "
+     "function is reached from a call site that provably holds m"},
 }};
 
 inline bool is_known_rule(std::string_view rule) {
@@ -242,6 +262,165 @@ inline bool allowed_anywhere(const std::vector<Allow>& allows,
                              std::string_view rule) {
   return std::any_of(allows.begin(), allows.end(),
                      [&](const Allow& a) { return a.rule == rule; });
+}
+
+/// --explain payload: why the rule exists, the smallest program it fires
+/// on, and the sanctioned suppression form (always an allow annotation
+/// with a reasoned justification on the finding line or the line above).
+struct RuleExplanation {
+  std::string_view rationale;
+  std::string_view example;
+  std::string_view allow;
+};
+
+/// Returns the explanation for `rule`, or nullptr for unknown ids. The
+/// catalogue and this table are kept in lockstep (asserted by the CLI
+/// test); the summaries in kRules stay the one-line form.
+inline const RuleExplanation* explain_rule(std::string_view rule) {
+  struct Entry {
+    std::string_view id;
+    RuleExplanation ex;
+  };
+  static constexpr std::array<Entry, 19> kTable = {{
+      {"determinism",
+       {"Reproducibility is the repo's core contract: every trial must "
+        "replay bit-identically from its seed. Ambient entropy "
+        "(std::random_device, time(), chrono clocks) silently forks runs.",
+        "  auto seed = std::chrono::steady_clock::now();  // wall clock",
+        "// FCRLINT_ALLOW(determinism): <why this wall-clock read cannot "
+        "affect simulation results>"}},
+      {"sinr-float",
+       {"Feasibility verdicts compare SINR against the threshold beta; "
+        "float's 24-bit mantissa flips verdicts near the boundary, and a "
+        "flipped bit invalidates a whole campaign.",
+        "  float sinr = signal / interference;  // in src/sinr/",
+        "// FCRLINT_ALLOW(sinr-float): <why single precision is safe here>"}},
+      {"ensure-arg",
+       {"Public entry points validate inputs with FCR_ENSURE_ARG so a bad "
+        "config fails loudly with provenance instead of corrupting a sweep.",
+        "  RunResult run(Config c) { return run_impl(c); }  // no check",
+        "// FCRLINT_ALLOW(ensure-arg): <why this TU has no checkable "
+        "public arguments>"}},
+      {"pragma-once",
+       {"Headers without an include guard break unity and module builds "
+        "the moment two TUs disagree.",
+        "  // header file with no #pragma once",
+        "// FCRLINT_ALLOW(pragma-once): <why this header is special>"}},
+      {"include-hygiene",
+       {"Parent-relative includes bypass the layer map, <bits/...> is not "
+        "portable, and C headers pollute the global namespace.",
+        "  #include \"../sim/engine.hpp\"",
+        "// FCRLINT_ALLOW(include-hygiene): <why this include is needed>"}},
+      {"allow-syntax",
+       {"A suppression without a known rule and a reason is a silent hole: "
+        "nobody can audit why the finding was waived.",
+        "  // FCRLINT_ALLOW(made-up-rule)",
+        "(not suppressible — fix the annotation instead)"}},
+      {"layering",
+       {"The dependency order util -> stats -> geom -> radio -> deploy -> "
+        "sinr -> sim -> core -> lowerbound -> algorithms -> ext keeps the "
+        "simulator buildable in slices; upward edges and cycles rot first.",
+        "  // in src/util/: #include \"sim/engine.hpp\"  (upward edge)",
+        "// FCRLINT_ALLOW(layering): <why this edge is sound>"}},
+      {"fp-accumulate",
+       {"Serial and batched resolvers must produce bit-identical sums; "
+        "fcr::pairwise_sum fixes the reduction tree, raw += makes the "
+        "result depend on iteration order.",
+        "  double s = 0; for (double x : xs) s += x;  // in src/sinr/",
+        "// FCRLINT_ALLOW(fp-accumulate): <why this reduction is "
+        "order-insensitive or deliberately approximate>"}},
+      {"lock-discipline",
+       {"Only the annotated fcr::Mutex family participates in Clang "
+        "thread-safety analysis; a raw std::mutex is invisible to it and "
+        "to fcrlint's lockset rules.",
+        "  std::mutex m_;  // in src/",
+        "// FCRLINT_ALLOW(lock-discipline): <why a raw primitive is "
+        "required here>"}},
+      {"rng-flow",
+       {"Copying an Rng duplicates its stream: two consumers draw the same "
+        "values, and replay diverges from production. Streams move through "
+        "references or split().",
+        "  Rng copy = *rng_ptr;  // copies the stream state",
+        "// FCRLINT_ALLOW(rng-flow): <why this copy cannot duplicate "
+        "draws>"}},
+      {"workspace-reset",
+       {"ExecutionWorkspace is reused across executions; a member appended "
+        "to but never cleared/assigned/resized leaks one run's state into "
+        "the next.",
+        "  ids_.push_back(id);  // and no ids_.clear() in the file",
+        "// FCRLINT_ALLOW(workspace-reset): <why this member survives "
+        "across runs by design>"}},
+      {"error-discipline",
+       {"A swallowed exception erases the faulted trial's provenance; the "
+        "campaign layer can only quarantine what it can attribute.",
+        "  try { run(); } catch (const std::exception&) { /* ignore */ }",
+        "// FCRLINT_ALLOW(error-discipline): <why swallowing is safe "
+        "here>"}},
+      {"lockset",
+       {"An FCR_GUARDED_BY(m) member read without m held — in the function "
+        "or any caller on a visible path — is a data race the type system "
+        "did not catch.",
+        "  int v = shared_;  // shared_ is FCR_GUARDED_BY(mu_), no lock",
+        "// FCRLINT_ALLOW(lockset): <why this access is race-free>"}},
+      {"rng-lineage",
+       {"Inside the execution closure every stream must come from the "
+        "trial's seeded base via split(<tag>); a re-rooted or "
+        "default-seeded Rng silently forks replay.",
+        "  Rng r(12345);  // inside run_execution's call graph",
+        "// FCRLINT_ALLOW(rng-lineage): <why this root cannot affect "
+        "trial replay>"}},
+      {"hot-path-alloc",
+       {"The steady-state round loops are proven zero-alloc (global "
+        "new/delete counters); any allocation reachable from them breaks "
+        "the proof and the latency budget.",
+        "  buf.push_back(x);  // buf never reserve()d, inside run_rounds",
+        "// FCRLINT_ALLOW(hot-path-alloc): <why this allocation is "
+        "setup-only or amortized>"}},
+      {"error-provenance",
+       {"Throws escaping a ThreadPool task must be fcr::Error so the "
+        "campaign's failure report can attribute the trial; bare std:: "
+        "exceptions lose the seed and config hash.",
+        "  throw std::runtime_error(\"bad\");  // inside a for_each body",
+        "// FCRLINT_ALLOW(error-provenance): <why provenance is preserved "
+        "anyway>"}},
+      {"lane-purity",
+       {"SIMD lane batching runs 64 nodes per word with per-lane xoshiro "
+        "streams; it is only bit-identical to the scalar engine if every "
+        "columnar_decide kernel touches element columns at the current "
+        "lane only, word columns at the current word only, takes no locks, "
+        "reaches no virtual calls, and draws the same number of RNG values "
+        "on every CFG path. The verdicts land in kernel_manifest.json.",
+        "  if (state.probability[id] > 0.5) {  // lane-varying gate\n"
+        "    state.rng[id].bernoulli(p);       // draws 1 on one path, 0 "
+        "on the other\n"
+        "  }",
+        "// FCRLINT_ALLOW(lane-purity): <why this kernel must stay scalar "
+        "— it will be excluded from lane batching>"}},
+      {"definite-init",
+       {"A container sized on only some CFG paths before a subscript read "
+        "is a cold-path crash: the untested branch indexes an empty "
+        "column. The must-init dataflow proves sizing dominates every "
+        "read.",
+        "  std::vector<int> col;\n"
+        "  if (warm) col.resize(n);\n"
+        "  col[0] = 1;  // cold path reads an empty vector",
+        "// FCRLINT_ALLOW(definite-init): <the invariant that makes the "
+        "unsized path unreachable>"}},
+      {"lockset-path",
+       {"The branch-aware lockset: scoped MutexLock extents, early "
+        "unlocks, and conditional acquisition are replayed through the "
+        "CFG, so an access after the lock scope closes — or on a path "
+        "that never locked — is caught, and conditional locks no longer "
+        "excuse unconditional accesses.",
+        "  { fcr::MutexLock l(mu_); shared_ = 1; }\n"
+        "  shared_ = 2;  // mu_ released at the brace above",
+        "// FCRLINT_ALLOW(lockset-path): <why this access is race-free "
+        "on every path>"}},
+  }};
+  for (const Entry& e : kTable) {
+    if (e.id == rule) return &e.ex;
+  }
+  return nullptr;
 }
 
 }  // namespace fcrlint

@@ -1,0 +1,141 @@
+// fcrlint v4 — generic forward-dataflow worklist solver over the CFG.
+//
+// One solver, parameterized by the lattice: the caller supplies the entry
+// fact, a per-block transfer function, and a join. Facts are propagated
+// along successor edges until a fixpoint; unreachable blocks keep an empty
+// optional, which is how dead code is told apart from "reached with an
+// empty fact". Termination comes from the lattices, not the solver: the
+// concrete lattices below have finite height (must-sets only shrink under
+// intersection; draw-count intervals saturate), and a generous iteration
+// backstop guards against a client lattice that fails to converge — a
+// linter must degrade, never hang.
+//
+// Three lattices cover the v4 rules:
+//
+//   MustSet     sorted string set, join = intersection (definite-init's
+//               initialized-names fact and lockset-path's held-mutexes fact
+//               are both "true on ALL paths" facts);
+//   CountRange  [min, max] RNG draws since entry, join = interval hull,
+//               addition saturating at kCountSaturated (a draw inside a
+//               nested non-lane loop is "unbounded", not a huge number);
+//   the lock replay helper walks a block's ordered events (code spans,
+//               acquire, release) so per-site facts — "what is held at
+//               THIS access" — fall out of the block-entry solution.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fcrlint_cfg.hpp"
+
+namespace fcrlint::dataflow {
+
+/// Bump when solver semantics or the concrete lattices change; feeds the
+/// cache fingerprint.
+inline constexpr int kDataflowRev = 1;
+
+/// Forward worklist solve. `transfer(block_id, in_fact) -> out_fact`,
+/// `join(a, b) -> merged`. Returns the fact at each block's ENTRY; apply
+/// `transfer` once more for the exit fact of a block. Facts must be
+/// equality-comparable.
+template <class Fact, class Transfer, class Join>
+inline std::vector<std::optional<Fact>> solve_forward(const cfg::Cfg& g,
+                                                      Fact entry_fact,
+                                                      Transfer&& transfer,
+                                                      Join&& join) {
+  std::vector<std::optional<Fact>> in(g.blocks.size());
+  if (g.blocks.empty()) return in;
+  in[g.entry] = std::move(entry_fact);
+  std::vector<char> queued(g.blocks.size(), 0);
+  std::vector<std::size_t> work = {g.entry};
+  queued[g.entry] = 1;
+  // Backstop: each block can be revisited at most a lattice-height number
+  // of times; 64 covers the saturating count interval with slack.
+  std::size_t budget = g.blocks.size() * 64 + 256;
+  while (!work.empty() && budget-- > 0) {
+    const std::size_t b = work.back();
+    work.pop_back();
+    queued[b] = 0;
+    const Fact out = transfer(b, *in[b]);
+    for (const std::size_t s : g.blocks[b].succs) {
+      Fact merged = in[s].has_value() ? join(*in[s], out) : out;
+      if (!in[s].has_value() || !(merged == *in[s])) {
+        in[s] = std::move(merged);
+        if (!queued[s]) {
+          queued[s] = 1;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  return in;
+}
+
+// ---------------------------------------------------------------------------
+// Must-set lattice (definite-init, lockset-path).
+// ---------------------------------------------------------------------------
+
+using MustSet = std::set<std::string>;
+
+inline MustSet must_join(const MustSet& a, const MustSet& b) {
+  MustSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Draw-count interval lattice (lane-purity path counting).
+// ---------------------------------------------------------------------------
+
+/// Counts above this are "unbounded" — a draw under a back edge whose trip
+/// count the linter cannot see. Saturation keeps the lattice finite.
+inline constexpr int kCountSaturated = 64;
+
+struct CountRange {
+  int min = 0;
+  int max = 0;
+  friend bool operator==(const CountRange&, const CountRange&) = default;
+};
+
+inline CountRange count_add(CountRange r, int n) {
+  r.min = std::min(r.min + n, kCountSaturated);
+  r.max = std::min(r.max + n, kCountSaturated);
+  return r;
+}
+
+inline CountRange count_join(const CountRange& a, const CountRange& b) {
+  return {std::min(a.min, b.min), std::max(a.max, b.max)};
+}
+
+// ---------------------------------------------------------------------------
+// Per-site replay.
+// ---------------------------------------------------------------------------
+
+/// The must-held lockset just before token `tok` inside block `b`, given the
+/// solved block-entry fact: replays the block's ordered events up to (not
+/// including) the span position of `tok`.
+inline MustSet held_at(const cfg::Block& blk, MustSet entry, std::size_t tok) {
+  for (const cfg::Event& e : blk.events) {
+    if (e.kind == cfg::Event::kSpan && e.span.contains(tok)) break;
+    if (e.kind == cfg::Event::kAcquire) entry.insert(e.lock);
+    else if (e.kind == cfg::Event::kRelease) entry.erase(e.lock);
+  }
+  return entry;
+}
+
+/// Block transfer for the lockset analysis: applies every acquire/release in
+/// order.
+inline MustSet apply_lock_events(const cfg::Block& blk, MustSet in) {
+  for (const cfg::Event& e : blk.events) {
+    if (e.kind == cfg::Event::kAcquire) in.insert(e.lock);
+    else if (e.kind == cfg::Event::kRelease) in.erase(e.lock);
+  }
+  return in;
+}
+
+}  // namespace fcrlint::dataflow

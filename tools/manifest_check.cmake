@@ -1,0 +1,55 @@
+# Kernel-manifest contract: a whole-tree fcrlint run with --kernel-manifest
+# must certify every shipped columnar kernel. Validates the emitted JSON
+# structurally — schema tag, one entry per registry algorithm with a
+# columnar port, no impure kernels, and bounded per-lane draw intervals.
+# Run under ctest as fcrlint_kernel_manifest.
+#
+# Inputs: -DFCRLINT=<binary> -DSOURCE_DIR=<repo root> -DWORKDIR=<scratch>
+
+function(fail msg)
+  message(FATAL_ERROR "fcrlint_kernel_manifest: ${msg}")
+endfunction()
+
+set(manifest ${WORKDIR}/kernel_manifest.json)
+execute_process(
+  COMMAND ${FCRLINT} --root ${SOURCE_DIR} --kernel-manifest ${manifest} src
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  fail("tree run exited ${rc}:\n${out}${err}")
+endif()
+if(NOT EXISTS ${manifest})
+  fail("--kernel-manifest did not write ${manifest}")
+endif()
+file(READ ${manifest} json)
+
+string(FIND "${json}" "\"schema\": \"fcrlint-kernel-manifest/1\"" pos)
+if(pos EQUAL -1)
+  fail("schema tag missing from manifest:\n${json}")
+endif()
+
+# Every columnar kernel in the registry appears, certified pure.
+foreach(kernel
+    fcr::SlottedAloha::columnar_decide
+    fcr::NoKnockoutControl::columnar_decide
+    fcr::DecayKnownN::columnar_decide
+    fcr::DecayDoubling::columnar_decide
+    fcr::FastDecay::columnar_decide
+    fcr::BinaryExponentialBackoff::columnar_decide
+    fcr::FadingContentionResolution::columnar_decide)
+  string(FIND "${json}" "\"${kernel}\"" pos)
+  if(pos EQUAL -1)
+    fail("kernel ${kernel} missing from manifest")
+  endif()
+endforeach()
+
+string(FIND "${json}" "\"pure\": false" pos)
+if(NOT pos EQUAL -1)
+  fail("manifest contains a decertified kernel:\n${json}")
+endif()
+string(REGEX MATCHALL "\"pure\": true" pure_tags "${json}")
+list(LENGTH pure_tags pure_count)
+if(NOT pure_count EQUAL 7)
+  fail("expected 7 pure kernels, found ${pure_count}")
+endif()
