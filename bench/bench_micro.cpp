@@ -3,9 +3,12 @@
 // queries, link-class partitioning, and the RNG.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <optional>
+#include <span>
 
 #include "core/fading_cr.hpp"
 #include "core/link_classes.hpp"
@@ -18,6 +21,7 @@
 #include "sinr/batch.hpp"
 #include "sinr/channel.hpp"
 #include "util/rng.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 namespace {
@@ -171,6 +175,111 @@ void BM_LinkClassPartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinkClassPartition)->Arg(256)->Arg(4096);
+
+/// Columnar state fixture for the decide-kernel benches: n nodes, all
+/// active, element columns padded per the LaneRng contract — exactly what
+/// ExecutionWorkspace::prepare_columns builds.
+struct DecideFixture {
+  explicit DecideFixture(std::size_t n, const ColumnarAlgorithm& algo)
+      : words((n + 63) / 64),
+        active(words, ~std::uint64_t{0}),
+        decisions(words, 0),
+        probability(LaneRng::padded_count(n), 0.0),
+        phase(n, 0),
+        aux(LaneRng::padded_count(n), 0) {
+    if ((n & 63) != 0) active.back() = (std::uint64_t{1} << (n & 63)) - 1;
+    Rng root(42);
+    for (NodeId id = 0; id < n; ++id) rng.push_back(root.split(id));
+    lanes.seed(root, n);
+    state = ColumnarState{active,
+                          std::span<double>(probability.data(), n),
+                          phase,
+                          std::span<std::uint64_t>(aux.data(), n),
+                          rng,
+                          n,
+                          n};
+    algo.columnar_init(state);
+  }
+
+  std::size_t words;
+  std::vector<std::uint64_t> active;
+  std::vector<std::uint64_t> decisions;
+  std::vector<double> probability;
+  std::vector<std::uint32_t> phase;
+  std::vector<std::uint64_t> aux;
+  std::vector<Rng> rng;
+  LaneRng lanes;
+  ColumnarState state;
+};
+
+void BM_DecideKernelScalar(benchmark::State& state) {
+  // The scalar fading decide kernel in isolation: one bernoulli per active
+  // node through the word-skipping id loop. Paired with
+  // BM_DecideKernelLanes for the machine-independent decide-kernel ratio
+  // scripts/perf_compare.py gates.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FadingContentionResolution algo;
+  DecideFixture fx(n, algo);
+  std::uint64_t round = 1;
+  for (auto _ : state) {
+    std::fill(fx.decisions.begin(), fx.decisions.end(), std::uint64_t{0});
+    algo.columnar_decide(round++, fx.state, fx.decisions);
+    benchmark::DoNotOptimize(fx.decisions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecideKernelScalar)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_DecideKernelLanes(benchmark::State& state) {
+  // The same kernel on the SIMD lane route (W = 8 blocked xoshiro streams,
+  // word-packed decision output). Bit-identical decisions to the scalar
+  // kernel (tests/test_lane_identity.cpp); the ratio is pure speed.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FadingContentionResolution algo;
+  DecideFixture fx(n, algo);
+  std::uint64_t round = 1;
+  for (auto _ : state) {
+    std::fill(fx.decisions.begin(), fx.decisions.end(), std::uint64_t{0});
+    algo.lane_decide(round++, fx.state, fx.lanes, fx.decisions);
+    benchmark::DoNotOptimize(fx.decisions.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DecideKernelLanes)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_ResolveMask(benchmark::State& state) {
+  // BatchResolver::resolve_mask: the bitmask round-resolution path the
+  // unobserved engine uses — word-skip transmitter enumeration straight
+  // from decision words, received bits packed back into a mask. Compare
+  // BM_BatchResolve at the same n for the id-vector materialization cost.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Deployment dep = make_uniform(n);
+  const SinrParams params =
+      SinrParams::for_longest_link(3.0, 1.5, 1e-9, dep.max_link());
+  BatchResolver resolver(params);
+  Rng rng(3);
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> tx(words, 0), listen(words, 0), received(words, 0);
+  std::size_t tx_count = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.2)) {
+      tx[i >> 6] |= std::uint64_t{1} << (i & 63);
+      ++tx_count;
+    } else {
+      listen[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
+  for (auto _ : state) {
+    resolver.resolve_mask(dep, tx, listen, received);
+    benchmark::DoNotOptimize(received.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(tx_count * (n - tx_count)));
+}
+BENCHMARK(BM_ResolveMask)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_FullExecution(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -329,6 +438,14 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("fcr_build_type", FCR_BUILD_TYPE);
+  // Provenance: scripts/perf_smoke.sh exports the commit it benchmarked so
+  // committed BENCH_*.json baselines are attributable to a tree state.
+  if (const char* sha = std::getenv("FCR_GIT_SHA")) {
+    benchmark::AddCustomContext("git_sha", sha);
+  }
+  if (const char* dirty = std::getenv("FCR_GIT_DIRTY")) {
+    benchmark::AddCustomContext("git_dirty", dirty);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

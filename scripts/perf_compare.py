@@ -34,6 +34,11 @@ RATIOS = [
     # size. Ratio < 1 means columnar is faster; growth past the baseline
     # means the SoA path regressed relative to its in-process reference.
     ("columnar-execution", "BM_FullExecution/1024", "BM_FullExecutionVirtual/1024"),
+    # SIMD lane decide kernel vs the scalar columnar kernel on the same
+    # padded columns. Ratio < 1 means lanes are faster; growth past the
+    # baseline means the lane engine (or its dispatch) regressed relative
+    # to the scalar kernel measured in the same process.
+    ("decide-kernel", "BM_DecideKernelLanes/1024", "BM_DecideKernelScalar/1024"),
 ]
 
 

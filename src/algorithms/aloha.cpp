@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 namespace {
@@ -61,6 +62,12 @@ void SlottedAloha::columnar_decide(std::uint64_t /*round*/,
                                    std::span<std::uint64_t> decisions) const {
   columnar_bernoulli_all(state, 1.0 / static_cast<double>(size_bound_),
                          decisions);
+}
+
+void SlottedAloha::lane_decide(std::uint64_t /*round*/,
+                               ColumnarState& /*state*/, LaneRng& lanes,
+                               std::span<std::uint64_t> decisions) const {
+  lanes.bernoulli_all(1.0 / static_cast<double>(size_bound_), decisions);
 }
 
 }  // namespace fcr

@@ -31,6 +31,12 @@ class SlottedAloha final : public Algorithm, public ColumnarAlgorithm {
   void columnar_init(ColumnarState& state) const override;
   void columnar_decide(std::uint64_t round, ColumnarState& state,
                        std::span<std::uint64_t> decisions) const override;
+  FeedbackMode feedback_mode() const override { return FeedbackMode::kNone; }
+  const char* lane_kernel_id() const override {
+    return "fcr::SlottedAloha::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }

@@ -2,6 +2,8 @@
 
 #include <new>
 
+#include "util/rng_lanes.hpp"
+
 // FCRLINT_ALLOW(ensure-arg): make_node accepts any id and any Rng stream;
 // the protocol has no parameters with invalid values.
 
@@ -69,6 +71,18 @@ void BinaryExponentialBackoff::columnar_decide(
       decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
     }
   }
+}
+
+void BinaryExponentialBackoff::lane_decide(
+    std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+    std::span<std::uint64_t> decisions) const {
+  // Same epoch structure; the window round + 1 is a power of two, which is
+  // exactly the single-draw masked case of Rng::uniform_int, so the lane
+  // draw count matches the scalar kernel draw for draw.
+  if (((round + 1) & round) == 0) {
+    lanes.uniform_offsets_pow2(round, round + 1, state.aux.data());
+  }
+  lane_select_equal(state.aux.data(), round, state.node_count, decisions);
 }
 
 }  // namespace fcr

@@ -35,6 +35,12 @@ class BinaryExponentialBackoff final : public Algorithm,
   const ColumnarAlgorithm* columnar() const override { return this; }
   void columnar_decide(std::uint64_t round, ColumnarState& state,
                        std::span<std::uint64_t> decisions) const override;
+  FeedbackMode feedback_mode() const override { return FeedbackMode::kNone; }
+  const char* lane_kernel_id() const override {
+    return "fcr::BinaryExponentialBackoff::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
 };
 
 }  // namespace fcr

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 namespace {
@@ -91,6 +92,13 @@ void DecayKnownN::columnar_decide(std::uint64_t round, ColumnarState& state,
   columnar_bernoulli_all(state, ladder_probability(slot), decisions);
 }
 
+void DecayKnownN::lane_decide(std::uint64_t round, ColumnarState& /*state*/,
+                              LaneRng& lanes,
+                              std::span<std::uint64_t> decisions) const {
+  const std::uint64_t slot = (round - 1) % sweep_length_;
+  lanes.bernoulli_all(ladder_probability(slot), decisions);
+}
+
 std::unique_ptr<NodeProtocol> DecayDoubling::make_node(NodeId /*id*/,
                                                        Rng rng) const {
   return std::make_unique<DecayDoublingNode>(rng);
@@ -115,6 +123,18 @@ void DecayDoubling::columnar_decide(std::uint64_t round, ColumnarState& state,
     ++epoch;
   }
   columnar_bernoulli_all(state, ladder_probability(r), decisions);
+}
+
+void DecayDoubling::lane_decide(std::uint64_t round, ColumnarState& /*state*/,
+                                LaneRng& lanes,
+                                std::span<std::uint64_t> decisions) const {
+  std::uint64_t r = round - 1;
+  std::uint64_t epoch = 1;
+  while (r >= epoch) {
+    r -= epoch;
+    ++epoch;
+  }
+  lanes.bernoulli_all(ladder_probability(r), decisions);
 }
 
 }  // namespace fcr

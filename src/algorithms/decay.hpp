@@ -39,6 +39,12 @@ class DecayKnownN final : public Algorithm, public ColumnarAlgorithm {
   const ColumnarAlgorithm* columnar() const override { return this; }
   void columnar_decide(std::uint64_t round, ColumnarState& state,
                        std::span<std::uint64_t> decisions) const override;
+  FeedbackMode feedback_mode() const override { return FeedbackMode::kNone; }
+  const char* lane_kernel_id() const override {
+    return "fcr::DecayKnownN::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
   bool uses_size_bound() const override { return true; }
 
   std::size_t size_bound() const { return size_bound_; }
@@ -64,6 +70,12 @@ class DecayDoubling final : public Algorithm, public ColumnarAlgorithm {
   const ColumnarAlgorithm* columnar() const override { return this; }
   void columnar_decide(std::uint64_t round, ColumnarState& state,
                        std::span<std::uint64_t> decisions) const override;
+  FeedbackMode feedback_mode() const override { return FeedbackMode::kNone; }
+  const char* lane_kernel_id() const override {
+    return "fcr::DecayDoubling::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
 };
 
 }  // namespace fcr

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 namespace {
@@ -68,6 +69,14 @@ void FastDecay::columnar_decide(std::uint64_t round, ColumnarState& state,
   const std::uint64_t slot = (round - 1) % sweep_length_;
   const double p = 0.5 * std::pow(sigma_, -static_cast<double>(slot));
   columnar_bernoulli_all(state, p, decisions);
+}
+
+void FastDecay::lane_decide(std::uint64_t round, ColumnarState& /*state*/,
+                            LaneRng& lanes,
+                            std::span<std::uint64_t> decisions) const {
+  const std::uint64_t slot = (round - 1) % sweep_length_;
+  const double p = 0.5 * std::pow(sigma_, -static_cast<double>(slot));
+  lanes.bernoulli_all(p, decisions);
 }
 
 }  // namespace fcr

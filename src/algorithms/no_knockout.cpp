@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 namespace {
@@ -60,6 +61,12 @@ void NoKnockoutControl::columnar_decide(
     std::uint64_t /*round*/, ColumnarState& state,
     std::span<std::uint64_t> decisions) const {
   columnar_bernoulli_all(state, p_, decisions);
+}
+
+void NoKnockoutControl::lane_decide(std::uint64_t /*round*/,
+                                    ColumnarState& /*state*/, LaneRng& lanes,
+                                    std::span<std::uint64_t> decisions) const {
+  lanes.bernoulli_all(p_, decisions);
 }
 
 }  // namespace fcr

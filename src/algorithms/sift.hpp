@@ -19,8 +19,12 @@
 
 namespace fcr {
 
-/// Fixed-window Sift with truncated-geometric slot selection.
-class SiftWindow final : public Algorithm {
+/// Fixed-window Sift with truncated-geometric slot selection. The columnar
+/// form stores each node's chosen slot in the aux column — one inverse-CDF
+/// draw per node at epoch-start rounds (with the epoch-constant pow/log
+/// factors hoisted out of the per-node loop), a flat compare everywhere
+/// else, mirroring the backoff kernel's shape.
+class SiftWindow final : public Algorithm, public ColumnarAlgorithm {
  public:
   /// `window` slots per epoch; `skew` in (0, 1): smaller = steeper skew.
   explicit SiftWindow(std::size_t window = 32, double skew = 0.8);
@@ -30,6 +34,15 @@ class SiftWindow final : public Algorithm {
   NodeLayout node_layout() const override;
   NodeProtocol* construct_node_at(void* storage, NodeId id,
                                   Rng rng) const override;
+  const ColumnarAlgorithm* columnar() const override { return this; }
+  void columnar_decide(std::uint64_t round, ColumnarState& state,
+                       std::span<std::uint64_t> decisions) const override;
+  FeedbackMode feedback_mode() const override { return FeedbackMode::kNone; }
+  const char* lane_kernel_id() const override {
+    return "fcr::SiftWindow::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
 
   std::size_t window() const { return window_; }
   double skew() const { return skew_; }

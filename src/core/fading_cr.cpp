@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 
@@ -81,6 +82,31 @@ void FadingContentionResolution::columnar_feedback(
   for (std::size_t i = 0; i < listeners.size(); ++i) {
     if (feedback[i].received) state.deactivate(listeners[i]);
   }
+}
+
+void FadingContentionResolution::columnar_feedback_mask(
+    ColumnarState& state, std::span<const std::uint64_t> received) const {
+  // Same knockout rule on the received bitmask directly. The caller only
+  // sets received bits for listeners it resolved (active non-transmitters),
+  // so every set bit is a genuine knockout.
+  for (std::size_t w = 0; w < received.size(); ++w) {
+    std::uint64_t bits = received[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      state.deactivate(
+          static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+    }
+  }
+}
+
+void FadingContentionResolution::lane_decide(
+    std::uint64_t /*round*/, ColumnarState& state, LaneRng& lanes,
+    std::span<std::uint64_t> decisions) const {
+  // Lane form of the word-skipping bernoulli sweep: per-node probabilities
+  // live in the (lane-padded) probability column, and only active lanes
+  // step their streams — bit-identical to columnar_decide's draw pattern.
+  lanes.bernoulli_active(state.active, state.probability.data(), decisions);
 }
 
 }  // namespace fcr

@@ -68,6 +68,21 @@ class FadingContentionResolution final : public Algorithm,
                          std::span<const NodeId> listeners,
                          std::span<const Feedback> feedback) const override;
 
+  /// Feedback is exactly "deactivate every listener that received", so the
+  /// bitmask round loop can deliver it as a received-word sweep.
+  FeedbackMode feedback_mode() const override {
+    return FeedbackMode::kReceivedMask;
+  }
+  void columnar_feedback_mask(
+      ColumnarState& state,
+      std::span<const std::uint64_t> received) const override;
+
+  const char* lane_kernel_id() const override {
+    return "fcr::FadingContentionResolution::columnar_decide";
+  }
+  void lane_decide(std::uint64_t round, ColumnarState& state, LaneRng& lanes,
+                   std::span<std::uint64_t> decisions) const override;
+
   double broadcast_probability() const { return p_; }
 
  private:

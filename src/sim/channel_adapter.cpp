@@ -1,5 +1,7 @@
 #include "sim/channel_adapter.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace fcr {
@@ -30,6 +32,16 @@ void SinrChannelAdapter::resolve(const Deployment& dep,
   }
 }
 
+void SinrChannelAdapter::resolve_mask(
+    const Deployment& dep, std::span<const std::uint64_t> transmit_words,
+    std::span<const std::uint64_t> listen_words,
+    std::size_t /*transmitter_count*/,
+    std::span<std::uint64_t> received) const {
+  // No kSmallRoundCutover here: the scan only beat the batch path because
+  // of the id-vector/Reception round trip the mask path eliminates.
+  resolver_.resolve_mask(dep, transmit_words, listen_words, received);
+}
+
 void RadioChannelAdapter::resolve(const Deployment& dep,
                                   std::span<const NodeId> transmitters,
                                   std::span<const NodeId> listeners,
@@ -45,6 +57,23 @@ void RadioChannelAdapter::resolve(const Deployment& dep,
     f.observation = obs;
     f.received = obs == RadioObservation::kMessage;
     f.sender = f.received ? sender : kInvalidNode;
+  }
+}
+
+void RadioChannelAdapter::resolve_mask(
+    const Deployment& /*dep*/, std::span<const std::uint64_t> /*transmit_words*/,
+    std::span<const std::uint64_t> listen_words, std::size_t transmitter_count,
+    std::span<std::uint64_t> received) const {
+  FCR_ENSURE_ARG(received.size() == listen_words.size(),
+                 "received mask word count mismatch: "
+                     << received.size() << " vs " << listen_words.size());
+  // observe(t) == kMessage iff t == 1; every listener then decodes it.
+  if (transmitter_count == 1) {
+    for (std::size_t w = 0; w < listen_words.size(); ++w) {
+      received[w] = listen_words[w];
+    }
+  } else {
+    std::fill(received.begin(), received.end(), std::uint64_t{0});
   }
 }
 

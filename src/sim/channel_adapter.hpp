@@ -43,6 +43,32 @@ class ChannelAdapter {
                        std::span<const NodeId> transmitters,
                        std::span<const NodeId> listeners,
                        std::span<Feedback> out) const = 0;
+
+  /// True when the adapter implements resolve_mask. Only meaningful for
+  /// adapters that also resolve listeners independently — the bitmask
+  /// round loop requires both (see ExecutionWorkspace::run_rounds_mask).
+  virtual bool supports_mask_resolve() const { return false; }
+
+  /// Bitmask form of resolve() for kReceivedMask algorithms: transmitters
+  /// and listeners arrive as id-bitmask words (disjoint; word w covers ids
+  /// [64w, 64w + 64)), and bit id of `received` (same word count) is set
+  /// exactly when resolve() would have produced feedback.received for
+  /// listener id. `transmitter_count` is the popcount of `transmit_words`
+  /// (the caller already has it for solo detection). Default aborts; only
+  /// called when supports_mask_resolve().
+  virtual void resolve_mask(const Deployment& dep,
+                            std::span<const std::uint64_t> transmit_words,
+                            std::span<const std::uint64_t> listen_words,
+                            std::size_t transmitter_count,
+                            std::span<std::uint64_t> received) const {
+    (void)dep;
+    (void)transmit_words;
+    (void)listen_words;
+    (void)transmitter_count;
+    (void)received;
+    FCR_CHECK_MSG(false, "resolve_mask called on adapter '"
+                             << name() << "' without mask support");
+  }
 };
 
 /// SINR fading channel adapter (the paper's model). Rounds are resolved by
@@ -81,6 +107,17 @@ class SinrChannelAdapter final : public ChannelAdapter {
                std::span<const NodeId> listeners,
                std::span<Feedback> out) const override;
 
+  /// The bitmask path always routes through the BatchResolver's certified
+  /// filter (no small-round cutover): without the id-vector/Feedback
+  /// materialization the batch pipeline wins at every transmitter count
+  /// the scan used to cover (BM_ResolveMask vs BM_SinrResolve).
+  bool supports_mask_resolve() const override { return true; }
+  void resolve_mask(const Deployment& dep,
+                    std::span<const std::uint64_t> transmit_words,
+                    std::span<const std::uint64_t> listen_words,
+                    std::size_t transmitter_count,
+                    std::span<std::uint64_t> received) const override;
+
  private:
   mutable BatchResolver resolver_;
   mutable std::vector<Reception> receptions_;
@@ -108,6 +145,15 @@ class RadioChannelAdapter final : public ChannelAdapter {
   void resolve(const Deployment& dep, std::span<const NodeId> transmitters,
                std::span<const NodeId> listeners,
                std::span<Feedback> out) const override;
+
+  /// Radio reception is a function of the transmitter count alone: every
+  /// listener receives iff exactly one node transmits.
+  bool supports_mask_resolve() const override { return true; }
+  void resolve_mask(const Deployment& dep,
+                    std::span<const std::uint64_t> transmit_words,
+                    std::span<const std::uint64_t> listen_words,
+                    std::size_t transmitter_count,
+                    std::span<std::uint64_t> received) const override;
 
  private:
   RadioChannel channel_;

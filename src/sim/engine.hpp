@@ -34,7 +34,11 @@ struct RoundView;
 enum class ExecutionPath : std::uint8_t {
   kAuto = 0,      ///< columnar when the algorithm supports it and n is large
   kVirtual = 1,   ///< per-node virtual state machines (the historical engine)
-  kColumnar = 2,  ///< force the columnar loop (testing; algorithm must support it)
+  kColumnar = 2,  ///< force the columnar loop (algorithm must support it);
+                  ///< lane kernels still engage automatically past the cutover
+  kColumnarScalar = 3,  ///< columnar loop with the scalar decide kernels only
+  kColumnarLanes = 4,   ///< force the SIMD lane kernels (testing; the kernel
+                        ///< must be certified in sim/kernel_certificates.hpp)
 };
 
 /// Engine knobs.

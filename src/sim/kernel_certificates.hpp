@@ -1,0 +1,46 @@
+// The SIMD eligibility allowlist the lane dispatcher reads.
+//
+// fcrlint's lane-purity pass (tools/fcrlint_model.hpp, docs/ANALYSIS.md)
+// certifies each columnar_decide kernel — element columns touched at the
+// current lane only, word columns at the current word, a fixed per-lane
+// rng draw interval — and publishes the certificates as
+// kernel_manifest.json with a per-kernel `simd_eligible` bit. This header
+// is the dispatcher's compiled-in copy of that bit: the engine routes lane
+// execution ONLY through kernels listed here (ExecutionWorkspace::run), so
+// a kernel that loses its certificate is statically excluded from the SIMD
+// route the moment this list is updated — and the `fcrlint_kernel_manifest`
+// ctest (tools/manifest_check.cmake) fails whenever this list and the
+// regenerated manifest disagree in either direction, which keeps the two
+// from drifting.
+//
+// To add a kernel: implement lane_decide + lane_kernel_id on the
+// algorithm, re-run fcrlint --kernel-manifest, confirm the new kernel is
+// certified simd_eligible, then append its manifest-qualified name here
+// (one entry per line — the manifest check greps this file).
+#pragma once
+
+#include <string_view>
+
+namespace fcr {
+
+inline constexpr std::string_view kCertifiedLaneKernels[] = {
+    "fcr::BinaryExponentialBackoff::columnar_decide",
+    "fcr::DecayDoubling::columnar_decide",
+    "fcr::DecayKnownN::columnar_decide",
+    "fcr::FadingContentionResolution::columnar_decide",
+    "fcr::FastDecay::columnar_decide",
+    "fcr::NoKnockoutControl::columnar_decide",
+    "fcr::SiftWindow::columnar_decide",
+    "fcr::SlottedAloha::columnar_decide",
+};
+
+/// True when `kernel` (a ColumnarAlgorithm::lane_kernel_id) holds a
+/// current lane-purity certificate and may run on the SIMD route.
+constexpr bool kernel_simd_certified(std::string_view kernel) {
+  for (const std::string_view k : kCertifiedLaneKernels) {
+    if (k == kernel) return true;
+  }
+  return false;
+}
+
+}  // namespace fcr

@@ -18,6 +18,8 @@
 
 namespace fcr {
 
+class LaneRng;  // util/rng_lanes.hpp — W=8 lane-blocked per-node streams
+
 /// A node's choice for one round.
 enum class Action : std::uint8_t { kListen = 0, kTransmit = 1 };
 
@@ -117,6 +119,23 @@ class ColumnarAlgorithm {
  public:
   virtual ~ColumnarAlgorithm() = default;
 
+  /// How much of the round's feedback the algorithm actually consumes.
+  /// The engine's bitmask round loop (run_rounds_mask) uses this to skip
+  /// or compress feedback resolution in unobserved runs.
+  enum class FeedbackMode : std::uint8_t {
+    /// columnar_feedback needs the full per-listener Feedback records
+    /// (sender ids, observations). The engine must materialize them.
+    kPerListener = 0,
+    /// The algorithm only cares WHICH listeners received a message: the
+    /// engine may deliver feedback as a received-bitmask via
+    /// columnar_feedback_mask instead of per-listener records.
+    kReceivedMask = 1,
+    /// Feedback-oblivious: columnar_feedback is a no-op (decay family,
+    /// backoff, aloha, sift). The engine may skip resolution entirely in
+    /// unobserved rounds.
+    kNone = 2,
+  };
+
   /// Fills the columns the algorithm uses before round 1. The engine has
   /// already seeded state.rng and set every node active. Default: no-op.
   virtual void columnar_init(ColumnarState& state) const { (void)state; }
@@ -137,6 +156,52 @@ class ColumnarAlgorithm {
     (void)state;
     (void)listeners;
     (void)feedback;
+  }
+
+  /// Declared feedback consumption; must be consistent with
+  /// columnar_feedback (kNone ⇒ columnar_feedback is a no-op, kReceivedMask
+  /// ⇒ columnar_feedback_mask applies the identical state transition).
+  /// Default kPerListener: always safe, never skipped.
+  virtual FeedbackMode feedback_mode() const {
+    return FeedbackMode::kPerListener;
+  }
+
+  /// Bitmask form of the feedback pass for kReceivedMask algorithms:
+  /// `received` has the active/decisions word layout, bit id set when
+  /// listener id decoded a message this round. Must leave the columns in
+  /// exactly the state columnar_feedback would have. Default aborts
+  /// (only called when feedback_mode() == kReceivedMask).
+  virtual void columnar_feedback_mask(
+      ColumnarState& state, std::span<const std::uint64_t> received) const {
+    (void)state;
+    (void)received;
+    FCR_CHECK_MSG(false,
+                  "columnar_feedback_mask called on an algorithm that did not "
+                  "declare FeedbackMode::kReceivedMask");
+  }
+
+  /// The kernel's manifest-qualified name (e.g.
+  /// "fcr::SlottedAloha::columnar_decide") when a SIMD lane form exists,
+  /// nullptr otherwise. The engine routes lane execution ONLY through
+  /// kernels this id proves certified against the static allowlist
+  /// generated from fcrlint's lane-purity manifest
+  /// (sim/kernel_certificates.hpp): a kernel that loses its purity
+  /// certificate drops off the SIMD route at compile time.
+  virtual const char* lane_kernel_id() const { return nullptr; }
+
+  /// SIMD form of columnar_decide: identical decision bits and identical
+  /// per-node rng consumption, drawing from `lanes` (seeded with the same
+  /// split(id) lineage as state.rng) instead of the scalar rng column.
+  /// Only called when lane_kernel_id() is certified; default aborts.
+  virtual void lane_decide(std::uint64_t round, ColumnarState& state,
+                           LaneRng& lanes,
+                           std::span<std::uint64_t> decisions) const {
+    (void)round;
+    (void)state;
+    (void)lanes;
+    (void)decisions;
+    FCR_CHECK_MSG(false,
+                  "lane_decide called on an algorithm without a lane kernel");
   }
 };
 

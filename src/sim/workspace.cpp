@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "sim/kernel_certificates.hpp"
 #include "util/check.hpp"
 #include "util/failpoint.hpp"
 #include "util/log.hpp"
@@ -86,7 +87,8 @@ void ExecutionWorkspace::prepare_nodes(const Algorithm& algorithm, Rng& rng,
 }
 
 void ExecutionWorkspace::prepare_columns(const ColumnarAlgorithm& columnar,
-                                         Rng& rng, std::size_t n) {
+                                         Rng& rng, std::size_t n,
+                                         bool use_lanes) {
   const std::size_t words = (n + 63) / 64;
   col_active_.assign(words, ~std::uint64_t{0});
   if ((n & 63) != 0) {
@@ -95,15 +97,30 @@ void ExecutionWorkspace::prepare_columns(const ColumnarAlgorithm& columnar,
     col_active_.back() = (std::uint64_t{1} << (n & 63)) - 1;
   }
   col_decisions_.assign(words, 0);
-  col_probability_.assign(n, 0.0);
+  // Element-column STORAGE is padded to whole lane blocks (the spans handed
+  // to the algorithm keep logical size n): the SIMD kernels load 4-lane
+  // vectors, and the padding keeps tail loads inside owned memory (see the
+  // LaneRng padding contract). Pad entries are zero, which no primitive
+  // ever turns into a decision bit.
+  const std::size_t padded = LaneRng::padded_count(n);
+  col_probability_.assign(padded, 0.0);
   col_phase_.assign(n, 0);
-  col_aux_.assign(n, 0);
+  col_aux_.assign(padded, 0);
   col_rng_.clear();
   col_rng_.reserve(n);
   for (NodeId id = 0; id < n; ++id) col_rng_.push_back(rng.split(id));
+  if (use_lanes) {
+    // split() does not perturb the parent, so the lane streams get the
+    // exact same split(id) lineage as col_rng_ just received.
+    lanes_.seed(rng, n);
+  }
 
-  columns_ = ColumnarState{col_active_,      col_probability_, col_phase_,
-                           col_aux_,         col_rng_,         n,
+  columns_ = ColumnarState{col_active_,
+                           std::span<double>(col_probability_.data(), n),
+                           col_phase_,
+                           std::span<std::uint64_t>(col_aux_.data(), n),
+                           col_rng_,
+                           n,
                            n};
   columnar.columnar_init(columns_);
 }
@@ -138,7 +155,17 @@ RunResult ExecutionWorkspace::run(const Deployment& dep,
 
   const std::size_t n = dep.size();
   const ColumnarAlgorithm* columnar = algorithm.columnar();
+  // The SIMD route is gated on the kernel's lane-purity certificate: the
+  // kernel id must appear in the allowlist compiled from fcrlint's
+  // manifest (sim/kernel_certificates.hpp). A decertified kernel is
+  // statically excluded — kAuto/kColumnar fall back to the scalar kernels,
+  // forcing kColumnarLanes throws.
+  const char* lane_id =
+      columnar != nullptr ? columnar->lane_kernel_id() : nullptr;
+  const bool lane_certified =
+      lane_id != nullptr && kernel_simd_certified(lane_id);
   bool use_columnar = false;
+  bool use_lanes = false;
   switch (config.path) {
     case ExecutionPath::kVirtual:
       break;
@@ -147,9 +174,30 @@ RunResult ExecutionWorkspace::run(const Deployment& dep,
                      "algorithm '" << algorithm.name()
                                    << "' has no columnar implementation");
       use_columnar = true;
+      use_lanes = lane_certified && n >= kLaneCutover;
+      break;
+    case ExecutionPath::kColumnarScalar:
+      FCR_ENSURE_ARG(columnar != nullptr,
+                     "algorithm '" << algorithm.name()
+                                   << "' has no columnar implementation");
+      use_columnar = true;
+      break;
+    case ExecutionPath::kColumnarLanes:
+      FCR_ENSURE_ARG(columnar != nullptr,
+                     "algorithm '" << algorithm.name()
+                                   << "' has no columnar implementation");
+      FCR_ENSURE_ARG(lane_certified,
+                     "algorithm '"
+                         << algorithm.name()
+                         << "' has no certified lane kernel (see "
+                            "sim/kernel_certificates.hpp and the fcrlint "
+                            "kernel manifest)");
+      use_columnar = true;
+      use_lanes = true;
       break;
     case ExecutionPath::kAuto:
       use_columnar = columnar != nullptr && n >= kColumnarCutover;
+      use_lanes = use_columnar && lane_certified && n >= kLaneCutover;
       break;
   }
 
@@ -157,9 +205,9 @@ RunResult ExecutionWorkspace::run(const Deployment& dep,
   {
     const NodeTeardownGuard guard{*this};
     if (use_columnar) {
-      prepare_columns(*columnar, rng, n);
+      prepare_columns(*columnar, rng, n, use_lanes);
       result = run_rounds_columnar(dep, algorithm, *columnar, channel, config,
-                                   observer, n);
+                                   observer, use_lanes, n);
     } else {
       prepare_nodes(algorithm, rng, n);
       result = run_rounds(dep, algorithm, channel, config, observer, n);
@@ -230,11 +278,8 @@ RunResult ExecutionWorkspace::run_rounds(const Deployment& dep,
 RunResult ExecutionWorkspace::run_rounds_columnar(
     const Deployment& dep, const Algorithm& algorithm,
     const ColumnarAlgorithm& columnar, const ChannelAdapter& channel,
-    const EngineConfig& config, const RoundObserver& observer, std::size_t n) {
-  transmitters_.reserve(n);
-  listeners_.reserve(n);
-  listener_feedback_.reserve(n);
-
+    const EngineConfig& config, const RoundObserver& observer, bool use_lanes,
+    std::size_t n) {
   // Observed runs must hand observers / stop_when / the history the exact
   // listener set the virtual path produces. Unobserved runs on a channel
   // whose per-listener feedback is a pure function of the transmitter set
@@ -248,11 +293,30 @@ RunResult ExecutionWorkspace::run_rounds_columnar(
   const bool active_only =
       !observed && channel.resolves_listeners_independently();
 
+  // Unobserved runs whose feedback needs fit the bitmask protocol skip the
+  // id-vector / Feedback-record materialization entirely.
+  const ColumnarAlgorithm::FeedbackMode mode = columnar.feedback_mode();
+  if (active_only &&
+      (mode == ColumnarAlgorithm::FeedbackMode::kNone ||
+       (mode == ColumnarAlgorithm::FeedbackMode::kReceivedMask &&
+        channel.supports_mask_resolve()))) {
+    return run_rounds_mask(dep, algorithm, columnar, channel, config,
+                           use_lanes, n);
+  }
+
+  transmitters_.reserve(n);
+  listeners_.reserve(n);
+  listener_feedback_.reserve(n);
+
   RunResult result;
   const std::size_t words = col_active_.size();
   for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
     std::fill(col_decisions_.begin(), col_decisions_.end(), std::uint64_t{0});
-    columnar.columnar_decide(round, columns_, col_decisions_);
+    if (use_lanes) {
+      columnar.lane_decide(round, columns_, lanes_, col_decisions_);
+    } else {
+      columnar.columnar_decide(round, columns_, col_decisions_);
+    }
 
     transmitters_.clear();
     listeners_.clear();
@@ -301,6 +365,73 @@ RunResult ExecutionWorkspace::run_rounds_columnar(
     FCR_DEBUG("columnar execution of '" << algorithm.name() << "' on n=" << n
                                         << " unsolved after "
                                         << config.max_rounds << " rounds");
+  }
+  return result;
+}
+
+RunResult ExecutionWorkspace::run_rounds_mask(
+    const Deployment& dep, const Algorithm& algorithm,
+    const ColumnarAlgorithm& columnar, const ChannelAdapter& channel,
+    const EngineConfig& config, bool use_lanes, std::size_t n) {
+  // Caller (run_rounds_columnar) established: no observer/stop_when/history,
+  // the channel resolves listeners independently, and the algorithm's
+  // feedback is kNone or kReceivedMask with adapter mask support. Every
+  // divergence from the materializing loop below is therefore unobservable:
+  //   * kNone rounds never resolve the channel at all — no listener's state
+  //     can change, and solved/rounds/winner depend only on decision words;
+  //   * kReceivedMask rounds with zero transmitters skip resolution — the
+  //     received mask would be all-zero and the feedback a no-op;
+  //   * the stopping round's feedback (post-solve, stop_on_solve) is state
+  //     the teardown guard destroys before anyone could look.
+  const std::size_t words = col_active_.size();
+  const bool mask_feedback =
+      columnar.feedback_mode() == ColumnarAlgorithm::FeedbackMode::kReceivedMask;
+  col_listen_.assign(words, 0);
+  col_received_.assign(words, 0);
+
+  RunResult result;
+  for (std::uint64_t round = 1; round <= config.max_rounds; ++round) {
+    std::fill(col_decisions_.begin(), col_decisions_.end(), std::uint64_t{0});
+    if (use_lanes) {
+      columnar.lane_decide(round, columns_, lanes_, col_decisions_);
+    } else {
+      columnar.columnar_decide(round, columns_, col_decisions_);
+    }
+
+    std::size_t tx_count = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      tx_count += static_cast<std::size_t>(std::popcount(col_decisions_[w]));
+    }
+
+    if (tx_count == 1 && !result.solved) {
+      result.solved = true;
+      result.rounds = round;
+      for (std::size_t w = 0; w < words; ++w) {
+        if (col_decisions_[w] != 0) {
+          result.winner = static_cast<NodeId>(
+              w * 64 + static_cast<std::size_t>(
+                           std::countr_zero(col_decisions_[w])));
+          break;
+        }
+      }
+    }
+    if (result.solved && config.stop_on_solve) return result;
+
+    if (mask_feedback && tx_count > 0) {
+      for (std::size_t w = 0; w < words; ++w) {
+        col_listen_[w] = col_active_[w] & ~col_decisions_[w];
+      }
+      channel.resolve_mask(dep, col_decisions_, col_listen_, tx_count,
+                           col_received_);
+      columnar.columnar_feedback_mask(columns_, col_received_);
+    }
+  }
+
+  if (!result.solved) {
+    result.rounds = config.max_rounds;
+    FCR_DEBUG("mask execution of '" << algorithm.name() << "' on n=" << n
+                                    << " unsolved after " << config.max_rounds
+                                    << " rounds");
   }
   return result;
 }

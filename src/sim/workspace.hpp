@@ -42,6 +42,7 @@
 #include "sim/channel_adapter.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
+#include "util/rng_lanes.hpp"
 
 namespace fcr {
 
@@ -53,6 +54,14 @@ class ExecutionWorkspace {
   /// nodes amortize it. Mirrors SinrChannelAdapter::kSmallRoundCutover —
   /// both paths are bit-identical, so the constant only affects speed.
   static constexpr std::size_t kColumnarCutover = 32;
+
+  /// Columnar deployments below this size keep the scalar decide kernels:
+  /// the lane route pays per-run setup (seeding W-blocked streams for every
+  /// node) plus per-round whole-block sweeps, which needs at least a
+  /// bitmask word of nodes to win. Lane and scalar kernels are
+  /// bit-identical (tests/test_lane_identity.cpp), so the constant only
+  /// affects speed.
+  static constexpr std::size_t kLaneCutover = 64;
 
   ExecutionWorkspace() = default;
   ~ExecutionWorkspace();
@@ -100,9 +109,11 @@ class ExecutionWorkspace {
   /// Builds the columnar state for this run: seeds the per-node rng column
   /// with rng.split(id) in id order (the exact lineage prepare_nodes hands
   /// to make_node), sets every node active, zeroes the other columns, and
-  /// lets the algorithm fill what it uses via columnar_init.
+  /// lets the algorithm fill what it uses via columnar_init. With
+  /// `use_lanes` the lane generator is seeded from the same root with the
+  /// same split(id) lineage, so lane draws continue the identical streams.
   void prepare_columns(const ColumnarAlgorithm& columnar, Rng& rng,
-                       std::size_t n);
+                       std::size_t n, bool use_lanes);
 
   /// The round loop proper: nodes are already prepared, teardown is the
   /// caller's guard. Split out of run() so the workspace acquire/teardown
@@ -121,7 +132,24 @@ class ExecutionWorkspace {
                                 const ColumnarAlgorithm& columnar,
                                 const ChannelAdapter& channel,
                                 const EngineConfig& config,
-                                const RoundObserver& observer, std::size_t n);
+                                const RoundObserver& observer, bool use_lanes,
+                                std::size_t n);
+
+  /// Bitmask round loop for unobserved runs whose feedback needs can be
+  /// served without materializing listener id vectors or Feedback records:
+  /// decide (lane or scalar) -> popcount/solo-check the decision words ->
+  /// ChannelAdapter::resolve_mask into the received bitmask ->
+  /// columnar_feedback_mask. Requires a channel that resolves listeners
+  /// independently and an algorithm whose feedback_mode() is kNone or
+  /// kReceivedMask (with adapter mask support); bit-identical outcomes to
+  /// run_rounds_columnar — the only skipped work (resolution after the
+  /// stopping round, empty-transmitter rounds, per-listener records) is
+  /// unobservable once the run returns.
+  RunResult run_rounds_mask(const Deployment& dep, const Algorithm& algorithm,
+                            const ColumnarAlgorithm& columnar,
+                            const ChannelAdapter& channel,
+                            const EngineConfig& config, bool use_lanes,
+                            std::size_t n);
 
   /// Round epilogue shared by both loops: solo detection, history
   /// recording, observer / stop_when delivery. Returns true when the run
@@ -159,6 +187,12 @@ class ExecutionWorkspace {
   std::vector<std::uint64_t> col_aux_;
   std::vector<Rng> col_rng_;
   ColumnarState columns_;
+
+  // Bitmask round-loop scratch (listener and received masks, decision-word
+  // layout) and the W-blocked lane streams backing the SIMD decide kernels.
+  std::vector<std::uint64_t> col_listen_;
+  std::vector<std::uint64_t> col_received_;
+  LaneRng lanes_;
 
   FactoryCache cache_;
   bool busy_ = false;

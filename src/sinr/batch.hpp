@@ -86,9 +86,32 @@ class BatchResolver {
                                  std::span<const NodeId> transmitters,
                                  std::span<const NodeId> listeners);
 
+  /// Bitmask round resolution for the columnar engine: transmitters and
+  /// listeners arrive as id-bitmask words (bit id of word id/64 set; the
+  /// two masks must be disjoint), receptions leave as the received bitmask
+  /// written over `received_out` (same word count as the inputs) — no
+  /// id-vector or Reception materialization between protocol and channel.
+  /// Decision bits are identical to resolve() on the equivalent id vectors:
+  /// word-skip enumeration visits ids in the same ascending order, and each
+  /// listener runs the same certified-filter/exact-fallback pipeline.
+  /// Exact mode only — throws if the approximate far_field_tiles option is
+  /// enabled, so a received bit can never come from the tile path.
+  void resolve_mask(const Deployment& dep,
+                    std::span<const std::uint64_t> transmit_words,
+                    std::span<const std::uint64_t> listen_words,
+                    std::span<std::uint64_t> received_out);
+
  private:
   void load_transmitters(const Deployment& dep,
                          std::span<const NodeId> transmitters);
+  /// Filter-eligible rounds of resolve_mask (>= kFilterMinTransmitters
+  /// transmitters, closed-form alpha): certifies listeners kLanes at a
+  /// time via the listener-blocked fused sweep, falling back to the
+  /// per-listener exact pipeline for near-threshold or degenerate lanes
+  /// and for the ragged tail. Decision bits identical to resolve_plain.
+  void resolve_mask_filtered(const Deployment& dep,
+                             std::span<const std::uint64_t> listen_words,
+                             std::span<std::uint64_t> received_out);
   Reception resolve_plain(Vec2 v);
   Reception resolve_exact(std::size_t best);
   void build_tiles();

@@ -121,6 +121,12 @@ class Rng {
   /// Geometric: number of Bernoulli(p) failures before the first success.
   std::uint64_t geometric(double p);
 
+  /// Read-only view of the raw xoshiro256** state words. Exists for the
+  /// lane-blocked generator (util/rng_lanes.hpp), which must start each of
+  /// its W per-node lanes from the exact state split(id) produces so that
+  /// lane output is bit-identical to the scalar stream.
+  const std::array<std::uint64_t, 4>& state_words() const { return state_; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

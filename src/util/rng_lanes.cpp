@@ -1,0 +1,462 @@
+// LaneRng implementation: generic u64 loops plus AVX2 specializations of
+// the same expressions. The AVX2 functions carry the target("avx2")
+// attribute instead of the whole TU being built with -mavx2, so one binary
+// holds both targets and lane_dispatch() picks at runtime.
+//
+// Exactness notes (the reason both targets emit identical bits):
+//   * the xoshiro step is pure 64-bit integer arithmetic; the *5 and *9
+//     multiplies are shift-adds, so no lane ever differs from the scalar
+//     step;
+//   * `uniform() < p` with u = draw >> 11 < 2^53 is equivalent to
+//     (double)u < p * 2^53: converting u is exact (u < 2^53), scaling p by
+//     2^53 is exact (power of two), and multiplying the comparison by 2^53
+//     preserves order. The AVX2 path converts u with the two-magic-constant
+//     trick (split u into 32-bit halves, graft them onto the mantissas of
+//     2^84 and 2^52, subtract the bias), exact for u < 2^53;
+//   * power-of-two uniform_int(w) is `draw & (w - 1)`: Lemire's rejection
+//     threshold (2^64 - w) % w is zero, so the scalar path always accepts
+//     the first draw and reduces modulo a power of two.
+#include "util/rng_lanes.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/check.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FCR_LANE_X86 1
+#include <immintrin.h>
+#else
+#define FCR_LANE_X86 0
+#endif
+
+namespace fcr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution.
+
+std::atomic<int> g_forced_dispatch{-1};
+
+bool cpu_has_avx2() {
+#if FCR_LANE_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+LaneDispatch resolve_dispatch() {
+  const char* env = std::getenv("FCR_LANE_DISPATCH");
+  const std::string_view v = env == nullptr ? std::string_view{"auto"}
+                                            : std::string_view{env};
+  if (v == "generic") return LaneDispatch::kGeneric;
+  if (v == "avx2") {
+    FCR_ENSURE_ARG(cpu_has_avx2(),
+                   "FCR_LANE_DISPATCH=avx2 but the host CPU lacks AVX2");
+    return LaneDispatch::kAvx2;
+  }
+  FCR_ENSURE_ARG(v == "auto",
+                 "FCR_LANE_DISPATCH must be auto|avx2|generic, got '" << v
+                                                                      << "'");
+  return cpu_has_avx2() ? LaneDispatch::kAvx2 : LaneDispatch::kGeneric;
+}
+
+// ---------------------------------------------------------------------------
+// Generic (plain u64) target: the scalar Rng expressions verbatim.
+
+inline std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// One xoshiro256** step of lane `id`; same update as Rng::operator()().
+inline std::uint64_t step_lane(std::uint64_t* s0, std::uint64_t* s1,
+                               std::uint64_t* s2, std::uint64_t* s3,
+                               std::size_t id) {
+  const std::uint64_t result = rotl64(s1[id] * 5, 7) * 9;
+  const std::uint64_t t = s1[id] << 17;
+  s2[id] ^= s0[id];
+  s3[id] ^= s1[id];
+  s1[id] ^= s2[id];
+  s0[id] ^= s3[id];
+  s2[id] ^= t;
+  s3[id] = rotl64(s3[id], 45);
+  return result;
+}
+
+/// Scalar Rng::uniform() of a raw draw.
+inline double uniform_of(std::uint64_t r) {
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+void generic_bernoulli_all(std::uint64_t* s0, std::uint64_t* s1,
+                           std::uint64_t* s2, std::uint64_t* s3,
+                           std::size_t n, double p,
+                           std::span<std::uint64_t> decisions) {
+  for (std::size_t id = 0; id < n; ++id) {
+    const std::uint64_t r = step_lane(s0, s1, s2, s3, id);
+    if (uniform_of(r) < p) {
+      decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
+}
+
+void generic_bernoulli_active(std::uint64_t* s0, std::uint64_t* s1,
+                              std::uint64_t* s2, std::uint64_t* s3,
+                              std::span<const std::uint64_t> active,
+                              const double* probability,
+                              std::span<std::uint64_t> decisions) {
+  for (std::size_t w = 0; w < active.size(); ++w) {
+    std::uint64_t bits = active[w];
+    std::uint64_t dec = 0;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::size_t id = w * 64 + static_cast<std::size_t>(b);
+      const double p = probability[id];
+      if (p <= 0.0) continue;
+      if (p >= 1.0) {
+        dec |= std::uint64_t{1} << b;
+        continue;
+      }
+      const std::uint64_t r = step_lane(s0, s1, s2, s3, id);
+      if (uniform_of(r) < p) dec |= std::uint64_t{1} << b;
+    }
+    decisions[w] |= dec;
+  }
+}
+
+void generic_offsets_pow2(std::uint64_t* s0, std::uint64_t* s1,
+                          std::uint64_t* s2, std::uint64_t* s3, std::size_t n,
+                          std::uint64_t base, std::uint64_t mask,
+                          std::uint64_t* out) {
+  for (std::size_t id = 0; id < n; ++id) {
+    out[id] = base + (step_lane(s0, s1, s2, s3, id) & mask);
+  }
+}
+
+void generic_raw_all(std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2,
+                     std::uint64_t* s3, std::size_t n, std::uint64_t* out) {
+  for (std::size_t id = 0; id < n; ++id) {
+    out[id] = step_lane(s0, s1, s2, s3, id);
+  }
+}
+
+void generic_select_equal(const std::uint64_t* column, std::uint64_t value,
+                          std::size_t n, std::span<std::uint64_t> decisions) {
+  for (std::size_t id = 0; id < n; ++id) {
+    if (column[id] == value) {
+      decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 target: 4-lane vectors, two per 8-lane block.
+
+#if FCR_LANE_X86
+
+__attribute__((target("avx2"))) inline __m256i avx2_rotl(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+/// x * 5 and x * 9 as shift-adds (AVX2 has no 64-bit multiply).
+__attribute__((target("avx2"))) inline __m256i avx2_mul5(__m256i x) {
+  return _mm256_add_epi64(_mm256_slli_epi64(x, 2), x);
+}
+__attribute__((target("avx2"))) inline __m256i avx2_mul9(__m256i x) {
+  return _mm256_add_epi64(_mm256_slli_epi64(x, 3), x);
+}
+
+/// Four xoshiro256** steps at once; same update as Rng::operator()().
+__attribute__((target("avx2"))) inline __m256i avx2_step(__m256i& a, __m256i& b,
+                                                         __m256i& c,
+                                                         __m256i& d) {
+  const __m256i result = avx2_mul9(avx2_rotl(avx2_mul5(b), 7));
+  const __m256i t = _mm256_slli_epi64(b, 17);
+  c = _mm256_xor_si256(c, a);
+  d = _mm256_xor_si256(d, b);
+  b = _mm256_xor_si256(b, c);
+  a = _mm256_xor_si256(a, d);
+  c = _mm256_xor_si256(c, t);
+  d = avx2_rotl(d, 45);
+  return result;
+}
+
+/// Exact u64 -> double for values < 2^53 (all draws are pre-shifted by 11):
+/// graft the 32-bit halves onto the mantissas of 2^84 and 2^52, cancel the
+/// bias. Every intermediate is exact, so the result equals
+/// static_cast<double>(v) lane for lane.
+__attribute__((target("avx2"))) inline __m256d avx2_u53_to_pd(__m256i v) {
+  const __m256i hi = _mm256_or_si256(
+      _mm256_srli_epi64(v, 32), _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84)));
+  const __m256i lo = _mm256_blend_epi32(
+      v, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)), 0xAA);
+  const __m256d f = _mm256_sub_pd(_mm256_castsi256_pd(hi),
+                                  _mm256_set1_pd(0x1.0p84 + 0x1.0p52));
+  return _mm256_add_pd(f, _mm256_castsi256_pd(lo));
+}
+
+/// All-ones 64-bit lane mask for each lane whose bit is set in `byte`;
+/// `sel` carries the per-lane bit values ({1,2,4,8} or {16,32,64,128}).
+__attribute__((target("avx2"))) inline __m256i avx2_lane_mask(std::uint64_t byte,
+                                                              __m256i sel) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(byte));
+  return _mm256_cmpeq_epi64(_mm256_and_si256(b, sel), sel);
+}
+
+__attribute__((target("avx2"))) void avx2_bernoulli_all(
+    std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2, std::uint64_t* s3,
+    std::size_t n, double p, std::span<std::uint64_t> decisions) {
+  const __m256d p53 = _mm256_set1_pd(p * 0x1.0p53);
+  const std::size_t blocks = (n + LaneRng::kLanes - 1) / LaneRng::kLanes;
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t base = blk * LaneRng::kLanes;
+    std::uint64_t byte = 0;
+    for (std::size_t half = 0; half < 2; ++half) {
+      const std::size_t i = base + 4 * half;
+      __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + i));
+      __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i));
+      __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2 + i));
+      __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s3 + i));
+      const __m256i r = avx2_step(a, b, c, d);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s0 + i), a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s1 + i), b);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s2 + i), c);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(s3 + i), d);
+      const __m256d ud = avx2_u53_to_pd(_mm256_srli_epi64(r, 11));
+      const __m256d cmp = _mm256_cmp_pd(ud, p53, _CMP_LT_OQ);
+      byte |= static_cast<std::uint64_t>(_mm256_movemask_pd(cmp)) << (4 * half);
+    }
+    if (base + LaneRng::kLanes > n) {
+      byte &= (std::uint64_t{1} << (n - base)) - 1;  // phantom tail lanes
+    }
+    decisions[blk >> 3] |= byte << ((blk & 7) * 8);
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_bernoulli_active(
+    std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2, std::uint64_t* s3,
+    std::span<const std::uint64_t> active, const double* probability,
+    std::span<std::uint64_t> decisions) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two53 = _mm256_set1_pd(0x1.0p53);
+  const __m256i sel_lo = _mm256_setr_epi64x(1, 2, 4, 8);
+  const __m256i sel_hi = _mm256_setr_epi64x(16, 32, 64, 128);
+  for (std::size_t w = 0; w < active.size(); ++w) {
+    const std::uint64_t act = active[w];
+    if (act == 0) continue;  // whole word knocked out: no draws, no bits
+    std::uint64_t dec = 0;
+    for (std::size_t blk_in_w = 0; blk_in_w < 8; ++blk_in_w) {
+      const std::uint64_t abyte = (act >> (8 * blk_in_w)) & 0xFF;
+      if (abyte == 0) continue;
+      const std::size_t base = w * 64 + blk_in_w * 8;
+      std::uint64_t byte = 0;
+      for (std::size_t half = 0; half < 2; ++half) {
+        const std::size_t i = base + 4 * half;
+        const __m256i amask =
+            avx2_lane_mask(abyte, half == 0 ? sel_lo : sel_hi);
+        const __m256d pv = _mm256_loadu_pd(probability + i);
+        // Scalar bernoulli's clamps: p <= 0 never draws and never
+        // transmits, p >= 1 never draws and always transmits, anything
+        // else (NaN included) draws and compares.
+        const __m256d drawp =
+            _mm256_and_pd(_mm256_cmp_pd(pv, zero, _CMP_NLE_UQ),
+                          _mm256_cmp_pd(pv, one, _CMP_NGE_UQ));
+        const __m256i step_mask =
+            _mm256_and_si256(amask, _mm256_castpd_si256(drawp));
+        __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + i));
+        __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i));
+        __m256i c =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2 + i));
+        __m256i d =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s3 + i));
+        __m256i a2 = a, b2 = b, c2 = c, d2 = d;
+        const __m256i r = avx2_step(a2, b2, c2, d2);
+        // Only drawing lanes advance their stream.
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(s0 + i),
+                            _mm256_blendv_epi8(a, a2, step_mask));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(s1 + i),
+                            _mm256_blendv_epi8(b, b2, step_mask));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(s2 + i),
+                            _mm256_blendv_epi8(c, c2, step_mask));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(s3 + i),
+                            _mm256_blendv_epi8(d, d2, step_mask));
+        const __m256d ud = avx2_u53_to_pd(_mm256_srli_epi64(r, 11));
+        const __m256d cmp =
+            _mm256_cmp_pd(ud, _mm256_mul_pd(pv, two53), _CMP_LT_OQ);
+        const __m256d ge1 = _mm256_cmp_pd(pv, one, _CMP_GE_OQ);
+        const __m256d hit = _mm256_or_pd(_mm256_and_pd(drawp, cmp), ge1);
+        const __m256d bits =
+            _mm256_and_pd(_mm256_castsi256_pd(amask), hit);
+        byte |=
+            static_cast<std::uint64_t>(_mm256_movemask_pd(bits)) << (4 * half);
+      }
+      dec |= byte << (8 * blk_in_w);
+    }
+    decisions[w] |= dec;  // active has no phantom bits, so neither does dec
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_offsets_pow2(
+    std::uint64_t* s0, std::uint64_t* s1, std::uint64_t* s2, std::uint64_t* s3,
+    std::size_t padded, std::uint64_t base, std::uint64_t mask,
+    std::uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  for (std::size_t i = 0; i < padded; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0 + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1 + i));
+    __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2 + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s3 + i));
+    const __m256i r = avx2_step(a, b, c, d);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s0 + i), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s1 + i), b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s2 + i), c);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(s3 + i), d);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(vbase, _mm256_and_si256(r, vmask)));
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_select_equal(
+    const std::uint64_t* column, std::uint64_t value, std::size_t n,
+    std::span<std::uint64_t> decisions) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(value));
+  const std::size_t blocks = (n + LaneRng::kLanes - 1) / LaneRng::kLanes;
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t base = blk * LaneRng::kLanes;
+    std::uint64_t byte = 0;
+    for (std::size_t half = 0; half < 2; ++half) {
+      const __m256i col = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(column + base + 4 * half));
+      const __m256i eq = _mm256_cmpeq_epi64(col, v);
+      byte |= static_cast<std::uint64_t>(
+                  _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+              << (4 * half);
+    }
+    if (base + LaneRng::kLanes > n) {
+      byte &= (std::uint64_t{1} << (n - base)) - 1;  // phantom tail lanes
+    }
+    decisions[blk >> 3] |= byte << ((blk & 7) * 8);
+  }
+}
+
+#endif  // FCR_LANE_X86
+
+}  // namespace
+
+LaneDispatch lane_dispatch() {
+  static const LaneDispatch resolved = resolve_dispatch();
+  const int forced = g_forced_dispatch.load(std::memory_order_relaxed);
+  return forced < 0 ? resolved : static_cast<LaneDispatch>(forced);
+}
+
+void force_lane_dispatch(LaneDispatch target) {
+  FCR_ENSURE_ARG(target != LaneDispatch::kAvx2 || cpu_has_avx2(),
+                 "cannot force AVX2 dispatch: the host CPU lacks AVX2");
+  g_forced_dispatch.store(static_cast<int>(target), std::memory_order_relaxed);
+}
+
+void reset_lane_dispatch() {
+  g_forced_dispatch.store(-1, std::memory_order_relaxed);
+}
+
+void LaneRng::seed(const Rng& root, std::size_t node_count) {
+  n_ = node_count;
+  const std::size_t padded = padded_count(node_count);
+  s0_.resize(padded);
+  s1_.resize(padded);
+  s2_.resize(padded);
+  s3_.resize(padded);
+  raw_.resize(padded);
+  for (std::size_t id = 0; id < padded; ++id) {
+    const Rng child = root.split(id);
+    const std::array<std::uint64_t, 4>& w = child.state_words();
+    s0_[id] = w[0];
+    s1_[id] = w[1];
+    s2_[id] = w[2];
+    s3_[id] = w[3];
+  }
+}
+
+void LaneRng::bernoulli_all(double p, std::span<std::uint64_t> decisions) {
+  if (p <= 0.0) return;  // scalar bernoulli: clamp, no draw
+  if (p >= 1.0) {        // clamp, no draw, every node transmits
+    for (std::size_t id = 0; id < n_; ++id) {
+      decisions[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+    return;
+  }
+#if FCR_LANE_X86
+  if (lane_dispatch() == LaneDispatch::kAvx2) {
+    avx2_bernoulli_all(s0_.data(), s1_.data(), s2_.data(), s3_.data(), n_, p,
+                       decisions);
+    return;
+  }
+#endif
+  generic_bernoulli_all(s0_.data(), s1_.data(), s2_.data(), s3_.data(), n_, p,
+                        decisions);
+}
+
+void LaneRng::bernoulli_active(std::span<const std::uint64_t> active,
+                               const double* probability,
+                               std::span<std::uint64_t> decisions) {
+#if FCR_LANE_X86
+  if (lane_dispatch() == LaneDispatch::kAvx2) {
+    avx2_bernoulli_active(s0_.data(), s1_.data(), s2_.data(), s3_.data(),
+                          active, probability, decisions);
+    return;
+  }
+#endif
+  generic_bernoulli_active(s0_.data(), s1_.data(), s2_.data(), s3_.data(),
+                           active, probability, decisions);
+}
+
+void LaneRng::uniform_offsets_pow2(std::uint64_t base, std::uint64_t window,
+                                   std::uint64_t* out) {
+  FCR_ENSURE_ARG(window != 0 && (window & (window - 1)) == 0,
+                 "uniform_offsets_pow2 needs a power-of-two window, got "
+                     << window);
+#if FCR_LANE_X86
+  if (lane_dispatch() == LaneDispatch::kAvx2) {
+    avx2_offsets_pow2(s0_.data(), s1_.data(), s2_.data(), s3_.data(),
+                      padded_count(n_), base, window - 1, out);
+    return;
+  }
+#endif
+  generic_offsets_pow2(s0_.data(), s1_.data(), s2_.data(), s3_.data(), n_,
+                       base, window - 1, out);
+}
+
+std::span<const std::uint64_t> LaneRng::raw_all() {
+#if FCR_LANE_X86
+  if (lane_dispatch() == LaneDispatch::kAvx2) {
+    avx2_offsets_pow2(s0_.data(), s1_.data(), s2_.data(), s3_.data(),
+                      padded_count(n_), 0, ~std::uint64_t{0}, raw_.data());
+    return {raw_.data(), n_};
+  }
+#endif
+  generic_raw_all(s0_.data(), s1_.data(), s2_.data(), s3_.data(), n_,
+                  raw_.data());
+  return {raw_.data(), n_};
+}
+
+void lane_select_equal(const std::uint64_t* column, std::uint64_t value,
+                       std::size_t n, std::span<std::uint64_t> decisions) {
+#if FCR_LANE_X86
+  if (lane_dispatch() == LaneDispatch::kAvx2) {
+    avx2_select_equal(column, value, n, decisions);
+    return;
+  }
+#endif
+  generic_select_equal(column, value, n, decisions);
+}
+
+}  // namespace fcr

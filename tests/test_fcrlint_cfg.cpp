@@ -431,7 +431,7 @@ TEST(LocksetPath, CatchesWhatWholeFunctionLocksetCannot) {
 
 // ---------------------------------------------------------------- real tree
 
-TEST(RealTree, AllSevenColumnarKernelsCertifyPure) {
+TEST(RealTree, AllRegistryColumnarKernelsCertifyPure) {
   namespace fs = std::filesystem;
   const fs::path src_root = fs::path(FCRLINT_REPO_DIR) / "src";
   ASSERT_TRUE(fs::exists(src_root));
@@ -471,8 +471,13 @@ TEST(RealTree, AllSevenColumnarKernelsCertifyPure) {
                 "fcr::FadingContentionResolution::columnar_decide",
                 "fcr::FastDecay::columnar_decide",
                 "fcr::NoKnockoutControl::columnar_decide",
+                "fcr::SiftWindow::columnar_decide",
                 "fcr::SlottedAloha::columnar_decide",
             }));
+  for (const fcrlint::model::KernelRecord& k : tree.kernels) {
+    EXPECT_TRUE(k.simd_eligible)
+        << k.qualified << " lost its SIMD eligibility bit";
+  }
 }
 
 }  // namespace

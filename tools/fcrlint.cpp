@@ -128,6 +128,8 @@ std::string kernel_manifest_json(
          std::to_string(k.draw_min) +
          ", \"max\": " + std::to_string(k.draw_max) + " },\n";
     s += "      \"pure\": " + std::string(k.pure ? "true" : "false") + ",\n";
+    s += "      \"simd_eligible\": " +
+         std::string(k.simd_eligible ? "true" : "false") + ",\n";
     s += "      \"reasons\": " + list(k.reasons) + "\n";
     s += i + 1 < kernels.size() ? "    },\n" : "    }\n";
   }

@@ -2025,6 +2025,11 @@ struct KernelRecord {
   int draw_min = 0;
   int draw_max = 0;
   bool pure = true;
+  /// The dispatch bit the engine's SIMD route keys on: pure AND a bounded
+  /// per-lane draw budget. Mirrored by the hand-maintained allowlist in
+  /// src/sim/kernel_certificates.hpp; the fcrlint_kernel_manifest ctest
+  /// asserts the two stay in agreement.
+  bool simd_eligible = false;
   std::vector<std::string> reasons;  ///< why not pure (even when allowed)
 };
 
@@ -2216,6 +2221,7 @@ inline TreeAnalysis check_lane_purity(const ProgramModel& pm,
     }
     rec.columns_read.assign(cols_read.begin(), cols_read.end());
     rec.columns_written.assign(cols_written.begin(), cols_written.end());
+    rec.simd_eligible = rec.pure && rec.draw_max < dataflow::kCountSaturated;
     out.kernels.push_back(std::move(rec));
   }
   std::sort(out.kernels.begin(), out.kernels.end(),

@@ -1,7 +1,11 @@
 # Kernel-manifest contract: a whole-tree fcrlint run with --kernel-manifest
 # must certify every shipped columnar kernel. Validates the emitted JSON
 # structurally — schema tag, one entry per registry algorithm with a
-# columnar port, no impure kernels, and bounded per-lane draw intervals.
+# columnar port, no impure or SIMD-ineligible kernels, bounded per-lane
+# draw intervals — and cross-checks the engine's dispatch allowlist
+# (src/sim/kernel_certificates.hpp): the set of kernels the SIMD route
+# accepts must equal the set fcrlint certifies, so a kernel losing its
+# purity certificate cannot stay routed to the lane engine.
 # Run under ctest as fcrlint_kernel_manifest.
 #
 # Inputs: -DFCRLINT=<binary> -DSOURCE_DIR=<repo root> -DWORKDIR=<scratch>
@@ -30,14 +34,16 @@ if(pos EQUAL -1)
 endif()
 
 # Every columnar kernel in the registry appears, certified pure.
-foreach(kernel
-    fcr::SlottedAloha::columnar_decide
-    fcr::NoKnockoutControl::columnar_decide
-    fcr::DecayKnownN::columnar_decide
-    fcr::DecayDoubling::columnar_decide
-    fcr::FastDecay::columnar_decide
+set(registry_kernels
     fcr::BinaryExponentialBackoff::columnar_decide
-    fcr::FadingContentionResolution::columnar_decide)
+    fcr::DecayDoubling::columnar_decide
+    fcr::DecayKnownN::columnar_decide
+    fcr::FadingContentionResolution::columnar_decide
+    fcr::FastDecay::columnar_decide
+    fcr::NoKnockoutControl::columnar_decide
+    fcr::SiftWindow::columnar_decide
+    fcr::SlottedAloha::columnar_decide)
+foreach(kernel IN LISTS registry_kernels)
   string(FIND "${json}" "\"${kernel}\"" pos)
   if(pos EQUAL -1)
     fail("kernel ${kernel} missing from manifest")
@@ -48,8 +54,58 @@ string(FIND "${json}" "\"pure\": false" pos)
 if(NOT pos EQUAL -1)
   fail("manifest contains a decertified kernel:\n${json}")
 endif()
+string(FIND "${json}" "\"simd_eligible\": false" pos)
+if(NOT pos EQUAL -1)
+  fail("manifest contains a SIMD-ineligible kernel:\n${json}")
+endif()
 string(REGEX MATCHALL "\"pure\": true" pure_tags "${json}")
 list(LENGTH pure_tags pure_count)
-if(NOT pure_count EQUAL 7)
-  fail("expected 7 pure kernels, found ${pure_count}")
+if(NOT pure_count EQUAL 8)
+  fail("expected 8 pure kernels, found ${pure_count}")
 endif()
+string(REGEX MATCHALL "\"simd_eligible\": true" simd_tags "${json}")
+list(LENGTH simd_tags simd_count)
+if(NOT simd_count EQUAL 8)
+  fail("expected 8 simd_eligible kernels, found ${simd_count}")
+endif()
+
+# Dispatcher agreement: the allowlist the engine compiles in must be
+# exactly the manifest's certified kernel set.
+set(allowlist ${SOURCE_DIR}/src/sim/kernel_certificates.hpp)
+if(NOT EXISTS ${allowlist})
+  fail("dispatch allowlist ${allowlist} missing")
+endif()
+file(READ ${allowlist} allowlist_src)
+string(REGEX MATCHALL "\"(fcr::[A-Za-z0-9_:]+)\"" allow_quoted
+       "${allowlist_src}")
+set(allow_names "")
+foreach(q IN LISTS allow_quoted)
+  string(REGEX REPLACE "\"" "" q "${q}")
+  list(APPEND allow_names "${q}")
+endforeach()
+list(REMOVE_DUPLICATES allow_names)
+list(LENGTH allow_names allow_count)
+if(NOT allow_count EQUAL 8)
+  fail("expected 8 allowlisted kernels in kernel_certificates.hpp, found "
+       "${allow_count}: ${allow_names}")
+endif()
+string(REGEX MATCHALL "\"kernel\": \"([^\"]+)\"" manifest_entries "${json}")
+set(manifest_names "")
+foreach(entry IN LISTS manifest_entries)
+  string(REGEX REPLACE "\"kernel\": \"([^\"]+)\"" "\\1" name "${entry}")
+  list(APPEND manifest_names "${name}")
+endforeach()
+foreach(name IN LISTS allow_names)
+  list(FIND manifest_names "${name}" idx)
+  if(idx EQUAL -1)
+    fail("allowlisted kernel ${name} is not in the fcrlint manifest — "
+         "remove it from kernel_certificates.hpp or restore its purity")
+  endif()
+endforeach()
+foreach(name IN LISTS manifest_names)
+  list(FIND allow_names "${name}" idx)
+  if(idx EQUAL -1)
+    fail("certified kernel ${name} is missing from "
+         "kernel_certificates.hpp — the SIMD route would skip it")
+  endif()
+endforeach()
