@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Fabric fault matrix at the process level: run one campaign through the
+# fcrd/fcrw worker fleet under escalating failure schedules — armed
+# transport failpoints, random SIGKILLs of workers, a SIGKILL of the
+# coordinator itself with checkpoint resume — and require every scenario's
+# per-trial CSV to be BIT-IDENTICAL to a clean single-process fcrsim run.
+#
+# This is the binary-level half of the proof obligation in
+# docs/ROBUSTNESS.md §6; the in-process half (threads, deterministic fault
+# schedules, sanitizer coverage) lives in tests/test_fabric.cpp. Scenario A
+# drives the socket backend through fcrsim --fabric-socket, the rest
+# through fcrd, so both front-ends of the fabric are exercised.
+#
+# Usage: scripts/fabric_fault_matrix.sh [--build-dir <dir>]
+set -u -o pipefail
+
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+FCRSIM="$BUILD_DIR/tools/fcrsim"
+FCRD="$BUILD_DIR/tools/fcrd"
+FCRW="$BUILD_DIR/tools/fcrw"
+for bin in "$FCRSIM" "$FCRD" "$FCRW"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "fabric_fault_matrix: $bin not built" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/fcr_fabmatrix.XXXXXX")"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -KILL "$pid" 2> /dev/null; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Deterministic kill schedule: bash's RANDOM is a seedable PRNG, so a
+# failing matrix run replays with the same kill timings.
+RANDOM=20160725
+
+# The campaign: big enough to stay in flight while processes die around
+# it, small enough to finish in seconds. Mirrors kill_resume_test.sh.
+SPEC=(--n 384 --trials 32 --seed 7 --max-rounds 200000)
+FABRIC=(--lease-trials 2 --lease-timeout-ms 500 --grace-ms 8000)
+WORKER=(--heartbeat-ms 50 --io-timeout-ms 400 --connect-retry-ms 50 --connect-attempts 200)
+
+echo "[ref] clean single-process run (LocalBackend)"
+"$FCRSIM" "${SPEC[@]}" --retries 3 --csv "$WORK/reference.csv" \
+  > "$WORK/reference.log" 2>&1 \
+  || { echo "reference run failed"; cat "$WORK/reference.log"; exit 1; }
+
+start_worker() {  # start_worker <scenario> <name> [extra flags...]
+  local scenario="$1" name="$2"
+  shift 2
+  "$FCRW" --socket "$WORK/$scenario.sock" --name "$name" "${WORKER[@]}" "$@" \
+    > "$WORK/$scenario.$name.log" 2>&1 &
+  PIDS+=("$!")
+  disown "$!"  # workers are killed by pid at cleanup; keep job control quiet
+  echo "$!"
+}
+
+check_csv() {  # check_csv <scenario>
+  local scenario="$1"
+  if ! cmp -s "$WORK/reference.csv" "$WORK/$scenario.csv"; then
+    echo "FAIL [$scenario]: per-trial CSV differs from the clean run"
+    diff "$WORK/reference.csv" "$WORK/$scenario.csv" | head -10
+    for log in "$WORK/$scenario".*.log "$WORK/$scenario.log"; do
+      [[ -f "$log" ]] && { echo "--- $log"; tail -5 "$log"; }
+    done
+    exit 1
+  fi
+  echo "PASS [$scenario]: bit-identical ($(grep -c . "$WORK/$scenario.csv") CSV lines)"
+}
+
+# --------------------------------------------------------------- scenario A
+# fcrsim as the coordinator front-end, healthy three-worker fleet.
+echo "[A] fcrsim --fabric-socket, 3 healthy workers"
+"$FCRSIM" "${SPEC[@]}" --retries 3 --fabric-socket "$WORK/a.sock" \
+  --fabric-lease-trials 2 --csv "$WORK/a.csv" > "$WORK/a.log" 2>&1 &
+COORD=$!
+PIDS+=("$COORD")
+for w in 1 2 3; do start_worker a "w$w" > /dev/null; done
+wait "$COORD" || { echo "scenario A coordinator failed"; cat "$WORK/a.log"; exit 1; }
+check_csv a
+
+# --------------------------------------------------------------- scenario B
+# fcrd under armed transport faults in BOTH coordinator and workers: frame
+# drops, duplicates, reorders, and heartbeat loss on every wire seam.
+echo "[B] fcrd, transport failpoints armed (frame drop, duplicate, heartbeat loss, grant drop)"
+B_SPEC='fabric/send=drop:hash=6,seed=11;fabric/recv=duplicate:hash=7,seed=13;fabric/heartbeat=drop:every=2;fabric/lease_grant=drop:hash=9,seed=17'
+FCR_FAILPOINT_SPEC="$B_SPEC" "$FCRD" "${SPEC[@]}" --socket "$WORK/b.sock" \
+  "${FABRIC[@]}" --csv "$WORK/b.csv" > "$WORK/b.log" 2>&1 &
+COORD=$!
+PIDS+=("$COORD")
+for w in 1 2 3; do
+  FCR_FAILPOINT_SPEC="$B_SPEC" start_worker b "w$w" > /dev/null
+done
+wait "$COORD" || { echo "scenario B coordinator failed"; cat "$WORK/b.log"; exit 1; }
+check_csv b
+
+# --------------------------------------------------------------- scenario C
+# fcrd with a crashing worker plus random SIGKILLs of the fleet; fresh
+# workers join late and mop up the revoked leases.
+echo "[C] fcrd, worker crash + random worker SIGKILLs"
+"$FCRD" "${SPEC[@]}" --socket "$WORK/c.sock" "${FABRIC[@]}" \
+  --csv "$WORK/c.csv" > "$WORK/c.log" 2>&1 &
+COORD=$!
+PIDS+=("$COORD")
+start_worker c crasher --die-after-entries 3 > /dev/null
+V1="$(start_worker c victim1)"
+V2="$(start_worker c victim2)"
+sleep "0.$((RANDOM % 4 + 1))"
+kill -KILL "$V1" 2> /dev/null && echo "  SIGKILLed victim1 ($V1)"
+sleep "0.$((RANDOM % 3 + 1))"
+kill -KILL "$V2" 2> /dev/null && echo "  SIGKILLed victim2 ($V2)"
+start_worker c savior1 > /dev/null
+start_worker c savior2 > /dev/null
+wait "$COORD" || { echo "scenario C coordinator failed"; cat "$WORK/c.log"; exit 1; }
+check_csv c
+
+# --------------------------------------------------------------- scenario D
+# SIGKILL the COORDINATOR mid-campaign (checkpoint on disk), restart it
+# with --resume: the restarted fcrd re-shards only the unfinished trials,
+# the surviving/restarted fleet recomputes them, results stay identical.
+echo "[D] fcrd SIGKILLed mid-campaign, restarted with --resume"
+CKPT="$WORK/d.ckpt"
+"$FCRD" "${SPEC[@]}" --socket "$WORK/d.sock" "${FABRIC[@]}" \
+  --checkpoint "$CKPT" --checkpoint-every 1 \
+  --csv "$WORK/d.csv" > "$WORK/d.victim.log" 2>&1 &
+COORD=$!
+PIDS+=("$COORD")
+for w in 1 2; do start_worker d "w$w" > /dev/null; done
+KILLED=0
+for _ in $(seq 1 600); do
+  if ! kill -0 "$COORD" 2> /dev/null; then break; fi
+  if [[ -s "$CKPT" ]]; then
+    kill -KILL "$COORD" 2> /dev/null && KILLED=1
+    break
+  fi
+  sleep 0.01
+done
+wait "$COORD" 2> /dev/null
+if [[ "$KILLED" == 1 ]]; then
+  echo "  SIGKILLed fcrd ($COORD) with a checkpoint on disk"
+else
+  echo "  campaign finished before the kill (fast machine) — resume still checked"
+fi
+if [[ ! -s "$CKPT" ]]; then
+  echo "no checkpoint was written before scenario D ended"; exit 1
+fi
+"$FCRD" "${SPEC[@]}" --socket "$WORK/d.sock" "${FABRIC[@]}" \
+  --checkpoint "$CKPT" --checkpoint-every 1 --resume \
+  --csv "$WORK/d.csv" > "$WORK/d.log" 2>&1 &
+COORD=$!
+PIDS+=("$COORD")
+for w in 3 4; do start_worker d "w$w" > /dev/null; done
+wait "$COORD" || { echo "scenario D resume failed"; cat "$WORK/d.log"; exit 1; }
+if [[ "$KILLED" == 1 ]]; then
+  grep -q "resumed:" "$WORK/d.log" \
+    || { echo "resume did not restore any trials:"; cat "$WORK/d.log"; exit 1; }
+fi
+check_csv d
+
+echo "PASS: all fabric fault-matrix scenarios bit-identical to the clean run"

@@ -18,7 +18,7 @@ regression, not runner noise. Baselines recorded before a benchmark
 existed simply skip that check with a note, so adding benches never
 breaks the gate retroactively.
 
-Usage: scripts/perf_compare.py FRESH.json BASELINE.json
+Usage: scripts/perf_compare.py [--suite resolve|campaign] FRESH.json BASELINE.json
 Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
 """
 
@@ -40,6 +40,21 @@ RATIOS = [
     # to the scalar kernel measured in the same process.
     ("decide-kernel", "BM_DecideKernelLanes/1024", "BM_DecideKernelScalar/1024"),
 ]
+
+# Campaign fabric (BENCH_campaign.json, written by perf_smoke.sh): the same
+# campaign sharded over a 3-worker fcrw fleet on a local unix socket vs the
+# in-process LocalBackend. The ratio is the fabric's end-to-end overhead —
+# socket framing, lease bookkeeping, result merging; growth past the
+# baseline means the wire or scheduler path got more expensive relative to
+# the computation it ships around.
+CAMPAIGN_RATIOS = [
+    ("campaign-fabric", "BM_CampaignFabric3", "BM_CampaignLocal"),
+]
+
+SUITES = {
+    "resolve": RATIOS,
+    "campaign": CAMPAIGN_RATIOS,
+}
 
 
 def load_times(path):
@@ -66,11 +81,20 @@ def ratio(times, num, den):
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = argv[1:]
+    suite = "resolve"
+    if args[:1] == ["--suite"]:
+        if len(args) < 2 or args[1] not in SUITES:
+            print(f"perf_compare: unknown suite {args[1:2]}; "
+                  f"expected one of {sorted(SUITES)}", file=sys.stderr)
+            return 2
+        suite = args[1]
+        args = args[2:]
+    if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    fresh_ctx, fresh = load_times(argv[1])
-    _, base = load_times(argv[2])
+    fresh_ctx, fresh = load_times(args[0])
+    _, base = load_times(args[1])
 
     build_type = fresh_ctx.get("fcr_build_type", "unknown")
     if build_type != "Release":
@@ -79,7 +103,7 @@ def main(argv):
         return 2
 
     failed = False
-    for label, num, den in RATIOS:
+    for label, num, den in SUITES[suite]:
         fresh_r = ratio(fresh, num, den)
         if fresh_r is None:
             print(f"perf_compare: FAIL [{label}]: fresh run is missing "

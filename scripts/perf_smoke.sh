@@ -28,18 +28,21 @@
 # informational here; CI regression-gates on machine-independent RATIOS
 # via scripts/perf_compare.py instead.
 #
-# Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE] [--exec-out FILE]
+# Usage: scripts/perf_smoke.sh [--build-dir DIR] [--out FILE]
+#          [--exec-out FILE] [--campaign-out FILE]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 OUT=BENCH_resolve.json
 EXEC_OUT=BENCH_execution.json
+CAMPAIGN_OUT=BENCH_campaign.json
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     --exec-out) EXEC_OUT="$2"; shift 2 ;;
+    --campaign-out) CAMPAIGN_OUT="$2"; shift 2 ;;
     *) echo "unknown flag: $1" >&2; exit 1 ;;
   esac
 done
@@ -156,5 +159,92 @@ for n in (64, 256, 1024):
               f"columnar {col/1e6:.3f} ms, speedup {virt/col:.2f}x")
 EOF
 
-echo "perf_smoke: wrote $OUT and $EXEC_OUT (fcr_build_type=$BUILD_TYPE," \
-     "git=$FCR_GIT_SHA dirty=$FCR_GIT_DIRTY)"
+# Campaign fabric artifact (docs/ROBUSTNESS.md §6): wall-clock the same
+# campaign once through the in-process LocalBackend and once sharded over a
+# 3-worker fcrw fleet on a local unix socket, best of $CAMPAIGN_REPS.
+# Socket framing, lease bookkeeping, and result merging are all inside the
+# measured window, so BM_CampaignFabric3 / BM_CampaignLocal is the fabric's
+# end-to-end overhead ratio — on a single core it hovers around 1.0, on a
+# multi-core runner sharding pulls it below 1. perf_compare --suite campaign
+# gates the ratio against the committed BENCH_campaign.json. The two CSVs
+# are also compared bit-for-bit: a perf artifact measured from a diverging
+# fabric run would be worse than a slow one.
+FCRSIM_BIN="$BUILD_DIR/tools/fcrsim"
+FCRW_BIN="$BUILD_DIR/tools/fcrw"
+if [ ! -x "$FCRSIM_BIN" ] || [ ! -x "$FCRW_BIN" ]; then
+  echo "perf_smoke: skipping $CAMPAIGN_OUT (fcrsim/fcrw not built in $BUILD_DIR)"
+  echo "perf_smoke: wrote $OUT and $EXEC_OUT (fcr_build_type=$BUILD_TYPE," \
+       "git=$FCR_GIT_SHA dirty=$FCR_GIT_DIRTY)"
+  exit 0
+fi
+
+CDIR="$(mktemp -d "${TMPDIR:-/tmp}/fcr_perf_campaign.XXXXXX")"
+trap 'rm -rf "$CDIR"' EXIT
+CAMPAIGN=(--n 8192 --trials 64 --seed 7 --retries 3)
+CAMPAIGN_REPS=3
+LOCAL_NS=""
+FABRIC_NS=""
+for _ in $(seq 1 "$CAMPAIGN_REPS"); do
+  s=$(date +%s%N)
+  "$FCRSIM_BIN" "${CAMPAIGN[@]}" --csv "$CDIR/local.csv" > /dev/null
+  e=$(date +%s%N)
+  ns=$((e - s))
+  if [ -z "$LOCAL_NS" ] || [ "$ns" -lt "$LOCAL_NS" ]; then LOCAL_NS=$ns; fi
+done
+for rep in $(seq 1 "$CAMPAIGN_REPS"); do
+  SOCK="$CDIR/perf_$rep.sock"
+  for w in 1 2 3; do
+    "$FCRW_BIN" --socket "$SOCK" --name "perf$w" \
+      --connect-retry-ms 20 --connect-attempts 200 \
+      > "$CDIR/worker$w.log" 2>&1 &
+  done
+  s=$(date +%s%N)
+  "$FCRSIM_BIN" "${CAMPAIGN[@]}" --fabric-socket "$SOCK" \
+    --csv "$CDIR/fabric.csv" > "$CDIR/fabric.log"
+  e=$(date +%s%N)
+  wait  # workers exit on the coordinator's Shutdown broadcast
+  ns=$((e - s))
+  if [ -z "$FABRIC_NS" ] || [ "$ns" -lt "$FABRIC_NS" ]; then FABRIC_NS=$ns; fi
+done
+if ! cmp -s "$CDIR/local.csv" "$CDIR/fabric.csv"; then
+  echo "perf_smoke: REFUSING to write $CAMPAIGN_OUT: the fabric campaign" \
+       "diverged from the local run (bit-identity broken)" >&2
+  diff "$CDIR/local.csv" "$CDIR/fabric.csv" | head -5 >&2
+  exit 1
+fi
+if ! grep -q ", 0 trial(s) run locally" "$CDIR/fabric.log"; then
+  echo "perf_smoke: REFUSING to write $CAMPAIGN_OUT: the fabric run fell" \
+       "back to local execution — the number would not measure the fleet" >&2
+  cat "$CDIR/fabric.log" >&2
+  exit 1
+fi
+
+python3 - "$CAMPAIGN_OUT" "$BUILD_TYPE" "$LOCAL_NS" "$FABRIC_NS" <<'EOF'
+import json, os, sys
+out, build_type, local_ns, fabric_ns = sys.argv[1:5]
+doc = {
+    "context": {
+        "fcr_build_type": build_type,
+        "library_build_type": build_type,
+        "fcr_git_sha": os.environ.get("FCR_GIT_SHA", "unknown"),
+        "fcr_git_dirty": os.environ.get("FCR_GIT_DIRTY", "0"),
+        "num_cpus": os.cpu_count(),
+        "fcr_campaign_spec": "n=8192 trials=64 seed=7 retries=3 "
+                             "workers=3 lease_trials=8 transport=unix-socket",
+    },
+    "benchmarks": [
+        {"name": "BM_CampaignLocal", "run_type": "iteration",
+         "real_time": float(local_ns), "time_unit": "ns"},
+        {"name": "BM_CampaignFabric3", "run_type": "iteration",
+         "real_time": float(fabric_ns), "time_unit": "ns"},
+    ],
+}
+json.dump(doc, open(out, "w"), indent=1)
+ratio = float(fabric_ns) / float(local_ns)
+print(f"perf_smoke: campaign local {float(local_ns)/1e9:.3f} s, "
+      f"3-worker fabric {float(fabric_ns)/1e9:.3f} s, "
+      f"overhead ratio {ratio:.3f} ({os.cpu_count()} core(s))")
+EOF
+
+echo "perf_smoke: wrote $OUT, $EXEC_OUT and $CAMPAIGN_OUT" \
+     "(fcr_build_type=$BUILD_TYPE, git=$FCR_GIT_SHA dirty=$FCR_GIT_DIRTY)"

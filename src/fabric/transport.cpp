@@ -1,0 +1,253 @@
+#include "fabric/transport.hpp"
+
+// FCRLINT_ALLOW(ensure-arg): socket paths and fds are runtime/environment
+// inputs — failures throw structured fcr::Error (kConfig/kIo) that the
+// lease machinery recovers from, never invalid_argument.
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace fcr::fabric {
+namespace {
+
+[[noreturn]] void throw_io(const std::string& message) {
+  throw Error(ErrorCategory::kIo, "fabric: " + message + " (" +
+                                      std::strerror(errno) + ")");
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_io("cannot set O_NONBLOCK");
+  }
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) {
+    throw Error(ErrorCategory::kConfig,
+                "fabric: socket path too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_io("cannot create socket");
+  ::unlink(path.c_str());  // stale socket file from a killed coordinator
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_io("cannot bind '" + path + "'");
+  }
+  if (::listen(fd.get(), 64) < 0) throw_io("cannot listen on '" + path + "'");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd accept_unix(int listener) {
+  const int fd = ::accept(listener, nullptr, nullptr);
+  if (fd < 0) return Fd();
+  Fd out(fd);
+  set_nonblocking(out.get());
+  return out;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd();
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    return Fd();
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          // FCRLINT_ALLOW(determinism): transport timing, never sim input
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool FrameChannel::partitioned() {
+  if (partition_until_ == 0) return false;
+  if (steady_ms() >= partition_until_) {
+    partition_until_ = 0;
+    return false;
+  }
+  return true;
+}
+
+bool FrameChannel::send(const Frame& frame, const char* site) {
+  if (!open()) return false;
+  if (partitioned()) return true;  // window drops the frame, not the peer
+  using failpoint::Action;
+  // Engine actions (throw/bad_alloc) armed at a transport site propagate
+  // from transport_hit — faulting the send path itself, not the frame.
+  const auto fault = failpoint::transport_hit(site);
+  if (fault) {
+    switch (fault->action) {
+      case Action::kDrop:
+        return true;
+      case Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault->delay_ms));
+        break;
+      case Action::kDuplicate:
+        return enqueue_bytes(encode_frame(frame)) &&
+               enqueue_bytes(encode_frame(frame));
+      case Action::kReorder:
+        if (!held_send_) {
+          held_send_ = frame;  // emitted after the NEXT send
+          return true;
+        }
+        break;  // already holding one; send normally
+      case Action::kPartition:
+        partition_until_ = steady_ms() + fault->delay_ms;
+        return true;  // the triggering frame falls inside the window
+      default:
+        break;
+    }
+  }
+  if (!enqueue_bytes(encode_frame(frame))) return false;
+  if (held_send_) {
+    const Frame delayed = *std::exchange(held_send_, std::nullopt);
+    return enqueue_bytes(encode_frame(delayed));
+  }
+  return true;
+}
+
+bool FrameChannel::enqueue_bytes(const std::string& bytes) {
+  wbuf_.append(bytes);
+  return flush();
+}
+
+bool FrameChannel::flush() {
+  if (!open()) return false;
+  while (!wbuf_.empty()) {
+    const ssize_t n = ::send(fd_.get(), wbuf_.data(), wbuf_.size(),
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      wbuf_.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool FrameChannel::pump() {
+  if (!open()) return false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      if (rbuf_.size() > 2 * kMaxPayload) {
+        broken_ = true;
+        throw Error(ErrorCategory::kCorrupt,
+                    "fabric frame: receive buffer overrun");
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;  // EOF or hard error: peer is gone
+    return false;
+  }
+  return true;
+}
+
+std::optional<Frame> FrameChannel::next() {
+  using failpoint::Action;
+  for (;;) {
+    if (!ready_.empty()) {
+      Frame f = std::move(ready_.front());
+      ready_.pop_front();
+      return f;
+    }
+    std::optional<Frame> raw;
+    // extract_frame throws kCorrupt on a poisoned stream; let it
+    // propagate so the caller resets the connection.
+    raw = extract_frame(rbuf_);
+    if (!raw) {
+      if (held_recv_ && rbuf_.empty()) {
+        // Reorder held a frame but no successor arrived yet; deliver it
+        // rather than starving the protocol forever.
+        Frame f = *std::exchange(held_recv_, std::nullopt);
+        return f;
+      }
+      return std::nullopt;
+    }
+    if (partitioned()) continue;  // window swallows incoming frames too
+    const auto fault = failpoint::transport_hit("fabric/recv");
+    if (!fault) {
+      if (held_recv_) {
+        ready_.push_back(*std::exchange(held_recv_, std::nullopt));
+      }
+      return raw;
+    }
+    switch (fault->action) {
+      case Action::kDrop:
+        continue;
+      case Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault->delay_ms));
+        return raw;
+      case Action::kDuplicate:
+        ready_.push_back(*raw);
+        return raw;
+      case Action::kReorder:
+        if (!held_recv_) {
+          held_recv_ = std::move(*raw);  // delivered after the next frame
+          continue;
+        }
+        return raw;
+      case Action::kPartition:
+        partition_until_ = steady_ms() + fault->delay_ms;
+        continue;
+      default:
+        return raw;
+    }
+  }
+}
+
+}  // namespace fcr::fabric

@@ -1,0 +1,118 @@
+// Socket transport for the fabric, with deterministic fault injection.
+//
+// UNIX-domain stream sockets (local-host worker fleets; the protocol has
+// no host assumptions beyond a byte stream). All frame traffic funnels
+// through FrameChannel, which plants the transport failpoint sites:
+//
+//   fabric/send — consulted once per outgoing frame. drop discards it,
+//     delay holds the send, duplicate emits it twice, reorder swaps it
+//     with the NEXT outgoing frame, partition opens a window in which
+//     every frame (both directions) is discarded.
+//   fabric/recv — consulted once per incoming frame, same actions applied
+//     on the delivery side.
+//
+// Faults are injected ABOVE the socket, below the protocol: the lease
+// machinery sees exactly the frame loss/duplication/reordering a flaky
+// network would produce, while the byte stream itself stays intact. The
+// protocol's proof obligation (docs/ROBUSTNESS.md §6) is that none of
+// these change campaign results — only timing and retry counters.
+//
+// Wall-clock use in this file (poll timeouts, partition windows, lease
+// deadlines) never feeds the simulation: trial outcomes are pure
+// functions of (spec, trial, attempt) no matter when frames arrive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "fabric/wire.hpp"
+
+namespace fcr::fabric {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a UNIX socket path (unlinking any stale file).
+/// Throws fcr::Error(kIo) on failure. The listener is non-blocking.
+Fd listen_unix(const std::string& path);
+
+/// Accepts one pending connection (non-blocking peer). Invalid Fd when
+/// nothing is pending.
+Fd accept_unix(int listener);
+
+/// Connects to `path`. Invalid Fd when the coordinator is not reachable
+/// (connection refused / missing socket file) — callers retry or degrade.
+Fd connect_unix(const std::string& path);
+
+/// Milliseconds on the steady clock — the fabric's ONE time source, used
+/// for leases, backoff, partitions, and poll timeouts. Never feeds trial
+/// computation.
+std::uint64_t steady_ms();
+
+/// One framed connection with fault injection on both directions.
+class FrameChannel {
+ public:
+  explicit FrameChannel(Fd fd) : fd_(std::move(fd)) {}
+
+  int fd() const { return fd_.get(); }
+  bool open() const { return fd_.valid() && !broken_; }
+  void close() { fd_.reset(); }
+
+  /// True when buffered outgoing bytes are waiting on the socket (poll
+  /// for POLLOUT and call flush()).
+  bool want_write() const { return !wbuf_.empty(); }
+
+  /// Queues `frame`, applying armed fabric/send faults, and attempts to
+  /// flush. `site` overrides the failpoint consulted (the coordinator
+  /// passes "fabric/lease_grant" for grants, the worker
+  /// "fabric/heartbeat" for heartbeats). Returns false when the peer is
+  /// gone (connection reset); frames dropped by an armed fault still
+  /// return true — losing a frame is not losing the peer.
+  bool send(const Frame& frame, const char* site = "fabric/send");
+
+  /// Writes buffered bytes. Returns false when the peer is gone.
+  bool flush();
+
+  /// Reads available bytes into the receive buffer. Returns false on EOF
+  /// or a connection error. Throws fcr::Error(kCorrupt) via
+  /// extract_frame when the stream is poisoned — the caller must drop
+  /// the connection.
+  bool pump();
+
+  /// Next frame after fabric/recv fault application, or nullopt when no
+  /// complete frame is pending delivery.
+  std::optional<Frame> next();
+
+ private:
+  bool enqueue_bytes(const std::string& bytes);
+  bool partitioned();
+
+  Fd fd_;
+  bool broken_ = false;
+  std::string wbuf_;
+  std::string rbuf_;
+  std::deque<Frame> ready_;            ///< decoded, faults applied
+  std::optional<Frame> held_send_;     ///< reorder: waiting for a successor
+  std::optional<Frame> held_recv_;
+  std::uint64_t partition_until_ = 0;  ///< steady_ms deadline, 0 = none
+};
+
+}  // namespace fcr::fabric

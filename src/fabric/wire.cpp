@@ -1,0 +1,269 @@
+#include "fabric/wire.hpp"
+
+// FCRLINT_ALLOW(ensure-arg): every input here is untrusted wire data, not a
+// programmer contract — validation throws structured fcr::Error (kCorrupt)
+// so the transport's recovery path can handle it, never invalid_argument.
+
+#include <array>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace fcr::fabric {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'F', 'C', 'R', 'F'};
+constexpr std::size_t kHeaderBytes = 4 + 1 + 4;  // magic, type, payload_len
+
+[[noreturn]] void corrupt(const std::string& why) {
+  throw Error(ErrorCategory::kCorrupt, "fabric frame: " + why);
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_str(std::string& buf, const std::string& s) {
+  put_u32(buf, static_cast<std::uint32_t>(s.size()));
+  buf.append(s);
+}
+
+/// Bounds-checked cursor over a payload; every read throws kCorrupt on
+/// underflow so a truncated payload cannot read past its end.
+class Reader {
+ public:
+  explicit Reader(const std::string& buf) : buf_(buf) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(byte(at_ + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    at_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(byte(at_ + static_cast<std::size_t>(i)))
+           << (8 * i);
+    }
+    at_ += 8;
+    return v;
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return byte(at_++);
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s = buf_.substr(at_, len);
+    at_ += len;
+    return s;
+  }
+
+  void done() const {
+    if (at_ != buf_.size()) corrupt("payload has trailing bytes");
+  }
+
+ private:
+  void need(std::size_t k) const {
+    if (buf_.size() - at_ < k) corrupt("payload truncated");
+  }
+  std::uint8_t byte(std::size_t i) const {
+    return static_cast<std::uint8_t>(static_cast<unsigned char>(buf_[i]));
+  }
+
+  const std::string& buf_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string buf;
+  put_str(buf, m.worker);
+  return buf;
+}
+
+HelloMsg decode_hello(const std::string& payload) {
+  Reader r(payload);
+  HelloMsg m;
+  m.worker = r.str();
+  r.done();
+  return m;
+}
+
+std::string encode_lease_grant(const LeaseGrantMsg& m) {
+  std::string buf;
+  put_u64(buf, m.lease);
+  put_u64(buf, m.config_hash);
+  put_u64(buf, m.trials.size());
+  for (const std::uint64_t t : m.trials) put_u64(buf, t);
+  put_str(buf, m.spec);
+  return buf;
+}
+
+LeaseGrantMsg decode_lease_grant(const std::string& payload) {
+  Reader r(payload);
+  LeaseGrantMsg m;
+  m.lease = r.u64();
+  m.config_hash = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count > kMaxPayload / 8) corrupt("grant trial list too large");
+  m.trials.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) m.trials.push_back(r.u64());
+  m.spec = r.str();
+  r.done();
+  return m;
+}
+
+std::string encode_no_work(const NoWorkMsg& m) {
+  std::string buf;
+  put_u64(buf, m.backoff_ms);
+  return buf;
+}
+
+NoWorkMsg decode_no_work(const std::string& payload) {
+  Reader r(payload);
+  NoWorkMsg m;
+  m.backoff_ms = r.u64();
+  r.done();
+  return m;
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::string buf;
+  put_u64(buf, m.lease);
+  put_u64(buf, m.completed);
+  return buf;
+}
+
+HeartbeatMsg decode_heartbeat(const std::string& payload) {
+  Reader r(payload);
+  HeartbeatMsg m;
+  m.lease = r.u64();
+  m.completed = r.u64();
+  r.done();
+  return m;
+}
+
+std::string encode_shard_result(const ShardResultMsg& m) {
+  std::string buf;
+  put_u64(buf, m.lease);
+  put_str(buf, m.checkpoint);
+  put_u64(buf, m.failures.size());
+  for (const TrialFailure& f : m.failures) {
+    put_u64(buf, f.trial == kNoIndex ? ~std::uint64_t{0}
+                                     : static_cast<std::uint64_t>(f.trial));
+    put_u64(buf, f.attempt);
+    buf.push_back(static_cast<char>(f.category));
+    put_str(buf, f.worker);
+    put_str(buf, f.message);
+  }
+  return buf;
+}
+
+ShardResultMsg decode_shard_result(const std::string& payload) {
+  Reader r(payload);
+  ShardResultMsg m;
+  m.lease = r.u64();
+  m.checkpoint = r.str();
+  const std::uint64_t nfail = r.u64();
+  if (nfail > kMaxPayload / 16) corrupt("failure list too large");
+  m.failures.reserve(static_cast<std::size_t>(nfail));
+  for (std::uint64_t i = 0; i < nfail; ++i) {
+    TrialFailure f;
+    const std::uint64_t trial = r.u64();
+    f.trial = trial == ~std::uint64_t{0} ? kNoIndex
+                                         : static_cast<std::size_t>(trial);
+    f.attempt = static_cast<std::size_t>(r.u64());
+    const std::uint8_t cat = r.u8();
+    if (cat > static_cast<std::uint8_t>(ErrorCategory::kInjected)) {
+      corrupt("failure category out of range");
+    }
+    f.category = static_cast<ErrorCategory>(cat);
+    f.worker = r.str();
+    f.message = r.str();
+    m.failures.push_back(std::move(f));
+  }
+  r.done();
+  return m;
+}
+
+std::string encode_result_ack(const ResultAckMsg& m) {
+  std::string buf;
+  put_u64(buf, m.lease);
+  return buf;
+}
+
+ResultAckMsg decode_result_ack(const std::string& payload) {
+  Reader r(payload);
+  ResultAckMsg m;
+  m.lease = r.u64();
+  r.done();
+  return m;
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string buf;
+  buf.reserve(kHeaderBytes + frame.payload.size() + 4);
+  buf.append(kMagic.data(), kMagic.size());
+  buf.push_back(static_cast<char>(frame.type));
+  put_u32(buf, static_cast<std::uint32_t>(frame.payload.size()));
+  buf.append(frame.payload);
+  put_u32(buf, crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+std::optional<Frame> extract_frame(std::string& buf) {
+  if (buf.size() < kHeaderBytes) return std::nullopt;
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (buf[i] != kMagic[i]) {
+      corrupt("bad magic");
+    }
+  }
+  const auto type = static_cast<std::uint8_t>(buf[4]);
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdown)) {
+    corrupt("unknown message type");
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(buf[5 + static_cast<std::size_t>(i)]))
+           << (8 * i);
+  }
+  if (len > kMaxPayload) corrupt("oversized payload length");
+  const std::size_t total = kHeaderBytes + static_cast<std::size_t>(len) + 4;
+  if (buf.size() < total) return std::nullopt;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(static_cast<unsigned char>(
+                  buf[total - 4 + static_cast<std::size_t>(i)]))
+              << (8 * i);
+  }
+  if (crc32(buf.data(), total - 4) != stored) corrupt("CRC mismatch");
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload = buf.substr(kHeaderBytes, len);
+  buf.erase(0, total);
+  return frame;
+}
+
+}  // namespace fcr::fabric

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
-#include <thread>
 #include <utility>
 
-#include "sim/thread_pool.hpp"
+#include "sim/campaign_core.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
 #include "util/failpoint.hpp"
-#include "util/thread_annotations.hpp"
 
 namespace fcr {
 namespace {
@@ -36,7 +34,7 @@ void put_u64(std::string& buf, std::uint64_t v) {
   }
 }
 
-std::uint64_t get_u64(const std::string& buf, std::size_t at) {
+std::uint64_t get_u64(std::string_view buf, std::size_t at) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[at + static_cast<std::size_t>(i)]))
@@ -45,27 +43,13 @@ std::uint64_t get_u64(const std::string& buf, std::size_t at) {
   return v;
 }
 
-/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-std::uint32_t crc32(const char* data, std::size_t len) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t n = 0; n < 256; ++n) {
-      std::uint32_t c = n;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[n] = c;
-    }
-    return t;
-  }();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < len; ++i) {
-    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
+[[noreturn]] void throw_io(const std::string& message) {
+  throw Error(ErrorCategory::kIo, message);
 }
 
-std::string serialize(const CheckpointData& data) {
+}  // namespace
+
+std::string serialize_checkpoint(const CheckpointData& data) {
   std::string buf;
   buf.reserve(kHeaderBytes + data.entries.size() * kEntryBytes + 4);
   buf.append(kMagic.data(), kMagic.size());
@@ -89,113 +73,13 @@ std::string serialize(const CheckpointData& data) {
   return buf;
 }
 
-[[noreturn]] void throw_io(const std::string& message) {
-  throw Error(ErrorCategory::kIo, message);
-}
-
-// ------------------------------------------------------------ failure log
-// Shared by worker threads; the only mutable state the campaign's tasks
-// touch outside their own slot.
-struct FailureLog {
-  Mutex m;
-  std::vector<TrialFailure> entries FCR_GUARDED_BY(m);
-
-  void record(TrialFailure failure) {
-    const MutexLock lock(m);
-    entries.push_back(std::move(failure));
-  }
-  std::vector<TrialFailure> take() {
-    const MutexLock lock(m);
-    return std::move(entries);
-  }
-};
-
-/// Set by the watchdog's stop_when hook when a deadline trips.
-struct WatchdogTrip {
-  bool fired = false;
-  std::uint64_t round = 0;
-};
-
-}  // namespace
-
-std::string CampaignResult::failure_report() const {
-  std::ostringstream os;
-  os << failures.size() << " failure(s), " << retried << " retried, "
-     << quarantined << " quarantined";
-  if (restored > 0) os << ", " << restored << " restored from checkpoint";
-  if (!checkpoint_rejected.empty()) {
-    os << "\ncheckpoint rejected: " << checkpoint_rejected;
-  }
-  for (const TrialFailure& f : failures) {
-    os << "\n";
-    if (f.trial == kNoIndex) {
-      os << "campaign warning: " << f.message;
-    } else {
-      os << "trial " << f.trial << " attempt " << f.attempt << " ["
-         << to_string(f.category) << "]: " << f.message;
-    }
-  }
-  return os.str();
-}
-
-std::uint64_t campaign_config_hash(const CampaignConfig& config) {
-  // FNV-1a over the outcome-determining fields. retry/threads/checkpoint
-  // cadence are deliberately excluded: resuming with more workers or a
-  // bumped retry budget must still accept the snapshot.
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFF;
-      h *= 0x100000001B3ULL;
-    }
-  };
-  mix(config.trial.seed);
-  mix(config.trial.trials);
-  mix(config.trial.engine.max_rounds);
-  mix(config.watchdog.round_budget);
-  for (const char c : config.identity) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-void write_checkpoint(const std::string& path, const CheckpointData& data) {
-  FCR_ENSURE_ARG(!path.empty(), "checkpoint path must not be empty");
-  const std::string buf = serialize(data);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw_io("cannot open checkpoint temp file '" + tmp + "'");
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    out.flush();
-    if (!out) throw_io("short write to checkpoint temp file '" + tmp + "'");
-  }
-  // The snapshot is complete on disk; the rename below publishes it
-  // atomically, so a crash at any instant leaves either the previous
-  // checkpoint or this one — never a torn file.
-  FCR_FAILPOINT("checkpoint/write");
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw_io("cannot rename checkpoint into place at '" + path + "'");
-  }
-}
-
-std::optional<CheckpointData> load_checkpoint(const std::string& path,
-                                              const std::uint64_t* expected_hash,
-                                              std::string* reason) {
+std::optional<CheckpointData> parse_checkpoint(std::string_view buf,
+                                               const std::uint64_t* expected_hash,
+                                               std::string* reason) {
   const auto reject = [reason](const std::string& why) {
     if (reason != nullptr) *reason = why;
     return std::nullopt;
   };
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return reject("cannot open checkpoint '" + path + "'");
-  std::string buf;
-  {
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    buf = std::move(ss).str();
-  }
   if (buf.size() < kHeaderBytes + 4) return reject("truncated checkpoint");
   if (!std::equal(kMagic.begin(), kMagic.end(), buf.begin())) {
     return reject("not a campaign checkpoint (bad magic)");
@@ -252,6 +136,88 @@ std::optional<CheckpointData> load_checkpoint(const std::string& path,
   return data;
 }
 
+std::string CampaignResult::failure_report() const {
+  std::ostringstream os;
+  os << failures.size() << " failure(s), " << retried << " retried, "
+     << quarantined << " quarantined";
+  if (restored > 0) os << ", " << restored << " restored from checkpoint";
+  if (!checkpoint_rejected.empty()) {
+    os << "\ncheckpoint rejected: " << checkpoint_rejected;
+  }
+  for (const TrialFailure& f : failures) {
+    os << "\n";
+    if (f.trial == kNoIndex) {
+      os << "campaign warning: " << f.message;
+    } else {
+      os << "trial " << f.trial << " attempt " << f.attempt << " ["
+         << to_string(f.category) << "]";
+      if (!f.worker.empty()) os << " worker '" << f.worker << "'";
+      os << ": " << f.message;
+    }
+  }
+  return os.str();
+}
+
+std::uint64_t campaign_config_hash(const CampaignConfig& config) {
+  // FNV-1a over the outcome-determining fields. retry/threads/checkpoint
+  // cadence are deliberately excluded: resuming with more workers or a
+  // bumped retry budget must still accept the snapshot.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(config.trial.seed);
+  mix(config.trial.trials);
+  mix(config.trial.engine.max_rounds);
+  mix(config.watchdog.round_budget);
+  for (const char c : config.identity) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void write_checkpoint(const std::string& path, const CheckpointData& data) {
+  FCR_ENSURE_ARG(!path.empty(), "checkpoint path must not be empty");
+  const std::string buf = serialize_checkpoint(data);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw_io("cannot open checkpoint temp file '" + tmp + "'");
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    out.flush();
+    if (!out) throw_io("short write to checkpoint temp file '" + tmp + "'");
+  }
+  // The snapshot is complete on disk; the rename below publishes it
+  // atomically, so a crash at any instant leaves either the previous
+  // checkpoint or this one — never a torn file.
+  FCR_FAILPOINT("checkpoint/write");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw_io("cannot rename checkpoint into place at '" + path + "'");
+  }
+}
+
+std::optional<CheckpointData> load_checkpoint(const std::string& path,
+                                              const std::uint64_t* expected_hash,
+                                              std::string* reason) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (reason != nullptr) *reason = "cannot open checkpoint '" + path + "'";
+    return std::nullopt;
+  }
+  std::string buf;
+  {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    buf = std::move(ss).str();
+  }
+  return parse_checkpoint(buf, expected_hash, reason);
+}
+
 CampaignRunner::CampaignRunner(DeploymentFactory make_deployment,
                                ChannelFactory make_channel,
                                AlgorithmFactory make_algorithm,
@@ -272,224 +238,14 @@ CampaignRunner::CampaignRunner(DeploymentFactory make_deployment,
 }
 
 CampaignResult CampaignRunner::run() {
-  const TrialConfig& tc = config_.trial;
-  std::size_t threads = config_.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<std::size_t>(threads, tc.trials);
+  LocalBackend backend;
+  return run_with(backend);
+}
 
-  enum class State : std::uint8_t { kPending, kDone, kQuarantined };
-  struct Slot {
-    State state = State::kPending;
-    bool solved = false;
-    std::uint64_t rounds = 0;
-    std::uint64_t attempts = 0;
-  };
-  std::vector<Slot> slots(tc.trials);
-
-  CampaignResult out;
-  FailureLog log;
-  const std::uint64_t cfg_hash = campaign_config_hash(config_);
-  const bool checkpointing = !config_.checkpoint.path.empty();
-
-  if (config_.checkpoint.resume) {
-    std::string reason;
-    const auto loaded =
-        load_checkpoint(config_.checkpoint.path, &cfg_hash, &reason);
-    if (loaded && loaded->total_trials == tc.trials) {
-      for (const CheckpointEntry& e : loaded->entries) {
-        Slot& slot = slots[static_cast<std::size_t>(e.trial)];
-        slot.state = e.quarantined ? State::kQuarantined : State::kDone;
-        slot.solved = e.solved;
-        slot.rounds = e.rounds;
-        slot.attempts = e.attempts;
-        ++out.restored;
-      }
-      out.quarantined += static_cast<std::size_t>(
-          std::count_if(loaded->entries.begin(), loaded->entries.end(),
-                        [](const CheckpointEntry& e) { return e.quarantined; }));
-    } else {
-      out.checkpoint_rejected =
-          loaded ? "checkpoint trial count does not match this campaign"
-                 : reason;
-    }
-  }
-
-  const Rng master(tc.seed);
+CampaignResult CampaignRunner::run_with(CampaignBackend& backend) {
   const TrialExecutor executor(make_deployment_, make_channel_, make_algorithm_);
-
-  const std::uint64_t round_budget = config_.watchdog.round_budget;
-  const double wall_seconds = config_.watchdog.wall_seconds;
-  const bool watchdog_on = round_budget > 0 || wall_seconds > 0.0;
-
-  const auto run_trial = [&](std::size_t t) {
-    Slot& slot = slots[t];
-    const std::uint64_t attempt = ++slot.attempts;
-    try {
-      FCR_FAILPOINT("campaign/trial");
-      // Attempt 1 replays run_trials exactly; later attempts re-split the
-      // SAME base streams by the attempt number, so a retry perturbs no
-      // other trial and is itself replayable.
-      Rng deploy_rng = master.split(2 * t);
-      Rng run_rng = master.split(2 * t + 1);
-      if (attempt > 1) {
-        deploy_rng = deploy_rng.split(attempt);
-        run_rng = run_rng.split(attempt);
-      }
-      EngineConfig engine = tc.engine;
-      WatchdogTrip trip;
-      if (watchdog_on) {
-        // Wall deadline is sampled once per attempt and only ever decides
-        // WHETHER the trial is abandoned, never what it computes.
-        const auto deadline =
-            // FCRLINT_ALLOW(determinism): watchdog deadline, not sim input
-            std::chrono::steady_clock::now() +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(wall_seconds));
-        const bool wall_on = wall_seconds > 0.0;
-        const auto prev = engine.stop_when;
-        engine.stop_when = [&trip, prev, round_budget, wall_on,
-                            deadline](const RoundView& v) {
-          if (round_budget > 0 && v.round >= round_budget) {
-            trip.fired = true;
-            trip.round = v.round;
-            return true;
-          }
-          // Poll the clock every 64 rounds — cheap enough for tight loops.
-          if (wall_on && (v.round & 63u) == 1u &&
-              // FCRLINT_ALLOW(determinism): watchdog poll, not sim input
-              std::chrono::steady_clock::now() >= deadline) {
-            trip.fired = true;
-            trip.round = v.round;
-            return true;
-          }
-          return prev ? prev(v) : false;
-        };
-      }
-      const RunResult r = executor.run(engine, deploy_rng, run_rng);
-      if (trip.fired && !r.solved) {
-        TrialProvenance prov;
-        prov.round = trip.round;
-        throw Error(ErrorCategory::kTimeout,
-                    "trial exceeded its watchdog deadline", std::move(prov));
-      }
-      slot.solved = r.solved;
-      slot.rounds = r.rounds;
-      slot.state = State::kDone;
-    } catch (const Error& e) {
-      log.record(TrialFailure{t, attempt, e.category(), e.what()});
-    } catch (const std::exception& e) {
-      log.record(TrialFailure{t, attempt, ErrorCategory::kEngine, e.what()});
-    } catch (...) {
-      log.record(TrialFailure{t, attempt, ErrorCategory::kEngine,
-                              "non-standard exception"});
-    }
-  };
-
-  const auto completed = [&slots] {
-    std::size_t done = 0;
-    for (const Slot& s : slots) {
-      if (s.state != State::kPending) ++done;
-    }
-    return done;
-  };
-
-  std::size_t dirty = 0;  // completions/quarantines since the last snapshot
-  const auto maybe_checkpoint = [&](bool force) {
-    if (!checkpointing || dirty == 0) return;
-    if (!force && dirty < config_.checkpoint.every) return;
-    CheckpointData data;
-    data.config_hash = cfg_hash;
-    data.total_trials = tc.trials;
-    for (std::size_t t = 0; t < slots.size(); ++t) {
-      const Slot& s = slots[t];
-      if (s.state == State::kPending) continue;
-      data.entries.push_back(CheckpointEntry{
-          t, s.solved, s.state == State::kQuarantined, s.rounds, s.attempts});
-    }
-    try {
-      write_checkpoint(config_.checkpoint.path, data);
-      ++out.checkpoints_written;
-      dirty = 0;
-    } catch (const Error& e) {
-      // A failed snapshot must never kill the campaign it protects.
-      log.record(TrialFailure{kNoIndex, 0, e.category(), e.what()});
-    } catch (const std::exception& e) {
-      log.record(TrialFailure{kNoIndex, 0, ErrorCategory::kIo, e.what()});
-    }
-  };
-
-  // Attempt passes. The pass budget bounds pathological cases (e.g. a
-  // periodic pool/claim fault that keeps aborting batches without
-  // consuming attempts); leftovers are quarantined, never spun on.
-  const std::size_t max_passes =
-      std::max<std::size_t>(2 * config_.retry.max_attempts, 8);
-  for (std::size_t pass = 0; pass < max_passes; ++pass) {
-    std::vector<std::size_t> pending;
-    for (std::size_t t = 0; t < slots.size(); ++t) {
-      if (slots[t].state == State::kPending &&
-          slots[t].attempts < config_.retry.max_attempts) {
-        pending.push_back(t);
-      }
-    }
-    if (pending.empty()) break;
-
-    // Chunked so snapshots happen DURING the pass, not only between
-    // passes; without checkpointing one chunk spans the whole pass.
-    const std::size_t chunk_size =
-        checkpointing ? std::max(config_.checkpoint.every, threads)
-                      : pending.size();
-    for (std::size_t start = 0; start < pending.size(); start += chunk_size) {
-      const std::size_t end = std::min(start + chunk_size, pending.size());
-      const std::size_t before = completed();
-      if (threads == 1) {
-        // Serial path: never touches the thread pool, so a campaign works
-        // in a fork()ed child (the SIGKILL/resume integration test).
-        for (std::size_t k = start; k < end; ++k) run_trial(pending[k]);
-      } else {
-        try {
-          ThreadPool::global().for_each(
-              end - start,
-              [&](std::size_t k) { run_trial(pending[start + k]); }, threads);
-        } catch (const Error& e) {
-          // The pool itself aborted the chunk (a fault fired before the
-          // task body could run and catch it, e.g. an injected pool/claim
-          // failure). Charge the failed trial an attempt; unclaimed
-          // trials are untouched and retried next pass.
-          const std::size_t k = e.provenance().task;
-          std::size_t t = kNoIndex;
-          if (k != kNoIndex && start + k < end) {
-            t = pending[start + k];
-            ++slots[t].attempts;
-          }
-          log.record(TrialFailure{
-              t, t == kNoIndex ? 0 : static_cast<std::size_t>(slots[t].attempts),
-              e.category(), e.what()});
-        }
-      }
-      dirty += completed() - before;
-      maybe_checkpoint(false);
-    }
-  }
-
-  for (Slot& slot : slots) {
-    if (slot.state == State::kPending) {
-      slot.state = State::kQuarantined;
-      ++out.quarantined;
-      ++dirty;
-    }
-  }
-  maybe_checkpoint(true);
-
-  out.result.trials = tc.trials;
-  for (const Slot& slot : slots) {
-    if (slot.state == State::kDone && slot.solved) {
-      ++out.result.solved;
-      out.result.rounds.push_back(slot.rounds);
-    }
-    if (slot.attempts > 1) ++out.retried;
-  }
-  out.failures = log.take();
-  return out;
+  CampaignCore core(config_, executor);
+  return run_campaign(core, backend);
 }
 
 }  // namespace fcr

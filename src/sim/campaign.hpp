@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/parallel_runner.hpp"
@@ -80,6 +81,10 @@ struct TrialFailure {
   std::size_t attempt = 0;
   ErrorCategory category = ErrorCategory::kEngine;
   std::string message;
+  /// Execution context that ran the failing attempt: "pool#K" for a pool
+  /// worker, the caller's thread label, or a fabric worker identity like
+  /// "fcrw#2". Empty when the context adds nothing (local serial runs).
+  std::string worker;
 };
 
 struct CampaignResult {
@@ -123,6 +128,19 @@ struct CheckpointData {
 /// with equal hashes produce interchangeable checkpoints.
 std::uint64_t campaign_config_hash(const CampaignConfig& config);
 
+/// The FCRCKPT1 byte layout, without file I/O. The fabric reuses these
+/// bytes verbatim as shard/wire state (a shard result payload IS a
+/// serialized checkpoint), so the one serializer feeds both the snapshot
+/// file and the wire.
+std::string serialize_checkpoint(const CheckpointData& data);
+
+/// Validates and decodes FCRCKPT1 bytes: magic, version, CRC32, config
+/// hash (when expected_hash is non-null), entry bounds, duplicate trials.
+/// Returns nullopt with a one-line reason on ANY validation failure.
+std::optional<CheckpointData> parse_checkpoint(std::string_view bytes,
+                                               const std::uint64_t* expected_hash,
+                                               std::string* reason);
+
 /// Atomically replaces `path` with a snapshot (write temp + rename).
 /// Throws fcr::Error(kIo) on I/O failure — the campaign records that as a
 /// warning and keeps running.
@@ -138,6 +156,8 @@ std::optional<CheckpointData> load_checkpoint(
 
 // ------------------------------------------------------------------ runner
 
+class CampaignBackend;  // sim/campaign_core.hpp
+
 class CampaignRunner {
  public:
   /// Factories are copied; they must be thread-safe to call concurrently
@@ -149,6 +169,11 @@ class CampaignRunner {
   /// retry/quarantine -> aggregate. Does not throw on trial failure; only
   /// unusable configuration throws (std::invalid_argument).
   CampaignResult run();
+
+  /// Same campaign, driven through an explicit execution backend — the
+  /// fabric coordinator passes its SocketBackend here. run() is exactly
+  /// run_with(LocalBackend{}).
+  CampaignResult run_with(CampaignBackend& backend);
 
   const CampaignConfig& config() const { return config_; }
 

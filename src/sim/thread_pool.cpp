@@ -25,8 +25,26 @@ struct ThreadPool::Batch {
   CondVar done_cv;
   std::exception_ptr error FCR_GUARDED_BY(m);
   std::size_t failed_index FCR_GUARDED_BY(m) = kNoIndex;
+  /// Pool worker index that hit the first failure, or kNoIndex for the
+  /// caller's participating pump — rendered as "pool#K" / "caller" in the
+  /// rethrown error's worker provenance.
+  std::size_t failed_worker FCR_GUARDED_BY(m) = kNoIndex;
   std::size_t pending_pumps FCR_GUARDED_BY(m) = 0;
 };
+
+namespace {
+
+/// Pool worker index of the current thread (kNoIndex on non-pool threads,
+/// e.g. a for_each caller participating in its own batch). Set once per
+/// worker thread in worker_loop; read when a pump records a failure.
+thread_local std::size_t tls_pool_worker = kNoIndex;
+
+std::string pump_worker_label(std::size_t worker) {
+  return worker == kNoIndex ? std::string("caller")
+                            : "pool#" + std::to_string(worker);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -82,6 +100,7 @@ std::function<void()> ThreadPool::pop_any(std::size_t self) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool_worker = self;
   for (;;) {
     if (std::function<void()> task = pop_any(self)) {
       task();
@@ -129,6 +148,7 @@ void ThreadPool::run_pump(Batch& batch) {
       if (!batch.error) {
         batch.error = std::current_exception();
         batch.failed_index = i;
+        batch.failed_worker = tls_pool_worker;
       }
       batch.abort.store(true);
     }
@@ -176,18 +196,21 @@ void ThreadPool::for_each(std::size_t count,
     // Rethrow as a structured fcr::Error carrying WHICH task failed —
     // callers (the trial runner, the campaign) map the task index back to
     // a trial without parsing the message.
+    const std::string worker = pump_worker_label(batch->failed_worker);
     try {
       std::rethrow_exception(batch->error);
     } catch (const Error& e) {
-      throw e.with_task(batch->failed_index);
+      throw e.with_task(batch->failed_index).with_worker(worker);
     } catch (const std::exception& e) {
       TrialProvenance prov;
       prov.task = batch->failed_index;
+      prov.worker = worker;
       throw Error(ErrorCategory::kEngine, std::string("task failed: ") + e.what(),
                   std::move(prov));
     } catch (...) {
       TrialProvenance prov;
       prov.task = batch->failed_index;
+      prov.worker = worker;
       throw Error(ErrorCategory::kEngine, "task failed: non-standard exception",
                   std::move(prov));
     }

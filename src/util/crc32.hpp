@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// One implementation shared by every integrity-checked byte format in the
+// tree: the campaign checkpoint file (sim/campaign.cpp) and the fabric wire
+// frames (fabric/wire.cpp) must agree bit-for-bit, because a shard result
+// on the wire IS a checkpoint payload (docs/ROBUSTNESS.md §6).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fcr {
+
+inline std::uint32_t crc32(const char* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace fcr

@@ -64,6 +64,11 @@ struct TrialProvenance {
   std::size_t attempt = 0;         ///< 1-based campaign attempt (0 = unset)
   std::uint64_t round = 0;         ///< engine round when known (0 = unset)
   std::string failpoint;           ///< failpoint site name, if injected
+  /// Which execution context ran the failing trial: a pool worker
+  /// ("pool#3"), the fabric worker's host:pid identity ("fcrw@host:123"),
+  /// or empty for the caller's own thread. Lets a campaign report say
+  /// WHERE a failure came from, not just which trial hit it.
+  std::string worker;
 };
 
 /// The engine's structured exception. Derives from std::runtime_error so
@@ -103,6 +108,14 @@ class Error : public std::runtime_error {
     return Error(category_, message_, std::move(p));
   }
 
+  /// Copy with the executing worker identity attached (no-op if one is
+  /// already set — the innermost layer knows best who actually ran it).
+  [[nodiscard]] Error with_worker(const std::string& worker) const {
+    TrialProvenance p = provenance_;
+    if (p.worker.empty()) p.worker = worker;
+    return Error(category_, message_, std::move(p));
+  }
+
  private:
   static std::string format(ErrorCategory category, const std::string& message,
                             const TrialProvenance& p) {
@@ -125,6 +138,7 @@ class Error : public std::runtime_error {
       if (p.round > 0) os << sep << "round " << p.round;
       os << ")";
     }
+    if (!p.worker.empty()) os << " worker '" << p.worker << "'";
     if (!p.failpoint.empty()) os << " failpoint '" << p.failpoint << "'";
     os << ": " << message;
     return os.str();

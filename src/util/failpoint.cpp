@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <new>
 #include <thread>
@@ -52,12 +53,26 @@ bool should_fire(ArmedSite& site) {
   throw Error(ErrorCategory::kInjected, "injected failure", std::move(prov));
 }
 
+/// Consults the registry for `site`; returns the armed action + delay if
+/// the site fired on this hit.
+std::optional<std::pair<Action, std::uint64_t>> fired(const char* site) {
+  Registry& r = registry();
+  if (r.armed_count.load(std::memory_order_acquire) == 0) return std::nullopt;
+  MutexLock lock(r.m);
+  const auto it = r.armed.find(site);
+  if (it == r.armed.end() || !should_fire(it->second)) return std::nullopt;
+  return std::make_pair(it->second.spec.action, it->second.spec.delay_ms);
+}
+
 }  // namespace
 
 const std::vector<std::string>& sites() {
   static const std::vector<std::string> kSites = {
       "workspace/acquire", "workspace/teardown", "pool/claim",
       "channel/build",     "checkpoint/write",   "campaign/trial",
+      // Transport seams (src/fabric/): consumed via transport_hit().
+      "fabric/send",       "fabric/recv",        "fabric/lease_grant",
+      "fabric/heartbeat",
   };
   return kSites;
 }
@@ -72,6 +87,94 @@ void arm(const std::string& site, const Spec& spec) {
   MutexLock lock(r.m);
   r.armed[site] = ArmedSite{spec, 0};
   r.armed_count.store(r.armed.size(), std::memory_order_release);
+}
+
+std::size_t arm_from_spec(const std::string& spec_text) {
+  // Parse everything first so a malformed tail cannot leave a half-armed
+  // registry behind.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  const auto bad = [](const std::string& why, const std::string& entry) {
+    throw std::invalid_argument("failpoint spec: " + why + " in '" + entry +
+                                "'");
+  };
+  std::size_t at = 0;
+  while (at < spec_text.size()) {
+    std::size_t end = spec_text.find(';', at);
+    if (end == std::string::npos) end = spec_text.size();
+    const std::string entry = spec_text.substr(at, end - at);
+    at = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) bad("missing <site>=", entry);
+    const std::string site = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+    const std::size_t colon = rest.find(':');
+    const std::string action_name =
+        colon == std::string::npos ? rest : rest.substr(0, colon);
+    Spec spec;
+    if (action_name == "throw") {
+      spec.action = Action::kThrow;
+    } else if (action_name == "bad_alloc") {
+      spec.action = Action::kBadAlloc;
+    } else if (action_name == "delay") {
+      spec.action = Action::kDelay;
+    } else if (action_name == "drop") {
+      spec.action = Action::kDrop;
+    } else if (action_name == "duplicate") {
+      spec.action = Action::kDuplicate;
+    } else if (action_name == "reorder") {
+      spec.action = Action::kReorder;
+    } else if (action_name == "partition") {
+      spec.action = Action::kPartition;
+    } else {
+      bad("unknown action '" + action_name + "'", entry);
+    }
+    if (colon != std::string::npos) {
+      std::string keys = rest.substr(colon + 1);
+      std::size_t kat = 0;
+      while (kat < keys.size()) {
+        std::size_t kend = keys.find(',', kat);
+        if (kend == std::string::npos) kend = keys.size();
+        const std::string kv = keys.substr(kat, kend - kat);
+        kat = kend + 1;
+        const std::size_t keq = kv.find('=');
+        if (keq == std::string::npos || keq == 0) bad("malformed key", entry);
+        const std::string key = kv.substr(0, keq);
+        const std::string val = kv.substr(keq + 1);
+        std::uint64_t n = 0;
+        if (val.empty()) bad("empty value for '" + key + "'", entry);
+        for (const char c : val) {
+          if (c < '0' || c > '9') bad("non-numeric value for '" + key + "'", entry);
+          n = n * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        if (key == "hit") {
+          spec.fire_on_hit = n;
+        } else if (key == "every") {
+          spec.every = n;
+        } else if (key == "hash") {
+          spec.hash_period = n;
+        } else if (key == "seed") {
+          spec.seed = n;
+        } else if (key == "delay") {
+          spec.delay_ms = n;
+        } else {
+          bad("unknown key '" + key + "'", entry);
+        }
+      }
+    }
+    parsed.emplace_back(site, spec);
+  }
+  for (const auto& [site, spec] : parsed) arm(site, spec);
+  return parsed.size();
+}
+
+std::size_t arm_from_env() {
+  // Ambient configuration, not simulation input: the spec only decides
+  // which faults are injected, and every trigger is deterministic in the
+  // site's hit counter.
+  const char* spec = std::getenv("FCR_FAILPOINT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return 0;
+  return arm_from_spec(spec);
 }
 
 void disarm(const std::string& site) {
@@ -95,20 +198,33 @@ std::uint64_t hit_count(const std::string& site) {
   return it == r.armed.end() ? 0 : it->second.hits;
 }
 
+#if defined(FCR_FAILPOINTS_ENABLED)
+std::optional<TransportFault> transport_hit(const char* site) {
+  const auto hit = fired(site);
+  if (!hit) return std::nullopt;
+  const auto [action, delay_ms] = *hit;
+  switch (action) {
+    case Action::kThrow:
+      fire_throw(site);
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kDelay:
+    case Action::kDrop:
+    case Action::kDuplicate:
+    case Action::kReorder:
+    case Action::kPartition:
+      return TransportFault{action, delay_ms};
+  }
+  return std::nullopt;
+}
+#endif
+
 namespace detail {
 
 void hit(const char* site) {
-  Registry& r = registry();
-  if (r.armed_count.load(std::memory_order_acquire) == 0) return;
-  Action action{};
-  std::uint64_t delay_ms = 0;
-  {
-    MutexLock lock(r.m);
-    const auto it = r.armed.find(site);
-    if (it == r.armed.end() || !should_fire(it->second)) return;
-    action = it->second.spec.action;
-    delay_ms = it->second.spec.delay_ms;
-  }
+  const auto fire = fired(site);
+  if (!fire) return;
+  const auto [action, delay_ms] = *fire;
   switch (action) {
     case Action::kThrow:
       fire_throw(site);
@@ -116,6 +232,14 @@ void hit(const char* site) {
       throw std::bad_alloc();
     case Action::kDelay:
       std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return;
+    case Action::kDrop:
+    case Action::kDuplicate:
+    case Action::kReorder:
+    case Action::kPartition:
+      // Transport actions have no meaning at an engine site: there is no
+      // frame in flight to apply them to. Counted as a hit, otherwise
+      // ignored.
       return;
   }
 }

@@ -7,29 +7,52 @@
 // every-Nth, or seed-keyed pseudorandom via SplitMix64), never off time or
 // a global RNG — so a failing fault-injection run replays exactly.
 //
-// Cost model: sites are planted with FCR_FAILPOINT("name"). When the build
-// does not define FCR_FAILPOINTS_ENABLED (Release / perf builds) the macro
-// expands to nothing — zero code, zero branches, the perf gate sees no
-// hooks at all. When enabled (default for RelWithDebInfo / sanitizer
-// builds), an unarmed registry costs one relaxed atomic load per hit.
+// TRANSPORT SITES. The campaign fabric (src/fabric/) plants a second kind
+// of site on its wire paths: "fabric/send", "fabric/recv",
+// "fabric/lease_grant", "fabric/heartbeat". Those sites take the
+// transport-layer actions — drop, delay, duplicate, reorder, partition —
+// which are not thrown but RETURNED to the transport, which then applies
+// the fault to the frame in flight (wire.cpp). The same trigger machinery
+// drives both kinds, so a kill/partition schedule is replayable from its
+// (site, trigger, seed) spec alone.
+//
+// Cost model: sites are planted with FCR_FAILPOINT("name") /
+// failpoint::transport_hit("name"). When the build does not define
+// FCR_FAILPOINTS_ENABLED (Release / perf builds) the macro expands to
+// nothing and transport_hit is a constexpr no-fault stub — zero code, zero
+// branches, the perf gate sees no hooks at all. When enabled (default for
+// RelWithDebInfo / sanitizer builds), an unarmed registry costs one
+// relaxed atomic load per hit.
 //
 // Usage (tests):
 //   fcr::failpoint::arm("workspace/acquire", {.action = Action::kThrow});
 //   ... run the campaign: trial hitting the site records a TrialFailure ...
 //   fcr::failpoint::disarm_all();
+//
+// Usage (processes — fcrd/fcrw/fcrsim arm from the environment):
+//   FCR_FAILPOINT_SPEC='fabric/send=drop:every=7;fabric/recv=delay:hash=5,seed=3,delay=2'
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace fcr::failpoint {
 
-/// What an armed site does when it fires.
+/// What an armed site does when it fires. The first three are engine
+/// actions (applied by detail::hit, i.e. FCR_FAILPOINT sites); the rest
+/// are transport actions, meaningful only at fabric/* sites where the
+/// transport consumes them via transport_hit(). An engine site armed with
+/// a transport action ignores the firing (there is no frame to drop).
 enum class Action {
-  kThrow,     ///< throw fcr::Error(kInjected) naming the site
-  kBadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
-  kDelay,     ///< sleep delay_ms then continue (watchdog / race widening)
+  kThrow,      ///< throw fcr::Error(kInjected) naming the site
+  kBadAlloc,   ///< throw std::bad_alloc (simulated allocation failure)
+  kDelay,      ///< engine: sleep delay_ms; transport: hold the frame delay_ms
+  kDrop,       ///< transport: discard the frame in flight
+  kDuplicate,  ///< transport: deliver the frame twice
+  kReorder,    ///< transport: swap the frame with its successor
+  kPartition,  ///< transport: drop ALL frames both ways for delay_ms
 };
 
 /// When and how an armed site fires. Exactly one trigger applies:
@@ -41,7 +64,14 @@ struct Spec {
   std::uint64_t every = 0;         ///< periodic: fire when hits % every == 0
   std::uint64_t hash_period = 0;   ///< pseudorandom: fire ~1/hash_period of hits
   std::uint64_t seed = 0;          ///< keys the hash_period trigger
-  std::uint64_t delay_ms = 10;     ///< kDelay only
+  std::uint64_t delay_ms = 10;     ///< kDelay / kPartition window
+};
+
+/// A transport fault returned to the fabric transport when a fabric/*
+/// site fires. The transport applies it to the frame in flight.
+struct TransportFault {
+  Action action = Action::kDrop;
+  std::uint64_t delay_ms = 0;
 };
 
 /// True when FCR_FAILPOINTS_ENABLED was defined at build time, i.e. the
@@ -57,13 +87,28 @@ constexpr bool enabled() {
 
 /// The canonical registered sites — the seams ISSUE/docs/CI iterate over.
 /// arm() rejects names outside this list so a typo cannot silently arm
-/// nothing.
+/// nothing. fabric/* sites are the transport seams (consumed via
+/// transport_hit, not FCR_FAILPOINT).
 const std::vector<std::string>& sites();
 
 /// Arms `site` with `spec`; re-arming replaces the spec and resets the
 /// site's hit counter. Throws std::invalid_argument for unknown sites or
 /// a spec with no valid trigger.
 void arm(const std::string& site, const Spec& spec);
+
+/// Parses and arms a semicolon-separated spec string, e.g.
+///   "fabric/send=drop:every=7;campaign/trial=throw:hit=3"
+/// Grammar per entry: <site>=<action>[:<key>=<n>[,<key>=<n>...]] with
+/// action one of throw|bad_alloc|delay|drop|duplicate|reorder|partition
+/// and keys hit|every|hash|seed|delay (delay in ms). Returns the number
+/// of sites armed; throws std::invalid_argument on any malformed entry
+/// (nothing is armed from a spec that fails to parse).
+std::size_t arm_from_spec(const std::string& spec);
+
+/// arm_from_spec(getenv("FCR_FAILPOINT_SPEC")); returns 0 when the
+/// variable is unset or empty. Entry point for the fcrd/fcrw/fcrsim
+/// binaries so shell-level fault matrices can arm transport faults.
+std::size_t arm_from_env();
 
 /// Disarms one site (no-op when not armed) / every site.
 void disarm(const std::string& site);
@@ -73,9 +118,22 @@ void disarm_all();
 /// never hit). For tests asserting a site actually executed.
 std::uint64_t hit_count(const std::string& site);
 
+#if defined(FCR_FAILPOINTS_ENABLED)
+/// The transport-site entry point: returns the fault to apply to the
+/// frame in flight, or nullopt when the site is unarmed or did not fire
+/// this hit. Engine actions (throw/bad_alloc) armed at a transport site
+/// DO throw from here — useful to fault the send path itself.
+std::optional<TransportFault> transport_hit(const char* site);
+#else
+inline std::optional<TransportFault> transport_hit(const char*) {
+  return std::nullopt;
+}
+#endif
+
 namespace detail {
 /// The instrumented-site entry point behind FCR_FAILPOINT. Cheap when
-/// nothing is armed (one relaxed atomic load).
+/// nothing is armed (one relaxed atomic load). Transport actions armed at
+/// an engine site are ignored (there is no frame to apply them to).
 void hit(const char* site);
 }  // namespace detail
 

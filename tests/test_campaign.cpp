@@ -197,6 +197,9 @@ TEST(Campaign, FailpointAtEverySiteYieldsPartialResultsNotAbort) {
   if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
   const std::string ck = temp_path("faultmatrix.ckpt");
   for (const std::string& site : failpoint::sites()) {
+    // fabric/* sites live on the socket transport's wire paths and are
+    // never hit by a local campaign; test_fabric.cpp exercises them.
+    if (site.rfind("fabric/", 0) == 0) continue;
     SCOPED_TRACE(site);
     failpoint::disarm_all();
     std::remove(ck.c_str());

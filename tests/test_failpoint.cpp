@@ -22,13 +22,17 @@ class FailpointTest : public ::testing::Test {
 
 TEST_F(FailpointTest, SiteListIsStable) {
   const auto& s = failpoint::sites();
-  ASSERT_EQ(s.size(), 6u);
+  ASSERT_EQ(s.size(), 10u);
   EXPECT_NE(std::find(s.begin(), s.end(), "workspace/acquire"), s.end());
   EXPECT_NE(std::find(s.begin(), s.end(), "workspace/teardown"), s.end());
   EXPECT_NE(std::find(s.begin(), s.end(), "pool/claim"), s.end());
   EXPECT_NE(std::find(s.begin(), s.end(), "channel/build"), s.end());
   EXPECT_NE(std::find(s.begin(), s.end(), "checkpoint/write"), s.end());
   EXPECT_NE(std::find(s.begin(), s.end(), "campaign/trial"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "fabric/send"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "fabric/recv"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "fabric/lease_grant"), s.end());
+  EXPECT_NE(std::find(s.begin(), s.end(), "fabric/heartbeat"), s.end());
 }
 
 TEST_F(FailpointTest, UnknownSiteIsRejected) {
@@ -137,6 +141,98 @@ TEST_F(FailpointTest, InjectedErrorCarriesSiteName) {
   } catch (const Error& e) {
     EXPECT_EQ(e.category(), ErrorCategory::kInjected);
     EXPECT_EQ(e.provenance().failpoint, "campaign/trial");
+  }
+}
+
+// ------------------------------------------------ spec grammar / env arming
+
+TEST_F(FailpointTest, SpecStringArmsMultipleSites) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  EXPECT_EQ(failpoint::arm_from_spec(
+                "fabric/send=drop:every=2;campaign/trial=throw:hit=1"),
+            2u);
+  // fabric/send fires on every second transport hit with a drop fault.
+  EXPECT_FALSE(failpoint::transport_hit("fabric/send").has_value());
+  const auto fault = failpoint::transport_hit("fabric/send");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->action, failpoint::Action::kDrop);
+  // campaign/trial got the plain throw action.
+  EXPECT_THROW(failpoint::detail::hit("campaign/trial"), Error);
+}
+
+TEST_F(FailpointTest, SpecStringParsesAllKeys) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  EXPECT_EQ(failpoint::arm_from_spec(
+                "fabric/recv=delay:hash=3,seed=11,delay=1"),
+            1u);
+  // Deterministic in (seed, hit index): two registries armed identically
+  // produce the same firing pattern.
+  std::vector<bool> first;
+  for (int i = 0; i < 32; ++i) {
+    first.push_back(failpoint::transport_hit("fabric/recv").has_value());
+  }
+  failpoint::disarm_all();
+  ASSERT_EQ(failpoint::arm_from_spec(
+                "fabric/recv=delay:hash=3,seed=11,delay=1"),
+            1u);
+  std::vector<bool> second;
+  for (int i = 0; i < 32; ++i) {
+    second.push_back(failpoint::transport_hit("fabric/recv").has_value());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(FailpointTest, MalformedSpecArmsNothing) {
+  // Parse-before-arm: a bad tail must not leave a half-armed registry.
+  EXPECT_THROW(
+      failpoint::arm_from_spec("campaign/trial=throw:hit=1;bogus-entry"),
+      std::invalid_argument);
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+  EXPECT_THROW(failpoint::arm_from_spec("fabric/send=never-an-action"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("fabric/send=drop:hit=x"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("fabric/send=drop:mystery=1"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoint::arm_from_spec("no/such/site=drop:every=1"),
+               std::invalid_argument);
+}
+
+TEST_F(FailpointTest, ArmFromEnvReadsTheSpecVariable) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  ::unsetenv("FCR_FAILPOINT_SPEC");
+  EXPECT_EQ(failpoint::arm_from_env(), 0u);
+  ::setenv("FCR_FAILPOINT_SPEC", "fabric/heartbeat=drop:every=1", 1);
+  EXPECT_EQ(failpoint::arm_from_env(), 1u);
+  const auto fault = failpoint::transport_hit("fabric/heartbeat");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->action, failpoint::Action::kDrop);
+  ::unsetenv("FCR_FAILPOINT_SPEC");
+}
+
+TEST_F(FailpointTest, TransportActionAtEngineSiteIsIgnored) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kDrop;
+  spec.every = 1;
+  failpoint::arm("campaign/trial", spec);
+  // There is no frame to drop at an engine seam; the hit must be a no-op
+  // rather than an exception or an abort.
+  EXPECT_NO_THROW(failpoint::detail::hit("campaign/trial"));
+}
+
+TEST_F(FailpointTest, EngineActionAtTransportSiteThrowsFromTransportHit) {
+  if (!failpoint::enabled()) GTEST_SKIP() << "failpoints compiled out";
+  failpoint::Spec spec;
+  spec.action = failpoint::Action::kThrow;
+  spec.every = 1;
+  failpoint::arm("fabric/lease_grant", spec);
+  try {
+    failpoint::transport_hit("fabric/lease_grant");
+    FAIL() << "expected the injected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kInjected);
+    EXPECT_EQ(e.provenance().failpoint, "fabric/lease_grant");
   }
 }
 

@@ -80,16 +80,16 @@ namespace fcrlint {
 
 /// Bump when any per-file rule's behavior changes; feeds the cache
 /// fingerprint (the catalogue itself is hashed separately by rule id).
-inline constexpr int kRulesRev = 1;
+inline constexpr int kRulesRev = 2;
 
 namespace detail {
 
 /// The strict src/ layer order, lowest first. A file in layer k may include
 /// only layers <= k. Files directly under src/ (the fadingcr.hpp umbrella)
 /// sit above every layer.
-inline constexpr std::array<std::string_view, 11> kLayerOrder = {
+inline constexpr std::array<std::string_view, 12> kLayerOrder = {
     "util", "stats",      "geom",       "radio", "deploy", "sinr",
-    "sim",  "core",       "lowerbound", "algorithms", "ext"};
+    "sim",  "core",       "lowerbound", "algorithms", "ext", "fabric"};
 
 inline constexpr int kTopLayer = static_cast<int>(kLayerOrder.size());
 

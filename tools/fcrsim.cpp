@@ -2,23 +2,28 @@
 // from the library and run a trial batch, with optional CSV outputs for
 // downstream plotting.
 //
+// The composition flags are shared with fcrd through fabric::add_spec_flags
+// (src/fabric/spec.hpp), and the factories are built by the same
+// fabric::make_factories the worker fleet uses — one construction path, so
+// a local run, a campaign, and a fabric-sharded campaign of the same spec
+// are bit-identical by construction.
+//
 // Examples:
 //   fcrsim --deployment uniform --n 256 --algorithm fading --trials 100
 //   fcrsim --deployment chain --n 128 --span 1048576 --algorithm fading
 //   fcrsim --deployment clusters --n 300 --algorithm decay --channel radio
 //   fcrsim --deployment-file nodes.csv --algorithm fading --trace trace.csv
+//   fcrsim --trials 60 --fabric-socket /tmp/fcr.sock   (+ fcrw workers)
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
-#include "algorithms/registry.hpp"
 #include "core/deployment_stats.hpp"
-#include "core/fading_cr.hpp"
-#include "core/knockout_forest.hpp"
 #include "deploy/generators.hpp"
 #include "deploy/io.hpp"
-#include "ext/rayleigh.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/spec.hpp"
 #include "sim/campaign.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
@@ -27,116 +32,22 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/table.hpp"
 
 namespace fcr {
 namespace {
 
-DeploymentFactory make_deployment_factory(const CliParser& cli) {
-  const std::string file = cli.get_string("deployment-file");
-  if (!file.empty()) {
-    std::ifstream in(file);
-    if (!in.good()) {
-      throw Error(ErrorCategory::kIo,
-                  "cannot open deployment file '" + file + "'");
-    }
-    return fixed_deployment(read_deployment_csv(in));
-  }
-  const std::string kind = cli.get_string("deployment");
-  const auto n = static_cast<std::size_t>(cli.get_int("n"));
-  const double side = cli.get_double("side") > 0.0
-                          ? cli.get_double("side")
-                          : 2.0 * std::sqrt(static_cast<double>(n));
-  if (kind == "uniform") {
-    return [n, side](Rng& rng) {
-      return uniform_square(n, side, rng).normalized();
-    };
-  }
-  if (kind == "disk") {
-    return [n, side](Rng& rng) {
-      return uniform_disk(n, side / 2.0, rng).normalized();
-    };
-  }
-  if (kind == "clusters") {
-    const auto clusters = static_cast<std::size_t>(cli.get_int("clusters"));
-    return [n, clusters, side](Rng& rng) {
-      return thomas_clusters(n, clusters, side / 40.0, side, rng).normalized();
-    };
-  }
-  if (kind == "chain") {
-    const double span = cli.get_double("span");
-    return [n, span](Rng& rng) {
-      return exponential_chain(n, span, rng).normalized();
-    };
-  }
-  if (kind == "ring") {
-    return [n, side](Rng& rng) {
-      return ring(n, side, 0.001, rng).normalized();
-    };
-  }
-  if (kind == "multi-scale") {
-    const auto levels = static_cast<std::size_t>(cli.get_int("levels"));
-    return [levels, n](Rng& rng) {
-      return multi_scale(levels, std::max<std::size_t>(2, n / levels), rng)
-          .normalized();
-    };
-  }
-  FCR_ENSURE_ARG(false, "unknown deployment kind: " << kind);
-  return {};
-}
-
-ChannelFactory make_channel_factory(const CliParser& cli) {
-  const std::string kind = cli.get_string("channel");
-  const double alpha = cli.get_double("alpha");
-  const double beta = cli.get_double("beta");
-  const double noise = cli.get_double("noise");
-  if (kind == "sinr") return sinr_channel_factory(alpha, beta, noise);
-  if (kind == "rayleigh") {
-    const double severity = cli.get_double("fading-severity");
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    return [=](const Deployment& dep) -> std::unique_ptr<ChannelAdapter> {
-      const SinrParams params =
-          SinrParams::for_longest_link(alpha, beta, noise, dep.max_link());
-      return std::make_unique<RayleighSinrAdapter>(params, severity,
-                                                   Rng(seed ^ 0xFADEDFADEULL));
-    };
-  }
-  if (kind == "radio") return radio_channel_factory(false);
-  if (kind == "radio-cd") return radio_channel_factory(true);
-  FCR_ENSURE_ARG(false, "unknown channel kind: " << kind);
-  return {};
-}
-
 int run(int argc, const char* const* argv) {
   CliParser cli(
       "fcrsim: run any (deployment, channel, algorithm) combination from "
       "the fadingcr library and report completion statistics.");
-  cli.add_flag("deployment", "uniform",
-               "uniform | disk | clusters | chain | ring | multi-scale");
+  fabric::add_spec_flags(cli);
   cli.add_flag("deployment-file", "", "CSV file (x,y header) overriding --deployment");
-  cli.add_flag("n", "128", "number of nodes");
-  cli.add_flag("side", "0", "region side (0: auto 2*sqrt(n))");
-  cli.add_flag("clusters", "8", "cluster count (clusters deployment)");
-  cli.add_flag("span", "16384", "link ratio R (chain deployment)");
-  cli.add_flag("levels", "8", "link classes (multi-scale deployment)");
-  cli.add_flag("channel", "sinr", "sinr | rayleigh | radio | radio-cd");
-  cli.add_flag("alpha", "3.0", "path-loss exponent");
-  cli.add_flag("beta", "1.5", "SINR decoding threshold");
-  cli.add_flag("noise", "1e-9", "ambient noise");
-  cli.add_flag("fading-severity", "1.0", "Rayleigh severity (rayleigh channel)");
-  cli.add_flag("algorithm", "fading",
-               "registry key: fading | decay | decay-doubling | fast-decay | "
-               "backoff | aloha | cd-leader | no-knockout");
-  cli.add_flag("p", "0.2", "broadcast probability (constant-p algorithms)");
-  cli.add_flag("trials", "100", "number of independent trials");
-  cli.add_flag("seed", "20160725", "master seed");
-  cli.add_flag("max-rounds", "1000000", "per-trial round budget");
   cli.add_flag("csv", "", "write per-trial results to this CSV file");
   cli.add_flag("threads", "1",
                "campaign worker threads (0 = hardware concurrency; any "
                "value but 1 selects campaign mode)");
-  cli.add_flag("retries", "3",
-               "campaign mode: attempts per trial before quarantine");
   cli.add_flag("checkpoint", "",
                "campaign mode: snapshot completed trials to this file "
                "(write-temp+rename, CRC-protected)");
@@ -145,8 +56,12 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("resume", "false",
                "load --checkpoint before running; invalid or mismatched "
                "checkpoints fall back to a fresh campaign");
-  cli.add_flag("round-budget", "0",
-               "campaign watchdog: per-trial round budget (0 = off)");
+  cli.add_flag("fabric-socket", "",
+               "campaign mode: shard trials over fcrw workers connected to "
+               "this UNIX socket (degrades to local execution when no "
+               "worker shows up)");
+  cli.add_flag("fabric-lease-trials", "8",
+               "fabric mode: trials per worker lease");
   cli.add_flag("trace", "", "write the first trial's event trace to this CSV");
   cli.add_flag("deployment-out", "",
                "write the traced trial's deployment to this CSV "
@@ -176,20 +91,32 @@ int run(int argc, const char* const* argv) {
   if (cli.get_int("threads") < 0) {
     throw Error(ErrorCategory::kConfig, "--threads must be non-negative");
   }
+  const std::string fabric_socket = cli.get_string("fabric-socket");
+  const std::string dep_file = cli.get_string("deployment-file");
+  if (!fabric_socket.empty() && !dep_file.empty()) {
+    throw Error(ErrorCategory::kConfig,
+                "--fabric-socket cannot ship --deployment-file deployments "
+                "to workers (the spec must be generative)");
+  }
 
-  const DeploymentFactory deploy = make_deployment_factory(cli);
-  const ChannelFactory channel = make_channel_factory(cli);
-  const std::string algo_key = cli.get_string("algorithm");
-  const double p = cli.get_double("p");
-  const AlgorithmFactory algorithm = [algo_key, p](const Deployment& dep) {
-    return make_algorithm(algo_key, dep.size(), p);
-  };
+  const fabric::SweepSpec spec = fabric::spec_from_cli(cli);
+  const fabric::Factories factories = fabric::make_factories(spec);
+  DeploymentFactory deploy = factories.deploy;
+  if (!dep_file.empty()) {
+    std::ifstream in(dep_file);
+    if (!in.good()) {
+      throw Error(ErrorCategory::kIo,
+                  "cannot open deployment file '" + dep_file + "'");
+    }
+    deploy = fixed_deployment(read_deployment_csv(in));
+  }
+  const ChannelFactory& channel = factories.channel;
+  const AlgorithmFactory& algorithm = factories.algorithm;
 
   TrialConfig config;
-  config.trials = static_cast<std::size_t>(cli.get_int("trials"));
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  config.engine.max_rounds =
-      static_cast<std::uint64_t>(cli.get_int("max-rounds"));
+  config.trials = spec.trials;
+  config.seed = spec.seed;
+  config.engine.max_rounds = spec.max_rounds;
 
   // Describe the instance once.
   {
@@ -205,37 +132,47 @@ int run(int argc, const char* const* argv) {
     }
     if (cli.get_bool("validate")) {
       const SinrParams audit_params = SinrParams::for_longest_link(
-          cli.get_double("alpha"), cli.get_double("beta"),
-          cli.get_double("noise"), probe.size() >= 2 ? probe.max_link() : 1.0);
+          spec.alpha, spec.beta, spec.noise,
+          probe.size() >= 2 ? probe.max_link() : 1.0);
       std::cout << "\nmodel audit (paper Section 2 assumptions):\n"
                 << validate_model(probe, audit_params).to_string() << '\n';
     }
   }
 
-  // Campaign mode (per-trial isolation, retry, checkpoint/resume) kicks in
-  // whenever one of its knobs is used; the plain batch runner otherwise.
+  // Campaign mode (per-trial isolation, retry, checkpoint/resume, fabric
+  // sharding) kicks in whenever one of its knobs is used; the plain batch
+  // runner otherwise.
   const bool campaign_mode = !cli.get_string("checkpoint").empty() ||
                              cli.get_bool("resume") ||
                              cli.get_int("threads") != 1 ||
-                             cli.get_int("round-budget") > 0;
+                             cli.get_int("round-budget") > 0 ||
+                             !fabric_socket.empty();
   TrialSetResult result;
   if (campaign_mode) {
-    CampaignConfig cc;
-    cc.trial = config;
+    CampaignConfig cc = fabric::campaign_config(spec);
     cc.threads = static_cast<std::size_t>(cli.get_int("threads"));
-    cc.retry.max_attempts = static_cast<std::size_t>(cli.get_int("retries"));
-    cc.watchdog.round_budget =
-        static_cast<std::uint64_t>(cli.get_int("round-budget"));
     cc.checkpoint.path = cli.get_string("checkpoint");
     cc.checkpoint.every =
         static_cast<std::size_t>(cli.get_int("checkpoint-every"));
     cc.checkpoint.resume = cli.get_bool("resume");
-    std::ostringstream identity;
-    identity << cli.get_string("deployment") << '/' << cli.get_string("channel")
-             << '/' << algo_key << "/n=" << cli.get_int("n");
-    cc.identity = identity.str();
     CampaignRunner runner(deploy, channel, algorithm, cc);
-    const CampaignResult campaign = runner.run();
+    CampaignResult campaign;
+    if (!fabric_socket.empty()) {
+      fabric::FabricConfig fc;
+      fc.socket_path = fabric_socket;
+      fc.spec = spec;
+      fc.lease_trials =
+          static_cast<std::size_t>(cli.get_int("fabric-lease-trials"));
+      fabric::SocketBackend backend(fc);
+      campaign = runner.run_with(backend);
+      const auto& st = backend.stats();
+      std::cout << "fabric: " << st.leases_granted << " lease(s) granted, "
+                << st.results_merged << " merged, " << st.leases_expired
+                << " expired, " << st.local_fallback_trials
+                << " trial(s) run locally\n";
+    } else {
+      campaign = runner.run();
+    }
     result = campaign.result;
     if (campaign.restored > 0) {
       std::cout << "resumed: " << campaign.restored
@@ -339,6 +276,7 @@ int main(int argc, char** argv) {
   // Every failure exits with a one-line diagnosed error: the taxonomy
   // category (fcr::Error), plus an actionable hint.
   try {
+    fcr::failpoint::arm_from_env();
     return fcr::run(argc, argv);
   } catch (const fcr::Error& e) {
     std::cerr << "fcrsim: " << e.what() << " (hint: " << hint_for(e.category())
